@@ -1,0 +1,40 @@
+package xmlsearch
+
+import (
+	"sort"
+
+	"repro/internal/colstore"
+	"repro/internal/core"
+	"repro/internal/ixlookup"
+	"repro/internal/topk"
+)
+
+// Thin adapters over the internal engines, kept out of the main file so the
+// public surface reads top-down.
+
+func sortResults(rs []Result) {
+	sort.SliceStable(rs, func(i, j int) bool {
+		if rs[i].Score != rs[j].Score {
+			return rs[i].Score > rs[j].Score
+		}
+		if rs[i].Level != rs[j].Level {
+			return rs[i].Level > rs[j].Level
+		}
+		return rs[i].Dewey < rs[j].Dewey
+	})
+}
+
+func topkEvaluate(lists []*colstore.TKList, sem core.Semantics, decay float64, k int) ([]core.Result, topk.Stats) {
+	return topk.Evaluate(lists, topk.Options{Semantics: sem, Decay: decay, K: k})
+}
+
+func topkEvaluateHybrid(colLists []*colstore.List, tkLists []*colstore.TKList, sem core.Semantics, decay float64, k int) ([]core.Result, bool) {
+	return topk.EvaluateHybrid(colLists, tkLists, topk.HybridOptions{Semantics: sem, Decay: decay, K: k})
+}
+
+func ixlookupSem(s Semantics) ixlookup.Semantics {
+	if s == SLCA {
+		return ixlookup.SLCA
+	}
+	return ixlookup.ELCA
+}

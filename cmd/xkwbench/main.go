@@ -1,0 +1,84 @@
+// Command xkwbench regenerates the paper's evaluation section: Table I,
+// Figures 9 and 10, and the design-choice ablations, over the synthetic
+// DBLP and XMark corpora.
+//
+// Usage:
+//
+//	xkwbench                      # default sweep (scale 0.25, 8 queries/pt)
+//	xkwbench -full                # the paper's protocol (40 queries x 5 runs, scale 1.0)
+//	xkwbench -exp fig9 -scale 0.5 # one experiment at a chosen scale
+//	xkwbench -o results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		full    = flag.Bool("full", false, "run the paper-scale protocol (slower)")
+		scale   = flag.Float64("scale", 0, "override dataset scale factor")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		queries = flag.Int("queries", 0, "override queries per sweep point")
+		reps    = flag.Int("reps", 0, "override repetitions per query")
+		topK    = flag.Int("k", 10, "K for the top-K experiments")
+		exp     = flag.String("exp", "all", "experiment: all, table1, fig9, fig10, ablations")
+		out     = flag.String("o", "", "also write output to this file")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	if *full {
+		cfg = bench.FullConfig()
+	}
+	if *scale > 0 {
+		cfg.Scale = *scale
+	}
+	if *queries > 0 {
+		cfg.QueriesPerPt = *queries
+	}
+	if *reps > 0 {
+		cfg.RepsPerQuery = *reps
+	}
+	cfg.Seed = *seed
+	cfg.TopK = *topK
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xkwbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	if *exp == "all" {
+		bench.RunAll(w, cfg)
+		return
+	}
+	dblp := bench.NewDBLPEnv(cfg.Scale, cfg.Seed)
+	switch *exp {
+	case "table1":
+		xmark := bench.NewXMarkEnv(cfg.Scale, cfg.Seed)
+		bench.Table1(w, dblp, xmark)
+	case "fig9":
+		bench.Figure9(w, dblp, cfg)
+	case "fig10":
+		bench.Figure10(w, dblp, cfg)
+	case "ablations":
+		xmark := bench.NewXMarkEnv(cfg.Scale, cfg.Seed)
+		bench.AblationThreshold(w, dblp, cfg)
+		bench.AblationJoinPlan(w, dblp, cfg)
+		bench.AblationCompression(w, dblp, xmark)
+	default:
+		fmt.Fprintf(os.Stderr, "xkwbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,162 @@
+// Command xkwsearch indexes an XML document and runs keyword queries over
+// it with any of the implemented engines.
+//
+// Usage:
+//
+//	xkwsearch index -xml corpus.xml -out ./idx
+//	xkwsearch query -index ./idx -k 10 -sem elca -algo join "sensor network"
+//	xkwsearch query -xml corpus.xml "xml keyword search"
+//
+// The query subcommand accepts either a saved index directory (-index) or a
+// raw XML file (-xml, indexed on the fly).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	xmlsearch "repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "index":
+		runIndex(os.Args[2:])
+	case "query":
+		runQuery(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  xkwsearch index -xml FILE -out DIR
+  xkwsearch query (-index DIR | -xml FILE) [-k N] [-sem elca|slca] [-algo join|stack|ixlookup|rdil|hybrid] QUERY...`)
+	os.Exit(2)
+}
+
+func runIndex(args []string) {
+	fs := flag.NewFlagSet("index", flag.ExitOnError)
+	xmlPath := fs.String("xml", "", "XML document to index")
+	out := fs.String("out", "", "output index directory")
+	fs.Parse(args)
+	if *xmlPath == "" || *out == "" {
+		usage()
+	}
+	start := time.Now()
+	idx, err := xmlsearch.OpenFile(*xmlPath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := idx.Save(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("indexed %d nodes (depth %d) in %v -> %s\n", idx.Len(), idx.Depth(), time.Since(start).Round(time.Millisecond), *out)
+}
+
+func runQuery(args []string) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	indexDir := fs.String("index", "", "saved index directory")
+	xmlPath := fs.String("xml", "", "XML document to index on the fly")
+	k := fs.Int("k", 10, "number of results (0 = all)")
+	semName := fs.String("sem", "elca", "semantics: elca or slca")
+	algoName := fs.String("algo", "join", "engine: join, stack, ixlookup, rdil, or hybrid")
+	stream := fs.Bool("stream", false, "print top-K results as they are proven (join engine)")
+	explain := fs.Bool("explain", false, "print the execution profile after the results")
+	fs.Parse(args)
+	query := strings.Join(fs.Args(), " ")
+	if query == "" || (*indexDir == "") == (*xmlPath == "") {
+		usage()
+	}
+
+	var (
+		idx *xmlsearch.Index
+		err error
+	)
+	if *indexDir != "" {
+		idx, err = xmlsearch.Load(*indexDir)
+	} else {
+		idx, err = xmlsearch.OpenFile(*xmlPath)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := xmlsearch.SearchOptions{}
+	switch *semName {
+	case "elca":
+		opt.Semantics = xmlsearch.ELCA
+	case "slca":
+		opt.Semantics = xmlsearch.SLCA
+	default:
+		fatal(fmt.Errorf("unknown semantics %q", *semName))
+	}
+	switch *algoName {
+	case "join":
+		opt.Algorithm = xmlsearch.AlgoJoin
+	case "stack":
+		opt.Algorithm = xmlsearch.AlgoStack
+	case "ixlookup":
+		opt.Algorithm = xmlsearch.AlgoIndexLookup
+	case "rdil":
+		opt.Algorithm = xmlsearch.AlgoRDIL
+	case "hybrid":
+		opt.Algorithm = xmlsearch.AlgoHybrid
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algoName))
+	}
+
+	if *stream {
+		if *k <= 0 {
+			fatal(fmt.Errorf("-stream needs -k > 0"))
+		}
+		start := time.Now()
+		rank := 0
+		err := idx.TopKStream(query, *k, opt, func(r xmlsearch.Result) bool {
+			rank++
+			fmt.Printf("%2d. (+%v) score=%.4f  %-24s %s\n", rank, time.Since(start).Round(time.Microsecond), r.Score, r.Dewey, r.Path)
+			return true
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
+	start := time.Now()
+	var results []xmlsearch.Result
+	if *k > 0 {
+		results, err = idx.TopK(query, *k, opt)
+	} else {
+		results, err = idx.Search(query, opt)
+	}
+	elapsed := time.Since(start)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%d result(s) in %v for %v [%s/%s]\n", len(results), elapsed.Round(time.Microsecond), xmlsearch.Keywords(query), *semName, *algoName)
+	for i, r := range results {
+		fmt.Printf("%2d. score=%.4f  %-24s %s\n", i+1, r.Score, r.Dewey, r.Path)
+		if r.Snippet != "" {
+			fmt.Printf("    %s\n", r.Snippet)
+		}
+	}
+	if *explain && opt.Algorithm == xmlsearch.AlgoJoin {
+		ex, err := idx.Explain(query, *k, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(ex)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xkwsearch:", err)
+	os.Exit(1)
+}

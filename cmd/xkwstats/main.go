@@ -1,0 +1,127 @@
+// Command xkwstats prints the structural and lexical statistics of an XML
+// corpus that the paper's cost models depend on: node counts by depth and
+// tag, the keyword-frequency distribution the Figure 9 bands are drawn
+// from, and the column/run shape of the JDewey inverted lists.
+//
+// Usage:
+//
+//	xkwstats -xml corpus.xml
+//	xkwstats -dataset dblp -scale 0.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/colstore"
+	"repro/internal/gen"
+	"repro/internal/jdewey"
+	"repro/internal/occur"
+	"repro/internal/xmltree"
+)
+
+func main() {
+	var (
+		xmlPath = flag.String("xml", "", "XML document to analyze")
+		dataset = flag.String("dataset", "", "or: generate dblp|xmark")
+		scale   = flag.Float64("scale", 0.1, "generator scale")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		topTags = flag.Int("tags", 10, "tag rows to print")
+	)
+	flag.Parse()
+
+	var doc *xmltree.Document
+	switch {
+	case *xmlPath != "":
+		f, err := os.Open(*xmlPath)
+		if err != nil {
+			fatal(err)
+		}
+		doc, err = xmltree.Parse(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	case *dataset == "dblp":
+		doc = gen.DBLP(*scale, *seed).Doc
+	case *dataset == "xmark":
+		doc = gen.XMark(*scale, *seed).Doc
+	default:
+		fmt.Fprintln(os.Stderr, "xkwstats: need -xml FILE or -dataset dblp|xmark")
+		os.Exit(2)
+	}
+	jdewey.Assign(doc, 0)
+	m := occur.Extract(doc)
+
+	fmt.Printf("nodes: %d   depth: %d   distinct terms: %d\n\n", doc.Len(), doc.Depth, len(m.Terms))
+
+	fmt.Println("nodes per level:")
+	for l := 1; l <= doc.Depth; l++ {
+		fmt.Printf("  level %2d: %8d\n", l, len(doc.NodesAtLevel(l)))
+	}
+
+	tagCount := map[string]int{}
+	for _, n := range doc.Nodes {
+		tagCount[n.Tag]++
+	}
+	type tc struct {
+		tag string
+		n   int
+	}
+	var tags []tc
+	for tag, n := range tagCount {
+		tags = append(tags, tc{tag, n})
+	}
+	sort.Slice(tags, func(i, j int) bool { return tags[i].n > tags[j].n })
+	fmt.Printf("\ntop %d tags:\n", *topTags)
+	for i, t := range tags {
+		if i >= *topTags {
+			break
+		}
+		fmt.Printf("  %-20s %8d\n", t.tag, t.n)
+	}
+
+	// Keyword-frequency distribution: the raw material of the Figure 9 bands.
+	var dfs []int
+	totalOcc := 0
+	for _, occs := range m.Terms {
+		dfs = append(dfs, len(occs))
+		totalOcc += len(occs)
+	}
+	sort.Ints(dfs)
+	pct := func(p float64) int {
+		if len(dfs) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(dfs)-1))
+		return dfs[i]
+	}
+	fmt.Printf("\nkeyword document frequencies (%d occurrences total):\n", totalOcc)
+	fmt.Printf("  p50=%d p90=%d p99=%d p999=%d max=%d\n", pct(0.50), pct(0.90), pct(0.99), pct(0.999), dfs[len(dfs)-1])
+
+	// Column shape of the JDewey lists: run collapse per level, the input
+	// to the compression-scheme choice of Section III-D.
+	entries := make([]int, doc.Depth+1)
+	runs := make([]int, doc.Depth+1)
+	for term, occs := range m.Terms {
+		l := colstore.BuildList(term, occs)
+		for ci := range l.Cols {
+			entries[ci+1] += l.Cols[ci].NumEntries()
+			runs[ci+1] += len(l.Cols[ci].Runs)
+		}
+	}
+	fmt.Println("\nJDewey column shape (entries -> runs after grouping):")
+	for l := 1; l <= doc.Depth; l++ {
+		if entries[l] == 0 {
+			continue
+		}
+		fmt.Printf("  level %2d: %9d -> %9d (%.1fx)\n", l, entries[l], runs[l], float64(entries[l])/float64(runs[l]))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xkwstats:", err)
+	os.Exit(1)
+}

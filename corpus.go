@@ -1,0 +1,123 @@
+package xmlsearch
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/xmltree"
+)
+
+// Corpus is a searchable index over several XML documents at once. The
+// documents are grafted under one synthetic root — the same trick the
+// paper's evaluation plays when it regroups DBLP by conference and year —
+// so every engine works unchanged; results additionally carry which source
+// document they came from. Results rooted at the synthetic corpus element
+// itself (keywords co-occurring only across documents) are filtered out,
+// since no real subtree corresponds to them.
+type Corpus struct {
+	*Index
+	names []string
+}
+
+// OpenCorpus parses and indexes the XML documents at the given paths into
+// one corpus. At least one path is required.
+func OpenCorpus(paths []string, opts ...Option) (*Corpus, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("xmlsearch: empty corpus")
+	}
+	readers := make([]io.Reader, len(paths))
+	closers := make([]io.Closer, 0, len(paths))
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
+	names := make([]string, len(paths))
+	for i, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, fmt.Errorf("xmlsearch: corpus: %w", err)
+		}
+		closers = append(closers, f)
+		readers[i] = f
+		names[i] = filepath.Base(p)
+	}
+	return OpenCorpusReaders(readers, names, opts...)
+}
+
+// OpenCorpusReaders indexes one document per reader; names label the
+// documents in results (len(names) must equal len(readers)).
+func OpenCorpusReaders(readers []io.Reader, names []string, opts ...Option) (*Corpus, error) {
+	if len(readers) == 0 || len(readers) != len(names) {
+		return nil, fmt.Errorf("xmlsearch: corpus needs equally many readers and names")
+	}
+	root := &xmltree.Node{Tag: "corpus"}
+	merged := &xmltree.Document{Root: root}
+	for i, r := range readers {
+		doc, err := xmltree.Parse(r)
+		if err != nil {
+			return nil, fmt.Errorf("xmlsearch: corpus document %q: %w", names[i], err)
+		}
+		root.Children = append(root.Children, doc.Root)
+	}
+	merged.Refresh()
+	idx, err := FromDocument(merged, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Corpus{Index: idx, names: append([]string(nil), names...)}, nil
+}
+
+// Docs returns the document names in corpus order.
+func (c *Corpus) Docs() []string { return append([]string(nil), c.names...) }
+
+// FileOf reports which source document a result belongs to, from its Dewey
+// identifier ("1.<i>..." is the i-th document). The synthetic corpus root
+// itself belongs to no document.
+func (c *Corpus) FileOf(r Result) string {
+	parts := strings.SplitN(r.Dewey, ".", 3)
+	if len(parts) < 2 {
+		return ""
+	}
+	i, err := strconv.Atoi(parts[1])
+	if err != nil || i < 1 || i > len(c.names) {
+		return ""
+	}
+	return c.names[i-1]
+}
+
+// Search evaluates the query over the whole corpus, dropping the synthetic
+// root if it surfaces as a result.
+func (c *Corpus) Search(query string, opt SearchOptions) ([]Result, error) {
+	rs, err := c.Index.Search(query, opt)
+	return dropSyntheticRoot(rs), err
+}
+
+// TopK returns the corpus-wide top-K (the synthetic root excluded).
+func (c *Corpus) TopK(query string, k int, opt SearchOptions) ([]Result, error) {
+	// Fetch one extra in case the synthetic root occupies a slot.
+	rs, err := c.Index.TopK(query, k+1, opt)
+	if err != nil {
+		return nil, err
+	}
+	rs = dropSyntheticRoot(rs)
+	if len(rs) > k {
+		rs = rs[:k]
+	}
+	return rs, nil
+}
+
+func dropSyntheticRoot(rs []Result) []Result {
+	out := rs[:0]
+	for _, r := range rs {
+		if r.Level == 1 {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}

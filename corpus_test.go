@@ -1,0 +1,136 @@
+package xmlsearch
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func corpusReaders() ([]io.Reader, []string) {
+	docs := []string{
+		`<bib><book><title>xml data management</title></book></bib>`,
+		`<articles><paper>keyword search over xml</paper><paper>data mining</paper></articles>`,
+		`<notes><n>unrelated content here</n></notes>`,
+	}
+	rs := make([]io.Reader, len(docs))
+	for i, d := range docs {
+		rs[i] = strings.NewReader(d)
+	}
+	return rs, []string{"bib.xml", "articles.xml", "notes.xml"}
+}
+
+func TestCorpusSearchAndAttribution(t *testing.T) {
+	readers, names := corpusReaders()
+	c, err := OpenCorpusReaders(readers, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Docs(); len(got) != 3 || got[0] != "bib.xml" {
+		t.Fatalf("Docs = %v", got)
+	}
+	rs, err := c.Search("xml data", SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("no corpus results")
+	}
+	files := map[string]bool{}
+	for _, r := range rs {
+		if r.Level == 1 {
+			t.Fatalf("synthetic corpus root leaked into results: %+v", r)
+		}
+		f := c.FileOf(r)
+		if f == "" {
+			t.Fatalf("result %s has no file attribution", r.Dewey)
+		}
+		files[f] = true
+	}
+	// "xml data" co-occurs within bib.xml's title; the cross-document
+	// combination must not produce a corpus-root result.
+	if !files["bib.xml"] {
+		t.Errorf("expected a result from bib.xml; files=%v", files)
+	}
+	if files["notes.xml"] {
+		t.Error("notes.xml contains neither keyword")
+	}
+}
+
+func TestCorpusTopK(t *testing.T) {
+	readers, names := corpusReaders()
+	c, err := OpenCorpusReaders(readers, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := c.TopK("xml", 2, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) == 0 || len(top) > 2 {
+		t.Fatalf("top-2 returned %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Score > top[i-1].Score {
+			t.Fatal("corpus top-K not ranked")
+		}
+	}
+	if c.FileOf(top[0]) == "" {
+		t.Error("top result lacks attribution")
+	}
+}
+
+func TestCorpusErrors(t *testing.T) {
+	if _, err := OpenCorpusReaders(nil, nil); err == nil {
+		t.Error("empty corpus must error")
+	}
+	if _, err := OpenCorpusReaders([]io.Reader{strings.NewReader("<a/>")}, []string{"a", "b"}); err == nil {
+		t.Error("mismatched names must error")
+	}
+	if _, err := OpenCorpusReaders([]io.Reader{strings.NewReader("not xml")}, []string{"bad"}); err == nil {
+		t.Error("unparsable member must error")
+	}
+	if _, err := OpenCorpus(nil); err == nil {
+		t.Error("no paths must error")
+	}
+	if _, err := OpenCorpus([]string{"/definitely/not/there.xml"}); err == nil {
+		t.Error("missing file must error")
+	}
+}
+
+func TestCorpusFromFiles(t *testing.T) {
+	dir := t.TempDir()
+	paths := make([]string, 2)
+	for i, content := range []string{
+		`<a><t>alpha beta</t></a>`,
+		`<b><t>alpha</t><t>beta</t></b>`,
+	} {
+		paths[i] = filepath.Join(dir, []string{"one.xml", "two.xml"}[i])
+		if err := os.WriteFile(paths[i], []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := OpenCorpus(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := c.Search("alpha beta", SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// one.xml: the <t> leaf; two.xml: the <b> root element of that file.
+	wantFiles := map[string]bool{"one.xml": true, "two.xml": true}
+	for _, r := range rs {
+		delete(wantFiles, c.FileOf(r))
+	}
+	if len(wantFiles) != 0 {
+		t.Errorf("missing results from %v; got %v", wantFiles, rs)
+	}
+	if f := c.FileOf(Result{Dewey: "1"}); f != "" {
+		t.Error("corpus root must have no file")
+	}
+	if f := c.FileOf(Result{Dewey: "1.99.1"}); f != "" {
+		t.Error("out-of-range attribution must be empty")
+	}
+}

@@ -1,0 +1,36 @@
+package xmlsearch
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// corruptRandomFile flips a handful of random bytes in (or truncates) one
+// random file of an index directory.
+func corruptRandomFile(t *testing.T, rng *rand.Rand, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("index dir unreadable: %v", err)
+	}
+	target := filepath.Join(dir, entries[rng.Intn(len(entries))].Name())
+	data, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		return
+	}
+	if rng.Intn(3) == 0 {
+		data = data[:rng.Intn(len(data))]
+	} else {
+		for i := 0; i < 4; i++ {
+			data[rng.Intn(len(data))] ^= byte(1 + rng.Intn(255))
+		}
+	}
+	if err := os.WriteFile(target, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+package xmlsearch
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWithElemRankChangesRanking: two structurally different containers of
+// the same keywords rank equally under pure tf-idf but diverge once the
+// link-based component weighs in.
+func TestWithElemRankChangesRanking(t *testing.T) {
+	// "x y" occurs directly on a heavily-connected hub element (five
+	// children feed rank back into it) and on an isolated sibling leaf.
+	// tf-idf alone cannot tell the two containers apart.
+	docXML := `<root>
+	  <hub>x y<meta>m</meta><meta>m</meta><meta>m</meta><meta>m</meta><meta>m</meta></hub>
+	  <leaf>x y</leaf>
+	</root>`
+
+	plain, err := Open(strings.NewReader(docXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, err := Open(strings.NewReader(docXML), WithElemRank())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rsPlain, err := plain.Search("x y", SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsRanked, err := ranked.Search("x y", SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rsPlain) != len(rsRanked) {
+		t.Fatalf("result sets differ in size: %d vs %d (semantics must not change)", len(rsPlain), len(rsRanked))
+	}
+	// Under tf-idf the two direct containers tie; under ElemRank they must
+	// not, and the hub's title (backed by the hub's rank mass) wins.
+	scoreOf := func(rs []Result, dewey string) float64 {
+		for _, r := range rs {
+			if r.Dewey == dewey {
+				return r.Score
+			}
+		}
+		t.Fatalf("result %s missing", dewey)
+		return 0
+	}
+	hubDewey, leafDewey := "1.1", "1.2"
+	if scoreOf(rsPlain, hubDewey) != scoreOf(rsPlain, leafDewey) {
+		t.Fatalf("tf-idf should tie the two containers: %v vs %v",
+			scoreOf(rsPlain, hubDewey), scoreOf(rsPlain, leafDewey))
+	}
+	if scoreOf(rsRanked, hubDewey) <= scoreOf(rsRanked, leafDewey) {
+		t.Errorf("ElemRank should favour the hub: %v vs %v",
+			scoreOf(rsRanked, hubDewey), scoreOf(rsRanked, leafDewey))
+	}
+}
+
+// TestWithElemRankKeepsResultSets: the link factor reweights scores but
+// must not change which nodes are results.
+func TestWithElemRankKeepsResultSets(t *testing.T) {
+	docXML := `<bib><book><t>alpha</t><u>beta</u></book><mix>alpha beta</mix></bib>`
+	plain, err := Open(strings.NewReader(docXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, err := Open(strings.NewReader(docXML), WithElemRank())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sem := range []Semantics{ELCA, SLCA} {
+		a, err := plain.Search("alpha beta", SearchOptions{Semantics: sem})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ranked.Search("alpha beta", SearchOptions{Semantics: sem})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[string]bool{}
+		for _, r := range b {
+			got[r.Dewey] = true
+		}
+		if len(a) != len(b) {
+			t.Fatalf("sem %d: %d vs %d results", sem, len(a), len(b))
+		}
+		for _, r := range a {
+			if !got[r.Dewey] {
+				t.Fatalf("sem %d: result %s lost under ElemRank", sem, r.Dewey)
+			}
+		}
+	}
+}

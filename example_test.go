@@ -1,0 +1,72 @@
+package xmlsearch_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	xmlsearch "repro"
+)
+
+const exampleXML = `<bib>
+  <book>
+    <title>XML data management</title>
+    <chapter><section>querying xml</section><section>storing data</section></chapter>
+  </book>
+  <article><title>keyword search over xml data</title></article>
+</bib>`
+
+// Example indexes a document and runs a ranked keyword search.
+func Example() {
+	idx, err := xmlsearch.Open(strings.NewReader(exampleXML))
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := idx.Search("xml data", xmlsearch.SearchOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("%s %s\n", r.Dewey, r.Path)
+	}
+	// Output:
+	// 1.1.1 /bib/book/title
+	// 1.2.1 /bib/article/title
+	// 1.1.2 /bib/book/chapter
+}
+
+// ExampleIndex_TopK retrieves only the best result, letting the top-K
+// engine stop early.
+func ExampleIndex_TopK() {
+	idx, err := xmlsearch.Open(strings.NewReader(exampleXML))
+	if err != nil {
+		log.Fatal(err)
+	}
+	top, err := idx.TopK("xml data", 1, xmlsearch.SearchOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(top[0].Path)
+	// Output:
+	// /bib/book/title
+}
+
+// ExampleIndex_Search_slca switches to the SLCA semantics, which keeps
+// only the lowest subtrees.
+func ExampleIndex_Search_slca() {
+	idx, err := xmlsearch.Open(strings.NewReader(exampleXML))
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := idx.Search("xml data", xmlsearch.SearchOptions{Semantics: xmlsearch.SLCA})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Println(r.Path)
+	}
+	// Output:
+	// /bib/book/title
+	// /bib/article/title
+	// /bib/book/chapter
+}

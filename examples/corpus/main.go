@@ -1,0 +1,71 @@
+// Corpus scenario: keyword search across several XML documents at once,
+// with per-document result attribution and progressive top-K streaming —
+// the shape of a small federated search service built on the library.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"strings"
+
+	xmlsearch "repro"
+)
+
+var documents = map[string]string{
+	"catalog.xml": `<catalog>
+	  <product><name>wireless sensor node</name><desc>low power radio network module</desc></product>
+	  <product><name>gateway</name><desc>connects the sensor network to the cloud</desc></product>
+	</catalog>`,
+	"manual.xml": `<manual>
+	  <chapter><title>installing the sensor</title><body>mount the sensor and join the network</body></chapter>
+	  <chapter><title>troubleshooting</title><body>radio interference and packet loss</body></chapter>
+	</manual>`,
+	"faq.xml": `<faq>
+	  <entry><q>what is the battery life</q><a>about two years per sensor</a></entry>
+	  <entry><q>how many nodes per network</q><a>up to 250 in one radio network</a></entry>
+	</faq>`,
+}
+
+func main() {
+	var (
+		readers []io.Reader
+		names   []string
+	)
+	for name, content := range map[string]string{
+		"catalog.xml": documents["catalog.xml"],
+		"manual.xml":  documents["manual.xml"],
+		"faq.xml":     documents["faq.xml"],
+	} {
+		readers = append(readers, strings.NewReader(content))
+		names = append(names, name)
+	}
+	corpus, err := xmlsearch.OpenCorpusReaders(readers, names)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corpus of %d documents: %v\n\n", len(corpus.Docs()), corpus.Docs())
+
+	for _, query := range []string{"sensor network", "radio network", "battery sensor"} {
+		rs, err := corpus.Search(query, xmlsearch.SearchOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%q: %d results\n", query, len(rs))
+		for i, r := range rs {
+			fmt.Printf("  %d. [%s] score=%.3f %s\n     %q\n", i+1, corpus.FileOf(r), r.Score, r.Path, r.Snippet)
+		}
+		fmt.Println()
+	}
+
+	// Streaming: results arrive the moment the threshold proves them.
+	fmt.Println("streaming top-3 for \"sensor network\":")
+	rank := 0
+	if err := corpus.Index.TopKStream("sensor network", 3, xmlsearch.SearchOptions{}, func(r xmlsearch.Result) bool {
+		rank++
+		fmt.Printf("  #%d arrives: [%s] %.3f %s\n", rank, corpus.FileOf(r), r.Score, r.Path)
+		return true
+	}); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+// Quickstart: index a small XML document and run ranked ELCA and SLCA
+// keyword searches plus a top-K query through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	xmlsearch "repro"
+)
+
+const doc = `<bib>
+  <book year="2003">
+    <title>XML data management</title>
+    <chapter>
+      <section>storing xml in relational databases</section>
+      <section>querying semistructured data</section>
+    </chapter>
+  </book>
+  <book year="2006">
+    <title>Data warehousing fundamentals</title>
+  </book>
+  <article>
+    <title>Keyword search over XML streams</title>
+    <abstract>ranking xml keyword query results with damped tf-idf scores over data trees</abstract>
+  </article>
+</bib>`
+
+func main() {
+	idx, err := xmlsearch.Open(strings.NewReader(doc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d nodes, depth %d, df(xml)=%d df(data)=%d\n\n",
+		idx.Len(), idx.Depth(), idx.DocFreq("xml"), idx.DocFreq("data"))
+
+	show := func(title string, rs []xmlsearch.Result, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(title)
+		for i, r := range rs {
+			fmt.Printf("  %d. score=%.3f %-12s %s\n     %q\n", i+1, r.Score, r.Dewey, r.Path, r.Snippet)
+		}
+		fmt.Println()
+	}
+
+	rs, err := idx.Search("xml data", xmlsearch.SearchOptions{})
+	show("ELCA results for {xml, data}:", rs, err)
+
+	rs, err = idx.Search("xml data", xmlsearch.SearchOptions{Semantics: xmlsearch.SLCA})
+	show("SLCA results for {xml, data}:", rs, err)
+
+	rs, err = idx.TopK("xml keyword search", 2, xmlsearch.SearchOptions{})
+	show("Top-2 for {xml, keyword, search} (join-based top-K):", rs, err)
+}

@@ -1,0 +1,61 @@
+// XMark scenario: keyword search over a deep, irregular auction-site
+// document, persisted to and reloaded from an on-disk index directory —
+// the deployment shape a downstream user of the library would run.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	xmlsearch "repro"
+	"repro/internal/gen"
+)
+
+func main() {
+	ds := gen.XMark(0.05, 7)
+	idx, err := xmlsearch.FromDocument(ds.Doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synthetic XMark: %d nodes, depth %d\n", idx.Len(), idx.Depth())
+
+	dir, err := os.MkdirTemp("", "xmark-index-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	start := time.Now()
+	if err := idx.Save(dir); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("index saved to %s in %v\n", dir, time.Since(start).Round(time.Millisecond))
+
+	loaded, err := xmlsearch.Load(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("index reloaded: %d nodes\n\n", loaded.Len())
+
+	for _, q := range ds.Correlated {
+		query := strings.Join(q, " ")
+		for _, sem := range []struct {
+			name string
+			s    xmlsearch.Semantics
+		}{{"ELCA", xmlsearch.ELCA}, {"SLCA", xmlsearch.SLCA}} {
+			start := time.Now()
+			rs, err := loaded.TopK(query, 5, xmlsearch.SearchOptions{Semantics: sem.s})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%s top-5 for %q in %v\n", sem.name, query, time.Since(start).Round(time.Microsecond))
+			for i, r := range rs {
+				fmt.Printf("  %d. score=%.3f %-20s %s\n", i+1, r.Score, r.Dewey, r.Path)
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,109 @@
+package xmlsearch
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/colstore"
+	"repro/internal/core"
+	"repro/internal/score"
+	"repro/internal/topk"
+)
+
+// Explanation reports what a join-based evaluation did: the workload
+// shape, the per-level join decisions (Section III-C), and — for top-K
+// runs — how much of the score-sorted index was read before the answer
+// was proven (Section IV). It is the library-level view of the counters
+// the paper's experiments are built on.
+type Explanation struct {
+	Keywords  []string
+	DocFreqs  []int // per keyword, occurrence counts
+	Semantics Semantics
+	K         int // 0 for a complete evaluation
+	Results   int
+	Elapsed   time.Duration
+
+	// Complete evaluation (K == 0).
+	Levels      int   // columns processed bottom-up
+	MergeJoins  int   // joins executed as merge joins
+	IndexJoins  int   // joins executed as index joins (dynamic optimization)
+	RunsScanned int64 // run entries touched by merge joins
+	Probes      int64 // binary-search probes issued by index joins
+
+	// Top-K evaluation (K > 0).
+	RowsPulled      int  // rows retrieved from the score-sorted cursors
+	RowsTotal       int  // what a full scan of the same columns would read
+	EarlyEmits      int  // results emitted before their column drained
+	TerminatedEarly bool // stopped before the sweep reached the root
+}
+
+// Explain runs the query through the join-based engine (the complete
+// evaluation when k == 0, the top-K star join otherwise) and returns the
+// execution profile together with the result count. Only the join-based
+// engines expose these counters; baselines are for comparison benchmarks.
+func (ix *Index) Explain(query string, k int, opt SearchOptions) (*Explanation, error) {
+	if opt.Algorithm != AlgoJoin {
+		return nil, fmt.Errorf("xmlsearch: Explain supports the join-based engine only")
+	}
+	keywords := Keywords(query)
+	if len(keywords) == 0 {
+		return nil, ErrNoKeywords
+	}
+	decay := opt.Decay
+	if decay == 0 {
+		decay = score.DefaultDecay
+	}
+	ex := &Explanation{Keywords: keywords, Semantics: opt.Semantics, K: k}
+	for _, w := range keywords {
+		ex.DocFreqs = append(ex.DocFreqs, ix.store.DocFreq(w))
+	}
+	start := time.Now()
+	if k <= 0 {
+		lists := make([]*colstore.List, len(keywords))
+		for i, w := range keywords {
+			lists[i] = ix.store.List(w)
+		}
+		rs, st := core.Evaluate(lists, core.Options{Semantics: coreSem(opt.Semantics), Decay: decay})
+		ex.Elapsed = time.Since(start)
+		ex.Results = len(rs)
+		ex.Levels = st.Levels
+		ex.MergeJoins = st.MergeJoins
+		ex.IndexJoins = st.IndexJoins
+		ex.RunsScanned = st.RunsScanned
+		ex.Probes = st.Probes
+		return ex, nil
+	}
+	lists := make([]*colstore.TKList, len(keywords))
+	for i, w := range keywords {
+		lists[i] = ix.store.TopKList(w)
+	}
+	rs, st := topk.Evaluate(lists, topk.Options{Semantics: coreSem(opt.Semantics), Decay: decay, K: k})
+	ex.Elapsed = time.Since(start)
+	ex.Results = len(rs)
+	ex.Levels = st.Levels
+	ex.RowsPulled = st.RowsPulled
+	ex.RowsTotal = st.RowsTotal
+	ex.EarlyEmits = st.EarlyEmits
+	ex.TerminatedEarly = st.TerminatedEarly
+	return ex, nil
+}
+
+// String renders the explanation in a compact human-readable form.
+func (e *Explanation) String() string {
+	if e.K > 0 {
+		return fmt.Sprintf("top-%d %v over %v df=%v: %d results in %v; pulled %d/%d rows, %d early emits, terminated early: %v",
+			e.K, e.Semantics, e.Keywords, e.DocFreqs, e.Results, e.Elapsed.Round(time.Microsecond),
+			e.RowsPulled, e.RowsTotal, e.EarlyEmits, e.TerminatedEarly)
+	}
+	return fmt.Sprintf("full %v over %v df=%v: %d results in %v; %d levels, %d merge + %d index joins (%d runs, %d probes)",
+		e.Semantics, e.Keywords, e.DocFreqs, e.Results, e.Elapsed.Round(time.Microsecond),
+		e.Levels, e.MergeJoins, e.IndexJoins, e.RunsScanned, e.Probes)
+}
+
+// String names the semantics for display.
+func (s Semantics) String() string {
+	if s == SLCA {
+		return "SLCA"
+	}
+	return "ELCA"
+}

@@ -1,0 +1,77 @@
+package xmlsearch
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestExplainFullEvaluation(t *testing.T) {
+	ds := gen.DBLP(0.02, 33)
+	idx, err := FromDocument(ds.Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := strings.Join(ds.Correlated[0], " ")
+	ex, err := idx.Explain(q, 0, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Keywords) != 2 || len(ex.DocFreqs) != 2 {
+		t.Fatalf("keywords/dfs: %+v", ex)
+	}
+	for i, df := range ex.DocFreqs {
+		if df != idx.DocFreq(ex.Keywords[i]) {
+			t.Errorf("df mismatch for %q", ex.Keywords[i])
+		}
+	}
+	if ex.Levels == 0 || ex.MergeJoins+ex.IndexJoins == 0 {
+		t.Errorf("join counters empty: %+v", ex)
+	}
+	rs, err := idx.Search(q, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Results != len(rs) {
+		t.Errorf("explain results %d, search %d", ex.Results, len(rs))
+	}
+	if s := ex.String(); !strings.Contains(s, "full ELCA") || !strings.Contains(s, "merge") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestExplainTopK(t *testing.T) {
+	ds := gen.DBLP(0.02, 33)
+	idx, err := FromDocument(ds.Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := strings.Join(ds.Correlated[0], " ")
+	ex, err := idx.Explain(q, 5, SearchOptions{Semantics: SLCA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.K != 5 || ex.Results == 0 {
+		t.Fatalf("top-K explanation: %+v", ex)
+	}
+	if ex.RowsPulled == 0 || ex.RowsPulled > ex.RowsTotal {
+		t.Errorf("row accounting: pulled %d of %d", ex.RowsPulled, ex.RowsTotal)
+	}
+	if s := ex.String(); !strings.Contains(s, "top-5 SLCA") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	idx, err := Open(strings.NewReader(`<r><a>x</a><b>y</b></r>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.Explain("the", 0, SearchOptions{}); err == nil {
+		t.Error("stopword query must error")
+	}
+	if _, err := idx.Explain("x y", 0, SearchOptions{Algorithm: AlgoStack}); err == nil {
+		t.Error("baseline engines must be rejected")
+	}
+}

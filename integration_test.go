@@ -1,0 +1,207 @@
+package xmlsearch
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestFullPipelineOnGeneratedCorpora is the end-to-end integration test:
+// generate each synthetic corpus, index it, persist it, reload it, and
+// check that every engine agrees on a mixed workload, before and after the
+// disk round trip.
+func TestFullPipelineOnGeneratedCorpora(t *testing.T) {
+	for _, build := range []func() *gen.Dataset{
+		func() *gen.Dataset { return gen.DBLP(0.02, 5) },
+		func() *gen.Dataset { return gen.XMark(0.02, 5) },
+	} {
+		ds := build()
+		idx, err := FromDocument(ds.Doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		if err := idx.Save(dir); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var queries []string
+		for _, q := range ds.Correlated {
+			queries = append(queries, strings.Join(q, " "))
+		}
+		for _, b := range ds.BandValues {
+			queries = append(queries, ds.Bands[b][0]+" "+ds.HighTerms[0])
+		}
+
+		for _, q := range queries {
+			for _, sem := range []Semantics{ELCA, SLCA} {
+				ref, err := idx.Search(q, SearchOptions{Semantics: sem})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, algo := range []Algorithm{AlgoStack, AlgoIndexLookup} {
+					rs, err := idx.Search(q, SearchOptions{Semantics: sem, Algorithm: algo})
+					if err != nil {
+						t.Fatal(err)
+					}
+					assertSameResults(t, ds.Name, q, ref, rs)
+				}
+				reloaded, err := loaded.Search(q, SearchOptions{Semantics: sem})
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSameResults(t, ds.Name, q+" (reloaded)", ref, reloaded)
+			}
+			// Top-K engines agree with the ranked full set.
+			ref, err := idx.Search(q, SearchOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := 5
+			if len(ref) < k {
+				k = len(ref)
+			}
+			if k == 0 {
+				continue
+			}
+			for _, algo := range []Algorithm{AlgoJoin, AlgoRDIL, AlgoHybrid} {
+				top, err := loaded.TopK(q, k, SearchOptions{Algorithm: algo})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(top) != k {
+					t.Fatalf("%s %q algo %d: top-%d returned %d", ds.Name, q, algo, k, len(top))
+				}
+				for i := range top {
+					if math.Abs(top[i].Score-ref[i].Score) > 1e-6*(1+math.Abs(ref[i].Score)) {
+						t.Fatalf("%s %q algo %d rank %d: %v vs %v", ds.Name, q, algo, i, top[i].Score, ref[i].Score)
+					}
+				}
+			}
+		}
+	}
+}
+
+func assertSameResults(t *testing.T, name, q string, ref, got []Result) {
+	t.Helper()
+	if len(ref) != len(got) {
+		t.Fatalf("%s %q: %d results vs %d", name, q, len(got), len(ref))
+	}
+	byID := map[string]float64{}
+	for _, r := range ref {
+		byID[r.Dewey] = r.Score
+	}
+	for _, r := range got {
+		s, ok := byID[r.Dewey]
+		if !ok {
+			t.Fatalf("%s %q: unexpected result %s", name, q, r.Dewey)
+		}
+		if math.Abs(r.Score-s) > 1e-6*(1+math.Abs(s)) {
+			t.Fatalf("%s %q: %s score %v vs %v", name, q, r.Dewey, r.Score, s)
+		}
+	}
+}
+
+// TestDeepChainDocument stresses the per-level machinery on a pathological
+// depth-50 chain with keywords scattered along it.
+func TestDeepChainDocument(t *testing.T) {
+	var sb strings.Builder
+	depth := 50
+	for i := 0; i < depth; i++ {
+		sb.WriteString("<n>")
+		switch {
+		case i == 10:
+			sb.WriteString("alpha ")
+		case i == 30:
+			sb.WriteString("beta ")
+		case i == 49:
+			sb.WriteString("alpha beta gamma ")
+		}
+	}
+	for i := 0; i < depth; i++ {
+		sb.WriteString("</n>")
+	}
+	idx, err := Open(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Depth() != depth {
+		t.Fatalf("depth = %d", idx.Depth())
+	}
+	// {alpha, beta}: on a single chain, every node down to level 31
+	// contains both keywords, but the exclusion semantics leaves exactly
+	// one ELCA — the leaf. The level-31 node is contains-all, so its own
+	// beta occurrence is claimed there and excluded for every ancestor;
+	// but level 31 itself has no alpha witness outside the contains-all
+	// leaf, so it is not an ELCA either. Likewise level 11's alpha is
+	// claimed at level 11, which lacks a beta witness of its own.
+	for _, algo := range []Algorithm{AlgoJoin, AlgoStack, AlgoIndexLookup} {
+		rs, err := idx.Search("alpha beta", SearchOptions{Algorithm: algo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs) != 1 || rs[0].Level != depth {
+			t.Fatalf("algo %d: ELCAs = %+v, want the leaf only", algo, rs)
+		}
+		slca, err := idx.Search("alpha beta", SearchOptions{Algorithm: algo, Semantics: SLCA})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(slca) != 1 || slca[0].Level != depth {
+			t.Fatalf("algo %d: SLCA = %+v, want the leaf only", algo, slca)
+		}
+	}
+	top, err := idx.TopK("alpha beta gamma", 3, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 1 || top[0].Level != depth {
+		t.Fatalf("three-keyword top-K = %+v, want the leaf", top)
+	}
+}
+
+// TestOpenCorruptionFuzz flips random bytes in a saved index and requires
+// Load/Verify/queries to fail cleanly or succeed — never panic.
+func TestOpenCorruptionFuzz(t *testing.T) {
+	ds := gen.DBLP(0.01, 9)
+	idx, err := FromDocument(ds.Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := idx.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d panicked: %v", trial, r)
+				}
+			}()
+			// Reload a pristine copy, then corrupt one file in memory via
+			// a temp dir copy.
+			tmp := t.TempDir()
+			if err := idx.Save(tmp); err != nil {
+				t.Fatal(err)
+			}
+			corruptRandomFile(t, rng, tmp)
+			loaded, err := Load(tmp)
+			if err != nil {
+				return // clean failure
+			}
+			// Queries over a corrupt-but-loadable index may return errors
+			// or degraded results; they must not panic.
+			_, _ = loaded.Search("sensor network", SearchOptions{})
+			_, _ = loaded.TopK("sensor network", 3, SearchOptions{})
+		}()
+	}
+}

@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ixlookup"
+	"repro/internal/stack"
+	"repro/internal/topk"
+)
+
+func smallCfg() Config {
+	return Config{Scale: 0.02, Seed: 1, QueriesPerPt: 2, RepsPerQuery: 1, TopK: 5, MaxKeywords: 3}
+}
+
+func TestEnvAndWorkloads(t *testing.T) {
+	e := NewDBLPEnv(0.02, 1)
+	if e.Store == nil || e.Inv == nil || e.RDIL == nil {
+		t.Fatal("env incomplete")
+	}
+	for _, low := range e.DS.BandValues {
+		qs := e.BandQueries(1, 3, low, 5)
+		if len(qs) != 5 {
+			t.Fatalf("band %d: %d queries", low, len(qs))
+		}
+		for _, q := range qs {
+			if len(q) != 3 {
+				t.Fatalf("query %v has %d keywords", q, len(q))
+			}
+			if e.M.DocFreq(q[0]) != low {
+				t.Fatalf("low keyword %q df=%d, want %d", q[0], e.M.DocFreq(q[0]), low)
+			}
+			for _, w := range q[1:] {
+				if e.M.DocFreq(w) != e.DS.HighDF {
+					t.Fatalf("high keyword %q df=%d, want %d", w, e.M.DocFreq(w), e.DS.HighDF)
+				}
+			}
+		}
+	}
+	qs := e.EqualFreqQueries(1, 3, e.DS.HighDF, 4)
+	for _, q := range qs {
+		seen := map[string]bool{}
+		for _, w := range q {
+			if seen[w] {
+				t.Fatalf("duplicate keyword in equal-freq query %v", q)
+			}
+			seen[w] = true
+			if e.M.DocFreq(w) != e.DS.HighDF {
+				t.Fatalf("equal-freq keyword %q df=%d", w, e.M.DocFreq(w))
+			}
+		}
+	}
+}
+
+// TestEnginesAgreeOnWorkloads: on the benchmark workloads themselves, the
+// three complete-result engines must report identical result counts, and
+// the top-K engines must agree with the truncated ranked full set.
+func TestEnginesAgreeOnWorkloads(t *testing.T) {
+	e := NewDBLPEnv(0.02, 1)
+	var queries [][]string
+	for _, low := range e.DS.BandValues {
+		queries = append(queries, e.BandQueries(1, 2, low, 2)...)
+		queries = append(queries, e.BandQueries(1, 3, low, 2)...)
+	}
+	queries = append(queries, e.CorrelatedQueries()...)
+	for _, q := range queries {
+		j := e.RunJoin(q, core.ELCA, core.PlanAuto)
+		s := e.RunStack(q, stack.ELCA)
+		x := e.RunIxlookup(q, ixlookup.ELCA)
+		if j != s || j != x {
+			t.Fatalf("query %v: join=%d stack=%d index=%d", q, j, s, x)
+		}
+		want := j
+		if want > 5 {
+			want = 5
+		}
+		tk, _ := e.RunTopKJoin(q, 5, topk.StarJoin)
+		rd, _ := e.RunRDIL(q, 5)
+		jf := e.RunJoinThenSort(q, 5)
+		if tk != want || rd != want || jf != want {
+			t.Fatalf("query %v: topk=%d rdil=%d joinfull=%d want=%d", q, tk, rd, jf, want)
+		}
+	}
+}
+
+func TestDriversProduceReports(t *testing.T) {
+	cfg := smallCfg()
+	dblp := NewDBLPEnv(cfg.Scale, cfg.Seed)
+	xmark := NewXMarkEnv(cfg.Scale, cfg.Seed)
+	var buf bytes.Buffer
+	Table1(&buf, dblp, xmark)
+	Figure9(&buf, dblp, cfg)
+	Figure10(&buf, dblp, cfg)
+	AblationThreshold(&buf, dblp, cfg)
+	AblationJoinPlan(&buf, dblp, cfg)
+	AblationCompression(&buf, dblp, xmark)
+	AblationKSweep(&buf, dblp, cfg)
+	SemanticsParity(&buf, dblp, cfg)
+	out := buf.String()
+	for _, want := range []string{
+		"Table I", "join-based IL", "index-based B-tree",
+		"Figure 9", "9(a)", "equal frequencies",
+		"Figure 10", "10(a)", "correlated",
+		"Ablation A1", "Ablation A2", "Ablation A3",
+		"Ablation A4", "SLCA vs ELCA parity",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+// TestStarNeverLooserOnWorkloads re-checks the Section IV-B tightness
+// property on the benchmark's own correlated workload.
+func TestStarNeverLooserOnWorkloads(t *testing.T) {
+	e := NewDBLPEnv(0.05, 1)
+	for _, q := range e.CorrelatedQueries() {
+		_, star := e.RunTopKJoin(q, 10, topk.StarJoin)
+		_, classic := e.RunTopKJoin(q, 10, topk.ClassicHRJN)
+		if star.RowsPulled > classic.RowsPulled {
+			t.Errorf("query %v: star pulled %d > classic %d", q, star.RowsPulled, classic.RowsPulled)
+		}
+	}
+}

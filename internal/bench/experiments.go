@@ -1,0 +1,287 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ixlookup"
+	"repro/internal/stack"
+	"repro/internal/topk"
+)
+
+// Config sizes the experiment sweep. Defaults approximate the paper's
+// protocol scaled to the synthetic corpora.
+type Config struct {
+	Scale        float64 // dataset scale factor
+	Seed         int64
+	QueriesPerPt int // queries per (k, band) point; the paper uses 40
+	RepsPerQuery int // repetitions per query; the paper uses 5
+	TopK         int // K for the top-K experiments; the paper uses 10
+	MaxKeywords  int // keyword counts 2..MaxKeywords; the paper uses 5
+}
+
+// DefaultConfig is sized to regenerate every figure in a few minutes.
+func DefaultConfig() Config {
+	return Config{Scale: 0.25, Seed: 1, QueriesPerPt: 8, RepsPerQuery: 3, TopK: 10, MaxKeywords: 5}
+}
+
+// FullConfig mirrors the paper's protocol (40 queries x 5 runs).
+func FullConfig() Config {
+	return Config{Scale: 1.0, Seed: 1, QueriesPerPt: 40, RepsPerQuery: 5, TopK: 10, MaxKeywords: 5}
+}
+
+// Table1 prints the index-size accounting for both datasets.
+func Table1(w io.Writer, dblp, xmark *Env) {
+	fmt.Fprintln(w, "== Table I: index sizes ==")
+	fmt.Fprintf(w, "%-22s %14s %14s\n", "", "DBLP", "XMark")
+	row := func(name string, f func(e *Env) int64) {
+		fmt.Fprintf(w, "%-22s %14s %14s\n", name, fmtBytes(f(dblp)), fmtBytes(f(xmark)))
+	}
+	dblpStats, xmarkStats := dblp.Store.Stats(), xmark.Store.Stats()
+	pick := func(e *Env, a, b int64) int64 {
+		if e == dblp {
+			return a
+		}
+		return b
+	}
+	row("join-based IL", func(e *Env) int64 { return pick(e, dblpStats.ColumnLists, xmarkStats.ColumnLists) })
+	row("join-based sparse", func(e *Env) int64 { return pick(e, dblpStats.ColumnSparse, xmarkStats.ColumnSparse) })
+	row("stack-based IL", func(e *Env) int64 { return e.Inv.EncodedSize() })
+	row("index-based B-tree", func(e *Env) int64 { return e.Inv.KeyPerPostingBTreeSize() })
+	row("top-K join IL", func(e *Env) int64 { return pick(e, dblpStats.TopKLists, xmarkStats.TopKLists) })
+	row("top-K join sparse", func(e *Env) int64 { return pick(e, dblpStats.TopKSparse, xmarkStats.TopKSparse) })
+	row("RDIL IL", func(e *Env) int64 { return e.Inv.EncodedSize() })
+	row("RDIL B-tree", func(e *Env) int64 { return e.Inv.ScoreOrderBTreeSize() })
+	fmt.Fprintln(w)
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// Figure9 prints the complete-result query performance sweep: parts
+// (a)-(d) vary the low frequency under a fixed high frequency for k=2..5
+// keywords; parts (e)-(f) use equal-frequency keywords.
+func Figure9(w io.Writer, e *Env, cfg Config) {
+	fmt.Fprintf(w, "== Figure 9: complete result set, %s (high df=%d, ELCA) ==\n", e.DS.Name, e.DS.HighDF)
+	part := 'a'
+	for k := 2; k <= cfg.MaxKeywords; k++ {
+		fmt.Fprintf(w, "-- 9(%c): k=%d, one low-frequency keyword + %d high --\n", part, k, k-1)
+		fmt.Fprintf(w, "%-10s %14s %14s %14s\n", "low df", "join-based", "stack-based", "index-based")
+		for _, low := range e.DS.BandValues {
+			qs := e.BandQueries(cfg.Seed, k, low, cfg.QueriesPerPt)
+			j := meanOver(qs, cfg.RepsPerQuery, func(q []string) { e.RunJoin(q, core.ELCA, core.PlanAuto) })
+			s := meanOver(qs, cfg.RepsPerQuery, func(q []string) { e.RunStack(q, stack.ELCA) })
+			x := meanOver(qs, cfg.RepsPerQuery, func(q []string) { e.RunIxlookup(q, ixlookup.ELCA) })
+			fmt.Fprintf(w, "%-10d %14v %14v %14v\n", low, j, s, x)
+		}
+		part++
+	}
+	equalDFs := []int{e.DS.HighDF}
+	if n := len(e.DS.BandValues); n >= 2 && e.DS.BandValues[n-2] != e.DS.HighDF {
+		equalDFs = []int{e.DS.BandValues[n-2], e.DS.HighDF}
+	}
+	for _, df := range equalDFs {
+		fmt.Fprintf(w, "-- 9(%c): equal frequencies, df=%d --\n", part, df)
+		fmt.Fprintf(w, "%-10s %14s %14s %14s\n", "k", "join-based", "stack-based", "index-based")
+		for k := 2; k <= cfg.MaxKeywords; k++ {
+			qs := e.EqualFreqQueries(cfg.Seed, k, df, cfg.QueriesPerPt)
+			j := meanOver(qs, cfg.RepsPerQuery, func(q []string) { e.RunJoin(q, core.ELCA, core.PlanAuto) })
+			s := meanOver(qs, cfg.RepsPerQuery, func(q []string) { e.RunStack(q, stack.ELCA) })
+			x := meanOver(qs, cfg.RepsPerQuery, func(q []string) { e.RunIxlookup(q, ixlookup.ELCA) })
+			fmt.Fprintf(w, "%-10d %14v %14v %14v\n", k, j, s, x)
+		}
+		part++
+	}
+	fmt.Fprintln(w)
+}
+
+// Figure10 prints the top-K performance comparison: (a) random
+// low-correlation queries over the frequency bands, (b)/(c) hand-picked
+// correlated queries.
+func Figure10(w io.Writer, e *Env, cfg Config) {
+	fmt.Fprintf(w, "== Figure 10: top-%d results, %s (ELCA) ==\n", cfg.TopK, e.DS.Name)
+	fmt.Fprintln(w, "-- 10(a): random (low-correlation) queries, k=2, one low + one high keyword --")
+	fmt.Fprintf(w, "%-10s %14s %14s %14s %14s\n", "low df", "top-K join", "join (full)", "RDIL", "hybrid (V-D)")
+	for _, low := range e.DS.BandValues {
+		qs := e.BandQueries(cfg.Seed, 2, low, cfg.QueriesPerPt)
+		tk := meanOver(qs, cfg.RepsPerQuery, func(q []string) { e.RunTopKJoin(q, cfg.TopK, topk.StarJoin) })
+		jf := meanOver(qs, cfg.RepsPerQuery, func(q []string) { e.RunJoinThenSort(q, cfg.TopK) })
+		rd := meanOver(qs, cfg.RepsPerQuery, func(q []string) { e.RunRDIL(q, cfg.TopK) })
+		hy := meanOver(qs, cfg.RepsPerQuery, func(q []string) { e.RunHybrid(q, cfg.TopK) })
+		fmt.Fprintf(w, "%-10d %14v %14v %14v %14v\n", low, tk, jf, rd, hy)
+	}
+	fmt.Fprintln(w, "-- 10(b)/(c): hand-picked correlated queries --")
+	fmt.Fprintf(w, "%-36s %14s %14s %14s %14s\n", "query", "top-K join", "join (full)", "RDIL", "hybrid (V-D)")
+	for _, q := range e.CorrelatedQueries() {
+		q := q
+		tk := Timing(cfg.RepsPerQuery, func() { e.RunTopKJoin(q, cfg.TopK, topk.StarJoin) })
+		jf := Timing(cfg.RepsPerQuery, func() { e.RunJoinThenSort(q, cfg.TopK) })
+		rd := Timing(cfg.RepsPerQuery, func() { e.RunRDIL(q, cfg.TopK) })
+		hy := Timing(cfg.RepsPerQuery, func() { e.RunHybrid(q, cfg.TopK) })
+		fmt.Fprintf(w, "%-36s %14v %14v %14v %14v\n", strings.Join(q, " "), tk, jf, rd, hy)
+	}
+	fmt.Fprintln(w)
+}
+
+// AblationThreshold compares rows pulled under the star-join threshold
+// (Section IV-B) against the classic HRJN threshold on the correlated
+// queries, where the bound tightness decides how early emission starts.
+func AblationThreshold(w io.Writer, e *Env, cfg Config) {
+	fmt.Fprintf(w, "== Ablation A1: star-join vs classic threshold (rows pulled, top-%d), %s ==\n", cfg.TopK, e.DS.Name)
+	fmt.Fprintf(w, "%-36s %12s %12s %12s\n", "query", "star", "classic", "total rows")
+	for _, q := range e.CorrelatedQueries() {
+		_, sStar := e.RunTopKJoin(q, cfg.TopK, topk.StarJoin)
+		_, sClassic := e.RunTopKJoin(q, cfg.TopK, topk.ClassicHRJN)
+		fmt.Fprintf(w, "%-36s %12d %12d %12d\n", strings.Join(q, " "), sStar.RowsPulled, sClassic.RowsPulled, sStar.RowsTotal)
+	}
+	fmt.Fprintln(w)
+}
+
+// AblationJoinPlan compares the dynamic join-plan selection of Section
+// III-C against forcing the merge join or the index join everywhere.
+func AblationJoinPlan(w io.Writer, e *Env, cfg Config) {
+	fmt.Fprintf(w, "== Ablation A2: join-plan selection (k=3), %s ==\n", e.DS.Name)
+	fmt.Fprintf(w, "%-10s %14s %14s %14s\n", "low df", "dynamic", "merge-only", "index-only")
+	for _, low := range e.DS.BandValues {
+		qs := e.BandQueries(cfg.Seed, 3, low, cfg.QueriesPerPt)
+		auto := meanOver(qs, cfg.RepsPerQuery, func(q []string) { e.RunJoin(q, core.ELCA, core.PlanAuto) })
+		merge := meanOver(qs, cfg.RepsPerQuery, func(q []string) { e.RunJoin(q, core.ELCA, core.PlanMergeOnly) })
+		index := meanOver(qs, cfg.RepsPerQuery, func(q []string) { e.RunJoin(q, core.ELCA, core.PlanIndexOnly) })
+		fmt.Fprintf(w, "%-10d %14v %14v %14v\n", low, auto, merge, index)
+	}
+	fmt.Fprintln(w)
+}
+
+// AblationKSweep extends the paper's fixed K=10 with a K sweep on a
+// correlated query: the rows the top-K join must pull to prove the answer
+// grow with K, closing in on the full evaluation as K approaches the
+// result count.
+func AblationKSweep(w io.Writer, e *Env, cfg Config) {
+	q := e.CorrelatedQueries()[0]
+	total := len(q)
+	_ = total
+	full := Timing(cfg.RepsPerQuery, func() { e.RunJoinThenSort(q, 1<<30) })
+	results := e.RunJoin(q, core.ELCA, core.PlanAuto)
+	fmt.Fprintf(w, "== Ablation A4: K sweep, %s, query %v (%d results; full evaluation %v) ==\n",
+		e.DS.Name, q, results, full)
+	fmt.Fprintf(w, "%-8s %14s %12s %12s\n", "K", "top-K join", "rows pulled", "of total")
+	for _, k := range []int{1, 5, 10, 25, 50, 100} {
+		k := k
+		var st topk.Stats
+		d := Timing(cfg.RepsPerQuery, func() { _, st = e.RunTopKJoin(q, k, topk.StarJoin) })
+		fmt.Fprintf(w, "%-8d %14v %12d %11.1f%%\n", k, d, st.RowsPulled,
+			100*float64(st.RowsPulled)/float64(st.RowsTotal))
+	}
+	fmt.Fprintln(w)
+}
+
+// SemanticsParity quantifies the paper's Section V remark that "query
+// execution time for the SLCA semantics is around the same as the ELCA
+// semantics for any algorithm": for each engine, the SLCA/ELCA time ratio
+// over the mid-band workload.
+func SemanticsParity(w io.Writer, e *Env, cfg Config) {
+	fmt.Fprintf(w, "== SLCA vs ELCA parity, %s (k=2, mid band) ==\n", e.DS.Name)
+	fmt.Fprintf(w, "%-14s %14s %14s %8s\n", "engine", "ELCA", "SLCA", "ratio")
+	mid := e.DS.BandValues[len(e.DS.BandValues)/2]
+	qs := e.BandQueries(cfg.Seed, 2, mid, cfg.QueriesPerPt)
+	engines := []struct {
+		name string
+		run  func(q []string, slca bool)
+	}{
+		{"join-based", func(q []string, slca bool) {
+			sem := core.ELCA
+			if slca {
+				sem = core.SLCA
+			}
+			e.RunJoin(q, sem, core.PlanAuto)
+		}},
+		{"stack-based", func(q []string, slca bool) {
+			sem := stack.ELCA
+			if slca {
+				sem = stack.SLCA
+			}
+			e.RunStack(q, sem)
+		}},
+		{"index-based", func(q []string, slca bool) {
+			sem := ixlookup.ELCA
+			if slca {
+				sem = ixlookup.SLCA
+			}
+			e.RunIxlookup(q, sem)
+		}},
+	}
+	for _, eng := range engines {
+		eng := eng
+		elca := meanOver(qs, cfg.RepsPerQuery, func(q []string) { eng.run(q, false) })
+		slca := meanOver(qs, cfg.RepsPerQuery, func(q []string) { eng.run(q, true) })
+		ratio := float64(slca) / float64(elca)
+		fmt.Fprintf(w, "%-14s %14v %14v %7.2fx\n", eng.name, elca, slca, ratio)
+	}
+	fmt.Fprintln(w)
+}
+
+// AblationCompression reports the column-store compression effectiveness:
+// compressed bytes vs the raw (value, row) encoding the columns would take.
+func AblationCompression(w io.Writer, envs ...*Env) {
+	fmt.Fprintln(w, "== Ablation A3: column compression ==")
+	fmt.Fprintf(w, "%-10s %14s %14s %8s\n", "dataset", "compressed", "raw", "ratio")
+	for _, e := range envs {
+		st := e.Store.Stats()
+		var raw int64
+		for _, wrd := range e.Store.Words() {
+			l := e.Store.List(wrd)
+			for ci := range l.Cols {
+				raw += int64(l.Cols[ci].NumEntries() * 8) // uint32 value + uint32 row id
+			}
+			raw += int64(len(l.Lens)) + int64(4*len(l.Scores))
+		}
+		fmt.Fprintf(w, "%-10s %14s %14s %7.2fx\n", e.DS.Name, fmtBytes(st.ColumnLists), fmtBytes(raw),
+			float64(raw)/float64(st.ColumnLists))
+	}
+	fmt.Fprintln(w)
+}
+
+// meanOver times fn across a query set, returning the per-query mean.
+func meanOver(qs [][]string, reps int, fn func(q []string)) time.Duration {
+	var total time.Duration
+	for _, q := range qs {
+		q := q
+		total += Timing(reps, func() { fn(q) })
+	}
+	return total / time.Duration(len(qs))
+}
+
+// RunAll regenerates every table, figure, and ablation into w.
+func RunAll(w io.Writer, cfg Config) {
+	start := time.Now()
+	fmt.Fprintf(w, "experiment sweep: scale=%.2f seed=%d queries/pt=%d reps=%d K=%d\n",
+		cfg.Scale, cfg.Seed, cfg.QueriesPerPt, cfg.RepsPerQuery, cfg.TopK)
+	dblp := NewDBLPEnv(cfg.Scale, cfg.Seed)
+	xmark := NewXMarkEnv(cfg.Scale, cfg.Seed)
+	fmt.Fprintf(w, "dblp: %d nodes depth %d | xmark: %d nodes depth %d (built in %v)\n\n",
+		dblp.DS.Doc.Len(), dblp.DS.Doc.Depth, xmark.DS.Doc.Len(), xmark.DS.Doc.Depth,
+		time.Since(start).Round(time.Millisecond))
+	Table1(w, dblp, xmark)
+	Figure9(w, dblp, cfg)
+	Figure9(w, xmark, cfg)
+	Figure10(w, dblp, cfg)
+	Figure10(w, xmark, cfg)
+	AblationThreshold(w, dblp, cfg)
+	AblationJoinPlan(w, dblp, cfg)
+	AblationCompression(w, dblp, xmark)
+	AblationKSweep(w, dblp, cfg)
+	SemanticsParity(w, dblp, cfg)
+	SemanticsParity(w, xmark, cfg)
+	fmt.Fprintf(w, "total sweep time: %v\n", time.Since(start).Round(time.Millisecond))
+}

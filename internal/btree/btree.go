@@ -1,0 +1,385 @@
+// Package btree implements an immutable, page-based B+-tree, the substrate
+// the paper's index-based baseline gets from BerkeleyDB: a single tree
+// whose key entries are whole (keyword, Dewey id) pairs. It is bulk-loaded
+// bottom-up from sorted input into fixed-size pages and serialized as one
+// byte image, so the Table I size accounting measures real pages — key
+// duplication, page headers, and fill slack included — rather than a
+// formula. Lookups are point gets and ordered scans, the two operations
+// the index-based algorithms and RDIL issue.
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the fixed page capacity in bytes. 4 KiB matches common
+// database defaults (and BerkeleyDB's).
+const PageSize = 4096
+
+const (
+	pageLeaf     = byte(1)
+	pageInternal = byte(2)
+)
+
+// magic heads every serialized tree.
+const magic = "XKWBT1\n"
+
+// Builder accumulates sorted entries and emits the serialized tree.
+// Keys must be added in strictly ascending order.
+type Builder struct {
+	pages   [][]byte
+	cur     []byte
+	curN    int
+	firstK  [][]byte // first key of each finished leaf/internal page at current build
+	lastKey []byte
+	err     error
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{}
+}
+
+// Add appends one key/value entry. Keys must arrive strictly ascending;
+// violations surface from Finish.
+func (b *Builder) Add(key, val []byte) {
+	if b.err != nil {
+		return
+	}
+	if b.lastKey != nil && bytes.Compare(key, b.lastKey) <= 0 {
+		b.err = fmt.Errorf("btree: keys not strictly ascending at %q", key)
+		return
+	}
+	b.lastKey = append(b.lastKey[:0], key...)
+	need := entrySize(len(key), len(val))
+	if b.cur != nil && len(b.cur)+need > PageSize {
+		b.flushLeaf()
+	}
+	if b.cur == nil {
+		b.cur = make([]byte, 0, PageSize)
+		b.cur = append(b.cur, pageLeaf)
+		b.cur = binary.AppendUvarint(b.cur, 0) // entry count patched at flush
+		b.firstK = append(b.firstK, append([]byte(nil), key...))
+	}
+	b.cur = binary.AppendUvarint(b.cur, uint64(len(key)))
+	b.cur = append(b.cur, key...)
+	b.cur = binary.AppendUvarint(b.cur, uint64(len(val)))
+	b.cur = append(b.cur, val...)
+	b.curN++
+}
+
+func entrySize(k, v int) int { return 2*binary.MaxVarintLen32 + k + v }
+
+// flushLeaf finalizes the current page: the placeholder count is rewritten
+// by re-encoding the page with the true entry count.
+func (b *Builder) flushLeaf() {
+	if b.cur == nil {
+		return
+	}
+	// Re-encode header with the real count (varint length may differ).
+	body := b.cur[2:] // type byte + 1-byte placeholder varint (0)
+	page := make([]byte, 0, len(body)+8)
+	page = append(page, b.cur[0])
+	page = binary.AppendUvarint(page, uint64(b.curN))
+	page = append(page, body...)
+	b.pages = append(b.pages, page)
+	b.cur = nil
+	b.curN = 0
+}
+
+// Finish assembles the internal levels above the leaves and returns the
+// serialized image. An empty builder yields an empty (but valid) tree.
+func (b *Builder) Finish() ([]byte, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	b.flushLeaf()
+	level := b.pages       // page images of the current level
+	firsts := b.firstK     // first key per page
+	pageIDBase := 0        // ids are assigned level by level, leaves first
+	allPages := [][]byte{} // final page array
+	allPages = append(allPages, level...)
+	ids := make([]int, len(level))
+	for i := range ids {
+		ids[i] = pageIDBase + i
+	}
+	for len(ids) > 1 {
+		pageIDBase = len(allPages)
+		var (
+			nextPages  [][]byte
+			nextFirsts [][]byte
+			nextIDs    []int
+			cur        []byte
+			curFirst   []byte
+			curN       int
+		)
+		flush := func() {
+			if cur == nil {
+				return
+			}
+			body := cur[2:]
+			page := make([]byte, 0, len(body)+8)
+			page = append(page, pageInternal)
+			page = binary.AppendUvarint(page, uint64(curN))
+			page = append(page, body...)
+			nextPages = append(nextPages, page)
+			nextFirsts = append(nextFirsts, curFirst)
+			cur, curFirst, curN = nil, nil, 0
+		}
+		for i, id := range ids {
+			key := firsts[i]
+			need := entrySize(len(key), binary.MaxVarintLen64)
+			if cur != nil && len(cur)+need > PageSize {
+				flush()
+			}
+			if cur == nil {
+				cur = make([]byte, 0, PageSize)
+				cur = append(cur, pageInternal)
+				cur = binary.AppendUvarint(cur, 0)
+				curFirst = key
+			}
+			cur = binary.AppendUvarint(cur, uint64(len(key)))
+			cur = append(cur, key...)
+			cur = binary.AppendUvarint(cur, uint64(id))
+			curN++
+		}
+		flush()
+		for i := range nextPages {
+			nextIDs = append(nextIDs, pageIDBase+i)
+		}
+		allPages = append(allPages, nextPages...)
+		level, firsts, ids = nextPages, nextFirsts, nextIDs
+		_ = level
+	}
+	// Image: magic, page count, root id, page offset table, pages.
+	out := []byte(magic)
+	out = binary.AppendUvarint(out, uint64(len(allPages)))
+	root := 0
+	if len(ids) == 1 {
+		root = ids[0]
+	}
+	out = binary.AppendUvarint(out, uint64(root))
+	off := 0
+	for _, p := range allPages {
+		out = binary.AppendUvarint(out, uint64(off))
+		off += len(p)
+	}
+	out = binary.AppendUvarint(out, uint64(off)) // sentinel end offset
+	for _, p := range allPages {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// Tree is a read-only view over a serialized image.
+type Tree struct {
+	data    []byte
+	pageOff []int // len = pages+1
+	base    int   // offset of first page
+	root    int
+	empty   bool
+}
+
+// Open parses a serialized image.
+func Open(data []byte) (*Tree, error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("btree: bad magic")
+	}
+	off := len(magic)
+	nPages, sz := binary.Uvarint(data[off:])
+	if sz <= 0 || nPages > uint64(len(data)) {
+		return nil, fmt.Errorf("btree: bad page count")
+	}
+	off += sz
+	root, sz := binary.Uvarint(data[off:])
+	if sz <= 0 || (nPages > 0 && root >= nPages) {
+		return nil, fmt.Errorf("btree: bad root")
+	}
+	off += sz
+	t := &Tree{data: data, root: int(root), empty: nPages == 0}
+	t.pageOff = make([]int, nPages+1)
+	for i := range t.pageOff {
+		v, sz := binary.Uvarint(data[off:])
+		if sz <= 0 {
+			return nil, fmt.Errorf("btree: truncated offset table")
+		}
+		t.pageOff[i] = int(v)
+		off += sz
+	}
+	t.base = off
+	if nPages > 0 && t.base+t.pageOff[nPages] > len(data) {
+		return nil, fmt.Errorf("btree: pages exceed image")
+	}
+	return t, nil
+}
+
+// Size returns the serialized byte size.
+func (t *Tree) Size() int64 { return int64(len(t.data)) }
+
+func (t *Tree) page(id int) []byte {
+	return t.data[t.base+t.pageOff[id] : t.base+t.pageOff[id+1]]
+}
+
+// findLeaf descends to the leaf that may contain key.
+func (t *Tree) findLeaf(key []byte) (int, error) {
+	id := t.root
+	for depth := 0; depth < 64; depth++ {
+		p := t.page(id)
+		if len(p) == 0 {
+			return 0, fmt.Errorf("btree: empty page %d", id)
+		}
+		if p[0] == pageLeaf {
+			return id, nil
+		}
+		n, off := pageHeader(p)
+		if off <= 0 {
+			return 0, fmt.Errorf("btree: corrupt page %d", id)
+		}
+		// Last child whose first key <= key (children sorted; the first
+		// child is taken when key precedes everything).
+		child := -1
+		for i := 0; i < n; i++ {
+			k, v, next, err := internalEntry(p, off)
+			if err != nil {
+				return 0, err
+			}
+			if bytes.Compare(k, key) > 0 && child >= 0 {
+				break
+			}
+			child = int(v)
+			off = next
+		}
+		if child < 0 || child >= len(t.pageOff)-1 {
+			return 0, fmt.Errorf("btree: bad child in page %d", id)
+		}
+		id = child
+	}
+	return 0, fmt.Errorf("btree: depth overflow")
+}
+
+func pageHeader(p []byte) (n int, off int) {
+	v, sz := binary.Uvarint(p[1:])
+	if sz <= 0 {
+		return 0, -1
+	}
+	return int(v), 1 + sz
+}
+
+func internalEntry(p []byte, off int) (key []byte, child uint64, next int, err error) {
+	kl, sz := binary.Uvarint(p[off:])
+	if sz <= 0 || off+sz+int(kl) > len(p) {
+		return nil, 0, 0, fmt.Errorf("btree: corrupt internal entry")
+	}
+	off += sz
+	key = p[off : off+int(kl)]
+	off += int(kl)
+	child, sz = binary.Uvarint(p[off:])
+	if sz <= 0 {
+		return nil, 0, 0, fmt.Errorf("btree: corrupt child pointer")
+	}
+	return key, child, off + sz, nil
+}
+
+func leafEntry(p []byte, off int) (key, val []byte, next int, err error) {
+	kl, sz := binary.Uvarint(p[off:])
+	if sz <= 0 || off+sz+int(kl) > len(p) {
+		return nil, nil, 0, fmt.Errorf("btree: corrupt leaf entry")
+	}
+	off += sz
+	key = p[off : off+int(kl)]
+	off += int(kl)
+	vl, sz := binary.Uvarint(p[off:])
+	if sz <= 0 || off+sz+int(vl) > len(p) {
+		return nil, nil, 0, fmt.Errorf("btree: corrupt leaf value")
+	}
+	off += sz
+	val = p[off : off+int(vl)]
+	return key, val, off + int(vl), nil
+}
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key []byte) ([]byte, bool) {
+	it, err := t.Seek(key)
+	if err != nil {
+		return nil, false
+	}
+	k, v, ok := it.Next()
+	if !ok || !bytes.Equal(k, key) {
+		return nil, false
+	}
+	return v, true
+}
+
+// Seek positions an iterator at the first entry with key >= the argument.
+func (t *Tree) Seek(key []byte) (*Iterator, error) {
+	if t.empty {
+		return &Iterator{t: t, page: -1}, nil
+	}
+	leaf, err := t.findLeaf(key)
+	if err != nil {
+		return nil, err
+	}
+	it := &Iterator{t: t, page: leaf}
+	p := t.page(leaf)
+	n, off := pageHeader(p)
+	it.remaining = n
+	it.off = off
+	// Skip entries below the key.
+	for it.remaining > 0 {
+		k, _, next, err := leafEntry(p, it.off)
+		if err != nil {
+			return nil, err
+		}
+		if bytes.Compare(k, key) >= 0 {
+			break
+		}
+		it.off = next
+		it.remaining--
+	}
+	return it, nil
+}
+
+// Iterator walks leaf entries in key order.
+type Iterator struct {
+	t         *Tree
+	page      int
+	off       int
+	remaining int
+}
+
+// Next returns the next entry; ok is false at the end. The returned slices
+// alias the tree image and must not be modified.
+func (it *Iterator) Next() (key, val []byte, ok bool) {
+	for {
+		if it.page < 0 {
+			return nil, nil, false
+		}
+		if it.remaining == 0 {
+			// Advance to the next leaf page: leaves are laid out first and
+			// contiguously, so the successor is page+1 while it is a leaf.
+			it.page++
+			if it.page >= len(it.t.pageOff)-1 {
+				it.page = -1
+				continue
+			}
+			p := it.t.page(it.page)
+			if len(p) == 0 || p[0] != pageLeaf {
+				it.page = -1
+				continue
+			}
+			it.remaining, it.off = pageHeader(p)
+			continue
+		}
+		p := it.t.page(it.page)
+		k, v, next, err := leafEntry(p, it.off)
+		if err != nil {
+			it.page = -1
+			return nil, nil, false
+		}
+		it.off = next
+		it.remaining--
+		return k, v, true
+	}
+}

@@ -1,0 +1,201 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func buildTree(t *testing.T, keys []string, vals []string) *Tree {
+	t.Helper()
+	b := NewBuilder()
+	for i := range keys {
+		b.Add([]byte(keys[i]), []byte(vals[i]))
+	}
+	img, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Open(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := buildTree(t, nil, nil)
+	if _, ok := tr.Get([]byte("x")); ok {
+		t.Error("empty tree claims a key")
+	}
+	it, err := tr.Seek(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := it.Next(); ok {
+		t.Error("empty tree iterates")
+	}
+}
+
+func TestSmallTree(t *testing.T) {
+	keys := []string{"alpha", "beta", "gamma"}
+	vals := []string{"1", "2", "3"}
+	tr := buildTree(t, keys, vals)
+	for i, k := range keys {
+		v, ok := tr.Get([]byte(k))
+		if !ok || string(v) != vals[i] {
+			t.Fatalf("Get(%q) = %q, %v", k, v, ok)
+		}
+	}
+	if _, ok := tr.Get([]byte("delta")); ok {
+		t.Error("absent key found")
+	}
+	if _, ok := tr.Get([]byte("")); ok {
+		t.Error("empty key found")
+	}
+}
+
+func TestLargeTreeGetAndScan(t *testing.T) {
+	const n = 20000
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%08d", i*3)
+	}
+	b := NewBuilder()
+	for i, k := range keys {
+		b.Add([]byte(k), []byte(fmt.Sprintf("v%d", i)))
+	}
+	img, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Open(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tree must actually have multiple levels at this size.
+	if tr.Size() < int64(n*10) {
+		t.Fatalf("implausibly small image: %d bytes", tr.Size())
+	}
+	rng := rand.New(rand.NewSource(1))
+	for probe := 0; probe < 2000; probe++ {
+		i := rng.Intn(n)
+		v, ok := tr.Get([]byte(keys[i]))
+		if !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(%q) = %q, %v", keys[i], v, ok)
+		}
+		// Keys between the planted ones are absent.
+		if _, ok := tr.Get([]byte(fmt.Sprintf("key%08d", i*3+1))); ok {
+			t.Fatalf("phantom key found near %d", i)
+		}
+	}
+	// Full ordered scan.
+	it, err := tr.Seek(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	var prev []byte
+	for {
+		k, _, ok := it.Next()
+		if !ok {
+			break
+		}
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatal("scan out of order")
+		}
+		prev = append(prev[:0], k...)
+		count++
+	}
+	if count != n {
+		t.Fatalf("scan returned %d of %d", count, n)
+	}
+}
+
+func TestSeekSemantics(t *testing.T) {
+	var keys []string
+	for i := 0; i < 500; i++ {
+		keys = append(keys, fmt.Sprintf("k%05d", i*10))
+	}
+	vals := make([]string, len(keys))
+	for i := range vals {
+		vals[i] = "x"
+	}
+	tr := buildTree(t, keys, vals)
+	rng := rand.New(rand.NewSource(2))
+	for probe := 0; probe < 500; probe++ {
+		target := fmt.Sprintf("k%05d", rng.Intn(5200))
+		it, err := tr.Seek([]byte(target))
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, _, ok := it.Next()
+		// Reference: first key >= target.
+		i := sort.SearchStrings(keys, target)
+		if i == len(keys) {
+			if ok {
+				t.Fatalf("Seek(%q) found %q beyond the end", target, k)
+			}
+			continue
+		}
+		if !ok || string(k) != keys[i] {
+			t.Fatalf("Seek(%q) = %q, want %q", target, k, keys[i])
+		}
+	}
+}
+
+func TestBuilderRejectsDisorder(t *testing.T) {
+	b := NewBuilder()
+	b.Add([]byte("b"), nil)
+	b.Add([]byte("a"), nil)
+	if _, err := b.Finish(); err == nil {
+		t.Error("descending keys accepted")
+	}
+	b2 := NewBuilder()
+	b2.Add([]byte("a"), nil)
+	b2.Add([]byte("a"), nil)
+	if _, err := b2.Finish(); err == nil {
+		t.Error("duplicate keys accepted")
+	}
+}
+
+func TestOpenCorruption(t *testing.T) {
+	tr := buildTree(t, []string{"a", "b"}, []string{"1", "2"})
+	img := append([]byte(nil), tr.data...)
+	if _, err := Open(img[:4]); err == nil {
+		t.Error("truncated magic accepted")
+	}
+	img[0] ^= 0xff
+	if _, err := Open(img); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated pages.
+	good := append([]byte(nil), tr.data...)
+	if _, err := Open(good[:len(good)-3]); err == nil {
+		t.Error("truncated image accepted")
+	}
+}
+
+func TestLargeValuesSpillPages(t *testing.T) {
+	b := NewBuilder()
+	big := bytes.Repeat([]byte("v"), PageSize/2)
+	for i := 0; i < 20; i++ {
+		b.Add([]byte(fmt.Sprintf("k%02d", i)), big)
+	}
+	img, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Open(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		v, ok := tr.Get([]byte(fmt.Sprintf("k%02d", i)))
+		if !ok || len(v) != len(big) {
+			t.Fatalf("big value %d lost", i)
+		}
+	}
+}

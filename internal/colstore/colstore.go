@@ -1,0 +1,113 @@
+// Package colstore implements the column-oriented inverted lists of
+// Sections III-A and III-D: per keyword, the JDewey sequences of the
+// occurrence nodes are stored column by column (one column per tree level),
+// with each column sorted and run-length structured, compressed on disk
+// with the two schemes of [19] (delta blocks for high-distinct columns and
+// (value, row, count) triples for low-distinct columns), plus the sparse
+// per-column indices used by the index join.
+package colstore
+
+import (
+	"sort"
+
+	"repro/internal/occur"
+)
+
+// Run is one value run of a column: the rows [Row, Row+Count) all carry
+// Value at this column's level. Rows of a list sharing a value at a level
+// are provably contiguous (Property 3.1 plus per-level uniqueness), so runs
+// are exactly the paper's (v, r, c) triples.
+type Run struct {
+	Value uint32
+	Row   uint32
+	Count uint32
+}
+
+// Column is one level of a keyword's inverted list. Runs ascend strictly by
+// Value (set-semantics grouping done at indexing time, which is the online
+// computation the second compression scheme saves, per Section III-D).
+type Column struct {
+	Level int
+	Runs  []Run
+}
+
+// NumEntries returns the number of rows that have this column, i.e. the
+// occurrences at or below the column's level.
+func (c *Column) NumEntries() int {
+	n := 0
+	for _, r := range c.Runs {
+		n += int(r.Count)
+	}
+	return n
+}
+
+// FindValue binary-searches the column's runs for a value, returning the
+// run index and whether it was found. This is the index-join probe; over
+// the on-disk form it is served by the sparse index, and in memory the
+// decoded runs play the same role.
+func (c *Column) FindValue(v uint32) (int, bool) {
+	i := sort.Search(len(c.Runs), func(i int) bool { return c.Runs[i].Value >= v })
+	return i, i < len(c.Runs) && c.Runs[i].Value == v
+}
+
+// List is one keyword's column-oriented inverted list. Rows are the
+// occurrence nodes in JDewey-sequence order; row r's sequence has length
+// Lens[r] and local score Scores[r]. Cols[l-1] covers the rows whose
+// sequences reach level l.
+type List struct {
+	Word    string
+	NumRows int
+	MaxLen  int       // l_m: the longest sequence length
+	Lens    []uint16  // per-row sequence length
+	Scores  []float32 // per-row local score g(v, w)
+	Cols    []Column  // Cols[l-1] is the column of level l
+}
+
+// Col returns the column of 1-based level l, or nil when the list has no
+// rows reaching that level.
+func (l *List) Col(level int) *Column {
+	if level < 1 || level > l.MaxLen {
+		return nil
+	}
+	return &l.Cols[level-1]
+}
+
+// BuildList assembles the column-oriented list from one keyword's
+// occurrences (already in document order, which equals JDewey-sequence
+// order).
+func BuildList(word string, occs []occur.Occ) *List {
+	l := &List{Word: word, NumRows: len(occs)}
+	l.Lens = make([]uint16, len(occs))
+	l.Scores = make([]float32, len(occs))
+	for i, o := range occs {
+		if o.Node.Level > l.MaxLen {
+			l.MaxLen = o.Node.Level
+		}
+		l.Lens[i] = uint16(o.Node.Level)
+		l.Scores[i] = o.Score
+	}
+	l.Cols = make([]Column, l.MaxLen)
+	for lev := range l.Cols {
+		l.Cols[lev].Level = lev + 1
+	}
+	for i, o := range occs {
+		row := uint32(i)
+		for v := o.Node; v != nil; v = v.Parent {
+			col := &l.Cols[v.Level-1]
+			if n := len(col.Runs); n > 0 && col.Runs[n-1].Value == v.JD {
+				col.Runs[n-1].Count++
+			} else {
+				col.Runs = append(col.Runs, Run{Value: v.JD, Row: row, Count: 1})
+			}
+		}
+	}
+	return l
+}
+
+// Validate checks the structural invariants the query algorithms rely on:
+// strictly ascending run values, contiguous same-value rows, column
+// coverage consistent with Lens, and MaxLen consistency. It is used by the
+// property tests and by Open when verifying decoded lists.
+func (l *List) Validate() error {
+	return l.validate()
+}

@@ -1,0 +1,350 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Column encodings (Section III-D, after [19]).
+//
+// Which rows a column covers is fully determined by the per-row sequence
+// lengths (row r has column l iff Lens[r] >= l), so the encodings store
+// only the values:
+//
+//   - encRLE stores one (value delta, repeat count) pair per run — the
+//     paper's (v, r, c) triples with the row made implicit. Chosen for
+//     columns whose values repeat (upper tree levels, biased contexts).
+//   - encDelta stores one value delta per covered row, with the raw value
+//     at every block boundary (the block-header scheme of [19]). Chosen
+//     for distinct-heavy columns (leaf levels), where a delta is usually a
+//     single byte — which is how the JDewey encoding stays competitive
+//     with Dewey storage despite per-level-unique numbers.
+const (
+	encRLE   = 0
+	encDelta = 1
+)
+
+// deltaBlock is the number of entries per delta block; each block boundary
+// stores the raw JDewey number and contributes one sparse-index entry.
+const deltaBlock = 128
+
+// rleThreshold selects RLE when runs cover at least this many rows each on
+// average.
+const rleThreshold = 1.5
+
+// chooseEncoding picks the compression scheme for a column.
+func chooseEncoding(c *Column) byte {
+	entries := c.NumEntries()
+	if len(c.Runs) == 0 || float64(entries)/float64(len(c.Runs)) >= rleThreshold {
+		return encRLE
+	}
+	return encDelta
+}
+
+// sparseEvery is the run stride of the per-column sparse index over RLE
+// columns: one (value, offset) entry per sparseEvery runs. Columns with
+// fewer runs need no sparse entries at all, which keeps the aggregate
+// sparse size a few percent of the lists, as in Table I.
+const sparseEvery = 64
+
+// AppendEncoded appends the list's on-disk blob:
+//
+//	header:  uvarint numRows, uvarint maxLen,
+//	         numRows x uvarint sequence length,
+//	         numRows x float32 local score
+//	table:   maxLen x uvarint column payload length
+//	columns: maxLen x (enc byte, uvarint count, values payload)
+//
+// The offset table is what lets query evaluation read one column at a time
+// (Section III-B: the algorithm never reads whole JDewey sequences from
+// disk at once). It returns the blob plus the byte size of the sparse
+// index that would accompany it (accounted separately, as in Table I).
+func (l *List) AppendEncoded(buf []byte) (out []byte, sparseBytes int64) {
+	buf = binary.AppendUvarint(buf, uint64(l.NumRows))
+	buf = binary.AppendUvarint(buf, uint64(l.MaxLen))
+	for _, n := range l.Lens {
+		buf = binary.AppendUvarint(buf, uint64(n))
+	}
+	for _, s := range l.Scores {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(s))
+	}
+	cols := make([][]byte, l.MaxLen)
+	for i := range l.Cols {
+		var sp int64
+		cols[i], sp = appendColumn(nil, &l.Cols[i])
+		sparseBytes += sp
+	}
+	for _, c := range cols {
+		buf = binary.AppendUvarint(buf, uint64(len(c)))
+	}
+	for _, c := range cols {
+		buf = append(buf, c...)
+	}
+	return buf, sparseBytes
+}
+
+// appendColumn encodes one column payload.
+func appendColumn(buf []byte, c *Column) (out []byte, sparseBytes int64) {
+	enc := chooseEncoding(c)
+	buf = append(buf, enc)
+	switch enc {
+	case encRLE:
+		buf = binary.AppendUvarint(buf, uint64(len(c.Runs)))
+		prevVal := uint32(0)
+		for _, r := range c.Runs {
+			buf = binary.AppendUvarint(buf, uint64(r.Value-prevVal))
+			buf = binary.AppendUvarint(buf, uint64(r.Count))
+			prevVal = r.Value
+		}
+		sparseBytes = int64(len(c.Runs) / sparseEvery * 8)
+	case encDelta:
+		entries := c.NumEntries()
+		buf = binary.AppendUvarint(buf, uint64(entries))
+		prevVal := uint32(0)
+		n := 0
+		for _, r := range c.Runs {
+			for rep := uint32(0); rep < r.Count; rep++ {
+				if n%deltaBlock == 0 {
+					buf = binary.AppendUvarint(buf, uint64(r.Value))
+				} else {
+					buf = binary.AppendUvarint(buf, uint64(r.Value-prevVal))
+				}
+				prevVal = r.Value
+				n++
+			}
+		}
+		sparseBytes = int64(entries / deltaBlock * 8)
+	}
+	return buf, sparseBytes
+}
+
+// header is the decoded fixed part of a list blob plus the column extents.
+type header struct {
+	numRows int
+	maxLen  int
+	lens    []uint16
+	scores  []float32
+	colOff  []int // byte offset of each column payload within the blob
+	colLen  []int
+	end     int // offset just past the last column
+}
+
+// decodeHeader parses the header and column offset table.
+func decodeHeader(buf []byte) (*header, error) {
+	h := &header{}
+	off := 0
+	numRows, sz := binary.Uvarint(buf[off:])
+	if sz <= 0 {
+		return nil, fmt.Errorf("colstore: truncated row count")
+	}
+	off += sz
+	maxLen, sz := binary.Uvarint(buf[off:])
+	if sz <= 0 {
+		return nil, fmt.Errorf("colstore: truncated max length")
+	}
+	off += sz
+	if numRows > uint64(len(buf)) || maxLen > 1<<15 {
+		return nil, fmt.Errorf("colstore: implausible header (%d rows, depth %d)", numRows, maxLen)
+	}
+	h.numRows = int(numRows)
+	h.maxLen = int(maxLen)
+	h.lens = make([]uint16, numRows)
+	for i := range h.lens {
+		v, sz := binary.Uvarint(buf[off:])
+		if sz <= 0 || v == 0 || v > maxLen {
+			return nil, fmt.Errorf("colstore: bad length for row %d", i)
+		}
+		h.lens[i] = uint16(v)
+		off += sz
+	}
+	if off+4*h.numRows > len(buf) {
+		return nil, fmt.Errorf("colstore: truncated scores")
+	}
+	h.scores = make([]float32, numRows)
+	for i := range h.scores {
+		h.scores[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+	}
+	h.colOff = make([]int, h.maxLen)
+	h.colLen = make([]int, h.maxLen)
+	total := 0
+	for i := 0; i < h.maxLen; i++ {
+		v, sz := binary.Uvarint(buf[off:])
+		if sz <= 0 || v > uint64(len(buf)) {
+			return nil, fmt.Errorf("colstore: truncated column table")
+		}
+		h.colLen[i] = int(v)
+		total += int(v)
+		off += sz
+	}
+	if off+total > len(buf) {
+		return nil, fmt.Errorf("colstore: columns exceed blob")
+	}
+	for i := 0; i < h.maxLen; i++ {
+		h.colOff[i] = off
+		off += h.colLen[i]
+	}
+	h.end = off
+	return h, nil
+}
+
+// decodeColumn decodes the payload of one 1-based level. The lens slice
+// drives the reconstruction of global row ids.
+func decodeColumn(data []byte, lev int, numRows int, lens []uint16) (*Column, error) {
+	c := &Column{Level: lev}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("colstore: empty column %d", lev)
+	}
+	enc := data[0]
+	off := 1
+	count, sz := binary.Uvarint(data[off:])
+	if sz <= 0 || count > uint64(numRows) {
+		return nil, fmt.Errorf("colstore: bad entry count in column %d", lev)
+	}
+	off += sz
+	cursor := 0
+	nextCovered := func() int {
+		for cursor < numRows && int(lens[cursor]) < lev {
+			cursor++
+		}
+		return cursor
+	}
+	switch enc {
+	case encRLE:
+		prevVal := uint32(0)
+		for j := uint64(0); j < count; j++ {
+			dv, sz := binary.Uvarint(data[off:])
+			if sz <= 0 {
+				return nil, fmt.Errorf("colstore: truncated run in column %d", lev)
+			}
+			off += sz
+			cnt, sz := binary.Uvarint(data[off:])
+			if sz <= 0 || cnt == 0 || cnt > uint64(numRows) {
+				return nil, fmt.Errorf("colstore: bad run count in column %d", lev)
+			}
+			off += sz
+			row := nextCovered()
+			if row+int(cnt) > numRows {
+				return nil, fmt.Errorf("colstore: run exceeds rows in column %d", lev)
+			}
+			prevVal += uint32(dv)
+			c.Runs = append(c.Runs, Run{Value: prevVal, Row: uint32(row), Count: uint32(cnt)})
+			cursor = row + int(cnt)
+		}
+	case encDelta:
+		prevVal := uint32(0)
+		for j := uint64(0); j < count; j++ {
+			v, sz := binary.Uvarint(data[off:])
+			if sz <= 0 {
+				return nil, fmt.Errorf("colstore: truncated entry in column %d", lev)
+			}
+			off += sz
+			val := uint32(v)
+			if j%deltaBlock != 0 {
+				val += prevVal
+			}
+			prevVal = val
+			row := nextCovered()
+			if row >= numRows {
+				return nil, fmt.Errorf("colstore: entry beyond rows in column %d", lev)
+			}
+			if n := len(c.Runs); n > 0 && c.Runs[n-1].Value == val && c.Runs[n-1].Row+c.Runs[n-1].Count == uint32(row) {
+				c.Runs[n-1].Count++
+			} else {
+				c.Runs = append(c.Runs, Run{Value: val, Row: uint32(row), Count: 1})
+			}
+			cursor = row + 1
+		}
+	default:
+		return nil, fmt.Errorf("colstore: unknown encoding %d in column %d", enc, lev)
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("colstore: column %d has %d trailing bytes", lev, len(data)-off)
+	}
+	return c, nil
+}
+
+// DecodeList decodes a blob produced by AppendEncoded, reconstructing the
+// run structure (global row ids included) from the stored lengths. The
+// decoded list is validated before being returned, so corrupted input
+// yields an error rather than a malformed structure.
+func DecodeList(word string, buf []byte) (*List, int, error) {
+	h, err := decodeHeader(buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	l := &List{
+		Word:    word,
+		NumRows: h.numRows,
+		MaxLen:  h.maxLen,
+		Lens:    h.lens,
+		Scores:  h.scores,
+		Cols:    make([]Column, h.maxLen),
+	}
+	for lev := 1; lev <= h.maxLen; lev++ {
+		c, err := decodeColumn(buf[h.colOff[lev-1]:h.colOff[lev-1]+h.colLen[lev-1]], lev, h.numRows, h.lens)
+		if err != nil {
+			return nil, 0, err
+		}
+		l.Cols[lev-1] = *c
+	}
+	if err := l.validate(); err != nil {
+		return nil, 0, fmt.Errorf("colstore: decoded list invalid: %w", err)
+	}
+	return l, h.end, nil
+}
+
+// validate checks the structural invariants documented on Validate.
+func (l *List) validate() error {
+	if len(l.Lens) != l.NumRows || len(l.Scores) != l.NumRows || len(l.Cols) != l.MaxLen {
+		return fmt.Errorf("inconsistent sizes")
+	}
+	// Expected number of rows reaching each level.
+	reach := make([]int, l.MaxLen+1)
+	for i, n := range l.Lens {
+		if int(n) < 1 || int(n) > l.MaxLen {
+			return fmt.Errorf("row %d has length %d outside [1,%d]", i, n, l.MaxLen)
+		}
+		for lev := 1; lev <= int(n); lev++ {
+			reach[lev]++
+		}
+	}
+	if l.MaxLen > 0 && reach[l.MaxLen] == 0 {
+		return fmt.Errorf("no row reaches MaxLen %d", l.MaxLen)
+	}
+	for li := range l.Cols {
+		c := &l.Cols[li]
+		if c.Level != li+1 {
+			return fmt.Errorf("column %d mislabeled as level %d", li+1, c.Level)
+		}
+		covered := 0
+		for j, r := range c.Runs {
+			if r.Count == 0 {
+				return fmt.Errorf("column %d run %d empty", c.Level, j)
+			}
+			if int(r.Row)+int(r.Count) > l.NumRows {
+				return fmt.Errorf("column %d run %d exceeds rows", c.Level, j)
+			}
+			if j > 0 {
+				prev := c.Runs[j-1]
+				if r.Value <= prev.Value {
+					return fmt.Errorf("column %d runs not ascending at %d", c.Level, j)
+				}
+				if r.Row < prev.Row+prev.Count {
+					return fmt.Errorf("column %d runs overlap at %d", c.Level, j)
+				}
+			}
+			for row := r.Row; row < r.Row+r.Count; row++ {
+				if int(l.Lens[row]) < c.Level {
+					return fmt.Errorf("column %d covers row %d of length %d", c.Level, row, l.Lens[row])
+				}
+			}
+			covered += int(r.Count)
+		}
+		if covered != reach[c.Level] {
+			return fmt.Errorf("column %d covers %d rows, want %d", c.Level, covered, reach[c.Level])
+		}
+	}
+	return nil
+}

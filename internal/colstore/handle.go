@@ -1,0 +1,134 @@
+package colstore
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Source is the access interface the join-based evaluation (package core)
+// reads an inverted list through. Both the fully-decoded List and the
+// column-at-a-time Handle implement it, so the same algorithm runs over
+// in-memory lists and over the streaming on-disk form that only decodes
+// the columns a query actually touches (the Section III-B I/O property:
+// "the algorithm does not read the whole JDewey sequences from the disk at
+// once").
+type Source interface {
+	// Rows returns the number of occurrences.
+	Rows() int
+	// MaxLevel returns l_m, the longest sequence length.
+	MaxLevel() int
+	// Col returns the column of the 1-based level, or nil when out of
+	// range. Implementations may decode lazily.
+	Col(level int) *Column
+	// RowLen returns the sequence length of a row (for damping).
+	RowLen(row uint32) int
+	// RowScore returns the local score of a row.
+	RowScore(row uint32) float32
+}
+
+// List implements Source eagerly.
+
+// Rows returns the number of occurrences.
+func (l *List) Rows() int { return l.NumRows }
+
+// MaxLevel returns the longest sequence length.
+func (l *List) MaxLevel() int { return l.MaxLen }
+
+// RowLen returns the sequence length of a row.
+func (l *List) RowLen(row uint32) int { return int(l.Lens[row]) }
+
+// RowScore returns the local score of a row.
+func (l *List) RowScore(row uint32) float32 { return l.Scores[row] }
+
+// Handle is the streaming view over one keyword's on-disk blob: the header
+// (row lengths and scores) is decoded eagerly, column payloads only on
+// first access. It is safe for concurrent use.
+type Handle struct {
+	word string
+	blob []byte
+	hdr  *header
+
+	mu        sync.Mutex
+	cols      []*Column
+	bytesRead int64
+	decoded   int
+}
+
+// NewHandle parses the blob header and returns the streaming view.
+func NewHandle(word string, blob []byte) (*Handle, error) {
+	h, err := decodeHeader(blob)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: handle %q: %w", word, err)
+	}
+	// Header bytes (lengths, scores, offset table) are always read.
+	headerBytes := int64(h.end)
+	if h.maxLen > 0 {
+		headerBytes = int64(h.colOff[0])
+	}
+	return &Handle{
+		word:      word,
+		blob:      blob,
+		hdr:       h,
+		cols:      make([]*Column, h.maxLen),
+		bytesRead: headerBytes,
+	}, nil
+}
+
+// Word returns the keyword the handle serves.
+func (h *Handle) Word() string { return h.word }
+
+// Rows returns the number of occurrences.
+func (h *Handle) Rows() int { return h.hdr.numRows }
+
+// MaxLevel returns the longest sequence length.
+func (h *Handle) MaxLevel() int { return h.hdr.maxLen }
+
+// RowLen returns the sequence length of a row.
+func (h *Handle) RowLen(row uint32) int { return int(h.hdr.lens[row]) }
+
+// RowScore returns the local score of a row.
+func (h *Handle) RowScore(row uint32) float32 { return h.hdr.scores[row] }
+
+// Col decodes (once) and returns the column of the 1-based level. A
+// corrupted column payload yields nil, matching a missing level; Verify
+// reports the underlying error.
+func (h *Handle) Col(level int) *Column {
+	if level < 1 || level > h.hdr.maxLen {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if c := h.cols[level-1]; c != nil {
+		return c
+	}
+	off, ln := h.hdr.colOff[level-1], h.hdr.colLen[level-1]
+	c, err := decodeColumn(h.blob[off:off+ln], level, h.hdr.numRows, h.hdr.lens)
+	if err != nil {
+		return nil
+	}
+	h.cols[level-1] = c
+	h.bytesRead += int64(ln)
+	h.decoded++
+	return c
+}
+
+// ColumnsDecoded reports how many columns have been materialized — the
+// Section III-B I/O accounting ("this would save disk I/O when the XML
+// tree is deep and some keywords only appear at high levels").
+func (h *Handle) ColumnsDecoded() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.decoded
+}
+
+// BytesRead reports the header plus decoded-column byte volume.
+func (h *Handle) BytesRead() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.bytesRead
+}
+
+var (
+	_ Source = (*List)(nil)
+	_ Source = (*Handle)(nil)
+)

@@ -1,0 +1,422 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/occur"
+)
+
+// File names inside an index directory. The paper stores inverted lists
+// directly on disk rather than inside a column DBMS because the lexicon is
+// huge and most lists are short (Section V); we mirror that with one blob
+// file per list family plus a lexicon of offsets.
+const (
+	fileColumns = "postings.col" // JDewey-ordered column lists
+	fileTopK    = "postings.tk"  // score-sorted, length-grouped lists
+	fileLexicon = "lexicon"
+	magic       = "XKWCOL1\n"
+)
+
+// Store is the column-oriented index for one document: every keyword's
+// JDewey-ordered column list and its score-sorted top-K variant.
+type Store struct {
+	N     int // element-node count of the indexed document
+	Depth int
+
+	mu      sync.Mutex
+	lists   map[string]*List
+	tklists map[string]*TKList
+
+	// Lazily decoded on-disk form (nil for purely in-memory stores).
+	colBlob []byte
+	tkBlob  []byte
+	lex     map[string]lexEntry
+}
+
+type lexEntry struct {
+	colOff, colLen uint64
+	tkOff, tkLen   uint64
+	freq           uint64
+}
+
+// Build constructs an in-memory store from an occurrence map. Per-keyword
+// lists are independent, so they are built concurrently across all CPUs;
+// the result is identical to a sequential build.
+func Build(m *occur.Map) *Store {
+	return BuildWorkers(m, runtime.GOMAXPROCS(0))
+}
+
+// BuildWorkers is Build with an explicit worker count (1 = sequential),
+// exposed for the construction benchmarks.
+func BuildWorkers(m *occur.Map, workers int) *Store {
+	s := &Store{
+		N:       m.N,
+		Depth:   m.Depth,
+		lists:   make(map[string]*List, len(m.Terms)),
+		tklists: make(map[string]*TKList, len(m.Terms)),
+	}
+	if workers <= 1 || len(m.Terms) < 64 {
+		for term, occs := range m.Terms {
+			s.lists[term] = BuildList(term, occs)
+			s.tklists[term] = BuildTKList(term, occs)
+		}
+		return s
+	}
+	type job struct {
+		term string
+		occs []occur.Occ
+	}
+	type built struct {
+		term string
+		l    *List
+		tk   *TKList
+	}
+	jobs := make(chan job, workers)
+	out := make(chan built, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				out <- built{term: j.term, l: BuildList(j.term, j.occs), tk: BuildTKList(j.term, j.occs)}
+			}
+		}()
+	}
+	go func() {
+		for term, occs := range m.Terms {
+			jobs <- job{term: term, occs: occs}
+		}
+		close(jobs)
+		wg.Wait()
+		close(out)
+	}()
+	for b := range out {
+		s.lists[b.term] = b.l
+		s.tklists[b.term] = b.tk
+	}
+	return s
+}
+
+// List returns the JDewey-ordered column list for a term, or nil when the
+// term is unindexed.
+func (s *Store) List(term string) *List {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if l, ok := s.lists[term]; ok {
+		return l
+	}
+	e, ok := s.lex[term]
+	if !ok {
+		return nil
+	}
+	l, _, err := DecodeList(term, s.colBlob[e.colOff:e.colOff+e.colLen])
+	if err != nil {
+		// Decoding from a lexicon-verified offset only fails on
+		// corruption; surface it as a missing list and let Verify report
+		// details.
+		return nil
+	}
+	s.lists[term] = l
+	return l
+}
+
+// TopKList returns the score-sorted list for a term, or nil.
+func (s *Store) TopKList(term string) *TKList {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if l, ok := s.tklists[term]; ok {
+		return l
+	}
+	e, ok := s.lex[term]
+	if !ok {
+		return nil
+	}
+	l, _, err := DecodeTKList(term, s.tkBlob[e.tkOff:e.tkOff+e.tkLen])
+	if err != nil {
+		return nil
+	}
+	s.tklists[term] = l
+	return l
+}
+
+// Handle returns the streaming (column-at-a-time) view of a term's list,
+// or nil when the term is unindexed. Disk-opened stores serve the raw blob
+// directly; in-memory stores encode once on demand so the same access path
+// is testable without a save/load round trip.
+func (s *Store) Handle(term string) *Handle {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var blob []byte
+	if e, ok := s.lex[term]; ok {
+		blob = s.colBlob[e.colOff : e.colOff+e.colLen]
+	} else if l, ok := s.lists[term]; ok {
+		blob, _ = l.AppendEncoded(nil)
+	} else {
+		return nil
+	}
+	h, err := NewHandle(term, blob)
+	if err != nil {
+		return nil
+	}
+	return h
+}
+
+// TKHandle returns the streaming (column-at-a-time) view of a term's
+// score-sorted list, or nil when the term is unindexed.
+func (s *Store) TKHandle(term string) *TKHandle {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var blob []byte
+	if e, ok := s.lex[term]; ok {
+		blob = s.tkBlob[e.tkOff : e.tkOff+e.tkLen]
+	} else if l, ok := s.tklists[term]; ok {
+		blob, _ = l.AppendEncoded(nil)
+	} else {
+		return nil
+	}
+	h, err := NewTKHandle(term, blob)
+	if err != nil {
+		return nil
+	}
+	return h
+}
+
+// DocFreq returns the number of occurrences of a term, without decoding.
+func (s *Store) DocFreq(term string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if l, ok := s.lists[term]; ok {
+		return l.NumRows
+	}
+	if e, ok := s.lex[term]; ok {
+		return int(e.freq)
+	}
+	return 0
+}
+
+// Words returns every indexed term in lexicographic order.
+func (s *Store) Words() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := make(map[string]bool, len(s.lists)+len(s.lex))
+	for w := range s.lists {
+		seen[w] = true
+	}
+	for w := range s.lex {
+		seen[w] = true
+	}
+	ws := make([]string, 0, len(seen))
+	for w := range seen {
+		ws = append(ws, w)
+	}
+	sort.Strings(ws)
+	return ws
+}
+
+// Replace rebuilds one term's lists from a fresh occurrence slice, which
+// must be sorted in JDewey-sequence order (document order coincides with
+// it until a partial re-encode moves a subtree to the top of the number
+// space; callers sort accordingly). An empty slice removes the term. This
+// is the incremental-maintenance hook: after a document mutation only the
+// terms whose occurrences (or whose occurrences' JDewey numbers) changed
+// are rebuilt.
+func (s *Store) Replace(term string, occs []occur.Occ) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.lex, term) // any stale on-disk blob no longer describes the term
+	if len(occs) == 0 {
+		delete(s.lists, term)
+		delete(s.tklists, term)
+		return
+	}
+	s.lists[term] = BuildList(term, occs)
+	s.tklists[term] = BuildTKList(term, occs)
+}
+
+// SetMeta updates the document metadata after a mutation.
+func (s *Store) SetMeta(n, depth int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.N, s.Depth = n, depth
+}
+
+// SizeStats reports the Table I byte accounting for this store.
+type SizeStats struct {
+	ColumnLists  int64 // join-based IL
+	ColumnSparse int64 // join-based sparse indices
+	TopKLists    int64 // top-K join IL
+	TopKSparse   int64 // top-K cursor bookmarks
+}
+
+// Stats serializes every list (without touching disk) and returns the size
+// accounting.
+func (s *Store) Stats() SizeStats {
+	var st SizeStats
+	var buf []byte
+	for _, w := range s.Words() {
+		l := s.List(w)
+		if l == nil {
+			continue
+		}
+		var sp int64
+		buf, sp = l.AppendEncoded(buf[:0])
+		st.ColumnLists += int64(len(buf))
+		st.ColumnSparse += sp
+		tl := s.TopKList(w)
+		if tl == nil {
+			continue
+		}
+		buf, sp = tl.AppendEncoded(buf[:0])
+		st.TopKLists += int64(len(buf))
+		st.TopKSparse += sp
+	}
+	return st
+}
+
+// Save writes the store to a directory: the two blob files plus the
+// lexicon.
+func (s *Store) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("colstore: save: %w", err)
+	}
+	words := s.Words()
+	var colBlob, tkBlob []byte
+	lex := make([]byte, 0, 1024)
+	lex = append(lex, magic...)
+	lex = binary.AppendUvarint(lex, uint64(s.N))
+	lex = binary.AppendUvarint(lex, uint64(s.Depth))
+	lex = binary.AppendUvarint(lex, uint64(len(words)))
+	for _, w := range words {
+		l := s.List(w)
+		tl := s.TopKList(w)
+		if l == nil || tl == nil {
+			return fmt.Errorf("colstore: save: list %q unavailable", w)
+		}
+		colOff := uint64(len(colBlob))
+		colBlob, _ = l.AppendEncoded(colBlob)
+		tkOff := uint64(len(tkBlob))
+		tkBlob, _ = tl.AppendEncoded(tkBlob)
+		lex = binary.AppendUvarint(lex, uint64(len(w)))
+		lex = append(lex, w...)
+		lex = binary.AppendUvarint(lex, colOff)
+		lex = binary.AppendUvarint(lex, uint64(len(colBlob))-colOff)
+		lex = binary.AppendUvarint(lex, tkOff)
+		lex = binary.AppendUvarint(lex, uint64(len(tkBlob))-tkOff)
+		lex = binary.AppendUvarint(lex, uint64(l.NumRows))
+	}
+	for name, data := range map[string][]byte{
+		fileColumns: colBlob,
+		fileTopK:    tkBlob,
+		fileLexicon: lex,
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			return fmt.Errorf("colstore: save %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Open maps an index directory. Lists decode lazily on first access.
+func Open(dir string) (*Store, error) {
+	lex, err := os.ReadFile(filepath.Join(dir, fileLexicon))
+	if err != nil {
+		return nil, fmt.Errorf("colstore: open: %w", err)
+	}
+	colBlob, err := os.ReadFile(filepath.Join(dir, fileColumns))
+	if err != nil {
+		return nil, fmt.Errorf("colstore: open: %w", err)
+	}
+	tkBlob, err := os.ReadFile(filepath.Join(dir, fileTopK))
+	if err != nil {
+		return nil, fmt.Errorf("colstore: open: %w", err)
+	}
+	if len(lex) < len(magic) || string(lex[:len(magic)]) != magic {
+		return nil, fmt.Errorf("colstore: open: not an index lexicon")
+	}
+	s := &Store{
+		lists:   make(map[string]*List),
+		tklists: make(map[string]*TKList),
+		colBlob: colBlob,
+		tkBlob:  tkBlob,
+		lex:     make(map[string]lexEntry),
+	}
+	off := len(magic)
+	read := func() (uint64, error) {
+		v, sz := binary.Uvarint(lex[off:])
+		if sz <= 0 {
+			return 0, fmt.Errorf("colstore: open: truncated lexicon")
+		}
+		off += sz
+		return v, nil
+	}
+	n, err := read()
+	if err != nil {
+		return nil, err
+	}
+	depth, err := read()
+	if err != nil {
+		return nil, err
+	}
+	nWords, err := read()
+	if err != nil {
+		return nil, err
+	}
+	if nWords > uint64(len(lex)) {
+		return nil, fmt.Errorf("colstore: open: implausible word count %d", nWords)
+	}
+	s.N, s.Depth = int(n), int(depth)
+	for i := uint64(0); i < nWords; i++ {
+		wl, err := read()
+		if err != nil {
+			return nil, err
+		}
+		if off+int(wl) > len(lex) {
+			return nil, fmt.Errorf("colstore: open: truncated word %d", i)
+		}
+		w := string(lex[off : off+int(wl)])
+		off += int(wl)
+		var e lexEntry
+		for _, dst := range []*uint64{&e.colOff, &e.colLen, &e.tkOff, &e.tkLen, &e.freq} {
+			if *dst, err = read(); err != nil {
+				return nil, err
+			}
+		}
+		if e.colOff+e.colLen > uint64(len(colBlob)) || e.tkOff+e.tkLen > uint64(len(tkBlob)) {
+			return nil, fmt.Errorf("colstore: open: word %q offsets out of range", w)
+		}
+		s.lex[w] = e
+	}
+	return s, nil
+}
+
+// Verify eagerly decodes and validates every list, returning the first
+// error. It is the integrity check the failure-injection tests exercise.
+func (s *Store) Verify() error {
+	s.mu.Lock()
+	words := make([]string, 0, len(s.lex))
+	for w := range s.lex {
+		words = append(words, w)
+	}
+	s.mu.Unlock()
+	sort.Strings(words)
+	for _, w := range words {
+		s.mu.Lock()
+		e := s.lex[w]
+		_, _, err := DecodeList(w, s.colBlob[e.colOff:e.colOff+e.colLen])
+		if err == nil {
+			_, _, err = DecodeTKList(w, s.tkBlob[e.tkOff:e.tkOff+e.tkLen])
+		}
+		s.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("colstore: verify %q: %w", w, err)
+		}
+	}
+	return nil
+}

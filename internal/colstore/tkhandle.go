@@ -1,0 +1,172 @@
+package colstore
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// TKSource is the access interface the join-based top-K engine (package
+// topk) reads a score-sorted list through. TKList serves fully-decoded
+// in-memory data; TKHandle decodes (group, level) columns lazily from the
+// on-disk blob, so a query that terminates early never touches the columns
+// it never reached — the disk shape of the Section IV-C segment cursors.
+type TKSource interface {
+	// NumRows returns the total occurrence count.
+	NumRows() int
+	// MaxLevel returns the longest sequence length.
+	MaxLevel() int
+	// GroupCount returns the number of length groups.
+	GroupCount() int
+	// GroupLen returns the sequence length of group g.
+	GroupLen(g int) int
+	// GroupSize returns the row count of group g.
+	GroupSize(g int) int
+	// Score returns the (undamped) local score of row i of group g; rows
+	// are score-descending within a group.
+	Score(g, i int) float32
+	// Value returns the JDewey number of row i of group g at the 1-based
+	// level (level <= GroupLen(g)).
+	Value(g, i, level int) uint32
+	// HasLen reports whether any group has exactly the given length.
+	HasLen(n int) bool
+	// MaxColScore returns per level the maximum damped column score
+	// (indexed by level, entry 0 unused).
+	MaxColScore(decay float64) []float64
+}
+
+// TKList implements TKSource eagerly.
+
+// MaxLevel returns the longest sequence length.
+func (l *TKList) MaxLevel() int { return l.MaxLen }
+
+// GroupCount returns the number of length groups.
+func (l *TKList) GroupCount() int { return len(l.Groups) }
+
+// GroupLen returns the sequence length of group g.
+func (l *TKList) GroupLen(g int) int { return l.Groups[g].Len }
+
+// GroupSize returns the row count of group g.
+func (l *TKList) GroupSize(g int) int { return len(l.Groups[g].Rows) }
+
+// Score returns the local score of row i of group g.
+func (l *TKList) Score(g, i int) float32 { return l.Groups[g].Rows[i].Score }
+
+// Value returns the JDewey number of row i of group g at the given level.
+func (l *TKList) Value(g, i, level int) uint32 { return l.Groups[g].Rows[i].Seq[level-1] }
+
+// TKHandle is the streaming view over a score-sorted list blob: group
+// shapes and score arrays decode eagerly (the cursors order pulls by
+// score), value columns only when a level is actually visited. Safe for
+// concurrent use.
+type TKHandle struct {
+	word string
+	blob []byte
+	hdr  *tkHeader
+
+	mu      sync.Mutex
+	cols    [][][]uint32 // [group][level-1] -> decoded values
+	decoded int
+}
+
+// NewTKHandle parses the blob header and returns the streaming view.
+func NewTKHandle(word string, blob []byte) (*TKHandle, error) {
+	h, err := decodeTKHeader(blob)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: tk handle %q: %w", word, err)
+	}
+	cols := make([][][]uint32, len(h.lens))
+	for g := range cols {
+		cols[g] = make([][]uint32, h.lens[g])
+	}
+	return &TKHandle{word: word, blob: blob, hdr: h, cols: cols}, nil
+}
+
+// Word returns the keyword the handle serves.
+func (h *TKHandle) Word() string { return h.word }
+
+// NumRows returns the total occurrence count.
+func (h *TKHandle) NumRows() int {
+	n := 0
+	for _, s := range h.hdr.scores {
+		n += len(s)
+	}
+	return n
+}
+
+// MaxLevel returns the longest sequence length.
+func (h *TKHandle) MaxLevel() int { return h.hdr.maxLen }
+
+// GroupCount returns the number of length groups.
+func (h *TKHandle) GroupCount() int { return len(h.hdr.lens) }
+
+// GroupLen returns the sequence length of group g.
+func (h *TKHandle) GroupLen(g int) int { return h.hdr.lens[g] }
+
+// GroupSize returns the row count of group g.
+func (h *TKHandle) GroupSize(g int) int { return len(h.hdr.scores[g]) }
+
+// Score returns the local score of row i of group g.
+func (h *TKHandle) Score(g, i int) float32 { return h.hdr.scores[g][i] }
+
+// Value returns the JDewey number of row i of group g at the given level,
+// decoding that (group, level) column on first access. Corrupted payloads
+// surface as zero values; Verify reports the underlying error.
+func (h *TKHandle) Value(g, i, level int) uint32 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	col := h.cols[g][level-1]
+	if col == nil {
+		data := h.blob[h.hdr.colOff[g][level-1] : h.hdr.colOff[g][level-1]+h.hdr.colLen[g][level-1]]
+		var err error
+		col, err = decodeTKColumn(data, len(h.hdr.scores[g]))
+		if err != nil {
+			col = make([]uint32, len(h.hdr.scores[g]))
+		}
+		h.cols[g][level-1] = col
+		h.decoded++
+	}
+	return col[i]
+}
+
+// ColumnsDecoded reports how many (group, level) columns have been
+// materialized — the I/O-saving accounting for early-terminating top-K
+// queries.
+func (h *TKHandle) ColumnsDecoded() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.decoded
+}
+
+// HasLen reports whether any group has exactly the given length.
+func (h *TKHandle) HasLen(n int) bool {
+	for _, l := range h.hdr.lens {
+		if l == n {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxColScore returns per level the maximum damped column score.
+func (h *TKHandle) MaxColScore(decay float64) []float64 {
+	out := make([]float64, h.hdr.maxLen+1)
+	for g, scores := range h.hdr.scores {
+		if len(scores) == 0 {
+			continue
+		}
+		top := float64(scores[0])
+		for lev := 1; lev <= h.hdr.lens[g]; lev++ {
+			s := top * math.Pow(decay, float64(h.hdr.lens[g]-lev))
+			if s > out[lev] {
+				out[lev] = s
+			}
+		}
+	}
+	return out
+}
+
+var (
+	_ TKSource = (*TKList)(nil)
+	_ TKSource = (*TKHandle)(nil)
+)

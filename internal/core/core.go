@@ -1,0 +1,331 @@
+// Package core implements the paper's primary contribution: the join-based
+// algorithm of Section III. Keyword query evaluation is reduced to
+// per-level relational joins over the column-oriented JDewey inverted
+// lists; levels are processed bottom-up so that the ELCA/SLCA semantic
+// pruning is a local range check against previously erased rows, with no
+// document-order enforcement — which is what later makes top-K processing
+// possible (package topk).
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/colstore"
+	"repro/internal/score"
+)
+
+// Semantics selects the LCA-variant result semantics.
+type Semantics int
+
+const (
+	// ELCA: nodes containing at least one occurrence of every keyword
+	// after excluding occurrences inside descendant subtrees that already
+	// contain all keywords.
+	ELCA Semantics = iota
+	// SLCA: LCA nodes none of whose descendants is also an LCA.
+	SLCA
+)
+
+func (s Semantics) String() string {
+	if s == SLCA {
+		return "SLCA"
+	}
+	return "ELCA"
+}
+
+// JoinPlan selects how the per-column joins are executed (Section III-C).
+type JoinPlan int
+
+const (
+	// PlanAuto chooses per join between merge and index join from the
+	// current intermediate result size — the paper's dynamic optimization.
+	PlanAuto JoinPlan = iota
+	// PlanMergeOnly forces merge joins, as the ablation experiments do.
+	PlanMergeOnly
+	// PlanIndexOnly forces index joins.
+	PlanIndexOnly
+)
+
+// indexJoinRatio is the selectivity cutover: the index join is chosen when
+// the outer (intermediate) side is at least this many times smaller than
+// the inner column.
+const indexJoinRatio = 16
+
+// Options configures Evaluate.
+type Options struct {
+	Semantics Semantics
+	Plan      JoinPlan
+	Decay     float64 // damping base d(Δl) = Decay^Δl; 0 selects score.DefaultDecay
+}
+
+func (o Options) decay() float64 {
+	if o.Decay == 0 {
+		return score.DefaultDecay
+	}
+	return o.Decay
+}
+
+// Result identifies one ELCA/SLCA: the node with JDewey number Value at
+// tree level Level, with its aggregated ranking score.
+type Result struct {
+	Level int
+	Value uint32
+	Score float64
+}
+
+// Stats reports execution counters for the experiment harness.
+type Stats struct {
+	Levels      int   // columns processed
+	MergeJoins  int   // joins executed as merge joins
+	IndexJoins  int   // joins executed as index joins
+	RunsScanned int64 // run entries touched by merge joins
+	Probes      int64 // binary-search probes issued by index joins
+	Matches     int   // contains-all nodes found (before output filtering)
+	Results     int
+}
+
+// Evaluate runs Algorithm 1 over fully-decoded in-memory lists. It is a
+// convenience wrapper over EvaluateSources; see there for semantics.
+func Evaluate(lists []*colstore.List, opt Options) ([]Result, Stats) {
+	srcs := make([]colstore.Source, len(lists))
+	for i, l := range lists {
+		if l != nil {
+			srcs[i] = l
+		}
+	}
+	return EvaluateSources(srcs, opt)
+}
+
+// EvaluateSources runs Algorithm 1 over the given inverted-list sources
+// (fully-decoded lists or streaming disk handles — only the columns the
+// bottom-up sweep touches are ever decoded) and returns every ELCA or SLCA
+// with its score, ordered bottom-up by level and by JDewey number within a
+// level. A nil or empty source means some keyword has no occurrence, so
+// there are no results.
+func EvaluateSources(lists []colstore.Source, opt Options) ([]Result, Stats) {
+	var st Stats
+	if len(lists) == 0 {
+		return nil, st
+	}
+	for _, l := range lists {
+		if l == nil || l.Rows() == 0 {
+			return nil, st
+		}
+	}
+	// Join ordering (Section III-C): left-deep, shortest list first.
+	ordered := make([]colstore.Source, len(lists))
+	copy(ordered, lists)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Rows() < ordered[j].Rows() })
+
+	e := newEvaluator(ordered, opt)
+	lmin := ordered[0].MaxLevel()
+	for _, l := range ordered {
+		if l.MaxLevel() < lmin {
+			lmin = l.MaxLevel()
+		}
+	}
+	var results []Result
+	for lev := lmin; lev >= 1; lev-- {
+		st.Levels++
+		results = e.processLevel(lev, results, &st)
+	}
+	st.Results = len(results)
+	return results, st
+}
+
+// evaluator carries the per-query erasure state.
+type evaluator struct {
+	lists   []colstore.Source
+	erased  []*eraseSet
+	curCols []*colstore.Column // columns of the level being processed
+	opt     Options
+	decay   float64
+}
+
+func newEvaluator(lists []colstore.Source, opt Options) *evaluator {
+	e := &evaluator{lists: lists, opt: opt, decay: opt.decay()}
+	e.erased = make([]*eraseSet, len(lists))
+	for i, l := range lists {
+		e.erased[i] = newEraseSet(l.Rows())
+	}
+	return e
+}
+
+// match is one joined value at the current level: the run index per list.
+type match struct {
+	value uint32
+	runs  []int32
+}
+
+// processLevel joins the level's columns across all lists and applies the
+// semantic pruning to each contains-all value found.
+func (e *evaluator) processLevel(lev int, results []Result, st *Stats) []Result {
+	k := len(e.lists)
+	cols := make([]*colstore.Column, k)
+	for i, l := range e.lists {
+		cols[i] = l.Col(lev)
+		if cols[i] == nil || len(cols[i].Runs) == 0 {
+			return results
+		}
+	}
+	e.curCols = cols
+	// Left-deep join chain seeded by the shortest list's column.
+	cur := make([]match, 0, len(cols[0].Runs))
+	for ri := range cols[0].Runs {
+		m := match{value: cols[0].Runs[ri].Value, runs: make([]int32, 1, k)}
+		m.runs[0] = int32(ri)
+		cur = append(cur, m)
+	}
+	for j := 1; j < k && len(cur) > 0; j++ {
+		useIndex := false
+		switch e.opt.Plan {
+		case PlanIndexOnly:
+			useIndex = true
+		case PlanMergeOnly:
+			useIndex = false
+		default:
+			// Dynamic optimization: the intermediate result shrank enough
+			// below the next column to favour probing over scanning.
+			useIndex = len(cur)*indexJoinRatio < len(cols[j].Runs)
+		}
+		if useIndex {
+			st.IndexJoins++
+			cur = indexJoin(cur, cols[j], st)
+		} else {
+			st.MergeJoins++
+			cur = mergeJoin(cur, cols[j], st)
+		}
+	}
+	for _, m := range cur {
+		st.Matches++
+		if r, ok := e.applyMatch(lev, m); ok {
+			results = append(results, r)
+		}
+	}
+	return results
+}
+
+// indexJoin probes the column for each intermediate value (binary search
+// over the sorted runs; on disk this is the sparse-index lookup).
+func indexJoin(cur []match, col *colstore.Column, st *Stats) []match {
+	out := cur[:0]
+	for _, m := range cur {
+		st.Probes++
+		if ri, ok := col.FindValue(m.value); ok {
+			m.runs = append(m.runs, int32(ri))
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// mergeJoin advances two cursors over the sorted intermediate values and
+// the sorted column runs.
+func mergeJoin(cur []match, col *colstore.Column, st *Stats) []match {
+	out := cur[:0]
+	i, j := 0, 0
+	for i < len(cur) && j < len(col.Runs) {
+		st.RunsScanned++
+		a, b := cur[i].value, col.Runs[j].Value
+		switch {
+		case a < b:
+			i++
+		case a > b:
+			j++
+		default:
+			m := cur[i]
+			m.runs = append(m.runs, int32(j))
+			out = append(out, m)
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// applyMatch performs the semantic pruning for one contains-all value N at
+// level lev (Sections III-B, III-E, III-F):
+//
+//   - ELCA: N is output iff every list still has a non-erased row under N
+//     (the range check |A_k| > Σ|B_i|); all rows under N are erased either
+//     way, because any occurrence inside a contains-all subtree is excluded
+//     for every ancestor.
+//   - SLCA: N is output iff no row under N was erased at a lower level (a
+//     previously found LCA below disqualifies N); all rows under N are
+//     erased either way, which transitively disqualifies every ancestor of
+//     an LCA.
+func (e *evaluator) applyMatch(lev int, m match) (Result, bool) {
+	k := len(e.lists)
+	output := true
+	switch e.opt.Semantics {
+	case ELCA:
+		for i := 0; i < k; i++ {
+			run := e.curCols[i].Runs[m.runs[i]]
+			er := e.erased[i].erasedInRange(run.Row, run.Row+run.Count)
+			if er >= int(run.Count) {
+				output = false
+				break
+			}
+		}
+	case SLCA:
+		for i := 0; i < k; i++ {
+			run := e.curCols[i].Runs[m.runs[i]]
+			if e.erased[i].erasedInRange(run.Row, run.Row+run.Count) > 0 {
+				output = false
+				break
+			}
+		}
+	}
+	var total float64
+	if output {
+		for i := 0; i < k; i++ {
+			run := e.curCols[i].Runs[m.runs[i]]
+			total += e.bestWitness(i, run, lev)
+		}
+	}
+	// Erase all rows under N in every list, regardless of output.
+	for i := 0; i < k; i++ {
+		run := e.curCols[i].Runs[m.runs[i]]
+		for row := run.Row; row < run.Row+run.Count; row++ {
+			e.erased[i].erase(row)
+		}
+	}
+	if !output {
+		return Result{}, false
+	}
+	return Result{Level: lev, Value: m.value, Score: total}, true
+}
+
+// bestWitness returns the maximum damped local score among the non-erased
+// rows of the run: the per-keyword input I_i = max g(v, w_i) * d(l_i - l̃)
+// of the ranking function.
+func (e *evaluator) bestWitness(i int, run colstore.Run, lev int) float64 {
+	l := e.lists[i]
+	best := 0.0
+	for row := run.Row; row < run.Row+run.Count; row++ {
+		if e.erased[i].isErased(row) {
+			continue
+		}
+		s := float64(l.RowScore(row)) * math.Pow(e.decay, float64(l.RowLen(row)-lev))
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// SortByScore orders results by descending score, breaking ties bottom-up
+// by level and then by JDewey number, the deterministic order the top-K
+// engines and the experiments use.
+func SortByScore(rs []Result) {
+	sort.SliceStable(rs, func(i, j int) bool {
+		if rs[i].Score != rs[j].Score {
+			return rs[i].Score > rs[j].Score
+		}
+		if rs[i].Level != rs[j].Level {
+			return rs[i].Level > rs[j].Level
+		}
+		return rs[i].Value < rs[j].Value
+	})
+}

@@ -1,0 +1,53 @@
+package core
+
+// eraseSet tracks which rows of one inverted list have been erased by the
+// semantic pruning (Section III-B/III-E). Rows sharing a column value are
+// contiguous, so the pruning queries are range queries: "how many rows of
+// this run are erased" decides ELCA output (|A_k| > Σ|B_i|) and "is any row
+// of this run erased" decides SLCA output. A Fenwick tree over erased
+// counts answers both in O(log n); each row is erased at most once over the
+// whole evaluation, so total maintenance is O(n log n).
+type eraseSet struct {
+	bits []uint64
+	tree []int32 // Fenwick tree, 1-based
+}
+
+func newEraseSet(n int) *eraseSet {
+	return &eraseSet{
+		bits: make([]uint64, (n+63)/64),
+		tree: make([]int32, n+1),
+	}
+}
+
+func (e *eraseSet) isErased(row uint32) bool {
+	return e.bits[row/64]&(1<<(row%64)) != 0
+}
+
+// erase marks a row and reports whether it was newly erased.
+func (e *eraseSet) erase(row uint32) bool {
+	w, b := row/64, uint64(1)<<(row%64)
+	if e.bits[w]&b != 0 {
+		return false
+	}
+	e.bits[w] |= b
+	for i := int(row) + 1; i < len(e.tree); i += i & -i {
+		e.tree[i]++
+	}
+	return true
+}
+
+func (e *eraseSet) prefix(n int) int {
+	s := 0
+	for i := n; i > 0; i -= i & -i {
+		s += int(e.tree[i])
+	}
+	return s
+}
+
+// erasedInRange returns the number of erased rows in [lo, hi).
+func (e *eraseSet) erasedInRange(lo, hi uint32) int {
+	if hi <= lo {
+		return 0
+	}
+	return e.prefix(int(hi)) - e.prefix(int(lo))
+}

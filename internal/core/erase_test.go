@@ -1,0 +1,59 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEraseSetBasics(t *testing.T) {
+	e := newEraseSet(10)
+	if e.isErased(3) || e.erasedInRange(0, 10) != 0 {
+		t.Fatal("fresh set must be empty")
+	}
+	if !e.erase(3) {
+		t.Fatal("first erase must report true")
+	}
+	if e.erase(3) {
+		t.Fatal("second erase of the same row must report false")
+	}
+	if !e.isErased(3) || e.isErased(4) {
+		t.Fatal("bit state wrong")
+	}
+	if e.erasedInRange(0, 10) != 1 || e.erasedInRange(3, 4) != 1 || e.erasedInRange(4, 10) != 0 {
+		t.Fatal("range counts wrong")
+	}
+	if e.erasedInRange(5, 5) != 0 || e.erasedInRange(7, 2) != 0 {
+		t.Fatal("empty/inverted ranges must count zero")
+	}
+}
+
+// TestEraseSetAgainstReference fuzzes the Fenwick-backed set against a
+// plain boolean slice.
+func TestEraseSetAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const n = 500
+	e := newEraseSet(n)
+	ref := make([]bool, n)
+	for op := 0; op < 5000; op++ {
+		if rng.Intn(2) == 0 {
+			row := uint32(rng.Intn(n))
+			was := ref[row]
+			ref[row] = true
+			if e.erase(row) == was {
+				t.Fatalf("erase(%d) newness mismatch", row)
+			}
+		} else {
+			lo := uint32(rng.Intn(n))
+			hi := lo + uint32(rng.Intn(n-int(lo)+1))
+			want := 0
+			for i := lo; i < hi; i++ {
+				if ref[i] {
+					want++
+				}
+			}
+			if got := e.erasedInRange(lo, hi); got != want {
+				t.Fatalf("erasedInRange(%d, %d) = %d, want %d", lo, hi, got, want)
+			}
+		}
+	}
+}

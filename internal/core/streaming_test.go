@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/colstore"
+	"repro/internal/jdewey"
+	"repro/internal/occur"
+	"repro/internal/testutil"
+	"repro/internal/xmltree"
+)
+
+// handlesFor round-trips each keyword's list through the on-disk blob and
+// returns streaming handles.
+func handlesFor(t *testing.T, m *occur.Map, keywords []string) []colstore.Source {
+	t.Helper()
+	out := make([]colstore.Source, len(keywords))
+	for i, w := range keywords {
+		occs := m.Terms[w]
+		if len(occs) == 0 {
+			continue
+		}
+		blob, _ := colstore.BuildList(w, occs).AppendEncoded(nil)
+		h, err := colstore.NewHandle(w, blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = h
+	}
+	return out
+}
+
+// TestStreamingMatchesInMemory: Algorithm 1 over streaming disk handles
+// must equal the in-memory evaluation exactly, for both semantics and all
+// plans.
+func TestStreamingMatchesInMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		doc := testutil.RandomDoc(rng, testutil.MediumParams())
+		e := newEnv(doc)
+		for _, k := range []int{1, 2, 3} {
+			q := testutil.RandomQuery(rng, testutil.Vocab(20), k)
+			for _, sem := range []Semantics{ELCA, SLCA} {
+				want, _ := Evaluate(e.lists(q), Options{Semantics: sem})
+				got, _ := EvaluateSources(handlesFor(t, e.m, q), Options{Semantics: sem})
+				if len(got) != len(want) {
+					t.Fatalf("%v sem=%v: %d results vs %d", q, sem, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%v sem=%v result %d: %+v vs %+v", q, sem, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamingDecodesOnlyNeededColumns verifies the Section III-B I/O
+// property: the sweep starts at min(l_m) over the lists, so a deep list
+// joined with a shallow one never decodes its deep columns.
+func TestStreamingDecodesOnlyNeededColumns(t *testing.T) {
+	b := xmltree.NewBuilder().Open("root")
+	b.Open("shallow").Text("alpha").Close() // alpha only at level 2
+	b.Open("chain")
+	for i := 0; i < 10; i++ {
+		b.Open("n")
+	}
+	b.Text("beta alpha") // beta (and alpha) deep at level 12
+	for i := 0; i < 10; i++ {
+		b.Close()
+	}
+	b.Close()
+	doc := b.Close().Doc()
+	jdewey.Assign(doc, 0)
+	m := occur.Extract(doc)
+
+	srcs := handlesFor(t, m, []string{"alpha", "beta"})
+	rs, st := EvaluateSources(srcs, Options{})
+	if len(rs) == 0 || st.Levels == 0 {
+		t.Fatalf("no results: %+v", st)
+	}
+	alpha := srcs[0].(*colstore.Handle)
+	beta := srcs[1].(*colstore.Handle)
+	// lmin = alpha's max level (13, it has the deep occurrence too)...
+	// alpha occurs at level 2 and level 12, beta only at 12, so the sweep
+	// runs columns 12..1 — but if we flip the query so the shallow list
+	// bounds the sweep, deep columns stay cold:
+	if alpha.MaxLevel() != 12 || beta.MaxLevel() != 12 {
+		t.Fatalf("levels: alpha %d beta %d", alpha.MaxLevel(), beta.MaxLevel())
+	}
+
+	// A keyword confined to level 2 caps the sweep at 2 columns.
+	b2 := xmltree.NewBuilder().Open("root")
+	b2.Open("shallow").Text("gamma").Close()
+	b2.Open("chain")
+	for i := 0; i < 10; i++ {
+		b2.Open("n")
+	}
+	b2.Text("delta")
+	for i := 0; i < 10; i++ {
+		b2.Close()
+	}
+	b2.Close()
+	doc2 := b2.Close().Doc()
+	jdewey.Assign(doc2, 0)
+	m2 := occur.Extract(doc2)
+	srcs2 := handlesFor(t, m2, []string{"gamma", "delta"})
+	_, _ = EvaluateSources(srcs2, Options{})
+	gamma := srcs2[0].(*colstore.Handle)
+	delta := srcs2[1].(*colstore.Handle)
+	if gamma.MaxLevel() != 2 {
+		t.Fatalf("gamma max level = %d", gamma.MaxLevel())
+	}
+	if got := delta.ColumnsDecoded(); got > 2 {
+		t.Errorf("deep list decoded %d columns; the level-2 keyword caps the sweep at 2", got)
+	}
+	if delta.BytesRead() <= 0 {
+		t.Error("bytes-read accounting missing")
+	}
+	// And the full 12-level evaluation reads strictly more of the deep
+	// list than the capped one.
+	full := srcs[1].(*colstore.Handle)
+	if full.ColumnsDecoded() <= delta.ColumnsDecoded() {
+		t.Errorf("capped sweep decoded %d columns, uncapped %d", delta.ColumnsDecoded(), full.ColumnsDecoded())
+	}
+	_ = beta
+}
+
+// TestHandleFromStore exercises the Store.Handle path over both in-memory
+// and disk-opened stores.
+func TestHandleFromStore(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	doc := testutil.RandomDoc(rng, testutil.MediumParams())
+	e := newEnv(doc)
+	s := colstore.Build(e.m)
+	dir := t.TempDir()
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	opened, err := colstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := testutil.RandomQuery(rng, testutil.Vocab(20), 2)
+	var mem, disk []colstore.Source
+	for _, w := range q {
+		hm, hd := s.Handle(w), opened.Handle(w)
+		if (hm == nil) != (hd == nil) {
+			t.Fatalf("handle availability differs for %q", w)
+		}
+		if hm == nil {
+			return // keyword missing: nothing to compare
+		}
+		mem = append(mem, hm)
+		disk = append(disk, hd)
+	}
+	a, _ := EvaluateSources(mem, Options{})
+	b, _ := EvaluateSources(disk, Options{})
+	if len(a) != len(b) {
+		t.Fatalf("in-memory handle: %d results, disk handle: %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("result %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if s.Handle("zzz-missing") != nil || opened.Handle("zzz-missing") != nil {
+		t.Error("missing term must yield nil handle")
+	}
+}

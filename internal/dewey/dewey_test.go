@@ -1,0 +1,175 @@
+package dewey
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func id(cs ...uint32) ID { return ID(cs) }
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b ID
+		want int
+	}{
+		{id(1), id(1), 0},
+		{id(1), id(1, 1), -1},
+		{id(1, 1), id(1), 1},
+		{id(1, 1, 2), id(1, 1, 3), -1},
+		{id(1, 2), id(1, 1, 9), 1},
+		{id(1, 1, 2, 2, 1), id(1, 1, 2, 3, 2), -1},
+		{nil, id(1), -1},
+		{nil, nil, 0},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := Compare(c.b, c.a); got != -c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.b, c.a, got, -c.want)
+		}
+	}
+}
+
+func TestAncestry(t *testing.T) {
+	root := id(1)
+	mid := id(1, 1, 2)
+	leaf := id(1, 1, 2, 3, 2)
+	if !root.IsAncestorOf(mid) || !root.IsAncestorOf(leaf) || !mid.IsAncestorOf(leaf) {
+		t.Fatal("expected ancestor relations to hold")
+	}
+	if mid.IsAncestorOf(mid) {
+		t.Error("a node is not its own strict ancestor")
+	}
+	if !mid.IsAncestorOrSelf(mid) {
+		t.Error("IsAncestorOrSelf must accept self")
+	}
+	if id(1, 2).IsAncestorOf(id(1, 1, 9)) {
+		t.Error("sibling branch is not an ancestor")
+	}
+	if leaf.IsAncestorOf(mid) {
+		t.Error("descendant is not an ancestor")
+	}
+}
+
+func TestLCA(t *testing.T) {
+	// The paper's Figure 1 example: lca(1.1.2.2.1, 1.1.2.3.2) = 1.1.2.
+	got := LCA(id(1, 1, 2, 2, 1), id(1, 1, 2, 3, 2))
+	if Compare(got, id(1, 1, 2)) != 0 {
+		t.Errorf("LCA = %v, want 1.1.2", got)
+	}
+	if got := LCA(id(1), id(1, 5)); Compare(got, id(1)) != 0 {
+		t.Errorf("LCA with ancestor = %v, want 1", got)
+	}
+	if got := LCA(id(2), id(3)); len(got) != 0 {
+		t.Errorf("disjoint LCA = %v, want empty", got)
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	for _, d := range []ID{id(1), id(1, 1, 2, 3, 2), id(7, 0, 42)} {
+		s := d.String()
+		back, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if Compare(d, back) != 0 {
+			t.Errorf("round trip %v -> %q -> %v", d, s, back)
+		}
+	}
+	for _, bad := range []string{"", "1..2", "1.x", "1.99999999999999"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	ids := []ID{id(1), id(1, 1, 2, 3, 2), id(1<<20, 1, 1<<31-1)}
+	var buf []byte
+	for _, d := range ids {
+		buf = d.AppendBinary(buf)
+	}
+	off := 0
+	for _, want := range ids {
+		got, n, err := DecodeBinary(buf[off:])
+		if err != nil {
+			t.Fatalf("DecodeBinary: %v", err)
+		}
+		if Compare(got, want) != 0 {
+			t.Errorf("decoded %v, want %v", got, want)
+		}
+		off += n
+	}
+	if off != len(buf) {
+		t.Errorf("consumed %d of %d bytes", off, len(buf))
+	}
+}
+
+func TestDecodeBinaryErrors(t *testing.T) {
+	d := id(1, 2, 3)
+	buf := d.AppendBinary(nil)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeBinary(buf[:cut]); err == nil && cut < len(buf) {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+	if _, _, err := DecodeBinary([]byte{0xff, 0xff, 0xff}); err == nil {
+		t.Error("garbage header not detected")
+	}
+}
+
+func TestCompareTotalOrderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gen := func() ID {
+		d := make(ID, 1+rng.Intn(6))
+		for i := range d {
+			d[i] = uint32(1 + rng.Intn(4))
+		}
+		return d
+	}
+	// Antisymmetry and transitivity on random triples.
+	f := func() bool {
+		a, b, c := gen(), gen(), gen()
+		if Compare(a, b) != -Compare(b, a) {
+			return false
+		}
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 && Compare(a, c) > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLCAIsCommonAncestorProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func() bool {
+		// Random pair sharing a random prefix.
+		pre := make(ID, rng.Intn(4))
+		for i := range pre {
+			pre[i] = uint32(1 + rng.Intn(3))
+		}
+		mk := func() ID {
+			d := pre.Clone()
+			for i, n := 0, rng.Intn(4); i < n; i++ {
+				d = append(d, uint32(1+rng.Intn(3)))
+			}
+			return d
+		}
+		a, b := mk(), mk()
+		l := LCA(a, b)
+		if !l.IsAncestorOrSelf(a) || !l.IsAncestorOrSelf(b) {
+			return false
+		}
+		// No longer common prefix exists.
+		n := len(l)
+		return n >= len(a) || n >= len(b) || a[n] != b[n]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,93 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/xmltree"
+)
+
+// DBLP generates the synthetic bibliography corpus. As in the paper's
+// setup, papers are grouped first by conference/journal and then by year,
+// giving the five-level shape dblp/conf/year/paper/field. scale 1.0 yields
+// roughly 20k papers (about 1/10 of the frequency scale the paper runs at,
+// with every band scaled by the same factor); seed fixes all randomness.
+func DBLP(scale float64, seed int64) *Dataset {
+	if scale <= 0 {
+		scale = 1.0
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	confs := max(4, int(40*scale))
+	years := max(2, min(20, int(10*scale)+2))
+	papersPerYear := max(3, int(float64(20000*scale)/float64(confs*years)))
+	topics := max(2, confs/5)
+	vocabSize := max(500, int(30000*scale))
+
+	tg := newTextGen(rng, vocabSize, topics)
+	authorPool := max(50, int(8000*scale))
+
+	b := xmltree.NewBuilder().Open("dblp")
+	papers := 0
+	for c := 0; c < confs; c++ {
+		topic := c % topics
+		b.Open("conf")
+		b.Leaf("name", fmt.Sprintf("conf%d %s", c, tg.words(1, topic, 0.9)))
+		for y := 0; y < years; y++ {
+			b.Open("year")
+			b.Text(fmt.Sprintf("y%d", 1990+y))
+			n := papersPerYear/2 + rng.Intn(papersPerYear+1)
+			for p := 0; p < n; p++ {
+				papers++
+				b.Open("paper")
+				b.Leaf("title", tg.words(5+rng.Intn(6), topic, 0.5))
+				na := 1 + rng.Intn(3)
+				for a := 0; a < na; a++ {
+					b.Leaf("author", fmt.Sprintf("author%d", rng.Intn(authorPool)))
+				}
+				b.Leaf("pages", fmt.Sprintf("p%d p%d", rng.Intn(600), rng.Intn(600)))
+				if rng.Intn(4) == 0 {
+					b.Leaf("ee", tg.words(2, topic, 0.3))
+				}
+				b.Close()
+			}
+			b.Close()
+		}
+		b.Close()
+	}
+	doc := b.Close().Doc()
+
+	highDF := max(16, int(10000*scale))
+	ds := &Dataset{
+		Name:       "dblp",
+		Doc:        doc,
+		HighDF:     highDF,
+		Bands:      map[int][]string{},
+		BandValues: bandsFor(highDF),
+	}
+	plantBands(rng, ds)
+	// The hand-picked correlated queries of Figure 10(b)/(c).
+	plantCorrelated(rng, ds, [][]string{
+		{"sensor", "network"},
+		{"xml", "keyword", "search"},
+		{"topk", "rewriting"},
+		{"stream", "window", "aggregation"},
+		{"index", "btree"},
+	}, max(8, int(1200*scale)), max(8, int(3000*scale)), "title")
+	ds.sortBands()
+	return ds
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,210 @@
+// Package gen builds the synthetic datasets that stand in for the paper's
+// corpora (real DBLP, 496 MB, regrouped by conference then year; and XMark
+// at factor 1.0, 113 MB). Neither corpus ships with this repository, so the
+// generators reproduce the structural and statistical properties the
+// algorithms are sensitive to:
+//
+//   - the DBLP shape dblp/conf/year/paper/{title,author,...} with
+//     per-conference topic mixtures, so keyword correlation is bound to
+//     context (the Section III-C motivation for dynamic join selection);
+//   - the deeper, more irregular XMark auction-site shape;
+//   - a Zipfian vocabulary, plus terms planted at exact document
+//     frequencies so the Figure 9/10 frequency bands exist at any scale;
+//   - hand-picked correlated queries ({sensor, network}-style) planted with
+//     high co-occurrence for the Figure 10(b)/(c) experiments.
+//
+// Everything is deterministic given (scale, seed).
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/xmltree"
+)
+
+// Dataset is one generated corpus plus the experiment metadata derived
+// from it.
+type Dataset struct {
+	Name string
+	Doc  *xmltree.Document
+
+	// HighDF is the fixed "high frequency" of the evaluation (the paper's
+	// 100k, linearly scaled).
+	HighDF int
+	// Bands maps each target low-frequency band to the terms planted at
+	// exactly that document frequency.
+	Bands map[int][]string
+	// BandValues lists the band keys ascending (excluding HighDF).
+	BandValues []int
+	// HighTerms are planted at exactly HighDF.
+	HighTerms []string
+	// Correlated holds the hand-picked correlated queries of Figure
+	// 10(b)/(c); every term of a correlated query co-occurs with the
+	// others in many tight subtrees.
+	Correlated [][]string
+}
+
+// plantBands appends band terms to randomly chosen text-bearing nodes so
+// that each term's document frequency is exactly its band value (clamped to
+// the number of available nodes, which the returned band keys reflect).
+const termsPerBand = 8
+
+// textNodes returns the nodes carrying direct text, the hosts for planted
+// terms.
+func textNodes(doc *xmltree.Document) []*xmltree.Node {
+	var out []*xmltree.Node
+	for _, n := range doc.Nodes {
+		if n.Text != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func plantTerm(rng *rand.Rand, hosts []*xmltree.Node, term string, df int) int {
+	if df > len(hosts) {
+		df = len(hosts)
+	}
+	perm := rng.Perm(len(hosts))
+	for _, hi := range perm[:df] {
+		hosts[hi].Text += " " + term
+	}
+	return df
+}
+
+func plantBands(rng *rand.Rand, ds *Dataset) {
+	hosts := textNodes(ds.Doc)
+	seen := map[int]bool{}
+	for _, df := range ds.BandValues {
+		if seen[df] {
+			continue
+		}
+		seen[df] = true
+		for t := 0; t < termsPerBand; t++ {
+			name := fmt.Sprintf("band%dx%d", df, t)
+			plantTerm(rng, hosts, name, df)
+			ds.Bands[df] = append(ds.Bands[df], name)
+		}
+	}
+	for t := 0; t < termsPerBand; t++ {
+		name := fmt.Sprintf("high%dx%d", ds.HighDF, t)
+		actual := plantTerm(rng, hosts, name, ds.HighDF)
+		if actual < ds.HighDF {
+			ds.HighDF = actual
+		}
+		ds.HighTerms = append(ds.HighTerms, name)
+	}
+}
+
+// plantCorrelated plants each query's terms together in tight subtrees
+// (co-occurring in the same text node, with term frequency 2 so genuinely
+// relevant nodes outscore stray co-occurrences, as in real corpora) plus
+// extra solo occurrences so the terms have realistic marginal frequencies.
+// When hostTags is non-empty, co-occurrences are confined to elements with
+// those tags (titles, descriptions, ...), keeping the planted topics in
+// content-bearing fields.
+func plantCorrelated(rng *rand.Rand, ds *Dataset, queries [][]string, together, solo int, hostTags ...string) {
+	hosts := textNodes(ds.Doc)
+	coHosts := hosts
+	if len(hostTags) > 0 {
+		tags := map[string]bool{}
+		for _, tag := range hostTags {
+			tags[tag] = true
+		}
+		coHosts = nil
+		for _, n := range hosts {
+			if tags[n.Tag] {
+				coHosts = append(coHosts, n)
+			}
+		}
+		if len(coHosts) == 0 {
+			coHosts = hosts
+		}
+	}
+	for _, q := range queries {
+		phrase := strings.Join(q, " ")
+		perm := rng.Perm(len(coHosts))
+		n := together
+		if n > len(perm) {
+			n = len(perm)
+		}
+		for _, hi := range perm[:n] {
+			// Term frequency 2..4, spread as in real corpora, so the most
+			// relevant co-occurrences stand out from the stray ones.
+			reps := 2 + rng.Intn(3)
+			for r := 0; r < reps; r++ {
+				coHosts[hi].Text += " " + phrase
+			}
+		}
+		for _, term := range q {
+			plantTerm(rng, hosts, term, solo)
+		}
+		ds.Correlated = append(ds.Correlated, q)
+	}
+}
+
+// bandsFor derives the band ladder from the scaled high frequency,
+// mirroring the paper's 10 / 100 / 1k / 10k lows under a 100k high.
+func bandsFor(highDF int) []int {
+	var bands []int
+	for div := 1000; div >= 1; div /= 10 {
+		b := highDF / div
+		if b < 2 {
+			b = 2
+		}
+		if len(bands) == 0 || b > bands[len(bands)-1] {
+			bands = append(bands, b)
+		}
+	}
+	return bands
+}
+
+// zipfText draws n words from a Zipf-distributed vocabulary, biased toward
+// a topic-specific sub-vocabulary with probability topicBias.
+type textGen struct {
+	rng       *rand.Rand
+	zipf      *rand.Zipf
+	vocabSize int
+	topics    int
+}
+
+func newTextGen(rng *rand.Rand, vocabSize, topics int) *textGen {
+	return &textGen{
+		rng:       rng,
+		zipf:      rand.NewZipf(rng, 1.4, 4, uint64(vocabSize-1)),
+		vocabSize: vocabSize,
+		topics:    topics,
+	}
+}
+
+func (g *textGen) words(n, topic int, topicBias float64) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		if topic >= 0 && g.rng.Float64() < topicBias {
+			// Topic vocabulary: a contiguous slice of the word space per
+			// topic, so different contexts concentrate on different terms
+			// (the Section III-D "word distribution is biased in different
+			// contexts" property the RLE compression exploits).
+			width := g.vocabSize / (g.topics * 2)
+			w := topic*width + int(g.zipf.Uint64())%width
+			fmt.Fprintf(&sb, "t%dw%d", topic, w)
+		} else {
+			fmt.Fprintf(&sb, "w%d", g.zipf.Uint64())
+		}
+	}
+	return sb.String()
+}
+
+// sortBands finalizes the metadata ordering.
+func (ds *Dataset) sortBands() {
+	sort.Ints(ds.BandValues)
+	for _, ts := range ds.Bands {
+		sort.Strings(ts)
+	}
+}

@@ -1,0 +1,144 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/jdewey"
+	"repro/internal/occur"
+)
+
+func TestDBLPShape(t *testing.T) {
+	ds := DBLP(0.02, 1)
+	if ds.Doc.Root.Tag != "dblp" {
+		t.Fatalf("root = %q", ds.Doc.Root.Tag)
+	}
+	if ds.Doc.Depth != 5 {
+		t.Fatalf("depth = %d, want 5 (dblp/conf/year/paper/field)", ds.Doc.Depth)
+	}
+	// Every paper sits under a year under a conf.
+	papers := 0
+	for _, n := range ds.Doc.Nodes {
+		if n.Tag == "paper" {
+			papers++
+			if n.Parent.Tag != "year" || n.Parent.Parent.Tag != "conf" {
+				t.Fatalf("paper at %v misplaced under %s/%s", n.Dewey, n.Parent.Parent.Tag, n.Parent.Tag)
+			}
+		}
+	}
+	if papers < 50 {
+		t.Fatalf("only %d papers at scale 0.02", papers)
+	}
+}
+
+func TestXMarkShape(t *testing.T) {
+	ds := XMark(0.02, 1)
+	if ds.Doc.Root.Tag != "site" {
+		t.Fatalf("root = %q", ds.Doc.Root.Tag)
+	}
+	if ds.Doc.Depth < 6 {
+		t.Fatalf("depth = %d, want deep irregular tree", ds.Doc.Depth)
+	}
+	tags := map[string]int{}
+	for _, n := range ds.Doc.Nodes {
+		tags[n.Tag]++
+	}
+	for _, tag := range []string{"item", "person", "open_auction", "closed_auction", "parlist"} {
+		if tags[tag] == 0 {
+			t.Errorf("no %q elements generated", tag)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := DBLP(0.02, 7)
+	b := DBLP(0.02, 7)
+	if a.Doc.Len() != b.Doc.Len() {
+		t.Fatalf("same seed, different sizes: %d vs %d", a.Doc.Len(), b.Doc.Len())
+	}
+	for i := range a.Doc.Nodes {
+		if a.Doc.Nodes[i].Tag != b.Doc.Nodes[i].Tag || a.Doc.Nodes[i].Text != b.Doc.Nodes[i].Text {
+			t.Fatalf("node %d differs between same-seed runs", i)
+		}
+	}
+	c := DBLP(0.02, 8)
+	if c.Doc.Len() == a.Doc.Len() {
+		same := true
+		for i := range a.Doc.Nodes {
+			if a.Doc.Nodes[i].Text != c.Doc.Nodes[i].Text {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical corpora")
+		}
+	}
+}
+
+func TestBandFrequenciesExact(t *testing.T) {
+	for _, ds := range []*Dataset{DBLP(0.02, 3), XMark(0.02, 3)} {
+		m := occur.Extract(ds.Doc)
+		for df, terms := range ds.Bands {
+			if len(terms) != termsPerBand {
+				t.Errorf("%s band %d has %d terms", ds.Name, df, len(terms))
+			}
+			for _, term := range terms {
+				if got := m.DocFreq(term); got != df {
+					t.Errorf("%s term %q df = %d, want %d", ds.Name, term, got, df)
+				}
+			}
+		}
+		for _, term := range ds.HighTerms {
+			if got := m.DocFreq(term); got != ds.HighDF {
+				t.Errorf("%s high term %q df = %d, want %d", ds.Name, term, got, ds.HighDF)
+			}
+		}
+		// Bands ascend and stay below the high frequency.
+		for i := 1; i < len(ds.BandValues); i++ {
+			if ds.BandValues[i-1] >= ds.BandValues[i] {
+				t.Errorf("%s bands not ascending: %v", ds.Name, ds.BandValues)
+			}
+		}
+		if len(ds.BandValues) > 0 && ds.BandValues[len(ds.BandValues)-1] > ds.HighDF {
+			t.Errorf("%s top band exceeds high frequency", ds.Name)
+		}
+	}
+}
+
+func TestCorrelatedQueriesCooccur(t *testing.T) {
+	ds := DBLP(0.02, 3)
+	m := occur.Extract(ds.Doc)
+	if len(ds.Correlated) == 0 {
+		t.Fatal("no correlated queries")
+	}
+	for _, q := range ds.Correlated {
+		// Every term indexed, and co-occurrence high: count text nodes
+		// containing all terms of the query.
+		perNode := map[int]int{}
+		for _, term := range q {
+			if m.DocFreq(term) == 0 {
+				t.Fatalf("correlated term %q unindexed", term)
+			}
+			for _, o := range m.Terms[term] {
+				perNode[o.Node.Ord]++
+			}
+		}
+		co := 0
+		for _, c := range perNode {
+			if c >= len(q) {
+				co++
+			}
+		}
+		if co < 5 {
+			t.Errorf("query %v co-occurs in only %d nodes", q, co)
+		}
+	}
+}
+
+func TestJDeweyAssignableAtScale(t *testing.T) {
+	ds := DBLP(0.05, 4)
+	jdewey.Assign(ds.Doc, 0)
+	if err := jdewey.Check(ds.Doc); err != nil {
+		t.Fatal(err)
+	}
+}

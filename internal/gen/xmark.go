@@ -1,0 +1,149 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/xmltree"
+)
+
+// XMark generates the synthetic auction-site corpus after the XMark
+// benchmark schema: regions with nested item descriptions, people with
+// profiles, and open/closed auctions with annotations. The tree is deeper
+// and more irregular than DBLP (descriptions nest parlist/listitem chains),
+// which is the property that distinguishes the two corpora in the paper's
+// evaluation. scale 1.0 yields roughly 60k element nodes.
+func XMark(scale float64, seed int64) *Dataset {
+	if scale <= 0 {
+		scale = 1.0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	topics := 6
+	vocabSize := max(500, int(20000*scale))
+	tg := newTextGen(rng, vocabSize, topics)
+
+	items := max(20, int(4000*scale))
+	people := max(10, int(2500*scale))
+	openAuctions := max(10, int(1200*scale))
+	closedAuctions := max(10, int(1000*scale))
+	regions := []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+
+	b := xmltree.NewBuilder().Open("site")
+
+	// description emits the nested free-text structure XMark is known for.
+	description := func(topic, depth int) {
+		b.Open("description")
+		b.Open("text").Text(tg.words(4+rng.Intn(8), topic, 0.4)).Close()
+		if depth > 0 && rng.Intn(3) == 0 {
+			b.Open("parlist")
+			for i := 0; i < 1+rng.Intn(3); i++ {
+				b.Open("listitem")
+				b.Open("text").Text(tg.words(3+rng.Intn(5), topic, 0.4)).Close()
+				b.Close()
+			}
+			b.Close()
+		}
+		b.Close()
+	}
+
+	b.Open("regions")
+	for ri, region := range regions {
+		b.Open(region)
+		n := items / len(regions)
+		for i := 0; i < n; i++ {
+			b.Open("item")
+			b.Leaf("location", region)
+			b.Leaf("name", tg.words(2+rng.Intn(3), ri, 0.5))
+			description(ri, 1)
+			if rng.Intn(2) == 0 {
+				b.Open("mailbox")
+				for m := 0; m < 1+rng.Intn(2); m++ {
+					b.Open("mail")
+					b.Leaf("from", fmt.Sprintf("person%d", rng.Intn(people)))
+					b.Open("text").Text(tg.words(3+rng.Intn(6), ri, 0.3)).Close()
+					b.Close()
+				}
+				b.Close()
+			}
+			b.Close()
+		}
+		b.Close()
+	}
+	b.Close()
+
+	b.Open("categories")
+	for c := 0; c < max(4, items/100); c++ {
+		b.Open("category")
+		b.Leaf("name", tg.words(2, c%topics, 0.7))
+		description(c%topics, 0)
+		b.Close()
+	}
+	b.Close()
+
+	b.Open("people")
+	for p := 0; p < people; p++ {
+		b.Open("person")
+		b.Leaf("name", fmt.Sprintf("person%d", p))
+		b.Leaf("emailaddress", fmt.Sprintf("mailto%d", p))
+		if rng.Intn(2) == 0 {
+			b.Open("profile")
+			b.Leaf("interest", tg.words(1+rng.Intn(3), rng.Intn(topics), 0.6))
+			if rng.Intn(3) == 0 {
+				b.Leaf("education", tg.words(2, rng.Intn(topics), 0.2))
+			}
+			b.Close()
+		}
+		b.Close()
+	}
+	b.Close()
+
+	b.Open("open_auctions")
+	for a := 0; a < openAuctions; a++ {
+		topic := rng.Intn(topics)
+		b.Open("open_auction")
+		b.Leaf("initial", fmt.Sprintf("amount%d", rng.Intn(1000)))
+		for bid := 0; bid < rng.Intn(4); bid++ {
+			b.Open("bidder")
+			b.Leaf("personref", fmt.Sprintf("person%d", rng.Intn(people)))
+			b.Leaf("increase", fmt.Sprintf("amount%d", rng.Intn(50)))
+			b.Close()
+		}
+		b.Open("annotation")
+		description(topic, 1)
+		b.Close()
+		b.Close()
+	}
+	b.Close()
+
+	b.Open("closed_auctions")
+	for a := 0; a < closedAuctions; a++ {
+		topic := rng.Intn(topics)
+		b.Open("closed_auction")
+		b.Leaf("buyer", fmt.Sprintf("person%d", rng.Intn(people)))
+		b.Leaf("price", fmt.Sprintf("amount%d", rng.Intn(1000)))
+		b.Open("annotation")
+		description(topic, 1)
+		b.Close()
+		b.Close()
+	}
+	b.Close()
+
+	doc := b.Close().Doc()
+
+	highDF := max(16, int(6000*scale))
+	ds := &Dataset{
+		Name:       "xmark",
+		Doc:        doc,
+		HighDF:     highDF,
+		Bands:      map[int][]string{},
+		BandValues: bandsFor(highDF),
+	}
+	plantBands(rng, ds)
+	plantCorrelated(rng, ds, [][]string{
+		{"vintage", "camera"},
+		{"gold", "coin", "rare"},
+		{"shipping", "international"},
+	}, max(8, int(700*scale)), max(8, int(1800*scale)), "name", "text")
+	ds.sortBands()
+	return ds
+}

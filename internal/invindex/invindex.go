@@ -1,0 +1,265 @@
+// Package invindex implements the document-order Dewey inverted lists that
+// the baseline systems (the stack-based algorithm [5], the index-based
+// algorithms [6][8], and RDIL [5]) operate on, including the prefix
+// compression of [6] used for on-disk storage and the size accounting
+// behind Table I.
+package invindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/btree"
+	"repro/internal/dewey"
+	"repro/internal/occur"
+	"repro/internal/xmltree"
+)
+
+// Posting is one keyword occurrence in document order.
+type Posting struct {
+	ID    dewey.ID
+	Node  *xmltree.Node // back-pointer for result materialization; nil when decoded from disk
+	Score float32       // local score g(v, w)
+}
+
+// List is one keyword's postings in document order.
+type List struct {
+	Word     string
+	Postings []Posting
+}
+
+// Len returns the keyword frequency |L|.
+func (l *List) Len() int { return len(l.Postings) }
+
+// Index is the full document-order inverted index.
+type Index struct {
+	N     int // element-node count of the document
+	Depth int
+	Lists map[string]*List
+}
+
+// Build constructs the index from an occurrence map.
+func Build(m *occur.Map) *Index {
+	idx := &Index{N: m.N, Depth: m.Depth, Lists: make(map[string]*List, len(m.Terms))}
+	for term, occs := range m.Terms {
+		l := &List{Word: term, Postings: make([]Posting, len(occs))}
+		for i, o := range occs {
+			l.Postings[i] = Posting{ID: o.Node.Dewey, Node: o.Node, Score: o.Score}
+		}
+		idx.Lists[term] = l
+	}
+	return idx
+}
+
+// Get returns the list for a term, or nil when the term is unindexed.
+func (idx *Index) Get(term string) *List { return idx.Lists[term] }
+
+// --- lookup primitives used by the index-based algorithms ---
+
+// SearchGE returns the index of the first posting whose Dewey ID is >= id.
+func (l *List) SearchGE(id dewey.ID) int {
+	return sort.Search(len(l.Postings), func(i int) bool {
+		return dewey.Compare(l.Postings[i].ID, id) >= 0
+	})
+}
+
+// Pred returns the index of the last posting strictly before id in document
+// order, or -1.
+func (l *List) Pred(id dewey.ID) int { return l.SearchGE(id) - 1 }
+
+// Succ returns the index of the first posting at or after id, or len.
+func (l *List) Succ(id dewey.ID) int { return l.SearchGE(id) }
+
+// SubtreeRange returns the half-open posting interval [lo, hi) of
+// occurrences inside the subtree rooted at the node with Dewey ID u. The
+// upper bound comes from the successor prefix (u with its last component
+// incremented), which follows every descendant of u in document order.
+func (l *List) SubtreeRange(u dewey.ID) (lo, hi int) {
+	lo = l.SearchGE(u)
+	next := u.Clone()
+	next[len(next)-1]++
+	hi = l.SearchGE(next)
+	return lo, hi
+}
+
+// ContainsUnder reports whether the subtree rooted at u contains at least
+// one occurrence of the list's keyword.
+func (l *List) ContainsUnder(u dewey.ID) bool {
+	lo, hi := l.SubtreeRange(u)
+	return lo < hi
+}
+
+// MaxScoreUnder returns the maximum damped local score of the list's
+// occurrences inside the subtree of u (at level len(u)), with damping base
+// decay. It returns 0 when the subtree holds no occurrence. The scan is
+// linear in the subtree's occurrence count, which is exactly the cost the
+// paper attributes to score evaluation in RDIL-style processing.
+func (l *List) MaxScoreUnder(u dewey.ID, decay float64) float64 {
+	lo, hi := l.SubtreeRange(u)
+	best := 0.0
+	for i := lo; i < hi; i++ {
+		s := float64(l.Postings[i].Score) * math.Pow(decay, float64(len(l.Postings[i].ID)-len(u)))
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// --- serialization: the prefix-compression scheme of [6] ---
+
+// AppendEncoded appends the list's on-disk form: postings delta-compressed
+// against their predecessor by shared-prefix length, followed by the suffix
+// components and the quantized score.
+func (l *List) AppendEncoded(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(l.Postings)))
+	var prev dewey.ID
+	for _, p := range l.Postings {
+		shared := dewey.CommonPrefixLen(prev, p.ID)
+		buf = binary.AppendUvarint(buf, uint64(shared))
+		buf = binary.AppendUvarint(buf, uint64(len(p.ID)-shared))
+		for _, c := range p.ID[shared:] {
+			buf = binary.AppendUvarint(buf, uint64(c))
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(p.Score))
+		prev = p.ID
+	}
+	return buf
+}
+
+// DecodeList decodes one list encoded by AppendEncoded, returning the list
+// and the number of bytes consumed. Decoded postings carry no Node
+// back-pointer.
+func DecodeList(word string, buf []byte) (*List, int, error) {
+	n, off := binary.Uvarint(buf)
+	if off <= 0 {
+		return nil, 0, fmt.Errorf("invindex: truncated list header")
+	}
+	if n > uint64(len(buf)) {
+		return nil, 0, fmt.Errorf("invindex: implausible posting count %d", n)
+	}
+	l := &List{Word: word, Postings: make([]Posting, 0, n)}
+	var prev dewey.ID
+	for i := uint64(0); i < n; i++ {
+		shared, sz := binary.Uvarint(buf[off:])
+		if sz <= 0 {
+			return nil, 0, fmt.Errorf("invindex: truncated posting %d", i)
+		}
+		off += sz
+		suffix, sz := binary.Uvarint(buf[off:])
+		if sz <= 0 {
+			return nil, 0, fmt.Errorf("invindex: truncated posting %d", i)
+		}
+		off += sz
+		if shared > uint64(len(prev)) || shared+suffix > 1<<16 {
+			return nil, 0, fmt.Errorf("invindex: corrupt prefix lengths in posting %d", i)
+		}
+		id := make(dewey.ID, shared+suffix)
+		copy(id, prev[:shared])
+		for j := uint64(0); j < suffix; j++ {
+			c, sz := binary.Uvarint(buf[off:])
+			if sz <= 0 {
+				return nil, 0, fmt.Errorf("invindex: truncated component in posting %d", i)
+			}
+			if c > 1<<32-1 {
+				return nil, 0, fmt.Errorf("invindex: component overflow in posting %d", i)
+			}
+			id[shared+uint64(j)] = uint32(c)
+			off += sz
+		}
+		if off+4 > len(buf) {
+			return nil, 0, fmt.Errorf("invindex: truncated score in posting %d", i)
+		}
+		sc := math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		l.Postings = append(l.Postings, Posting{ID: id, Score: sc})
+		prev = id
+	}
+	return l, off, nil
+}
+
+// EncodedSize returns the total byte size of the prefix-compressed lists:
+// the "stack-based" inverted-list row of Table I.
+func (idx *Index) EncodedSize() int64 {
+	var total int64
+	var buf []byte
+	for _, l := range idx.Lists {
+		buf = l.AppendEncoded(buf[:0])
+		total += int64(len(buf))
+	}
+	return total
+}
+
+// OrderedKey encodes (keyword, Dewey ID) so that lexicographic byte order
+// equals (keyword, document) order: the keyword, a NUL separator, then
+// each Dewey component as 4 big-endian bytes. This is the key layout of
+// the index-based system's single B-tree, where every posting is its own
+// key entry.
+func OrderedKey(word string, id dewey.ID) []byte {
+	key := make([]byte, 0, len(word)+1+4*len(id))
+	key = append(key, word...)
+	key = append(key, 0)
+	for _, c := range id {
+		key = binary.BigEndian.AppendUint32(key, c)
+	}
+	return key
+}
+
+// BuildKeyPerPostingBTree materializes the index-based system's storage: a
+// single page-based B+-tree whose key entries are whole (keyword, Dewey
+// ID) pairs with the quantized score as the value. Its real serialized
+// size — key duplication and page structure included — is the Table I
+// "index-based" row.
+func (idx *Index) BuildKeyPerPostingBTree() (*btree.Tree, error) {
+	words := make([]string, 0, len(idx.Lists))
+	for w := range idx.Lists {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	b := btree.NewBuilder()
+	var val [4]byte
+	for _, w := range words {
+		for _, p := range idx.Lists[w].Postings {
+			binary.LittleEndian.PutUint32(val[:], math.Float32bits(p.Score))
+			b.Add(OrderedKey(w, p.ID), val[:])
+		}
+	}
+	img, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return btree.Open(img)
+}
+
+// KeyPerPostingBTreeSize is the serialized size of the tree
+// BuildKeyPerPostingBTree builds.
+func (idx *Index) KeyPerPostingBTreeSize() int64 {
+	t, err := idx.BuildKeyPerPostingBTree()
+	if err != nil {
+		return 0
+	}
+	return t.Size()
+}
+
+// ScoreOrderBTreeSize measures RDIL's additional per-keyword B-trees built
+// on top of the document-order lists: one tree per keyword keyed by Dewey
+// ID with an 8-byte record pointer per posting.
+func (idx *Index) ScoreOrderBTreeSize() int64 {
+	var total int64
+	var ptr [8]byte
+	for _, l := range idx.Lists {
+		b := btree.NewBuilder()
+		for i, p := range l.Postings {
+			binary.BigEndian.PutUint64(ptr[:], uint64(i))
+			b.Add(OrderedKey("", p.ID)[1:], ptr[:])
+		}
+		img, err := b.Finish()
+		if err != nil {
+			return 0
+		}
+		total += int64(len(img))
+	}
+	return total
+}

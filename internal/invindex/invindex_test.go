@@ -1,0 +1,196 @@
+package invindex
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dewey"
+	"repro/internal/occur"
+	"repro/internal/testutil"
+	"repro/internal/xmltree"
+)
+
+func buildSample(t *testing.T) (*xmltree.Document, *Index) {
+	t.Helper()
+	doc, err := xmltree.Parse(strings.NewReader(
+		`<bib>
+			<book><title>xml data</title><chapter><sec>xml</sec><sec>data models</sec></chapter></book>
+			<book><title>databases</title></book>
+			<paper>xml keyword search</paper>
+		</bib>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc, Build(occur.Extract(doc))
+}
+
+func TestBuild(t *testing.T) {
+	doc, idx := buildSample(t)
+	if idx.N != doc.Len() || idx.Depth != doc.Depth {
+		t.Fatal("metadata wrong")
+	}
+	xml := idx.Get("xml")
+	if xml == nil || xml.Len() != 3 {
+		t.Fatalf("|L_xml| = %v", xml)
+	}
+	for i := 1; i < xml.Len(); i++ {
+		if dewey.Compare(xml.Postings[i-1].ID, xml.Postings[i].ID) >= 0 {
+			t.Fatal("postings not in document order")
+		}
+	}
+	if idx.Get("absent") != nil {
+		t.Error("absent term must return nil")
+	}
+}
+
+func TestLookups(t *testing.T) {
+	_, idx := buildSample(t)
+	xml := idx.Get("xml")
+	// All xml occurrences: title(1.1.1), sec(1.1.2.1), paper(1.3).
+	first := xml.Postings[0].ID
+	if i := xml.SearchGE(dewey.ID{1}); i != 0 {
+		t.Errorf("SearchGE(root) = %d", i)
+	}
+	if i := xml.Pred(first); i != -1 {
+		t.Errorf("Pred(first) = %d", i)
+	}
+	if i := xml.Succ(dewey.ID{1, 9}); i != xml.Len() {
+		t.Errorf("Succ(beyond) = %d", i)
+	}
+	// Subtree of book 1 (Dewey 1.1) holds two xml occurrences.
+	lo, hi := xml.SubtreeRange(dewey.ID{1, 1})
+	if hi-lo != 2 {
+		t.Errorf("subtree range of 1.1 = [%d, %d)", lo, hi)
+	}
+	if !xml.ContainsUnder(dewey.ID{1, 3}) {
+		t.Error("paper subtree must contain xml")
+	}
+	if xml.ContainsUnder(dewey.ID{1, 2}) {
+		t.Error("book 2 subtree must not contain xml")
+	}
+}
+
+func TestMaxScoreUnder(t *testing.T) {
+	_, idx := buildSample(t)
+	xml := idx.Get("xml")
+	root := dewey.ID{1}
+	undamped := xml.MaxScoreUnder(root, 1.0)
+	damped := xml.MaxScoreUnder(root, 0.5)
+	if undamped <= 0 || damped <= 0 {
+		t.Fatal("expected positive scores")
+	}
+	if damped >= undamped {
+		t.Errorf("damping must lower the best deep score: %v vs %v", damped, undamped)
+	}
+	if got := xml.MaxScoreUnder(dewey.ID{1, 2}, 1.0); got != 0 {
+		t.Errorf("empty subtree score = %v", got)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		doc := testutil.RandomDoc(rng, testutil.MediumParams())
+		idx := Build(occur.Extract(doc))
+		for w, l := range idx.Lists {
+			buf := l.AppendEncoded(nil)
+			back, n, err := DecodeList(w, buf)
+			if err != nil {
+				t.Fatalf("decode %q: %v", w, err)
+			}
+			if n != len(buf) {
+				t.Fatalf("decode %q consumed %d of %d", w, n, len(buf))
+			}
+			if back.Len() != l.Len() {
+				t.Fatalf("decode %q: %d postings, want %d", w, back.Len(), l.Len())
+			}
+			for i := range l.Postings {
+				if dewey.Compare(back.Postings[i].ID, l.Postings[i].ID) != 0 ||
+					back.Postings[i].Score != l.Postings[i].Score {
+					t.Fatalf("decode %q: posting %d mismatch", w, i)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeCorruption(t *testing.T) {
+	_, idx := buildSample(t)
+	l := idx.Get("xml")
+	buf := l.AppendEncoded(nil)
+	for cut := 0; cut < len(buf); cut++ {
+		if lst, _, err := DecodeList("xml", buf[:cut]); err == nil && lst.Len() == l.Len() {
+			t.Fatalf("truncation at %d yielded a full list", cut)
+		}
+	}
+	// Header claiming an absurd count must fail fast.
+	if _, _, err := DecodeList("xml", []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}); err == nil {
+		t.Error("absurd posting count accepted")
+	}
+}
+
+// TestBTreeStorageAgreesWithLists: every posting must be retrievable from
+// the key-per-posting B-tree, and a keyword-prefix scan must enumerate
+// exactly that keyword's postings in document order — the access pattern
+// the index-based system performs against BerkeleyDB.
+func TestBTreeStorageAgreesWithLists(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	doc := testutil.RandomDoc(rng, testutil.MediumParams())
+	idx := Build(occur.Extract(doc))
+	tree, err := idx.BuildKeyPerPostingBTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, l := range idx.Lists {
+		// Point lookups.
+		for _, p := range l.Postings {
+			if _, ok := tree.Get(OrderedKey(w, p.ID)); !ok {
+				t.Fatalf("posting (%q, %v) missing from B-tree", w, p.ID)
+			}
+		}
+		// Prefix scan enumerates the list in order.
+		it, err := tree.Seek(OrderedKey(w, dewey.ID{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prefix := append([]byte(w), 0)
+		count := 0
+		for {
+			k, _, ok := it.Next()
+			if !ok || len(k) < len(prefix) || string(k[:len(prefix)]) != string(prefix) {
+				break
+			}
+			if dewey.Compare(l.Postings[count].ID, decodeOrderedKey(k[len(prefix):])) != 0 {
+				t.Fatalf("scan order mismatch for %q at %d", w, count)
+			}
+			count++
+		}
+		if count != l.Len() {
+			t.Fatalf("prefix scan of %q returned %d of %d postings", w, count, l.Len())
+		}
+	}
+}
+
+func decodeOrderedKey(b []byte) dewey.ID {
+	id := make(dewey.ID, len(b)/4)
+	for i := range id {
+		id[i] = uint32(b[4*i])<<24 | uint32(b[4*i+1])<<16 | uint32(b[4*i+2])<<8 | uint32(b[4*i+3])
+	}
+	return id
+}
+
+func TestSizeAccounting(t *testing.T) {
+	_, idx := buildSample(t)
+	il := idx.EncodedSize()
+	bt := idx.KeyPerPostingBTreeSize()
+	rd := idx.ScoreOrderBTreeSize()
+	if il <= 0 || bt <= 0 || rd <= 0 {
+		t.Fatal("sizes must be positive")
+	}
+	// The key-per-posting B-tree duplicates keywords per posting and must
+	// dominate the compressed lists, as in Table I.
+	if bt <= il {
+		t.Errorf("B-tree size %d not larger than compressed lists %d", bt, il)
+	}
+}

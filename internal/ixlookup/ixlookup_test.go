@@ -1,0 +1,161 @@
+package ixlookup
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/invindex"
+	"repro/internal/naive"
+	"repro/internal/occur"
+	"repro/internal/testutil"
+	"repro/internal/xmltree"
+)
+
+type env struct {
+	doc *xmltree.Document
+	m   *occur.Map
+	idx *invindex.Index
+}
+
+func newEnv(doc *xmltree.Document) *env {
+	m := occur.Extract(doc)
+	return &env{doc: doc, m: m, idx: invindex.Build(m)}
+}
+
+func (e *env) lists(keywords []string) []*invindex.List {
+	out := make([]*invindex.List, len(keywords))
+	for i, w := range keywords {
+		out[i] = e.idx.Get(w)
+	}
+	return out
+}
+
+func assertMatchesOracle(t *testing.T, e *env, keywords []string, sem Semantics) {
+	t.Helper()
+	nsem := naive.ELCA
+	if sem == SLCA {
+		nsem = naive.SLCA
+	}
+	want := naive.Evaluate(e.doc, e.m, keywords, nsem, 0)
+	got, _ := Evaluate(e.lists(keywords), sem, 0)
+	if len(got) != len(want) {
+		t.Fatalf("%v sem=%d: %d results, oracle %d", keywords, sem, len(got), len(want))
+	}
+	byID := map[string]float64{}
+	for _, r := range got {
+		byID[r.ID.String()] = r.Score
+	}
+	for _, w := range want {
+		s, ok := byID[w.Node.Dewey.String()]
+		if !ok {
+			t.Fatalf("%v sem=%d: missing %v", keywords, sem, w.Node.Dewey)
+		}
+		if math.Abs(s-w.Score) > 1e-6*(1+math.Abs(w.Score)) {
+			t.Fatalf("%v sem=%d: %v score %v, oracle %v", keywords, sem, w.Node.Dewey, s, w.Score)
+		}
+	}
+}
+
+func sampleDoc() *xmltree.Document {
+	return xmltree.NewBuilder().
+		Open("bib").
+		Open("book").
+		Leaf("title", "xml").
+		Open("chapter").Leaf("sec", "xml basics").Leaf("sec", "data models").Close().
+		Close().
+		Open("book").Leaf("title", "data warehousing").Close().
+		Open("book").Leaf("title", "xml processing").Leaf("note", "big data").Close().
+		Close().
+		Doc()
+}
+
+func TestWorkedExample(t *testing.T) {
+	e := newEnv(sampleDoc())
+	got, st := Evaluate(e.lists([]string{"xml", "data"}), ELCA, 0)
+	if len(got) != 2 {
+		t.Fatalf("ELCA = %v", got)
+	}
+	if st.DriverPostings == 0 || st.Probes == 0 {
+		t.Errorf("stats not collected: %+v", st)
+	}
+	// The driver must be the shortest list.
+	shortest := e.idx.Get("xml").Len()
+	if l := e.idx.Get("data").Len(); l < shortest {
+		shortest = l
+	}
+	if st.DriverPostings != shortest {
+		t.Errorf("driver examined %d postings, want %d (shortest list)", st.DriverPostings, shortest)
+	}
+	assertMatchesOracle(t, e, []string{"xml", "data"}, ELCA)
+	assertMatchesOracle(t, e, []string{"xml", "data"}, SLCA)
+}
+
+// TestExclusionCascade: the index-based ELCA verification must reject a
+// node whose keyword occurrences all sit inside contains-all child
+// branches.
+func TestExclusionCascade(t *testing.T) {
+	doc := xmltree.NewBuilder().
+		Open("n").
+		Open("uprime").
+		Open("udoubleprime").Text("alpha beta").Close().
+		Leaf("y", "alpha").
+		Close().
+		Leaf("x", "beta").
+		Close().
+		Doc()
+	e := newEnv(doc)
+	got, _ := Evaluate(e.lists([]string{"alpha", "beta"}), ELCA, 0)
+	if len(got) != 1 || got[0].ID.String() != "1.1.1" {
+		t.Fatalf("ELCA = %v, want exactly u'' (1.1.1)", got)
+	}
+	assertMatchesOracle(t, e, []string{"alpha", "beta"}, ELCA)
+	assertMatchesOracle(t, e, []string{"alpha", "beta"}, SLCA)
+}
+
+func TestDegenerate(t *testing.T) {
+	e := newEnv(sampleDoc())
+	if rs, _ := Evaluate(nil, ELCA, 0); rs != nil {
+		t.Error("empty query")
+	}
+	if rs, _ := Evaluate(e.lists([]string{"xml", "absent"}), ELCA, 0); rs != nil {
+		t.Error("missing keyword")
+	}
+	assertMatchesOracle(t, e, []string{"xml"}, ELCA)
+	assertMatchesOracle(t, e, []string{"data"}, SLCA)
+}
+
+func TestCrossEngineEquivalenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	for trial := 0; trial < 120; trial++ {
+		params := testutil.SmallParams()
+		if trial%3 == 0 {
+			params = testutil.MediumParams()
+		}
+		e := newEnv(testutil.RandomDoc(rng, params))
+		for _, k := range []int{1, 2, 3, 4} {
+			q := testutil.RandomQuery(rng, params.Vocab, k)
+			assertMatchesOracle(t, e, q, ELCA)
+			assertMatchesOracle(t, e, q, SLCA)
+		}
+	}
+}
+
+// TestProbeScaling: the probe count is driven by the shortest list, not the
+// longest — the defining cost profile of this family.
+func TestProbeScaling(t *testing.T) {
+	b := xmltree.NewBuilder().Open("root")
+	b.Open("special").Text("needle common").Close()
+	for i := 0; i < 3000; i++ {
+		b.Leaf("item", "common stuff")
+	}
+	doc := b.Close().Doc()
+	e := newEnv(doc)
+	_, st := Evaluate(e.lists([]string{"needle", "common"}), SLCA, 0)
+	if st.DriverPostings != 1 {
+		t.Errorf("driver postings = %d, want 1", st.DriverPostings)
+	}
+	if st.Probes > 100 {
+		t.Errorf("probes = %d, expected a handful for a frequency-skewed query", st.Probes)
+	}
+}

@@ -1,0 +1,281 @@
+package jdewey
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/testutil"
+	"repro/internal/xmltree"
+)
+
+// figure1 builds a small tree in the spirit of the paper's Figure 1: a
+// three-level bibliography where some leaves contain "xml" and "data".
+func figure1() *xmltree.Document {
+	return xmltree.NewBuilder().
+		Open("bib").
+		Open("book").
+		Leaf("title", "semistructured data").
+		Open("chapter").
+		Leaf("section", "xml basics").
+		Leaf("section", "data models").
+		Close().
+		Close().
+		Open("book").
+		Leaf("title", "xml processing").
+		Close().
+		Open("book").
+		Leaf("title", "databases").
+		Open("chapter").
+		Leaf("section", "xml data").
+		Close().
+		Close().
+		Close().
+		Doc()
+}
+
+func TestAssignBasic(t *testing.T) {
+	doc := figure1()
+	Assign(doc, 0)
+	if err := Check(doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Root.JD != 1 {
+		t.Errorf("root JD = %d", doc.Root.JD)
+	}
+	// Document order within a level implies ascending JDewey numbers.
+	for l := 1; l <= doc.Depth; l++ {
+		nodes := doc.NodesAtLevel(l)
+		for i := 1; i < len(nodes); i++ {
+			if nodes[i-1].JD >= nodes[i].JD {
+				t.Fatalf("level %d numbers not ascending in document order", l)
+			}
+		}
+	}
+}
+
+func TestAssignWithGapLeavesRoom(t *testing.T) {
+	doc := figure1()
+	Assign(doc, 2)
+	if err := Check(doc); err != nil {
+		t.Fatal(err)
+	}
+	// With gap 2 the children of the second parent at a level start at
+	// least 2 numbers after the previous family.
+	chapters := doc.Root.Children[0].Children[1]
+	book3chap := doc.Root.Children[2].Children[1]
+	if book3chap.Children[0].JD <= chapters.Children[1].JD+2 {
+		t.Errorf("gap not applied: %d vs %d", book3chap.Children[0].JD, chapters.Children[1].JD)
+	}
+}
+
+func TestSeqCompareAndLCA(t *testing.T) {
+	doc := figure1()
+	Assign(doc, 0)
+	// LCA of the two "section" leaves under the same chapter is the chapter.
+	chapter := doc.Root.Children[0].Children[1]
+	s1 := Seq(chapter.Children[0].JDeweySeq())
+	s2 := Seq(chapter.Children[1].JDeweySeq())
+	level, num, ok := LCA(s1, s2)
+	if !ok || level != chapter.Level || num != chapter.JD {
+		t.Fatalf("LCA = (%d, %d, %v), want (%d, %d)", level, num, ok, chapter.Level, chapter.JD)
+	}
+	// LCA across books is the root.
+	s3 := Seq(doc.Root.Children[1].Children[0].JDeweySeq())
+	level, num, ok = LCA(s1, s3)
+	if !ok || level != 1 || num != doc.Root.JD {
+		t.Fatalf("cross-book LCA = (%d, %d, %v)", level, num, ok)
+	}
+	// Prefixes order before extensions.
+	if Compare(s1[:2], s1) != -1 || Compare(s1, s1[:2]) != 1 || Compare(s1, s1) != 0 {
+		t.Error("prefix ordering violated")
+	}
+	if _, _, ok := LCA(Seq{}, s1); ok {
+		t.Error("empty sequence has no LCA")
+	}
+}
+
+// TestProperty31 checks Property 3.1 on random documents: if S1 < S2 in
+// JDewey order then S1(i) <= S2(i) for every shared position.
+func TestProperty31(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		doc := testutil.RandomDoc(rng, testutil.MediumParams())
+		Assign(doc, rng.Intn(3))
+		if err := Check(doc); err != nil {
+			t.Fatal(err)
+		}
+		nodes := doc.Nodes
+		for probe := 0; probe < 300; probe++ {
+			a := Seq(nodes[rng.Intn(len(nodes))].JDeweySeq())
+			b := Seq(nodes[rng.Intn(len(nodes))].JDeweySeq())
+			if Compare(a, b) > 0 {
+				a, b = b, a
+			}
+			n := len(a)
+			if len(b) < n {
+				n = len(b)
+			}
+			for i := 0; i < n; i++ {
+				if a[i] > b[i] {
+					t.Fatalf("Property 3.1 violated: %v vs %v at %d", a, b, i)
+				}
+			}
+		}
+	}
+}
+
+// TestLCAMatchesDewey verifies that the JDewey LCA operator finds the same
+// node as longest-common-prefix on Dewey IDs, for random node pairs.
+func TestLCAMatchesDewey(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 30; trial++ {
+		doc := testutil.RandomDoc(rng, testutil.MediumParams())
+		Assign(doc, 0)
+		nodes := doc.Nodes
+		for probe := 0; probe < 200; probe++ {
+			u := nodes[rng.Intn(len(nodes))]
+			v := nodes[rng.Intn(len(nodes))]
+			level, num, ok := LCA(Seq(u.JDeweySeq()), Seq(v.JDeweySeq()))
+			if !ok {
+				t.Fatal("nodes of one tree must share the root")
+			}
+			got := doc.NodeByJDewey(level, num)
+			// Reference: walk up from the deeper node.
+			a, b := u, v
+			for a.Level > b.Level {
+				a = a.Parent
+			}
+			for b.Level > a.Level {
+				b = b.Parent
+			}
+			for a != b {
+				a, b = a.Parent, b.Parent
+			}
+			if got != a {
+				t.Fatalf("JDewey LCA = %v, want %v", got.Dewey, a.Dewey)
+			}
+		}
+	}
+}
+
+func TestInsertWithinGap(t *testing.T) {
+	doc := figure1()
+	e := Assign(doc, 3)
+	book := doc.Root.Children[0]
+	n := &xmltree.Node{Tag: "title", Text: "appendix"}
+	renum, err := e.Insert(book, n, len(book.Children))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renum != nil {
+		t.Error("insert within reserved gap must not re-encode")
+	}
+	if err := Check(doc); err != nil {
+		t.Fatal(err)
+	}
+	if n.JD == 0 {
+		t.Error("inserted node unnumbered")
+	}
+}
+
+func TestInsertForcesReencode(t *testing.T) {
+	doc := figure1()
+	e := Assign(doc, 0) // no reserved space anywhere
+	book := doc.Root.Children[0]
+	// The first book already has children, and later books' children hold
+	// the adjacent numbers, so inserting here must trigger a re-encode.
+	n := &xmltree.Node{Tag: "title", Text: "extra"}
+	renum, err := e.Insert(book, n, len(book.Children))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renum == nil {
+		t.Error("expected re-encode with zero gap")
+	} else if renum != book && !contains(renum, book) {
+		t.Errorf("renumbered root %v does not cover the insert site", renum.Dewey)
+	}
+	if err := Check(doc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func contains(a, b *xmltree.Node) bool {
+	for v := b; v != nil; v = v.Parent {
+		if v == a {
+			return true
+		}
+	}
+	return false
+}
+
+func TestInsertRejectsSubtrees(t *testing.T) {
+	doc := figure1()
+	e := Assign(doc, 1)
+	sub := &xmltree.Node{Tag: "x", Children: []*xmltree.Node{{Tag: "y"}}}
+	if _, err := e.Insert(doc.Root, sub, 0); err == nil {
+		t.Error("inserting a subtree must be rejected")
+	}
+}
+
+func TestRemoveKeepsValidity(t *testing.T) {
+	doc := figure1()
+	e := Assign(doc, 1)
+	e.Remove(doc.Root.Children[1])
+	if err := Check(doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Root.Children) != 2 {
+		t.Errorf("children after removal = %d", len(doc.Root.Children))
+	}
+}
+
+// TestRandomMaintenance interleaves random inserts and removals and checks
+// validity after every operation.
+func TestRandomMaintenance(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 20; trial++ {
+		doc := testutil.RandomDoc(rng, testutil.SmallParams())
+		e := Assign(doc, rng.Intn(4))
+		for op := 0; op < 30; op++ {
+			if rng.Intn(3) == 0 && doc.Len() > 2 {
+				victims := doc.Nodes[1:]
+				e.Remove(victims[rng.Intn(len(victims))])
+			} else {
+				parent := doc.Nodes[rng.Intn(doc.Len())]
+				n := &xmltree.Node{Tag: "z", Text: "kw0"}
+				if _, err := e.Insert(parent, n, rng.Intn(len(parent.Children)+1)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := Check(doc); err != nil {
+				t.Fatalf("trial %d op %d: %v", trial, op, err)
+			}
+		}
+	}
+}
+
+func TestCheckDetectsViolations(t *testing.T) {
+	doc := figure1()
+	Assign(doc, 0)
+	// Duplicate number within a level.
+	l2 := doc.NodesAtLevel(2)
+	save := l2[1].JD
+	l2[1].JD = l2[0].JD
+	if Check(doc) == nil {
+		t.Error("duplicate number not detected")
+	}
+	l2[1].JD = save
+	// Order violation across parents.
+	l3 := doc.NodesAtLevel(3)
+	first, last := l3[0], l3[len(l3)-1]
+	first.JD, last.JD = last.JD, first.JD
+	if Check(doc) == nil {
+		t.Error("order violation not detected")
+	}
+	first.JD, last.JD = last.JD, first.JD
+	// Missing number.
+	doc.Root.JD = 0
+	if Check(doc) == nil {
+		t.Error("missing number not detected")
+	}
+}

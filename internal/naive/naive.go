@@ -1,0 +1,163 @@
+// Package naive computes ELCA and SLCA result sets (with ranking scores)
+// directly from the semantic definitions of Section II, with no indexing or
+// pruning cleverness. It is the correctness oracle the cross-engine
+// equivalence tests compare every optimized engine against.
+package naive
+
+import (
+	"math"
+
+	"repro/internal/occur"
+	"repro/internal/score"
+	"repro/internal/xmltree"
+)
+
+// Result is one ELCA/SLCA with its aggregated ranking score.
+type Result struct {
+	Node  *xmltree.Node
+	Score float64
+}
+
+// Semantics mirrors core.Semantics without importing it, keeping the oracle
+// free of dependencies on the code under test.
+type Semantics int
+
+const (
+	ELCA Semantics = iota
+	SLCA
+)
+
+// Evaluate returns the full result set for the keyword query in document
+// order. A keyword with no occurrence yields no results. Queries of more
+// than 64 keywords are unsupported (bitmask-based), far beyond anything the
+// paper considers.
+func Evaluate(doc *xmltree.Document, m *occur.Map, keywords []string, sem Semantics, decay float64) []Result {
+	k := len(keywords)
+	if k == 0 || k > 64 {
+		return nil
+	}
+	if decay == 0 {
+		decay = score.DefaultDecay
+	}
+	occs := make([][]occur.Occ, k)
+	for i, w := range keywords {
+		occs[i] = m.Terms[w]
+		if len(occs[i]) == 0 {
+			return nil
+		}
+	}
+	full := uint64(1)<<k - 1
+
+	// mask[n] = keywords contained anywhere in n's subtree.
+	mask := make([]uint64, doc.Len())
+	for i := range occs {
+		for _, o := range occs[i] {
+			mask[o.Node.Ord] |= 1 << i
+		}
+	}
+	// Children precede nothing in preorder, so a reverse sweep sees every
+	// child before its parent.
+	for ord := doc.Len() - 1; ord >= 1; ord-- {
+		n := doc.Nodes[ord]
+		mask[n.Parent.Ord] |= mask[ord]
+	}
+
+	// lowestCA(x): the deepest contains-all ancestor-or-self of node x.
+	lowestCA := func(x *xmltree.Node) *xmltree.Node {
+		for v := x; v != nil; v = v.Parent {
+			if mask[v.Ord] == full {
+				return v
+			}
+		}
+		return nil
+	}
+
+	// For each keyword, attribute each occurrence to its lowest
+	// contains-all ancestor; those are the non-excluded witnesses.
+	witMask := make([]uint64, doc.Len())
+	witBest := make(map[int][]float64) // ord -> per-keyword best damped score
+	for i := range occs {
+		for _, o := range occs[i] {
+			u := lowestCA(o.Node)
+			if u == nil {
+				continue
+			}
+			witMask[u.Ord] |= 1 << i
+			best, ok := witBest[u.Ord]
+			if !ok {
+				best = make([]float64, k)
+				witBest[u.Ord] = best
+			}
+			s := float64(o.Score) * math.Pow(decay, float64(o.Node.Level-u.Level))
+			if s > best[i] {
+				best[i] = s
+			}
+		}
+	}
+
+	var out []Result
+	for _, n := range doc.Nodes {
+		if mask[n.Ord] != full {
+			continue
+		}
+		switch sem {
+		case ELCA:
+			// ELCA: a witness occurrence of every keyword not inside any
+			// contains-all descendant.
+			if witMask[n.Ord] != full {
+				continue
+			}
+		case SLCA:
+			// SLCA: no contains-all proper descendant, i.e. no child whose
+			// subtree already contains all keywords.
+			smallest := true
+			for _, c := range n.Children {
+				if mask[c.Ord] == full {
+					smallest = false
+					break
+				}
+			}
+			if !smallest {
+				continue
+			}
+		}
+		out = append(out, Result{Node: n, Score: score.Aggregate(witBest[n.Ord])})
+	}
+	return out
+}
+
+// TopK returns the K best results by score (ties broken bottom-up by level,
+// then by document order), computed exhaustively. It is the oracle for the
+// top-K engines.
+func TopK(doc *xmltree.Document, m *occur.Map, keywords []string, sem Semantics, decay float64, k int) []Result {
+	all := Evaluate(doc, m, keywords, sem, decay)
+	SortByScore(all)
+	if k < len(all) {
+		all = all[:k]
+	}
+	return all
+}
+
+// SortByScore orders results by descending score with the same tie-breaks
+// as core.SortByScore (deeper level first, then document order).
+func SortByScore(rs []Result) {
+	sortSlice(rs, func(a, b Result) bool {
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.Node.Level != b.Node.Level {
+			return a.Node.Level > b.Node.Level
+		}
+		return a.Node.Ord < b.Node.Ord
+	})
+}
+
+func sortSlice(rs []Result, less func(a, b Result) bool) {
+	// Insertion sort keeps the oracle dependency-free and is stable; result
+	// sets in the oracle's regime are small.
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && less(rs[j], rs[j-1]); j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package naive
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/occur"
+	"repro/internal/score"
+	"repro/internal/xmltree"
+)
+
+// The oracle itself is hand-verified on documents small enough to reason
+// about exhaustively; every other engine is then compared against it.
+
+func build() (*xmltree.Document, *occur.Map) {
+	doc := xmltree.NewBuilder().
+		Open("root").
+		Open("a"). // 1.1 contains x (1.1.1) and y (1.1.2): ELCA+SLCA
+		Leaf("t", "x").
+		Leaf("t", "y").
+		Close().
+		Open("b"). // 1.2 contains x only
+		Leaf("t", "x").
+		Close().
+		Leaf("c", "y"). // 1.3 contains y directly
+		Close().
+		Doc()
+	return doc, occur.Extract(doc)
+}
+
+func nodesOf(rs []Result) map[string]float64 {
+	m := make(map[string]float64, len(rs))
+	for _, r := range rs {
+		m[r.Node.Dewey.String()] = r.Score
+	}
+	return m
+}
+
+func TestELCAByHand(t *testing.T) {
+	doc, m := build()
+	rs := Evaluate(doc, m, []string{"x", "y"}, ELCA, 0.5)
+	got := nodesOf(rs)
+	// 1.1 is an ELCA. The root is also an ELCA: after excluding 1.1's
+	// occurrences, it still has x from 1.2 and y from 1.3.
+	if len(got) != 2 {
+		t.Fatalf("ELCA = %v, want {1.1, 1}", got)
+	}
+	if _, ok := got["1.1"]; !ok {
+		t.Fatal("missing 1.1")
+	}
+	if _, ok := got["1"]; !ok {
+		t.Fatal("missing root")
+	}
+}
+
+func TestSLCAByHand(t *testing.T) {
+	doc, m := build()
+	rs := Evaluate(doc, m, []string{"x", "y"}, SLCA, 0.5)
+	got := nodesOf(rs)
+	// Only 1.1: the root has the LCA descendant 1.1.
+	if len(got) != 1 {
+		t.Fatalf("SLCA = %v, want {1.1}", got)
+	}
+	if _, ok := got["1.1"]; !ok {
+		t.Fatal("missing 1.1")
+	}
+}
+
+func TestScoresByHand(t *testing.T) {
+	doc, m := build()
+	const decay = 0.5
+	rs := Evaluate(doc, m, []string{"x", "y"}, ELCA, decay)
+	got := nodesOf(rs)
+	// Local scores: df(x)=2, df(y)=2, n=7, tf=1 everywhere, so every
+	// occurrence has the same local score g.
+	g := score.Local(1, 2, doc.Len())
+	// 1.1 at level 2 with witnesses at level 3: score = 2 * g * 0.5.
+	want11 := 2 * g * 0.5
+	if math.Abs(got["1.1"]-want11) > 1e-6 {
+		t.Errorf("score(1.1) = %v, want %v", got["1.1"], want11)
+	}
+	// Root at level 1: x witness at level 3 (1.2.1, damp 0.25),
+	// y witness at level 2 (1.3, damp 0.5).
+	wantRoot := g*0.25 + g*0.5
+	if math.Abs(got["1"]-wantRoot) > 1e-6 {
+		t.Errorf("score(root) = %v, want %v", got["1"], wantRoot)
+	}
+}
+
+func TestDegenerateQueries(t *testing.T) {
+	doc, m := build()
+	if Evaluate(doc, m, nil, ELCA, 0) != nil {
+		t.Error("empty query must be nil")
+	}
+	if Evaluate(doc, m, []string{"x", "nothere"}, ELCA, 0) != nil {
+		t.Error("missing keyword must be nil")
+	}
+	big := make([]string, 65)
+	for i := range big {
+		big[i] = "x"
+	}
+	if Evaluate(doc, m, big, ELCA, 0) != nil {
+		t.Error("queries beyond 64 keywords are unsupported and must be nil")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	doc, m := build()
+	all := Evaluate(doc, m, []string{"x", "y"}, ELCA, 0.5)
+	top := TopK(doc, m, []string{"x", "y"}, ELCA, 0.5, 1)
+	if len(top) != 1 {
+		t.Fatalf("TopK(1) returned %d", len(top))
+	}
+	best := top[0]
+	for _, r := range all {
+		if r.Score > best.Score {
+			t.Fatalf("TopK missed a better result: %v > %v", r.Score, best.Score)
+		}
+	}
+	if got := TopK(doc, m, []string{"x", "y"}, ELCA, 0.5, 10); len(got) != len(all) {
+		t.Fatalf("TopK beyond result count must return all %d", len(all))
+	}
+}
+
+func TestSortByScoreTieBreaks(t *testing.T) {
+	doc, _ := build()
+	deep := doc.Root.Children[0].Children[0] // level 3
+	shallow := doc.Root.Children[0]          // level 2
+	rs := []Result{{Node: shallow, Score: 1}, {Node: deep, Score: 1}}
+	SortByScore(rs)
+	if rs[0].Node != deep {
+		t.Error("equal scores must order deeper level first")
+	}
+}

@@ -1,0 +1,152 @@
+package rdil
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/invindex"
+	"repro/internal/naive"
+	"repro/internal/occur"
+	"repro/internal/testutil"
+	"repro/internal/xmltree"
+)
+
+type env struct {
+	doc *xmltree.Document
+	m   *occur.Map
+	r   *Index
+}
+
+func newEnv(doc *xmltree.Document) *env {
+	m := occur.Extract(doc)
+	return &env{doc: doc, m: m, r: NewIndex(invindex.Build(m))}
+}
+
+// assertValidTopK checks that the emitted results are a correct top-K
+// answer: same score sequence as the oracle's best K, and every emitted
+// node is a true result with its true score. (Equal-score results may be
+// returned in either order, so IDs are compared only through scores plus
+// membership in the oracle's full result set.)
+func assertValidTopK(t *testing.T, e *env, keywords []string, sem Semantics, k int) {
+	t.Helper()
+	nsem := naive.ELCA
+	if sem == SLCA {
+		nsem = naive.SLCA
+	}
+	all := naive.Evaluate(e.doc, e.m, keywords, nsem, 0)
+	naive.SortByScore(all)
+	want := all
+	if k < len(want) {
+		want = want[:k]
+	}
+	got, _ := e.r.TopK(keywords, sem, 0, k)
+	if len(got) != len(want) {
+		t.Fatalf("%v sem=%d k=%d: %d results, oracle %d", keywords, sem, k, len(got), len(want))
+	}
+	truth := map[string]float64{}
+	for _, r := range all {
+		truth[r.Node.Dewey.String()] = r.Score
+	}
+	for i, g := range got {
+		ts, ok := truth[g.ID.String()]
+		if !ok {
+			t.Fatalf("%v sem=%d: emitted non-result %v", keywords, sem, g.ID)
+		}
+		if math.Abs(g.Score-ts) > 1e-6*(1+math.Abs(ts)) {
+			t.Fatalf("%v sem=%d: %v score %v, truth %v", keywords, sem, g.ID, g.Score, ts)
+		}
+		if math.Abs(g.Score-want[i].Score) > 1e-6*(1+math.Abs(want[i].Score)) {
+			t.Fatalf("%v sem=%d: rank %d score %v, oracle %v", keywords, sem, i, g.Score, want[i].Score)
+		}
+	}
+	// Emission must be score-descending.
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i].Score > got[j].Score }) {
+		for i := 1; i < len(got); i++ {
+			if got[i].Score > got[i-1].Score+1e-9 {
+				t.Fatalf("%v: emission out of score order at %d", keywords, i)
+			}
+		}
+	}
+}
+
+func sampleDoc() *xmltree.Document {
+	return xmltree.NewBuilder().
+		Open("bib").
+		Open("book").
+		Leaf("title", "xml").
+		Open("chapter").Leaf("sec", "xml basics").Leaf("sec", "data models").Close().
+		Close().
+		Open("book").Leaf("title", "data warehousing").Close().
+		Open("book").Leaf("title", "xml processing").Leaf("note", "big data").Close().
+		Close().
+		Doc()
+}
+
+func TestWorkedExample(t *testing.T) {
+	e := newEnv(sampleDoc())
+	got, st := e.r.TopK([]string{"xml", "data"}, ELCA, 0, 10)
+	if len(got) != 2 {
+		t.Fatalf("top-10 over 2 results = %d", len(got))
+	}
+	if st.Pulled == 0 || st.Verifications == 0 {
+		t.Errorf("stats not collected: %+v", st)
+	}
+	assertValidTopK(t, e, []string{"xml", "data"}, ELCA, 1)
+	assertValidTopK(t, e, []string{"xml", "data"}, SLCA, 2)
+}
+
+func TestDegenerate(t *testing.T) {
+	e := newEnv(sampleDoc())
+	if rs, _ := e.r.TopK(nil, ELCA, 0, 5); rs != nil {
+		t.Error("empty query")
+	}
+	if rs, _ := e.r.TopK([]string{"xml", "absent"}, ELCA, 0, 5); rs != nil {
+		t.Error("missing keyword")
+	}
+	if rs, _ := e.r.TopK([]string{"xml"}, ELCA, 0, 0); rs != nil {
+		t.Error("k=0")
+	}
+	assertValidTopK(t, e, []string{"xml"}, ELCA, 2)
+}
+
+func TestValidTopKRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 100; trial++ {
+		params := testutil.SmallParams()
+		if trial%3 == 0 {
+			params = testutil.MediumParams()
+		}
+		e := newEnv(testutil.RandomDoc(rng, params))
+		for _, k := range []int{1, 2, 3} {
+			q := testutil.RandomQuery(rng, params.Vocab, k)
+			for _, topk := range []int{1, 3, 10} {
+				assertValidTopK(t, e, q, ELCA, topk)
+				assertValidTopK(t, e, q, SLCA, topk)
+			}
+		}
+	}
+}
+
+// TestEarlyTermination: with a clear winner, RDIL should stop well before
+// exhausting the long lists.
+func TestEarlyTermination(t *testing.T) {
+	b := xmltree.NewBuilder().Open("root")
+	// One tight pair with very high tf (high local scores).
+	b.Open("hit").Text("needle needle needle needle haystack haystack haystack haystack").Close()
+	for i := 0; i < 500; i++ {
+		b.Leaf("filler", "haystack")
+	}
+	doc := b.Close().Doc()
+	e := newEnv(doc)
+	got, st := e.r.TopK([]string{"needle", "haystack"}, ELCA, 0, 1)
+	if len(got) != 1 || got[0].ID.String() != "1.1" {
+		t.Fatalf("top-1 = %v", got)
+	}
+	total := e.m.DocFreq("needle") + e.m.DocFreq("haystack")
+	if st.Pulled >= total {
+		t.Errorf("pulled %d of %d postings: no early termination", st.Pulled, total)
+	}
+	assertValidTopK(t, e, []string{"needle", "haystack"}, ELCA, 1)
+}

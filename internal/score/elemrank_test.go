@@ -1,0 +1,79 @@
+package score
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/testutil"
+	"repro/internal/xmltree"
+)
+
+func TestElemRankBasics(t *testing.T) {
+	doc := xmltree.NewBuilder().
+		Open("root").
+		Open("hub").
+		Leaf("a", "x").Leaf("b", "x").Leaf("c", "x").Leaf("d", "x").
+		Close().
+		Leaf("lonely", "x").
+		Close().
+		Doc()
+	r := ElemRank(doc, DefaultElemRankParams())
+	if len(r) != doc.Len() {
+		t.Fatalf("rank vector length %d, want %d", len(r), doc.Len())
+	}
+	// Mean-1 normalization.
+	var sum float64
+	for _, v := range r {
+		if v <= 0 {
+			t.Fatalf("non-positive rank %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum/float64(len(r))-1) > 1e-9 {
+		t.Fatalf("mean rank = %v, want 1", sum/float64(len(r)))
+	}
+	// The hub (four children feeding rank back) outranks the lonely leaf.
+	hub := doc.Root.Children[0]
+	lonely := doc.Root.Children[1]
+	if r[hub.Ord] <= r[lonely.Ord] {
+		t.Errorf("hub rank %v not above leaf rank %v", r[hub.Ord], r[lonely.Ord])
+	}
+	// The root of a containment hierarchy dominates.
+	if r[doc.Root.Ord] <= r[lonely.Ord] {
+		t.Errorf("root rank %v not above leaf rank %v", r[doc.Root.Ord], r[lonely.Ord])
+	}
+}
+
+func TestElemRankDegenerateParams(t *testing.T) {
+	doc := xmltree.NewBuilder().Open("r").Leaf("c", "x").Close().Doc()
+	// Invalid parameters fall back to the defaults instead of diverging.
+	r := ElemRank(doc, ElemRankParams{Forward: 0.9, Backward: 0.9, Iters: -1})
+	if len(r) != 2 || r[0] <= 0 {
+		t.Fatalf("fallback rank = %v", r)
+	}
+	if got := ElemRank(&xmltree.Document{}, DefaultElemRankParams()); got != nil {
+		t.Error("empty document must yield nil")
+	}
+}
+
+func TestElemRankDeterministicAndConverged(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	doc := testutil.RandomDoc(rng, testutil.MediumParams())
+	a := ElemRank(doc, DefaultElemRankParams())
+	b := ElemRank(doc, DefaultElemRankParams())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("ElemRank not deterministic")
+		}
+	}
+	// Doubling the iterations must barely move the fixpoint.
+	p := DefaultElemRankParams()
+	p.Iters *= 2
+	c := ElemRank(doc, p)
+	for i := range a {
+		if math.Abs(a[i]-c[i]) > 1e-6*(1+math.Abs(c[i])) {
+			t.Fatalf("node %d rank not converged: %v vs %v", i, a[i], c[i])
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Package score implements the ranking function of Section II-B: a local
+// score g(v, w) per keyword occurrence, a decreasing damping function d(Δl)
+// that discounts an occurrence by its vertical distance to the ELCA/SLCA,
+// and the monotone aggregation F (sum of per-keyword maxima) that produces a
+// result's global score.
+package score
+
+import "math"
+
+// DefaultDecay is the damping base used throughout the experiments, chosen
+// to match the paper's running example d(Δl) = 0.9^Δl.
+const DefaultDecay = 0.9
+
+// Params collects the ranking-function configuration.
+type Params struct {
+	// Decay is the base of the damping function d(Δl) = Decay^Δl. It must
+	// lie in (0, 1]; 1 disables damping.
+	Decay float64
+}
+
+// DefaultParams returns the configuration used by the paper's examples.
+func DefaultParams() Params { return Params{Decay: DefaultDecay} }
+
+// Damp returns d(dl) = Decay^dl for a vertical distance dl >= 0.
+func (p Params) Damp(dl int) float64 {
+	if dl <= 0 {
+		return 1
+	}
+	return math.Pow(p.Decay, float64(dl))
+}
+
+// Local computes the local ranking score g(v, w) of one keyword occurrence:
+// a tf-idf style product (1 + ln tf) * ln(1 + N/df), where tf is the term
+// frequency within the node's direct text, df the number of nodes directly
+// containing the term, and n the total number of element nodes. The paper
+// leaves g pluggable; tf-idf is the standard instantiation and is monotone
+// in the sense Section II-B requires.
+func Local(tf, df, n int) float64 {
+	if tf <= 0 || df <= 0 || n <= 0 {
+		return 0
+	}
+	return (1 + math.Log(float64(tf))) * math.Log(1+float64(n)/float64(df))
+}
+
+// Aggregate implements F: the sum of the per-keyword damped maxima. inputs
+// holds, per keyword, the best damped local score max_j g(v_j, w_i)*d(l_j - l̃)
+// among the result's occurrences of that keyword.
+func Aggregate(inputs []float64) float64 {
+	var s float64
+	for _, v := range inputs {
+		s += v
+	}
+	return s
+}

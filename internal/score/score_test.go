@@ -1,0 +1,77 @@
+package score
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDamp(t *testing.T) {
+	p := DefaultParams()
+	if got := p.Damp(0); got != 1 {
+		t.Errorf("Damp(0) = %v", got)
+	}
+	if got := p.Damp(-3); got != 1 {
+		t.Errorf("Damp(negative) = %v", got)
+	}
+	if got := p.Damp(1); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("Damp(1) = %v", got)
+	}
+	if got := p.Damp(3); math.Abs(got-0.729) > 1e-12 {
+		t.Errorf("Damp(3) = %v", got)
+	}
+	// Strictly decreasing in the distance.
+	for dl := 0; dl < 20; dl++ {
+		if p.Damp(dl+1) >= p.Damp(dl) {
+			t.Fatalf("damping not decreasing at %d", dl)
+		}
+	}
+}
+
+func TestLocal(t *testing.T) {
+	n := 10000
+	if Local(0, 5, n) != 0 || Local(3, 0, n) != 0 || Local(3, 5, 0) != 0 {
+		t.Error("degenerate inputs must score zero")
+	}
+	// Monotone in tf.
+	if Local(2, 100, n) <= Local(1, 100, n) {
+		t.Error("score must grow with tf")
+	}
+	// Anti-monotone in df (rarer terms score higher).
+	if Local(1, 10, n) <= Local(1, 1000, n) {
+		t.Error("score must shrink with df")
+	}
+	if Local(1, 1, 1) <= 0 {
+		t.Error("minimal occurrence must have positive score")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	if got := Aggregate(nil); got != 0 {
+		t.Errorf("Aggregate(nil) = %v", got)
+	}
+	if got := Aggregate([]float64{0.73, 0.41}); math.Abs(got-1.14) > 1e-12 {
+		// Example 4.1 of the paper: 0.73 + 0.41 = 1.14.
+		t.Errorf("Aggregate = %v, want 1.14", got)
+	}
+}
+
+// TestAggregateMonotone verifies the Monotonicity property of Section II-B:
+// raising any per-keyword input cannot lower the aggregate.
+func TestAggregateMonotone(t *testing.T) {
+	f := func(a, b, c, bump float64) bool {
+		abs := func(x float64) float64 {
+			x = math.Mod(math.Abs(x), 100)
+			if math.IsNaN(x) {
+				return 0
+			}
+			return x
+		}
+		in := []float64{abs(a), abs(b), abs(c)}
+		up := []float64{in[0] + abs(bump), in[1], in[2]}
+		return Aggregate(up) >= Aggregate(in)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

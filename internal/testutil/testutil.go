@@ -1,0 +1,127 @@
+// Package testutil provides deterministic random XML documents and queries
+// shared by the property-based and cross-engine equivalence tests.
+package testutil
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/xmltree"
+)
+
+// DocParams controls RandomDoc.
+type DocParams struct {
+	MaxNodes   int      // approximate upper bound on element count
+	MaxFanout  int      // max children per element
+	MaxDepth   int      // max tree depth
+	Vocab      []string // words sampled into element text
+	WordsPer   int      // max words per element's direct text
+	TextChance float64  // probability an element carries direct text
+}
+
+// SmallParams are sized for exhaustive cross-engine comparisons.
+func SmallParams() DocParams {
+	return DocParams{
+		MaxNodes:   60,
+		MaxFanout:  4,
+		MaxDepth:   6,
+		Vocab:      Vocab(8),
+		WordsPer:   3,
+		TextChance: 0.7,
+	}
+}
+
+// MediumParams are sized for join-plan and top-K stress tests.
+func MediumParams() DocParams {
+	return DocParams{
+		MaxNodes:   600,
+		MaxFanout:  6,
+		MaxDepth:   9,
+		Vocab:      Vocab(20),
+		WordsPer:   4,
+		TextChance: 0.6,
+	}
+}
+
+// Vocab returns n distinct synthetic words kw0..kw(n-1).
+func Vocab(n int) []string {
+	v := make([]string, n)
+	for i := range v {
+		v[i] = fmt.Sprintf("kw%d", i)
+	}
+	return v
+}
+
+// RandomDoc generates a random document under p using rng. The result
+// always has at least a root element; element tags cycle through a small
+// set so structure does not depend on tag names.
+func RandomDoc(rng *rand.Rand, p DocParams) *xmltree.Document {
+	if p.MaxNodes < 1 {
+		p.MaxNodes = 1
+	}
+	if p.MaxFanout < 1 {
+		p.MaxFanout = 1
+	}
+	if p.MaxDepth < 1 {
+		p.MaxDepth = 1
+	}
+	tags := []string{"a", "b", "c", "d"}
+	budget := 1 + rng.Intn(p.MaxNodes)
+	b := xmltree.NewBuilder()
+	var grow func(depth int)
+	grow = func(depth int) {
+		if p.TextChance > 0 && rng.Float64() < p.TextChance && len(p.Vocab) > 0 {
+			nw := 1 + rng.Intn(p.WordsPer)
+			words := make([]string, nw)
+			for i := range words {
+				words[i] = p.Vocab[rng.Intn(len(p.Vocab))]
+			}
+			b.Text(strings.Join(words, " "))
+		}
+		if depth >= p.MaxDepth {
+			return
+		}
+		kids := rng.Intn(p.MaxFanout + 1)
+		for i := 0; i < kids && budget > 0; i++ {
+			budget--
+			b.Open(tags[rng.Intn(len(tags))])
+			grow(depth + 1)
+			b.Close()
+		}
+	}
+	b.Open("root")
+	budget--
+	grow(1)
+	b.Close()
+	doc := b.Doc()
+	// Guarantee at least one keyword occurrence so index-level tests always
+	// have something to chew on.
+	if len(p.Vocab) > 0 {
+		hasText := false
+		for _, n := range doc.Nodes {
+			if n.Text != "" {
+				hasText = true
+				break
+			}
+		}
+		if !hasText {
+			doc.Root.Text = p.Vocab[0]
+		}
+	}
+	return doc
+}
+
+// RandomQuery draws k distinct keywords from vocab. It may return fewer
+// than k when vocab is small.
+func RandomQuery(rng *rand.Rand, vocab []string, k int) []string {
+	perm := rng.Perm(len(vocab))
+	if k > len(vocab) {
+		k = len(vocab)
+	}
+	q := make([]string, 0, k)
+	for _, i := range perm[:k] {
+		q = append(q, vocab[i])
+	}
+	return q
+}

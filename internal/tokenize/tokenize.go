@@ -1,0 +1,84 @@
+// Package tokenize provides the text-analysis substrate (the role Lucene
+// plays in the paper's implementation): lowercasing word tokenization with a
+// small English stopword list, and term-frequency accounting helpers used by
+// the index builders.
+package tokenize
+
+import (
+	"strings"
+	"unicode"
+)
+
+// stopwords is a compact English stopword list; stopwords never enter the
+// inverted index, matching standard IR practice.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true, "at": true,
+	"be": true, "but": true, "by": true, "for": true, "if": true, "in": true,
+	"into": true, "is": true, "it": true, "no": true, "not": true, "of": true,
+	"on": true, "or": true, "such": true, "that": true, "the": true,
+	"their": true, "then": true, "there": true, "these": true, "they": true,
+	"this": true, "to": true, "was": true, "will": true, "with": true,
+}
+
+// IsStopword reports whether the (already lowercased) term is a stopword.
+func IsStopword(term string) bool { return stopwords[term] }
+
+// Tokens splits text into lowercase alphanumeric terms, dropping stopwords
+// and empty tokens.
+func Tokens(text string) []string {
+	if text == "" {
+		return nil
+	}
+	var out []string
+	Each(text, func(term string) { out = append(out, term) })
+	return out
+}
+
+// Each calls fn for every indexable term of text, avoiding the intermediate
+// slice of Tokens. Terms are lowercase runs of letters and digits.
+func Each(text string, fn func(term string)) {
+	start := -1
+	flush := func(end int) {
+		if start < 0 {
+			return
+		}
+		term := strings.ToLower(text[start:end])
+		start = -1
+		if !stopwords[term] {
+			fn(term)
+		}
+	}
+	for i, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+		} else {
+			flush(i)
+		}
+	}
+	flush(len(text))
+}
+
+// TermCounts returns the term-frequency map of text.
+func TermCounts(text string) map[string]int {
+	var m map[string]int
+	Each(text, func(term string) {
+		if m == nil {
+			m = make(map[string]int)
+		}
+		m[term]++
+	})
+	return m
+}
+
+// Normalize lowercases and validates a query keyword, returning the empty
+// string for terms that could never be in the index (stopwords, empties,
+// terms with no letters or digits).
+func Normalize(keyword string) string {
+	toks := Tokens(keyword)
+	if len(toks) != 1 {
+		return ""
+	}
+	return toks[0]
+}

@@ -1,0 +1,72 @@
+package tokenize
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTokens(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"XML data management", []string{"xml", "data", "management"}},
+		{"Top-K Keyword Search in XML Databases", []string{"top", "k", "keyword", "search", "xml", "databases"}},
+		{"the of and", nil},
+		{"  spaces\tand\nnewlines ", []string{"spaces", "newlines"}},
+		{"IEEE 802.11b", []string{"ieee", "802", "11b"}},
+		{"naïve café", []string{"naïve", "café"}},
+	}
+	for _, c := range cases {
+		if got := Tokens(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokens(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTermCounts(t *testing.T) {
+	m := TermCounts("xml data xml XML the")
+	if m["xml"] != 3 || m["data"] != 1 {
+		t.Errorf("TermCounts = %v", m)
+	}
+	if _, ok := m["the"]; ok {
+		t.Error("stopword counted")
+	}
+	if TermCounts("") != nil {
+		t.Error("empty text must yield nil map")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"XML", "xml"},
+		{"  Data ", "data"},
+		{"the", ""},       // stopword
+		{"", ""},          // empty
+		{"two words", ""}, // not a single keyword
+		{"!!!", ""},       // no letters/digits
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	if !IsStopword("the") || IsStopword("xml") {
+		t.Error("stopword classification wrong")
+	}
+}
+
+func TestEachMatchesTokens(t *testing.T) {
+	text := "Keyword search over XML; the join-based algorithm, 2010."
+	var got []string
+	Each(text, func(s string) { got = append(got, s) })
+	if !reflect.DeepEqual(got, Tokens(text)) {
+		t.Errorf("Each and Tokens disagree: %v vs %v", got, Tokens(text))
+	}
+}

@@ -1,0 +1,110 @@
+package topk
+
+import (
+	"math"
+
+	"repro/internal/colstore"
+)
+
+// listState is the per-keyword runtime state: the score-sorted list, the
+// persistent erasure bitmaps (one per group), and the per-column merged
+// cursor over the length groups.
+//
+// Section IV-C: a keyword list is broken into groups by sequence length so
+// that within a group the per-column score order is the same at every
+// level; the complete score order of a column is reconstructed online by
+// merging the group cursors.
+type listState struct {
+	list   colstore.TKSource
+	erased [][]bool // erased[g][r]: row r of group g was consumed by a lower result
+
+	// Per-column cursor state, reset by startColumn.
+	level   int
+	cursors []int // next row per group; -1 for groups not reaching the level
+	damp    []float64
+}
+
+func newListState(l colstore.TKSource) *listState {
+	s := &listState{list: l}
+	s.erased = make([][]bool, l.GroupCount())
+	for g := range s.erased {
+		s.erased[g] = make([]bool, l.GroupSize(g))
+	}
+	s.cursors = make([]int, l.GroupCount())
+	s.damp = make([]float64, l.GroupCount())
+	return s
+}
+
+// startColumn positions the merged cursor at the head of the given level's
+// column: row zero of every group whose sequences reach the level.
+func (s *listState) startColumn(level int, decay float64) {
+	s.level = level
+	for g := range s.cursors {
+		if s.list.GroupLen(g) >= level {
+			s.cursors[g] = 0
+			s.damp[g] = math.Pow(decay, float64(s.list.GroupLen(g)-level))
+		} else {
+			s.cursors[g] = -1
+		}
+	}
+}
+
+// pulled is one row retrieved from the merged cursor.
+type pulled struct {
+	group, row int
+	value      uint32  // JDewey number at the current level
+	score      float64 // damped column score
+	erased     bool
+}
+
+// peek returns the damped score of the next row (s^i in the paper's
+// threshold formulas), or -Inf when the column is exhausted.
+func (s *listState) peek() float64 {
+	best := math.Inf(-1)
+	for g, c := range s.cursors {
+		if c < 0 || c >= s.list.GroupSize(g) {
+			continue
+		}
+		if sc := float64(s.list.Score(g, c)) * s.damp[g]; sc > best {
+			best = sc
+		}
+	}
+	return best
+}
+
+// pull retrieves the highest-scoring unretrieved row of the column. Only
+// here is the row's JDewey value touched, which is what lets a streaming
+// source leave unvisited columns on disk.
+func (s *listState) pull() (pulled, bool) {
+	bestG, bestScore := -1, math.Inf(-1)
+	for g, c := range s.cursors {
+		if c < 0 || c >= s.list.GroupSize(g) {
+			continue
+		}
+		if sc := float64(s.list.Score(g, c)) * s.damp[g]; sc > bestScore {
+			bestG, bestScore = g, sc
+		}
+	}
+	if bestG < 0 {
+		return pulled{}, false
+	}
+	c := s.cursors[bestG]
+	s.cursors[bestG]++
+	return pulled{
+		group:  bestG,
+		row:    c,
+		value:  s.list.Value(bestG, c, s.level),
+		score:  bestScore,
+		erased: s.erased[bestG][c],
+	}, true
+}
+
+// exhausted reports whether the current column has no rows left.
+func (s *listState) exhausted() bool {
+	for g, c := range s.cursors {
+		if c >= 0 && c < s.list.GroupSize(g) {
+			return false
+		}
+	}
+	return true
+}

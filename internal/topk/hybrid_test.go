@@ -1,0 +1,117 @@
+package topk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/colstore"
+	"repro/internal/core"
+	"repro/internal/naive"
+	"repro/internal/testutil"
+	"repro/internal/xmltree"
+)
+
+func (e *env) colLists(keywords []string) []*colstore.List {
+	out := make([]*colstore.List, len(keywords))
+	for i, w := range keywords {
+		if occs := e.m.Terms[w]; len(occs) > 0 {
+			out[i] = colstore.BuildList(w, occs)
+		}
+	}
+	return out
+}
+
+func TestEstimateCardinalityBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 60; trial++ {
+		e := newEnv(testutil.RandomDoc(rng, testutil.MediumParams()))
+		q := testutil.RandomQuery(rng, testutil.Vocab(20), 2)
+		cl := e.colLists(q)
+		for _, l := range cl {
+			if l == nil {
+				cl = nil
+				break
+			}
+		}
+		if cl == nil {
+			continue
+		}
+		est := EstimateCardinality(cl)
+		full, _ := core.Evaluate(cl, core.Options{})
+		if est < len(full) {
+			t.Fatalf("estimate %d below true ELCA count %d for %v", est, len(full), q)
+		}
+	}
+}
+
+func TestEstimateCardinalityDegenerate(t *testing.T) {
+	if EstimateCardinality(nil) != 0 {
+		t.Error("empty query")
+	}
+	if EstimateCardinality([]*colstore.List{nil}) != 0 {
+		t.Error("nil list")
+	}
+}
+
+// TestHybridCorrectness: whichever engine the hybrid picks, the answer
+// must be oracle-correct.
+func TestHybridCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	for trial := 0; trial < 60; trial++ {
+		e := newEnv(testutil.RandomDoc(rng, testutil.MediumParams()))
+		q := testutil.RandomQuery(rng, testutil.Vocab(12), 2)
+		cl := e.colLists(q)
+		tk := e.lists(q)
+		for _, sem := range []core.Semantics{core.ELCA, core.SLCA} {
+			got, _ := EvaluateHybrid(cl, tk, HybridOptions{Semantics: sem, K: 5})
+			nsem := naive.ELCA
+			if sem == core.SLCA {
+				nsem = naive.SLCA
+			}
+			all := naive.Evaluate(e.doc, e.m, q, nsem, 0)
+			naive.SortByScore(all)
+			want := all
+			if len(want) > 5 {
+				want = want[:5]
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%v sem=%v: %d results, oracle %d", q, sem, len(got), len(want))
+			}
+			for i := range got {
+				if math.Abs(got[i].Score-want[i].Score) > 1e-6*(1+math.Abs(want[i].Score)) {
+					t.Fatalf("%v sem=%v rank %d: %v vs %v", q, sem, i, got[i].Score, want[i].Score)
+				}
+			}
+		}
+	}
+}
+
+// TestHybridPicksByCorrelation: a highly-correlated corpus should engage
+// the top-K join, an uncorrelated one the complete evaluation.
+func TestHybridPicksByCorrelation(t *testing.T) {
+	correlated := xmltree.NewBuilder().Open("root")
+	for i := 0; i < 300; i++ {
+		correlated.Open("paper").Text("alpha beta").Close()
+	}
+	docC := correlated.Close().Doc()
+	eC := newEnv(docC)
+	_, usedTopK := EvaluateHybrid(eC.colLists([]string{"alpha", "beta"}), eC.lists([]string{"alpha", "beta"}),
+		HybridOptions{K: 10})
+	if !usedTopK {
+		t.Error("correlated corpus should use the top-K join")
+	}
+
+	sparse := xmltree.NewBuilder().Open("root")
+	sparse.Open("hit").Text("alpha beta").Close()
+	for i := 0; i < 300; i++ {
+		sparse.Leaf("x", "beta")
+	}
+	docS := sparse.Close().Doc()
+	eS := newEnv(docS)
+	_, usedTopK = EvaluateHybrid(eS.colLists([]string{"alpha", "beta"}), eS.lists([]string{"alpha", "beta"}),
+		HybridOptions{K: 10})
+	if usedTopK {
+		t.Error("uncorrelated corpus should use the complete evaluation")
+	}
+}

@@ -1,0 +1,89 @@
+package topk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/colstore"
+	"repro/internal/core"
+	"repro/internal/testutil"
+	"repro/internal/xmltree"
+)
+
+// tkHandlesFor round-trips each keyword's score-sorted list through the
+// on-disk blob and returns streaming handles.
+func tkHandlesFor(t *testing.T, e *env, keywords []string) []colstore.TKSource {
+	t.Helper()
+	out := make([]colstore.TKSource, len(keywords))
+	for i, w := range keywords {
+		occs := e.m.Terms[w]
+		if len(occs) == 0 {
+			continue
+		}
+		blob, _ := colstore.BuildTKList(w, occs).AppendEncoded(nil)
+		h, err := colstore.NewTKHandle(w, blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = h
+	}
+	return out
+}
+
+// TestTKStreamingMatchesInMemory: the top-K star join over streaming disk
+// handles must equal the in-memory evaluation exactly.
+func TestTKStreamingMatchesInMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 60; trial++ {
+		e := newEnv(testutil.RandomDoc(rng, testutil.MediumParams()))
+		for _, kws := range []int{1, 2, 3} {
+			q := testutil.RandomQuery(rng, testutil.Vocab(15), kws)
+			for _, sem := range []core.Semantics{core.ELCA, core.SLCA} {
+				for _, k := range []int{1, 5, 50} {
+					want, _ := Evaluate(e.lists(q), Options{Semantics: sem, K: k})
+					got, _ := EvaluateSources(tkHandlesFor(t, e, q), Options{Semantics: sem, K: k}, nil)
+					if len(got) != len(want) {
+						t.Fatalf("%v sem=%v k=%d: %d vs %d results", q, sem, k, len(got), len(want))
+					}
+					for i := range want {
+						if got[i].Level != want[i].Level || got[i].Value != want[i].Value ||
+							math.Abs(got[i].Score-want[i].Score) > 1e-12 {
+							t.Fatalf("%v sem=%v k=%d rank %d: %+v vs %+v", q, sem, k, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTKStreamingEarlyTerminationSavesColumns: an early-terminating query
+// must leave most (group, level) columns undecoded.
+func TestTKStreamingEarlyTerminationSavesColumns(t *testing.T) {
+	b := xmltree.NewBuilder().Open("root")
+	for i := 0; i < 300; i++ {
+		b.Open("paper").Text("alpha beta alpha beta").Close()
+	}
+	for i := 0; i < 1000; i++ {
+		b.Leaf("other", "beta")
+	}
+	doc := b.Close().Doc()
+	e := newEnv(doc)
+	q := []string{"alpha", "beta"}
+	srcs := tkHandlesFor(t, e, q)
+	rs, st := EvaluateSources(srcs, Options{Semantics: core.ELCA, K: 10}, nil)
+	if len(rs) != 10 || !st.TerminatedEarly {
+		t.Fatalf("expected early-terminating top-10: %d results, %+v", len(rs), st)
+	}
+	for i, s := range srcs {
+		h := s.(*colstore.TKHandle)
+		total := 0
+		for g := 0; g < h.GroupCount(); g++ {
+			total += h.GroupLen(g)
+		}
+		if dec := h.ColumnsDecoded(); dec >= total {
+			t.Errorf("list %d decoded all %d columns despite early termination", i, dec)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package xmltree
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse: the XML parser must never panic, and every accepted document
+// must round-trip through WriteXML with identical structure and text.
+func FuzzParse(f *testing.F) {
+	f.Add("<a><b>hello</b><c attr=\"v\">world</c></a>")
+	f.Add("<root/>")
+	f.Add("<a>&lt;escaped&gt;</a>")
+	f.Add("not xml")
+	f.Add("<a><a><a>deep</a></a></a>")
+	f.Fuzz(func(t *testing.T, input string) {
+		doc, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := doc.WriteXML(&buf); err != nil {
+			t.Fatalf("accepted document failed to serialize: %v", err)
+		}
+		doc2, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("serialized form unparsable: %v", err)
+		}
+		if doc2.Len() != doc.Len() || doc2.Depth != doc.Depth {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				doc2.Len(), doc2.Depth, doc.Len(), doc.Depth)
+		}
+		for i := range doc.Nodes {
+			if doc.Nodes[i].Tag != doc2.Nodes[i].Tag || doc.Nodes[i].Text != doc2.Nodes[i].Text {
+				t.Fatalf("node %d changed across round trip", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,87 @@
+package xmlsearch
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestTopKStream(t *testing.T) {
+	ds := gen.DBLP(0.02, 21)
+	idx, err := FromDocument(ds.Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := strings.Join(ds.Correlated[0], " ")
+	want, err := idx.TopK(q, 10, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got []Result
+	if err := idx.TopKStream(q, 10, SearchOptions{}, func(r Result) bool {
+		got = append(got, r)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+			t.Fatalf("rank %d: streamed %v, batch %v", i, got[i].Score, want[i].Score)
+		}
+	}
+	// Emission is score-descending.
+	for i := 1; i < len(got); i++ {
+		if got[i].Score > got[i-1].Score+1e-9 {
+			t.Fatalf("stream out of order at %d", i)
+		}
+	}
+}
+
+func TestTopKStreamCancel(t *testing.T) {
+	ds := gen.DBLP(0.02, 21)
+	idx, err := FromDocument(ds.Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := strings.Join(ds.Correlated[0], " ")
+	count := 0
+	if err := idx.TopKStream(q, 10, SearchOptions{}, func(Result) bool {
+		count++
+		return count < 3
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Fatalf("callback ran %d times after cancel at 3", count)
+	}
+}
+
+func TestTopKStreamErrors(t *testing.T) {
+	idx, err := Open(strings.NewReader(`<r><a>x</a><b>y</b></r>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.TopKStream("x y", 0, SearchOptions{}, func(Result) bool { return true }); err == nil {
+		t.Error("k=0 must error")
+	}
+	if err := idx.TopKStream("x y", 3, SearchOptions{}, nil); err == nil {
+		t.Error("nil callback must error")
+	}
+	if err := idx.TopKStream("the", 3, SearchOptions{}, func(Result) bool { return true }); err == nil {
+		t.Error("stopword-only query must error")
+	}
+	// A query with an absent keyword streams nothing but succeeds.
+	calls := 0
+	if err := idx.TopKStream("x zzznothere", 3, SearchOptions{}, func(Result) bool { calls++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Error("absent keyword must stream no results")
+	}
+}

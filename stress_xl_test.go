@@ -1,0 +1,96 @@
+package xmlsearch
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestStressXL is an extended randomized equivalence session, enabled with
+// XKW_STRESS=1: larger random documents, deeper trees, more trials, all
+// engines and both semantics against each other through the public facade.
+func TestStressXL(t *testing.T) {
+	if os.Getenv("XKW_STRESS") == "" {
+		t.Skip("set XKW_STRESS=1 to run the extended stress session")
+	}
+	rng := rand.New(rand.NewSource(20260704))
+	params := testutil.DocParams{
+		MaxNodes:   4000,
+		MaxFanout:  8,
+		MaxDepth:   14,
+		Vocab:      testutil.Vocab(30),
+		WordsPer:   5,
+		TextChance: 0.55,
+	}
+	for trial := 0; trial < 40; trial++ {
+		doc := testutil.RandomDoc(rng, params)
+		idx, err := FromDocument(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{1, 2, 3, 4, 5} {
+			q := strings.Join(testutil.RandomQuery(rng, params.Vocab, k), " ")
+			for _, sem := range []Semantics{ELCA, SLCA} {
+				ref, err := idx.Search(q, SearchOptions{Semantics: sem})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, algo := range []Algorithm{AlgoStack, AlgoIndexLookup} {
+					rs, err := idx.Search(q, SearchOptions{Semantics: sem, Algorithm: algo})
+					if err != nil {
+						t.Fatal(err)
+					}
+					compareResultSets(t, trial, q, sem, rs, ref)
+				}
+				if len(ref) > 0 {
+					for _, kk := range []int{1, 7, 30} {
+						want := kk
+						if len(ref) < want {
+							want = len(ref)
+						}
+						for _, algo := range []Algorithm{AlgoJoin, AlgoRDIL, AlgoHybrid} {
+							top, err := idx.TopK(q, kk, SearchOptions{Semantics: sem, Algorithm: algo})
+							if err != nil {
+								t.Fatal(err)
+							}
+							if len(top) != want {
+								t.Fatalf("trial %d %q sem %v algo %d k=%d: %d results, want %d",
+									trial, q, sem, algo, kk, len(top), want)
+							}
+							for i := range top {
+								if math.Abs(top[i].Score-ref[i].Score) > 1e-6*(1+math.Abs(ref[i].Score)) {
+									t.Fatalf("trial %d %q sem %v algo %d rank %d: %v vs %v",
+										trial, q, sem, algo, i, top[i].Score, ref[i].Score)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func compareResultSets(t *testing.T, trial int, q string, sem Semantics, got, want []Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("trial %d %q sem %v: %d vs %d results", trial, q, sem, len(got), len(want))
+	}
+	byID := map[string]float64{}
+	for _, r := range want {
+		byID[r.Dewey] = r.Score
+	}
+	for _, r := range got {
+		s, ok := byID[r.Dewey]
+		if !ok {
+			t.Fatalf("trial %d %q sem %v: unexpected %s", trial, q, sem, r.Dewey)
+		}
+		if math.Abs(r.Score-s) > 1e-6*(1+math.Abs(s)) {
+			t.Fatalf("trial %d %q sem %v: %s score %v vs %v", trial, q, sem, r.Dewey, r.Score, s)
+		}
+	}
+}

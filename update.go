@@ -1,0 +1,144 @@
+package xmlsearch
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dewey"
+	"repro/internal/jdewey"
+	"repro/internal/occur"
+	"repro/internal/score"
+	"repro/internal/tokenize"
+	"repro/internal/xmltree"
+)
+
+// Incremental index maintenance. Section III-A of the paper specifies how
+// the JDewey encoding absorbs document mutations: reserved number gaps
+// take most insertions for free, and when a family's gap is exhausted only
+// one ancestor subtree is renumbered. The index follows suit: a mutation
+// rebuilds exactly the inverted lists whose occurrences — or whose
+// occurrences' JDewey numbers — changed, instead of reindexing the
+// document.
+//
+// Scoring note: the corpus constant N of the tf-idf local score stays
+// frozen at its construction value, so unrelated lists keep their scores
+// (standard incremental-IR practice); document frequencies of the touched
+// terms are always recomputed. Mutations must be externally synchronized
+// with queries.
+
+// InsertElement adds a new leaf element <tag>text</tag> under the element
+// identified by parentDewey (dotted notation, e.g. "1.2"), at child
+// position pos (0 ≤ pos ≤ current child count). It returns the new
+// element's Dewey identifier. Note that Dewey identifiers of following
+// siblings shift, while JDewey-based identities move only if a gap-
+// exhausted subtree had to be renumbered — the maintenance asymmetry the
+// paper's encoding is designed around.
+func (ix *Index) InsertElement(parentDewey string, pos int, tag, text string) (string, error) {
+	if tag == "" {
+		return "", fmt.Errorf("xmlsearch: empty element tag")
+	}
+	id, err := dewey.Parse(parentDewey)
+	if err != nil {
+		return "", fmt.Errorf("xmlsearch: bad parent id: %w", err)
+	}
+	parent := ix.doc.NodeByDewey(id)
+	if parent == nil {
+		return "", fmt.Errorf("xmlsearch: no element at %s", parentDewey)
+	}
+	if pos < 0 || pos > len(parent.Children) {
+		return "", fmt.Errorf("xmlsearch: position %d out of range [0,%d]", pos, len(parent.Children))
+	}
+	child := &xmltree.Node{Tag: tag, Text: text}
+	dirty := map[string]bool{}
+	for _, term := range tokenize.Tokens(text) {
+		dirty[term] = true
+	}
+	renumbered, err := ix.enc.Insert(parent, child, pos)
+	if err != nil {
+		return "", fmt.Errorf("xmlsearch: %w", err)
+	}
+	if renumbered != nil {
+		collectTerms(renumbered, dirty)
+	}
+	ix.applyDirty(dirty)
+	return child.Dewey.String(), nil
+}
+
+// RemoveElement detaches the element (and its whole subtree) identified by
+// its Dewey identifier. The root cannot be removed.
+func (ix *Index) RemoveElement(deweyStr string) error {
+	id, err := dewey.Parse(deweyStr)
+	if err != nil {
+		return fmt.Errorf("xmlsearch: bad id: %w", err)
+	}
+	n := ix.doc.NodeByDewey(id)
+	if n == nil {
+		return fmt.Errorf("xmlsearch: no element at %s", deweyStr)
+	}
+	if n.Parent == nil {
+		return fmt.Errorf("xmlsearch: cannot remove the document root")
+	}
+	dirty := map[string]bool{}
+	collectTerms(n, dirty)
+	ix.enc.Remove(n)
+	ix.applyDirty(dirty)
+	return nil
+}
+
+// collectTerms accumulates every term occurring in the subtree of n.
+func collectTerms(n *xmltree.Node, into map[string]bool) {
+	if n.Text != "" {
+		tokenize.Each(n.Text, func(term string) { into[term] = true })
+	}
+	for _, c := range n.Children {
+		collectTerms(c, into)
+	}
+}
+
+// applyDirty refreshes the occurrence map, rebuilds the dirty lists in the
+// column store, and invalidates the lazily-built baseline indexes.
+func (ix *Index) applyDirty(dirty map[string]bool) {
+	ix.m.UpdateTerms(ix.doc, dirty)
+	var ranks []float64
+	if ix.cfg.elemRank {
+		ranks = score.ElemRank(ix.doc, ix.cfg.erParams)
+	}
+	for term := range dirty {
+		occs := ix.m.Terms[term]
+		if ranks != nil {
+			for i := range occs {
+				occs[i].Score *= float32(ranks[occs[i].Node.Ord])
+			}
+		}
+		// The occurrence map stays in document order (the baselines build
+		// Dewey-sorted lists from it); the column store is keyed by
+		// JDewey-sequence order, which no longer coincides with document
+		// order once a subtree has been renumbered or a child has been
+		// inserted out of number order — so sort a copy.
+		sorted := make([]occur.Occ, len(occs))
+		copy(sorted, occs)
+		sortByJDewey(sorted)
+		ix.store.Replace(term, sorted)
+	}
+	// The store keeps carrying the frozen scoring constant; only the depth
+	// tracks the document.
+	ix.store.SetMeta(ix.m.N, ix.doc.Depth)
+	ix.invalidateBaselines()
+}
+
+func sortByJDewey(occs []occur.Occ) {
+	seqs := make([]jdewey.Seq, len(occs))
+	for i := range occs {
+		seqs[i] = occs[i].Node.JDeweySeq()
+	}
+	idx := make([]int, len(occs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return jdewey.Compare(seqs[idx[a]], seqs[idx[b]]) < 0 })
+	sorted := make([]occur.Occ, len(occs))
+	for i, j := range idx {
+		sorted[i] = occs[j]
+	}
+	copy(occs, sorted)
+}

@@ -1,0 +1,540 @@
+// Package xmlsearch is a top-K keyword search engine for XML documents,
+// implementing the join-based algorithms of Chen & Papakonstantinou,
+// "Supporting Top-K Keyword Search in XML Databases" (ICDE 2010).
+//
+// A keyword query over an XML document returns the ELCAs or SLCAs — the
+// lowest subtrees containing every keyword, under the standard exclusion
+// semantics — ranked by a damped tf-idf score. Evaluation reduces to
+// per-level relational joins over column-oriented JDewey inverted lists;
+// the top-K engine additionally reads the lists in score order and emits
+// results as soon as a threshold over the unseen results proves them safe,
+// so Search with a small K typically touches a small fraction of the index.
+//
+// Basic usage:
+//
+//	idx, err := xmlsearch.Open(xmlFile)
+//	results, err := idx.TopK("sensor network", 10, xmlsearch.SearchOptions{})
+//
+// The zero SearchOptions value selects ELCA semantics, the default damping
+// factor 0.9, and the join-based engines. The baseline engines the paper
+// compares against (stack-based, index-based, RDIL) are available through
+// SearchOptions.Algorithm for side-by-side experimentation.
+package xmlsearch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"unicode/utf8"
+
+	"repro/internal/colstore"
+	"repro/internal/core"
+	"repro/internal/invindex"
+	"repro/internal/ixlookup"
+	"repro/internal/jdewey"
+	"repro/internal/occur"
+	"repro/internal/rdil"
+	"repro/internal/score"
+	"repro/internal/stack"
+	"repro/internal/tokenize"
+	"repro/internal/topk"
+	"repro/internal/xmltree"
+)
+
+// Semantics selects which LCA variant defines the result set.
+type Semantics int
+
+const (
+	// ELCA (Exclusive LCA): nodes containing at least one occurrence of
+	// every keyword after excluding occurrences inside descendant subtrees
+	// that already contain all keywords.
+	ELCA Semantics = iota
+	// SLCA (Smallest LCA): LCAs none of whose descendants is also an LCA.
+	SLCA
+)
+
+// Algorithm selects the evaluation engine.
+type Algorithm int
+
+const (
+	// AlgoJoin is the paper's join-based algorithm (the default): bottom-up
+	// per-level joins over the JDewey column store, with dynamic merge/index
+	// join selection. For TopK it uses the join-based top-K star join.
+	AlgoJoin Algorithm = iota
+	// AlgoStack is the stack-based baseline: a document-order merge of the
+	// Dewey lists. TopK computes everything, then sorts.
+	AlgoStack
+	// AlgoIndexLookup is the index-based baseline driven by the shortest
+	// list with binary-search probes. TopK computes everything, then sorts.
+	AlgoIndexLookup
+	// AlgoRDIL is the RDIL top-K baseline: score-ordered lists with
+	// lookup-based result discovery under the classic TA threshold. It only
+	// supports TopK.
+	AlgoRDIL
+	// AlgoHybrid (TopK only) is the Section V-D strategy: a cheap join-
+	// cardinality estimate over the column runs decides between the top-K
+	// star join (large result sets, i.e. correlated keywords) and the
+	// complete join-based evaluation (small result sets).
+	AlgoHybrid
+)
+
+// SearchOptions configures a query. The zero value is ready to use.
+type SearchOptions struct {
+	Semantics Semantics
+	Algorithm Algorithm
+	// Decay is the damping base d(Δl) = Decay^Δl applied to a keyword
+	// occurrence at distance Δl below its result node; 0 selects the
+	// default 0.9.
+	Decay float64
+}
+
+// Result is one search hit.
+type Result struct {
+	// Path is the slash-separated element path from the root, e.g.
+	// "/dblp/conf/year/paper".
+	Path string
+	// Dewey is the node's Dewey identifier in dotted notation.
+	Dewey string
+	// Level is the node's depth (root = 1).
+	Level int
+	// Score is the aggregated ranking score (higher is better).
+	Score float64
+	// Snippet is the node's direct text, truncated for display.
+	Snippet string
+}
+
+// Index is a searchable in-memory index over one XML document. It is safe
+// for concurrent queries after construction; incremental mutations
+// (InsertElement, RemoveElement) require external synchronization with
+// in-flight queries.
+type Index struct {
+	doc   *xmltree.Document
+	m     *occur.Map
+	store *colstore.Store
+	enc   *jdewey.Encoding
+	cfg   config
+
+	invMu   sync.Mutex
+	inv     *invindex.Index
+	rdilIdx *rdil.Index
+}
+
+// Option configures index construction.
+type Option func(*config)
+
+type config struct {
+	elemRank bool
+	erParams score.ElemRankParams
+}
+
+// WithElemRank folds a link-based global-importance factor (a
+// PageRank-style ElemRank over the containment edges, after [5]) into
+// every occurrence's local score, the combined g(v, w) of Section II-B.
+// Structurally central elements then outrank peripheral ones at equal
+// text relevance.
+func WithElemRank() Option {
+	return func(c *config) {
+		c.elemRank = true
+		c.erParams = score.DefaultElemRankParams()
+	}
+}
+
+// Open parses an XML document from r and builds the index: the document
+// tree with Dewey and JDewey identifiers, and the column-oriented JDewey
+// inverted lists (both the JDewey-ordered and the score-sorted variants).
+func Open(r io.Reader, opts ...Option) (*Index, error) {
+	doc, err := xmltree.Parse(r)
+	if err != nil {
+		return nil, fmt.Errorf("xmlsearch: %w", err)
+	}
+	return FromDocument(doc, opts...)
+}
+
+// OpenFile opens and indexes the XML document at path.
+func OpenFile(path string, opts ...Option) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("xmlsearch: %w", err)
+	}
+	defer f.Close()
+	return Open(f, opts...)
+}
+
+// FromDocument indexes an already-parsed document tree. The document is
+// retained and must not be mutated afterwards. JDewey numbers are
+// (re)assigned.
+func FromDocument(doc *xmltree.Document, opts ...Option) (*Index, error) {
+	if doc == nil || doc.Root == nil {
+		return nil, fmt.Errorf("xmlsearch: empty document")
+	}
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	// A small reserved gap lets most future insertions keep their family's
+	// JDewey numbers (Section III-A).
+	enc := jdewey.Assign(doc, 4)
+	var m *occur.Map
+	if cfg.elemRank {
+		m = occur.ExtractRanked(doc, score.ElemRank(doc, cfg.erParams))
+	} else {
+		m = occur.Extract(doc)
+	}
+	return &Index{doc: doc, m: m, store: colstore.Build(m), enc: enc, cfg: cfg}, nil
+}
+
+// Len returns the number of element nodes indexed.
+func (ix *Index) Len() int { return ix.doc.Len() }
+
+// Depth returns the document's tree depth.
+func (ix *Index) Depth() int { return ix.doc.Depth }
+
+// DocFreq returns the number of nodes directly containing the (normalized)
+// keyword.
+func (ix *Index) DocFreq(keyword string) int {
+	w := tokenize.Normalize(keyword)
+	if w == "" {
+		return 0
+	}
+	return ix.store.DocFreq(w)
+}
+
+// Keywords tokenizes a free-text query into the distinct normalized
+// keywords the engines evaluate. Stopwords are dropped.
+func Keywords(query string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, t := range tokenize.Tokens(query) {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ErrNoKeywords is returned when a query contains no indexable keywords.
+var ErrNoKeywords = fmt.Errorf("xmlsearch: query contains no indexable keywords")
+
+// Search evaluates the complete result set of the keyword query, ranked by
+// descending score. Queries with a keyword absent from the document return
+// an empty (nil) slice.
+func (ix *Index) Search(query string, opt SearchOptions) ([]Result, error) {
+	keywords := Keywords(query)
+	if len(keywords) == 0 {
+		return nil, ErrNoKeywords
+	}
+	decay := opt.Decay
+	if decay == 0 {
+		decay = score.DefaultDecay
+	}
+	switch opt.Algorithm {
+	case AlgoJoin:
+		lists := make([]*colstore.List, len(keywords))
+		for i, w := range keywords {
+			lists[i] = ix.store.List(w)
+		}
+		rs, _ := core.Evaluate(lists, core.Options{Semantics: coreSem(opt.Semantics), Decay: decay})
+		core.SortByScore(rs)
+		return ix.materializeJoin(rs), nil
+	case AlgoStack:
+		rs, _ := stack.Evaluate(ix.invLists(keywords), stackSem(opt.Semantics), decay)
+		stack.SortByScore(rs)
+		out := make([]Result, 0, len(rs))
+		for _, r := range rs {
+			out = append(out, ix.materializeDewey(r.ID, r.Score))
+		}
+		return out, nil
+	case AlgoIndexLookup:
+		rs, _ := ixlookup.Evaluate(ix.invLists(keywords), ixlookupSem(opt.Semantics), decay)
+		out := make([]Result, 0, len(rs))
+		for _, r := range rs {
+			out = append(out, ix.materializeDewey(r.ID, r.Score))
+		}
+		sortResults(out)
+		return out, nil
+	case AlgoRDIL, AlgoHybrid:
+		return nil, fmt.Errorf("xmlsearch: algorithm %d is top-K only; use TopK", opt.Algorithm)
+	default:
+		return nil, fmt.Errorf("xmlsearch: unknown algorithm %d", opt.Algorithm)
+	}
+}
+
+// TopK returns the k best results of the keyword query in descending score
+// order, using the top-K engine selected by opt.Algorithm (the join-based
+// top-K star join by default).
+func (ix *Index) TopK(query string, k int, opt SearchOptions) ([]Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("xmlsearch: k must be positive")
+	}
+	keywords := Keywords(query)
+	if len(keywords) == 0 {
+		return nil, ErrNoKeywords
+	}
+	decay := opt.Decay
+	if decay == 0 {
+		decay = score.DefaultDecay
+	}
+	switch opt.Algorithm {
+	case AlgoJoin:
+		lists := make([]*colstore.TKList, len(keywords))
+		for i, w := range keywords {
+			lists[i] = ix.store.TopKList(w)
+		}
+		rs, _ := topkEvaluate(lists, coreSem(opt.Semantics), decay, k)
+		return ix.materializeJoin(rs), nil
+	case AlgoRDIL:
+		ix.ensureInv()
+		rs, _ := ix.rdilIdx.TopK(keywords, rdilSem(opt.Semantics), decay, k)
+		out := make([]Result, 0, len(rs))
+		for _, r := range rs {
+			out = append(out, ix.materializeDewey(r.ID, r.Score))
+		}
+		return out, nil
+	case AlgoHybrid:
+		colLists := make([]*colstore.List, len(keywords))
+		tkLists := make([]*colstore.TKList, len(keywords))
+		for i, w := range keywords {
+			colLists[i] = ix.store.List(w)
+			tkLists[i] = ix.store.TopKList(w)
+		}
+		rs, _ := topkEvaluateHybrid(colLists, tkLists, coreSem(opt.Semantics), decay, k)
+		return ix.materializeJoin(rs), nil
+	default:
+		all, err := ix.Search(query, opt)
+		if err != nil {
+			return nil, err
+		}
+		if k < len(all) {
+			all = all[:k]
+		}
+		return all, nil
+	}
+}
+
+// TopKStream evaluates a top-K query with the join-based top-K engine and
+// hands each result to fn the moment the unseen-result threshold proves it
+// safe — before the evaluation finishes ("output without blocking"). fn
+// returning false cancels the remaining evaluation. Results arrive in
+// descending score order.
+func (ix *Index) TopKStream(query string, k int, opt SearchOptions, fn func(Result) bool) error {
+	if k <= 0 {
+		return fmt.Errorf("xmlsearch: k must be positive")
+	}
+	if fn == nil {
+		return fmt.Errorf("xmlsearch: nil callback")
+	}
+	keywords := Keywords(query)
+	if len(keywords) == 0 {
+		return ErrNoKeywords
+	}
+	decay := opt.Decay
+	if decay == 0 {
+		decay = score.DefaultDecay
+	}
+	lists := make([]*colstore.TKList, len(keywords))
+	for i, w := range keywords {
+		lists[i] = ix.store.TopKList(w)
+	}
+	_, _ = topk.EvaluateFunc(lists, topk.Options{Semantics: coreSem(opt.Semantics), Decay: decay, K: k},
+		func(r core.Result) bool {
+			n := ix.doc.NodeByJDewey(r.Level, r.Value)
+			if n == nil {
+				return true
+			}
+			return fn(ix.materializeNode(n, r.Score))
+		})
+	return nil
+}
+
+// Save persists the index directory: the column store blobs, the source
+// document, the JDewey numbering (which after incremental mutations is no
+// longer the canonical fresh assignment), and the index flags.
+func (ix *Index) Save(dir string) error {
+	if err := ix.store.Save(dir); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "document.xml"))
+	if err != nil {
+		return fmt.Errorf("xmlsearch: save: %w", err)
+	}
+	if err := ix.doc.WriteXML(f); err != nil {
+		f.Close()
+		return fmt.Errorf("xmlsearch: save: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("xmlsearch: save: %w", err)
+	}
+	// JDewey numbering, one uvarint per node in preorder.
+	jd := []byte(indexMetaMagic)
+	if ix.cfg.elemRank {
+		jd = append(jd, 1)
+	} else {
+		jd = append(jd, 0)
+	}
+	jd = binary.AppendUvarint(jd, uint64(ix.doc.Len()))
+	for _, n := range ix.doc.Nodes {
+		jd = binary.AppendUvarint(jd, uint64(n.JD))
+	}
+	if err := os.WriteFile(filepath.Join(dir, "index.meta"), jd, 0o644); err != nil {
+		return fmt.Errorf("xmlsearch: save: %w", err)
+	}
+	return nil
+}
+
+const indexMetaMagic = "XKWMETA1\n"
+
+// Load opens an index directory written by Save: the column store decodes
+// lazily, the document is re-parsed for result materialization, and the
+// saved JDewey numbering is adopted so the blobs and the tree agree even
+// when the index had been mutated incrementally before saving.
+func Load(dir string) (*Index, error) {
+	store, err := colstore.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(filepath.Join(dir, "document.xml"))
+	if err != nil {
+		return nil, fmt.Errorf("xmlsearch: load: %w", err)
+	}
+	doc, err := xmltree.Parse(f)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("xmlsearch: load: %w", err)
+	}
+	meta, err := os.ReadFile(filepath.Join(dir, "index.meta"))
+	if err != nil {
+		return nil, fmt.Errorf("xmlsearch: load: %w", err)
+	}
+	if len(meta) < len(indexMetaMagic)+1 || string(meta[:len(indexMetaMagic)]) != indexMetaMagic {
+		return nil, fmt.Errorf("xmlsearch: load: bad index.meta")
+	}
+	var cfg config
+	if meta[len(indexMetaMagic)] == 1 {
+		cfg.elemRank = true
+		cfg.erParams = score.DefaultElemRankParams()
+	}
+	off := len(indexMetaMagic) + 1
+	count, sz := binary.Uvarint(meta[off:])
+	if sz <= 0 || int(count) != doc.Len() {
+		return nil, fmt.Errorf("xmlsearch: load: numbering covers %d nodes, document has %d", count, doc.Len())
+	}
+	off += sz
+	for _, n := range doc.Nodes {
+		v, sz := binary.Uvarint(meta[off:])
+		if sz <= 0 || v == 0 || v > 1<<32-1 {
+			return nil, fmt.Errorf("xmlsearch: load: truncated numbering")
+		}
+		n.JD = uint32(v)
+		off += sz
+	}
+	enc, err := jdewey.Adopt(doc, 4)
+	if err != nil {
+		return nil, fmt.Errorf("xmlsearch: load: %w", err)
+	}
+	// Rebuild the occurrence map against the frozen corpus constant the
+	// saved scores were computed with.
+	var m *occur.Map
+	if cfg.elemRank {
+		m = occur.ExtractRanked(doc, score.ElemRank(doc, cfg.erParams))
+		m.N = store.N
+		// Rank factors are position-dependent; rebuild the store from the
+		// recomputed map rather than trusting potentially stale blobs.
+		return &Index{doc: doc, m: m, store: colstore.Build(m), enc: enc, cfg: cfg}, nil
+	}
+	m = occur.ExtractN(doc, store.N)
+	return &Index{doc: doc, m: m, store: store, enc: enc, cfg: cfg}, nil
+}
+
+// --- materialization and adapters ---
+
+const snippetLen = 80
+
+func (ix *Index) materializeJoin(rs []core.Result) []Result {
+	out := make([]Result, 0, len(rs))
+	for _, r := range rs {
+		n := ix.doc.NodeByJDewey(r.Level, r.Value)
+		if n == nil {
+			continue
+		}
+		out = append(out, ix.materializeNode(n, r.Score))
+	}
+	return out
+}
+
+func (ix *Index) materializeDewey(id []uint32, s float64) Result {
+	n := ix.doc.NodeByDewey(id)
+	if n == nil {
+		return Result{Dewey: "?", Score: s}
+	}
+	return ix.materializeNode(n, s)
+}
+
+func (ix *Index) materializeNode(n *xmltree.Node, s float64) Result {
+	snippet := n.Text
+	if len(snippet) > snippetLen {
+		cut := snippetLen
+		for cut > 0 && !utf8.RuneStart(snippet[cut]) {
+			cut--
+		}
+		snippet = snippet[:cut] + "…"
+	}
+	return Result{
+		Path:    n.Path(),
+		Dewey:   n.Dewey.String(),
+		Level:   n.Level,
+		Score:   s,
+		Snippet: snippet,
+	}
+}
+
+func (ix *Index) invLists(keywords []string) []*invindex.List {
+	ix.ensureInv()
+	lists := make([]*invindex.List, len(keywords))
+	for i, w := range keywords {
+		lists[i] = ix.inv.Get(w)
+	}
+	return lists
+}
+
+func (ix *Index) ensureInv() {
+	ix.invMu.Lock()
+	defer ix.invMu.Unlock()
+	if ix.inv == nil {
+		ix.inv = invindex.Build(ix.m)
+		ix.rdilIdx = rdil.NewIndex(ix.inv)
+	}
+}
+
+// invalidateBaselines drops the lazily-built document-order indexes after
+// a mutation; they rebuild on next use. (The paper's own index — the
+// column store — is maintained incrementally instead.)
+func (ix *Index) invalidateBaselines() {
+	ix.invMu.Lock()
+	defer ix.invMu.Unlock()
+	ix.inv, ix.rdilIdx = nil, nil
+}
+
+func coreSem(s Semantics) core.Semantics {
+	if s == SLCA {
+		return core.SLCA
+	}
+	return core.ELCA
+}
+
+func stackSem(s Semantics) stack.Semantics {
+	if s == SLCA {
+		return stack.SLCA
+	}
+	return stack.ELCA
+}
+
+func rdilSem(s Semantics) rdil.Semantics {
+	if s == SLCA {
+		return rdil.SLCA
+	}
+	return rdil.ELCA
+}

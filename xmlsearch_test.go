@@ -1,0 +1,260 @@
+package xmlsearch
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+const sampleXML = `<bib>
+  <book>
+    <title>xml</title>
+    <chapter><sec>xml basics</sec><sec>data models</sec></chapter>
+  </book>
+  <book><title>data warehousing</title></book>
+  <book><title>xml processing</title><note>big data</note></book>
+</bib>`
+
+func open(t *testing.T) *Index {
+	t.Helper()
+	idx, err := Open(strings.NewReader(sampleXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func TestOpenAndMetadata(t *testing.T) {
+	idx := open(t)
+	if idx.Len() != 11 {
+		t.Errorf("Len = %d, want 11", idx.Len())
+	}
+	if idx.Depth() != 4 {
+		t.Errorf("Depth = %d, want 4", idx.Depth())
+	}
+	if idx.DocFreq("xml") != 3 || idx.DocFreq("XML") != 3 {
+		t.Errorf("DocFreq(xml) = %d, want 3 (case-insensitive)", idx.DocFreq("xml"))
+	}
+	if idx.DocFreq("the") != 0 || idx.DocFreq("") != 0 {
+		t.Error("stopwords and empties must have zero frequency")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(strings.NewReader("not xml at all")); err == nil {
+		t.Error("garbage input must fail")
+	}
+	if _, err := FromDocument(nil); err == nil {
+		t.Error("nil document must fail")
+	}
+}
+
+func TestSearchELCA(t *testing.T) {
+	idx := open(t)
+	rs, err := idx.Search("XML data", SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("results = %+v, want 2 ELCAs", rs)
+	}
+	// Score-descending.
+	if rs[0].Score < rs[1].Score {
+		t.Error("results not ranked")
+	}
+	paths := map[string]bool{}
+	for _, r := range rs {
+		paths[r.Dewey] = true
+		if r.Path == "" || r.Level == 0 {
+			t.Errorf("unmaterialized result: %+v", r)
+		}
+	}
+	if !paths["1.1.2"] || !paths["1.3"] {
+		t.Errorf("wrong result set: %+v", rs)
+	}
+}
+
+func TestSearchAlgorithmsAgree(t *testing.T) {
+	idx := open(t)
+	for _, sem := range []Semantics{ELCA, SLCA} {
+		var ref []Result
+		for ai, algo := range []Algorithm{AlgoJoin, AlgoStack, AlgoIndexLookup} {
+			rs, err := idx.Search("xml data", SearchOptions{Semantics: sem, Algorithm: algo})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ai == 0 {
+				ref = rs
+				continue
+			}
+			if len(rs) != len(ref) {
+				t.Fatalf("algo %d sem %d: %d results vs %d", algo, sem, len(rs), len(ref))
+			}
+			for i := range rs {
+				if rs[i].Dewey != ref[i].Dewey || math.Abs(rs[i].Score-ref[i].Score) > 1e-6 {
+					t.Fatalf("algo %d sem %d result %d: %+v vs %+v", algo, sem, i, rs[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+func TestTopKEnginesAgree(t *testing.T) {
+	ds := gen.DBLP(0.01, 42)
+	idx, err := FromDocument(ds.Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := strings.Join(ds.Correlated[0], " ")
+	full, err := idx.Search(q, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algorithm{AlgoJoin, AlgoRDIL, AlgoStack, AlgoIndexLookup, AlgoHybrid} {
+		top, err := idx.TopK(q, 5, SearchOptions{Algorithm: algo})
+		if err != nil {
+			t.Fatalf("algo %d: %v", algo, err)
+		}
+		want := 5
+		if len(full) < want {
+			want = len(full)
+		}
+		if len(top) != want {
+			t.Fatalf("algo %d: top-5 returned %d, full has %d", algo, len(top), len(full))
+		}
+		for i := range top {
+			if math.Abs(top[i].Score-full[i].Score) > 1e-6*(1+math.Abs(full[i].Score)) {
+				t.Fatalf("algo %d rank %d: score %v, want %v", algo, i, top[i].Score, full[i].Score)
+			}
+		}
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	idx := open(t)
+	if _, err := idx.Search("", SearchOptions{}); err == nil {
+		t.Error("empty query must error")
+	}
+	if _, err := idx.Search("the of", SearchOptions{}); err == nil {
+		t.Error("stopword-only query must error")
+	}
+	if _, err := idx.TopK("xml", 0, SearchOptions{}); err == nil {
+		t.Error("k=0 must error")
+	}
+	if _, err := idx.Search("xml", SearchOptions{Algorithm: AlgoRDIL}); err == nil {
+		t.Error("RDIL full search must error")
+	}
+	if _, err := idx.Search("xml", SearchOptions{Algorithm: AlgoHybrid}); err == nil {
+		t.Error("hybrid full search must error")
+	}
+	if _, err := idx.Search("xml", SearchOptions{Algorithm: Algorithm(99)}); err == nil {
+		t.Error("unknown algorithm must error")
+	}
+	if rs, err := idx.Search("xml zzzznothere", SearchOptions{}); err != nil || len(rs) != 0 {
+		t.Errorf("absent keyword: rs=%v err=%v, want empty and nil", rs, err)
+	}
+}
+
+func TestKeywords(t *testing.T) {
+	got := Keywords("The XML, xml DATA!")
+	if len(got) != 2 || got[0] != "xml" || got[1] != "data" {
+		t.Errorf("Keywords = %v", got)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	idx := open(t)
+	dir := t.TempDir()
+	if err := idx.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	idx2, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := idx.Search("xml data", SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := idx2.Search("xml data", SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("loaded index returns %d results, want %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i].Dewey != b[i].Dewey || math.Abs(a[i].Score-b[i].Score) > 1e-6 {
+			t.Fatalf("result %d differs after reload: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if _, err := Load(t.TempDir()); err == nil {
+		t.Error("loading an empty directory must fail")
+	}
+}
+
+func TestSLCADiffersFromELCA(t *testing.T) {
+	// A document where the root is an ELCA but not an SLCA.
+	doc := `<r><a><t>x</t><t>y</t></a><b><t>x</t></b><c>y</c></r>`
+	idx, err := Open(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	elca, err := idx.Search("x y", SearchOptions{Semantics: ELCA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slca, err := idx.Search("x y", SearchOptions{Semantics: SLCA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elca) != 2 || len(slca) != 1 {
+		t.Fatalf("ELCA=%d SLCA=%d, want 2 and 1", len(elca), len(slca))
+	}
+}
+
+func TestSnippetTruncation(t *testing.T) {
+	long := strings.Repeat("word ", 40) + "käse"
+	doc := "<r><a>" + long + " x</a><b>y</b></r>"
+	idx, err := Open(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := idx.Search("x y", SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if len(r.Snippet) > snippetLen+4 {
+			t.Errorf("snippet too long: %d bytes", len(r.Snippet))
+		}
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	ds := gen.DBLP(0.01, 11)
+	idx, err := FromDocument(ds.Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		algo := []Algorithm{AlgoJoin, AlgoStack, AlgoIndexLookup, AlgoRDIL}[g%4]
+		go func(algo Algorithm) {
+			var err error
+			if algo == AlgoRDIL {
+				_, err = idx.TopK("sensor network", 5, SearchOptions{Algorithm: algo})
+			} else {
+				_, err = idx.Search("sensor network", SearchOptions{Algorithm: algo})
+			}
+			done <- err
+		}(algo)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
