@@ -3,10 +3,8 @@ package xmlsearch
 import (
 	"sort"
 
-	"repro/internal/colstore"
-	"repro/internal/core"
 	"repro/internal/ixlookup"
-	"repro/internal/topk"
+	"repro/internal/score"
 )
 
 // Thin adapters over the internal engines, kept out of the main file so the
@@ -24,12 +22,11 @@ func sortResults(rs []Result) {
 	})
 }
 
-func topkEvaluate(lists []*colstore.TKList, sem core.Semantics, decay float64, k int) ([]core.Result, topk.Stats) {
-	return topk.Evaluate(lists, topk.Options{Semantics: sem, Decay: decay, K: k})
-}
-
-func topkEvaluateHybrid(colLists []*colstore.List, tkLists []*colstore.TKList, sem core.Semantics, decay float64, k int) ([]core.Result, bool) {
-	return topk.EvaluateHybrid(colLists, tkLists, topk.HybridOptions{Semantics: sem, Decay: decay, K: k})
+func effectiveDecay(d float64) float64 {
+	if d == 0 {
+		return score.DefaultDecay
+	}
+	return d
 }
 
 func ixlookupSem(s Semantics) ixlookup.Semantics {

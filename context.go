@@ -1,0 +1,221 @@
+package xmlsearch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/colstore"
+	"repro/internal/core"
+	"repro/internal/ixlookup"
+	"repro/internal/stack"
+	"repro/internal/topk"
+)
+
+// Context-honoring entry points. Each engine checks the context
+// periodically inside its evaluation loops (every few hundred to few
+// thousand inner-loop iterations — frequent enough that cancellation lands
+// within microseconds on real indexes, rare enough to stay off the join's
+// hot-path profile) and aborts with ctx.Err(). An already-cancelled
+// context returns before any list is scanned.
+//
+// These entry points also form the public API's panic boundary: a panic
+// out of the evaluation engines — possible only through corrupted
+// in-memory state, e.g. an index mutated concurrently with a query —
+// is contained and surfaced as an error wrapping ErrInternal rather than
+// taking down the caller's process.
+
+// ErrInternal is wrapped by errors reporting a contained engine panic.
+// Results accompanying such an error must be discarded.
+var ErrInternal = errors.New("xmlsearch: internal error")
+
+// guard converts a panic escaping an engine into an ErrInternal error.
+func guard(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("%w: %v", ErrInternal, r)
+	}
+}
+
+// SearchContext is Search honoring a context: cancellation or deadline
+// expiry aborts the evaluation with ctx.Err().
+func (ix *Index) SearchContext(ctx context.Context, query string, opt SearchOptions) (_ []Result, err error) {
+	defer guard(&err)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	keywords := Keywords(query)
+	if len(keywords) == 0 {
+		return nil, ErrNoKeywords
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	decay := effectiveDecay(opt.Decay)
+	switch opt.Algorithm {
+	case AlgoJoin:
+		lists := make([]*colstore.List, len(keywords))
+		for i, w := range keywords {
+			lists[i] = ix.store.List(w)
+		}
+		rs, _, err := core.EvaluateCtx(ctx, lists, core.Options{Semantics: coreSem(opt.Semantics), Decay: decay})
+		if err != nil {
+			return nil, err
+		}
+		core.SortByScore(rs)
+		return ix.materializeJoin(rs), nil
+	case AlgoStack:
+		rs, _, err := stack.EvaluateCtx(ctx, ix.invLists(keywords), stackSem(opt.Semantics), decay)
+		if err != nil {
+			return nil, err
+		}
+		stack.SortByScore(rs)
+		out := make([]Result, 0, len(rs))
+		for _, r := range rs {
+			out = append(out, ix.materializeDewey(r.ID, r.Score))
+		}
+		return out, nil
+	case AlgoIndexLookup:
+		rs, _, err := ixlookup.EvaluateCtx(ctx, ix.invLists(keywords), ixlookupSem(opt.Semantics), decay)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Result, 0, len(rs))
+		for _, r := range rs {
+			out = append(out, ix.materializeDewey(r.ID, r.Score))
+		}
+		sortResults(out)
+		return out, nil
+	case AlgoRDIL, AlgoHybrid:
+		return nil, fmt.Errorf("xmlsearch: algorithm %d is top-K only; use TopK", opt.Algorithm)
+	default:
+		return nil, fmt.Errorf("xmlsearch: unknown algorithm %d", opt.Algorithm)
+	}
+}
+
+// TopKContext is TopK honoring a context: cancellation or deadline expiry
+// aborts the evaluation with ctx.Err() without completing the scan.
+func (ix *Index) TopKContext(ctx context.Context, query string, k int, opt SearchOptions) (_ []Result, err error) {
+	defer guard(&err)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("xmlsearch: k must be positive")
+	}
+	keywords := Keywords(query)
+	if len(keywords) == 0 {
+		return nil, ErrNoKeywords
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	decay := effectiveDecay(opt.Decay)
+	switch opt.Algorithm {
+	case AlgoJoin:
+		lists := make([]*colstore.TKList, len(keywords))
+		for i, w := range keywords {
+			lists[i] = ix.store.TopKList(w)
+		}
+		rs, _, err := topk.EvaluateCtx(ctx, lists, topk.Options{Semantics: coreSem(opt.Semantics), Decay: decay, K: k})
+		if err != nil {
+			return nil, err
+		}
+		return ix.materializeJoin(rs), nil
+	case AlgoRDIL:
+		ix.ensureInv()
+		rs, _, err := ix.rdilIdx.TopKCtx(ctx, keywords, rdilSem(opt.Semantics), decay, k)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Result, 0, len(rs))
+		for _, r := range rs {
+			out = append(out, ix.materializeDewey(r.ID, r.Score))
+		}
+		return out, nil
+	case AlgoHybrid:
+		colLists := make([]*colstore.List, len(keywords))
+		tkLists := make([]*colstore.TKList, len(keywords))
+		for i, w := range keywords {
+			colLists[i] = ix.store.List(w)
+			tkLists[i] = ix.store.TopKList(w)
+		}
+		rs, _, err := topk.EvaluateHybridCtx(ctx, colLists, tkLists,
+			topk.HybridOptions{Semantics: coreSem(opt.Semantics), Decay: decay, K: k})
+		if err != nil {
+			return nil, err
+		}
+		return ix.materializeJoin(rs), nil
+	default:
+		all, err := ix.SearchContext(ctx, query, opt)
+		if err != nil {
+			return nil, err
+		}
+		if k < len(all) {
+			all = all[:k]
+		}
+		return all, nil
+	}
+}
+
+// TopKStreamContext is TopKStream honoring a context: results already
+// proven safe are delivered to fn before cancellation is observed; the
+// remaining evaluation then aborts with ctx.Err().
+func (ix *Index) TopKStreamContext(ctx context.Context, query string, k int, opt SearchOptions, fn func(Result) bool) (err error) {
+	defer guard(&err)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if k <= 0 {
+		return fmt.Errorf("xmlsearch: k must be positive")
+	}
+	if fn == nil {
+		return fmt.Errorf("xmlsearch: nil callback")
+	}
+	keywords := Keywords(query)
+	if len(keywords) == 0 {
+		return ErrNoKeywords
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	decay := effectiveDecay(opt.Decay)
+	lists := make([]*colstore.TKList, len(keywords))
+	for i, w := range keywords {
+		lists[i] = ix.store.TopKList(w)
+	}
+	_, _, err = topk.EvaluateFuncCtx(ctx, lists, topk.Options{Semantics: coreSem(opt.Semantics), Decay: decay, K: k},
+		func(r core.Result) bool {
+			n := ix.doc.NodeByJDewey(r.Level, r.Value)
+			if n == nil {
+				return true
+			}
+			return fn(ix.materializeNode(n, r.Score))
+		})
+	return err
+}
+
+// SearchContext is Corpus.Search honoring a context.
+func (c *Corpus) SearchContext(ctx context.Context, query string, opt SearchOptions) ([]Result, error) {
+	rs, err := c.Index.SearchContext(ctx, query, opt)
+	if err != nil {
+		return nil, err
+	}
+	return dropSyntheticRoot(rs), nil
+}
+
+// TopKContext is Corpus.TopK honoring a context.
+func (c *Corpus) TopKContext(ctx context.Context, query string, k int, opt SearchOptions) ([]Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("xmlsearch: k must be positive")
+	}
+	// Fetch one extra in case the synthetic root occupies a slot.
+	rs, err := c.Index.TopKContext(ctx, query, k+1, opt)
+	if err != nil {
+		return nil, err
+	}
+	rs = dropSyntheticRoot(rs)
+	if len(rs) > k {
+		rs = rs[:k]
+	}
+	return rs, nil
+}

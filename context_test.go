@@ -1,0 +1,136 @@
+package xmlsearch
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+)
+
+// Cancellation and panic-containment tests for the Context entry points.
+
+func cancelledCtx() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+func testIndexForCtx(t *testing.T) *Index {
+	t.Helper()
+	ds := gen.DBLP(0.01, 5)
+	idx, err := FromDocument(ds.Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+// TestSearchContextCancelled: an already-cancelled context returns
+// context.Canceled from every algorithm without scanning.
+func TestSearchContextCancelled(t *testing.T) {
+	idx := testIndexForCtx(t)
+	for _, algo := range []Algorithm{AlgoJoin, AlgoStack, AlgoIndexLookup} {
+		rs, err := idx.SearchContext(cancelledCtx(), "sensor network", SearchOptions{Algorithm: algo})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("algo %d: err = %v, want context.Canceled", algo, err)
+		}
+		if rs != nil {
+			t.Errorf("algo %d: results returned alongside cancellation", algo)
+		}
+	}
+}
+
+// TestTopKContextCancelled is the acceptance criterion: TopKContext with
+// an already-cancelled context returns context.Canceled for every top-K
+// engine without completing the scan.
+func TestTopKContextCancelled(t *testing.T) {
+	idx := testIndexForCtx(t)
+	for _, algo := range []Algorithm{AlgoJoin, AlgoRDIL, AlgoHybrid, AlgoStack, AlgoIndexLookup} {
+		rs, err := idx.TopKContext(cancelledCtx(), "sensor network", 5, SearchOptions{Algorithm: algo})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("algo %d: err = %v, want context.Canceled", algo, err)
+		}
+		if rs != nil {
+			t.Errorf("algo %d: results returned alongside cancellation", algo)
+		}
+	}
+}
+
+func TestTopKStreamContextCancelled(t *testing.T) {
+	idx := testIndexForCtx(t)
+	called := false
+	err := idx.TopKStreamContext(cancelledCtx(), "sensor network", 5, SearchOptions{},
+		func(Result) bool { called = true; return true })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if called {
+		t.Fatal("callback invoked despite pre-cancelled context")
+	}
+}
+
+// TestContextDeadline: an expired deadline surfaces as DeadlineExceeded.
+func TestContextDeadline(t *testing.T) {
+	idx := testIndexForCtx(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := idx.TopKContext(ctx, "sensor network", 5, SearchOptions{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestContextVariantsMatchPlainAPI: with a live context the Context entry
+// points return exactly what the plain API returns.
+func TestContextVariantsMatchPlainAPI(t *testing.T) {
+	idx := testIndexForCtx(t)
+	for _, algo := range []Algorithm{AlgoJoin, AlgoStack, AlgoIndexLookup} {
+		plain, err1 := idx.Search("sensor network", SearchOptions{Algorithm: algo})
+		ctxed, err2 := idx.SearchContext(context.Background(), "sensor network", SearchOptions{Algorithm: algo})
+		if err1 != nil || err2 != nil {
+			t.Fatalf("algo %d: %v / %v", algo, err1, err2)
+		}
+		if !reflect.DeepEqual(plain, ctxed) {
+			t.Errorf("algo %d: Search and SearchContext disagree", algo)
+		}
+	}
+	for _, algo := range []Algorithm{AlgoJoin, AlgoRDIL, AlgoHybrid} {
+		plain, err1 := idx.TopK("sensor network", 5, SearchOptions{Algorithm: algo})
+		ctxed, err2 := idx.TopKContext(context.Background(), "sensor network", 5, SearchOptions{Algorithm: algo})
+		if err1 != nil || err2 != nil {
+			t.Fatalf("algo %d: %v / %v", algo, err1, err2)
+		}
+		if !reflect.DeepEqual(plain, ctxed) {
+			t.Errorf("algo %d: TopK and TopKContext disagree", algo)
+		}
+	}
+}
+
+// TestCorpusContextCancelled covers the corpus wrappers.
+func TestCorpusContextCancelled(t *testing.T) {
+	c := makeCorpus(t, faultDocA, faultDocB)
+	if _, err := c.SearchContext(cancelledCtx(), "sensor", SearchOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("corpus search: %v", err)
+	}
+	if _, err := c.TopKContext(cancelledCtx(), "sensor", 3, SearchOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("corpus topk: %v", err)
+	}
+}
+
+// TestPanicContainment: a panic out of the engines (here provoked by an
+// Index in an impossible state) surfaces as an error wrapping ErrInternal
+// instead of crashing the caller.
+func TestPanicContainment(t *testing.T) {
+	broken := &Index{} // nil doc and store: any evaluation panics
+	if _, err := broken.TopKContext(context.Background(), "sensor", 3, SearchOptions{}); !errors.Is(err, ErrInternal) {
+		t.Fatalf("err = %v, want ErrInternal", err)
+	}
+	if _, err := broken.SearchContext(context.Background(), "sensor", SearchOptions{}); !errors.Is(err, ErrInternal) {
+		t.Fatalf("err = %v, want ErrInternal", err)
+	}
+	if err := broken.TopKStreamContext(context.Background(), "sensor", 3, SearchOptions{}, func(Result) bool { return true }); !errors.Is(err, ErrInternal) {
+		t.Fatalf("err = %v, want ErrInternal", err)
+	}
+}

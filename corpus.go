@@ -1,6 +1,7 @@
 package xmlsearch
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
@@ -8,6 +9,8 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/colstore"
+	"repro/internal/faultinject"
 	"repro/internal/xmltree"
 )
 
@@ -109,6 +112,89 @@ func (c *Corpus) TopK(query string, k int, opt SearchOptions) ([]Result, error) 
 		rs = rs[:k]
 	}
 	return rs, nil
+}
+
+const corpusNamesMagic = "XKWNAM1\n"
+
+// Save persists the corpus index with the same atomic-commit guarantees as
+// Index.Save; the document names are bundled into the same committed
+// generation, so a crash can never separate them from the index they label.
+func (c *Corpus) Save(dir string) error {
+	return c.Index.saveFS(dir, faultinject.OS(),
+		map[string][]byte{fileCorpusNames: encodeCorpusNames(c.names)})
+}
+
+func encodeCorpusNames(names []string) []byte {
+	buf := []byte(corpusNamesMagic)
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	for _, n := range names {
+		buf = binary.AppendUvarint(buf, uint64(len(n)))
+		buf = append(buf, n...)
+	}
+	return buf
+}
+
+// parseCorpusNames decodes a corpus.names payload with the same hardening
+// as parseIndexMeta: the count is bounded before allocation and trailing
+// bytes are rejected.
+func parseCorpusNames(data []byte) ([]string, error) {
+	if len(data) < len(corpusNamesMagic) || string(data[:len(corpusNamesMagic)]) != corpusNamesMagic {
+		return nil, fmt.Errorf("xmlsearch: load: not a corpus.names file")
+	}
+	off := len(corpusNamesMagic)
+	count, sz := binary.Uvarint(data[off:])
+	if sz <= 0 {
+		return nil, fmt.Errorf("xmlsearch: load: truncated corpus names header")
+	}
+	off += sz
+	if count > uint64(len(data)-off) {
+		return nil, fmt.Errorf("xmlsearch: load: corpus claims %d names, %d bytes remain", count, len(data)-off)
+	}
+	names := make([]string, 0, count)
+	for i := uint64(0); i < count; i++ {
+		l, sz := binary.Uvarint(data[off:])
+		if sz <= 0 {
+			return nil, fmt.Errorf("xmlsearch: load: truncated corpus name %d", i)
+		}
+		off += sz
+		if l > uint64(len(data)-off) {
+			return nil, fmt.Errorf("xmlsearch: load: truncated corpus name %d", i)
+		}
+		names = append(names, string(data[off:off+int(l)]))
+		off += int(l)
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("xmlsearch: load: %d trailing bytes after corpus names", len(data)-off)
+	}
+	return names, nil
+}
+
+// LoadCorpus opens an index directory written by Corpus.Save. Damage
+// handling matches Load: per-term damage degrades (see Health), metadata
+// damage is a clean error.
+func LoadCorpus(dir string) (*Corpus, error) {
+	idx, err := Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	gen, v2, err := colstore.CurrentGen(dir)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(dir, genFileName(fileCorpusNames, gen, v2)))
+	if err != nil {
+		return nil, fmt.Errorf("xmlsearch: load: %w", err)
+	}
+	if v2 {
+		if data, err = colstore.StripFooter(data); err != nil {
+			return nil, fmt.Errorf("xmlsearch: load %s: %w", fileCorpusNames, err)
+		}
+	}
+	names, err := parseCorpusNames(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Corpus{Index: idx, names: names}, nil
 }
 
 func dropSyntheticRoot(rs []Result) []Result {

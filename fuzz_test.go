@@ -1,0 +1,54 @@
+package xmlsearch
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/colstore"
+)
+
+// FuzzLoadMeta drives the index.meta parser with mutations of a real saved
+// numbering. The parser must never panic, must bound the declared node
+// count before allocating, and anything it accepts must be a complete,
+// nonzero numbering.
+func FuzzLoadMeta(f *testing.F) {
+	idx, err := Open(strings.NewReader(
+		`<lib><book><title>sensor network</title></book><book><title>query ranking</title></book></lib>`))
+	if err != nil {
+		f.Fatal(err)
+	}
+	dir := f.TempDir()
+	if err := idx.Save(dir); err != nil {
+		f.Fatal(err)
+	}
+	gen, v2, err := colstore.CurrentGen(dir)
+	if err != nil || !v2 {
+		f.Fatalf("no commit point: %v", err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, genFileName(fileMeta, gen, true)))
+	if err != nil {
+		f.Fatal(err)
+	}
+	payload, err := colstore.StripFooter(raw)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(payload)
+	f.Add(raw) // footer attached: trailing bytes, must be rejected
+	f.Add(append([]byte(indexMetaMagic), payload[len(indexMetaMagicV2):]...))
+	f.Add([]byte(indexMetaMagicV2))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, jds, err := parseIndexMeta(data)
+		if err != nil {
+			return
+		}
+		for i, v := range jds {
+			if v == 0 {
+				t.Fatalf("accepted numbering with zero at node %d", i)
+			}
+		}
+	})
+}

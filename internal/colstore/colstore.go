@@ -8,6 +8,7 @@
 package colstore
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/occur"
@@ -110,4 +111,17 @@ func BuildList(word string, occs []occur.Occ) *List {
 // property tests and by Open when verifying decoded lists.
 func (l *List) Validate() error {
 	return l.validate()
+}
+
+// EncodeChecked validates the list and then appends its on-disk blob,
+// propagating the validation error instead of serializing a structure the
+// decoder would reject. The save path uses it so an invalid in-memory list
+// (e.g. after a buggy mutation) fails the save instead of writing a blob
+// that poisons the next load.
+func (l *List) EncodeChecked(buf []byte) ([]byte, error) {
+	if err := l.validate(); err != nil {
+		return buf, fmt.Errorf("colstore: encode %q: %w", l.Word, err)
+	}
+	out, _ := l.AppendEncoded(buf)
+	return out, nil
 }

@@ -325,6 +325,17 @@ func TestStoreSaveOpen(t *testing.T) {
 	}
 }
 
+// genPath returns the committed generation file for base, e.g. the live
+// "postings.tk.<gen>".
+func genPath(t *testing.T, dir, base string) string {
+	t.Helper()
+	gen, ok, err := CurrentGen(dir)
+	if err != nil || !ok {
+		t.Fatalf("no committed generation in %s: %v", dir, err)
+	}
+	return filepath.Join(dir, GenName(base, gen))
+}
+
 func TestOpenCorruption(t *testing.T) {
 	_, m := buildDoc(t, 22, testutil.SmallParams())
 	s := Build(m)
@@ -333,17 +344,18 @@ func TestOpenCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Missing file.
-	if err := os.Remove(filepath.Join(dir, fileTopK)); err != nil {
+	if err := os.Remove(genPath(t, dir, fileTopK)); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Open(dir); err == nil {
 		t.Fatal("open with missing blob must fail")
 	}
-	// Restore, then corrupt the lexicon magic.
+	// Restore, then corrupt the lexicon magic: the lexicon's file checksum
+	// must reject it wholesale.
 	if err := s.Save(dir); err != nil {
 		t.Fatal(err)
 	}
-	lexPath := filepath.Join(dir, fileLexicon)
+	lexPath := genPath(t, dir, fileLexicon)
 	data, err := os.ReadFile(lexPath)
 	if err != nil {
 		t.Fatal(err)
@@ -355,11 +367,11 @@ func TestOpenCorruption(t *testing.T) {
 	if _, err := Open(dir); err == nil {
 		t.Fatal("corrupted magic must fail")
 	}
-	// Corrupt the column blob: Verify must notice.
+	// Truncate the column blob: Open degrades, Verify must notice.
 	if err := s.Save(dir); err != nil {
 		t.Fatal(err)
 	}
-	colPath := filepath.Join(dir, fileColumns)
+	colPath := genPath(t, dir, fileColumns)
 	data, err = os.ReadFile(colPath)
 	if err != nil {
 		t.Fatal(err)
@@ -374,6 +386,19 @@ func TestOpenCorruption(t *testing.T) {
 		if err := s3.Verify(); err == nil {
 			t.Fatal("verify over truncated blob must fail")
 		}
+		if h := s3.Health(); !h.Degraded() {
+			t.Fatal("health over truncated blob must report damage")
+		}
+	}
+	// Corrupt the commit point itself: a clean error, never a wrong read.
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, CurrentFile), []byte("XKWCUR1\nnonsense\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("corrupted commit point must fail")
 	}
 }
 

@@ -1,0 +1,201 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/faultinject"
+)
+
+// Durable on-disk layout (format v2).
+//
+// A v2 index directory is a set of immutable generation files plus one
+// commit point:
+//
+//	CURRENT            "XKWCUR1\n<gen>\n" — names the committed generation
+//	lexicon.<gen>      v2 lexicon (magic XKWCOL2, per-list CRC32C) + footer
+//	postings.col.<gen> column blob + footer
+//	postings.tk.<gen>  top-K blob + footer
+//
+// plus, at the xmlsearch layer, document.xml.<gen> and index.meta.<gen>.
+// A save writes a complete new generation (every file fsynced), fsyncs the
+// directory, and only then publishes it by renaming CURRENT.tmp over
+// CURRENT — the single atomic step. A crash or torn write at ANY earlier
+// point leaves CURRENT pointing at the previous complete generation, so
+// the old index stays readable; a crash after the rename leaves at worst
+// unreferenced orphan files, which the next successful save garbage-
+// collects. Directories without CURRENT are read as legacy v1 layouts
+// (fixed file names, magic XKWCOL1, no checksums).
+//
+// Every v2 file ends with a fixed-size footer:
+//
+//	uint64 LE payload length | uint32 LE CRC32C(payload) | "XKWFTR1\n"
+//
+// so truncation and tail corruption are detectable per file, while the
+// per-list CRCs in the lexicon localize damage to individual terms.
+
+const (
+	// CurrentFile is the commit-point file of a v2 index directory.
+	CurrentFile  = "CURRENT"
+	currentTmp   = "CURRENT.tmp"
+	currentMagic = "XKWCUR1\n"
+
+	footerMagic = "XKWFTR1\n"
+	footerSize  = 8 + 4 + len(footerMagic)
+)
+
+// castagnoli is the CRC32C polynomial table all index checksums use.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC32C of data, the checksum every v2 index file
+// and list extent is protected with.
+func Checksum(data []byte) uint32 { return crc32.Checksum(data, castagnoli) }
+
+// AppendFooter appends the v2 file footer (length, CRC32C, magic) to buf,
+// which must hold the complete payload.
+func AppendFooter(buf []byte) []byte {
+	crc := Checksum(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(buf)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc)
+	return append(buf, footerMagic...)
+}
+
+// StripFooter verifies a v2 file's footer and returns the payload. It
+// fails on a missing or malformed footer, a length mismatch (truncation or
+// trailing garbage), or a CRC mismatch.
+func StripFooter(data []byte) ([]byte, error) {
+	if len(data) < footerSize {
+		return nil, fmt.Errorf("colstore: file shorter than its footer (%d bytes)", len(data))
+	}
+	tail := data[len(data)-footerSize:]
+	if string(tail[12:]) != footerMagic {
+		return nil, fmt.Errorf("colstore: missing footer magic")
+	}
+	payload := data[:len(data)-footerSize]
+	if n := binary.LittleEndian.Uint64(tail[:8]); n != uint64(len(payload)) {
+		return nil, fmt.Errorf("colstore: footer length %d, payload %d bytes", n, len(payload))
+	}
+	if crc := binary.LittleEndian.Uint32(tail[8:12]); crc != Checksum(payload) {
+		return nil, fmt.Errorf("colstore: file checksum mismatch")
+	}
+	return payload, nil
+}
+
+// GenName returns the name of a generation file: "<name>.<gen>".
+func GenName(name string, gen uint64) string {
+	return name + "." + strconv.FormatUint(gen, 10)
+}
+
+// CurrentGen reads the commit point. ok is false when the directory has no
+// CURRENT file (a legacy v1 layout or an empty directory); a CURRENT file
+// that exists but cannot be parsed is corruption and returns an error.
+func CurrentGen(dir string) (gen uint64, ok bool, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, CurrentFile))
+	if os.IsNotExist(err) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, fmt.Errorf("colstore: read commit point: %w", err)
+	}
+	s := string(data)
+	if !strings.HasPrefix(s, currentMagic) || !strings.HasSuffix(s, "\n") {
+		return 0, false, fmt.Errorf("colstore: malformed commit point")
+	}
+	gen, perr := strconv.ParseUint(strings.TrimSuffix(s[len(currentMagic):], "\n"), 10, 64)
+	if perr != nil || gen == 0 {
+		return 0, false, fmt.Errorf("colstore: malformed commit point generation")
+	}
+	return gen, true, nil
+}
+
+// NextGen picks the generation number for a new save: one past both the
+// committed generation and any orphaned generation files (from saves that
+// crashed after writing files but before committing), so a new save never
+// overwrites bytes any reader could be using.
+func NextGen(dir string) (uint64, error) {
+	gen, _, err := CurrentGen(dir)
+	if err != nil {
+		// A corrupt commit point must not block recovery by re-save; start
+		// past any orphans instead.
+		gen = 0
+	}
+	entries, derr := os.ReadDir(dir)
+	if derr != nil && !os.IsNotExist(derr) {
+		return 0, fmt.Errorf("colstore: next generation: %w", derr)
+	}
+	for _, e := range entries {
+		if g, ok := genSuffix(e.Name()); ok && g > gen {
+			gen = g
+		}
+	}
+	return gen + 1, nil
+}
+
+// genSuffix parses the "<name>.<digits>" generation suffix.
+func genSuffix(name string) (uint64, bool) {
+	i := strings.LastIndexByte(name, '.')
+	if i < 0 || i == len(name)-1 {
+		return 0, false
+	}
+	g, err := strconv.ParseUint(name[i+1:], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return g, true
+}
+
+// CommitGen atomically publishes a fully-written generation: the directory
+// is fsynced first (the generation files' names must be durable before
+// anything references them), then CURRENT is replaced via rename, then the
+// directory is fsynced again.
+func CommitGen(dir string, gen uint64, fsys faultinject.FS) error {
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("colstore: commit: %w", err)
+	}
+	cur := currentMagic + strconv.FormatUint(gen, 10) + "\n"
+	if err := fsys.WriteFile(filepath.Join(dir, currentTmp), []byte(cur), 0o644); err != nil {
+		return fmt.Errorf("colstore: commit: %w", err)
+	}
+	if err := fsys.Rename(filepath.Join(dir, currentTmp), filepath.Join(dir, CurrentFile)); err != nil {
+		return fmt.Errorf("colstore: commit: %w", err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("colstore: commit: %w", err)
+	}
+	return nil
+}
+
+// legacyNames are the fixed pre-generation file names; once a v2 CURRENT
+// exists they are dead and garbage-collected with the stale generations.
+// The xmlsearch layer passes its own legacy names as extras.
+var legacyNames = []string{fileColumns, fileTopK, fileLexicon}
+
+// RemoveStaleGens best-effort deletes every generation file other than
+// keep's, leftover commit temporaries, and the legacy fixed-name files
+// (plus any extra legacy names). Failures are ignored: stale files are
+// only wasted space, never incorrectness.
+func RemoveStaleGens(dir string, keep uint64, fsys faultinject.FS, extraLegacy ...string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	legacy := append(append([]string{currentTmp}, legacyNames...), extraLegacy...)
+	for _, e := range entries {
+		name := e.Name()
+		if g, ok := genSuffix(name); ok && g != keep {
+			_ = fsys.Remove(filepath.Join(dir, name))
+			continue
+		}
+		for _, l := range legacy {
+			if name == l {
+				_ = fsys.Remove(filepath.Join(dir, name))
+				break
+			}
+		}
+	}
+}

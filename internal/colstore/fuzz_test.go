@@ -2,6 +2,8 @@ package colstore
 
 import (
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/jdewey"
@@ -26,6 +28,51 @@ func seedBlobs() ([][]byte, [][]byte) {
 		tk = append(tk, b2)
 	}
 	return col, tk
+}
+
+// FuzzOpenLexicon drives the lexicon parser with mutations of real saved
+// lexicons (both format magics). Accepted inputs must be self-consistent:
+// per-entry extents non-wrapping and the entry count as declared.
+func FuzzOpenLexicon(f *testing.F) {
+	rng := rand.New(rand.NewSource(2))
+	doc := testutil.RandomDoc(rng, testutil.SmallParams())
+	jdewey.Assign(doc, 0)
+	s := Build(occur.Extract(doc))
+	dir := f.TempDir()
+	if err := s.Save(dir); err != nil {
+		f.Fatal(err)
+	}
+	gen, ok, err := CurrentGen(dir)
+	if err != nil || !ok {
+		f.Fatalf("no commit point: %v", err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, GenName(fileLexicon, gen)))
+	if err != nil {
+		f.Fatal(err)
+	}
+	payload, err := StripFooter(raw)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(payload)
+	f.Add(raw) // footer still attached: must be rejected as trailing bytes
+	f.Add([]byte(magicV1))
+	f.Add([]byte(magicV2))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, depth, entries, err := parseLexicon(data)
+		if err != nil {
+			return
+		}
+		if n < 0 || depth < 0 || depth > 1<<15 {
+			t.Fatalf("accepted implausible header n=%d depth=%d", n, depth)
+		}
+		for w, e := range entries {
+			if e.colOff+e.colLen < e.colOff || e.tkOff+e.tkLen < e.tkOff {
+				t.Fatalf("entry %q has wrapping extent", w)
+			}
+		}
+	})
 }
 
 func FuzzDecodeList(f *testing.F) {

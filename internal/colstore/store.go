@@ -9,18 +9,22 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/faultinject"
 	"repro/internal/occur"
 )
 
 // File names inside an index directory. The paper stores inverted lists
 // directly on disk rather than inside a column DBMS because the lexicon is
 // huge and most lists are short (Section V); we mirror that with one blob
-// file per list family plus a lexicon of offsets.
+// file per list family plus a lexicon of offsets. Format v2 suffixes the
+// names with a generation number and commits via CURRENT (see durable.go);
+// v1 used these names directly.
 const (
 	fileColumns = "postings.col" // JDewey-ordered column lists
 	fileTopK    = "postings.tk"  // score-sorted, length-grouped lists
 	fileLexicon = "lexicon"
-	magic       = "XKWCOL1\n"
+	magicV1     = "XKWCOL1\n"
+	magicV2     = "XKWCOL2\n"
 )
 
 // Store is the column-oriented index for one document: every keyword's
@@ -37,12 +41,22 @@ type Store struct {
 	colBlob []byte
 	tkBlob  []byte
 	lex     map[string]lexEntry
+
+	// Degradation state of a disk-opened store: terms whose on-disk bytes
+	// failed their checksum or structural validation are quarantined (they
+	// read as absent) instead of poisoning the whole index, and file-level
+	// damage that could not be attributed to one term is recorded.
+	format      int // 0 in-memory, 1 legacy, 2 checksummed
+	quarantined map[string]error
+	fileDamage  []string
 }
 
 type lexEntry struct {
 	colOff, colLen uint64
 	tkOff, tkLen   uint64
 	freq           uint64
+	colCRC, tkCRC  uint32
+	hasCRC         bool
 }
 
 // Build constructs an in-memory store from an occurrence map. Per-keyword
@@ -104,42 +118,96 @@ func BuildWorkers(m *occur.Map, workers int) *Store {
 	return s
 }
 
+// quarantine records one term's on-disk damage (under s.mu). The term then
+// reads as absent; Health reports it.
+func (s *Store) quarantine(term string, err error) {
+	if s.quarantined == nil {
+		s.quarantined = make(map[string]error)
+	}
+	if _, dup := s.quarantined[term]; !dup {
+		s.quarantined[term] = err
+	}
+}
+
+// colSlice bounds- and checksum-verifies one term's extent of the column
+// blob (under s.mu).
+func (s *Store) colSlice(e lexEntry) ([]byte, error) {
+	if e.colOff+e.colLen > uint64(len(s.colBlob)) {
+		return nil, fmt.Errorf("colstore: column extent [%d,+%d) outside blob (%d bytes)", e.colOff, e.colLen, len(s.colBlob))
+	}
+	b := s.colBlob[e.colOff : e.colOff+e.colLen]
+	if e.hasCRC && Checksum(b) != e.colCRC {
+		return nil, fmt.Errorf("colstore: column list checksum mismatch")
+	}
+	return b, nil
+}
+
+// tkSlice is colSlice for the top-K blob.
+func (s *Store) tkSlice(e lexEntry) ([]byte, error) {
+	if e.tkOff+e.tkLen > uint64(len(s.tkBlob)) {
+		return nil, fmt.Errorf("colstore: top-K extent [%d,+%d) outside blob (%d bytes)", e.tkOff, e.tkLen, len(s.tkBlob))
+	}
+	b := s.tkBlob[e.tkOff : e.tkOff+e.tkLen]
+	if e.hasCRC && Checksum(b) != e.tkCRC {
+		return nil, fmt.Errorf("colstore: top-K list checksum mismatch")
+	}
+	return b, nil
+}
+
 // List returns the JDewey-ordered column list for a term, or nil when the
-// term is unindexed.
+// term is unindexed or its on-disk bytes are damaged (checksum or
+// structural failure — the term is then quarantined and reported by
+// Health, so one corrupt list degrades only its own term).
 func (s *Store) List(term string) *List {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if l, ok := s.lists[term]; ok {
 		return l
 	}
+	if _, bad := s.quarantined[term]; bad {
+		return nil
+	}
 	e, ok := s.lex[term]
 	if !ok {
 		return nil
 	}
-	l, _, err := DecodeList(term, s.colBlob[e.colOff:e.colOff+e.colLen])
+	blob, err := s.colSlice(e)
 	if err != nil {
-		// Decoding from a lexicon-verified offset only fails on
-		// corruption; surface it as a missing list and let Verify report
-		// details.
+		s.quarantine(term, err)
+		return nil
+	}
+	l, _, err := DecodeList(term, blob)
+	if err != nil {
+		s.quarantine(term, err)
 		return nil
 	}
 	s.lists[term] = l
 	return l
 }
 
-// TopKList returns the score-sorted list for a term, or nil.
+// TopKList returns the score-sorted list for a term, or nil (same
+// quarantine semantics as List).
 func (s *Store) TopKList(term string) *TKList {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if l, ok := s.tklists[term]; ok {
 		return l
 	}
+	if _, bad := s.quarantined[term]; bad {
+		return nil
+	}
 	e, ok := s.lex[term]
 	if !ok {
 		return nil
 	}
-	l, _, err := DecodeTKList(term, s.tkBlob[e.tkOff:e.tkOff+e.tkLen])
+	blob, err := s.tkSlice(e)
 	if err != nil {
+		s.quarantine(term, err)
+		return nil
+	}
+	l, _, err := DecodeTKList(term, blob)
+	if err != nil {
+		s.quarantine(term, err)
 		return nil
 	}
 	s.tklists[term] = l
@@ -153,9 +221,17 @@ func (s *Store) TopKList(term string) *TKList {
 func (s *Store) Handle(term string) *Handle {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if _, bad := s.quarantined[term]; bad {
+		return nil
+	}
 	var blob []byte
 	if e, ok := s.lex[term]; ok {
-		blob = s.colBlob[e.colOff : e.colOff+e.colLen]
+		var err error
+		blob, err = s.colSlice(e)
+		if err != nil {
+			s.quarantine(term, err)
+			return nil
+		}
 	} else if l, ok := s.lists[term]; ok {
 		blob, _ = l.AppendEncoded(nil)
 	} else {
@@ -163,6 +239,7 @@ func (s *Store) Handle(term string) *Handle {
 	}
 	h, err := NewHandle(term, blob)
 	if err != nil {
+		s.quarantine(term, err)
 		return nil
 	}
 	return h
@@ -173,9 +250,17 @@ func (s *Store) Handle(term string) *Handle {
 func (s *Store) TKHandle(term string) *TKHandle {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if _, bad := s.quarantined[term]; bad {
+		return nil
+	}
 	var blob []byte
 	if e, ok := s.lex[term]; ok {
-		blob = s.tkBlob[e.tkOff : e.tkOff+e.tkLen]
+		var err error
+		blob, err = s.tkSlice(e)
+		if err != nil {
+			s.quarantine(term, err)
+			return nil
+		}
 	} else if l, ok := s.tklists[term]; ok {
 		blob, _ = l.AppendEncoded(nil)
 	} else {
@@ -183,6 +268,7 @@ func (s *Store) TKHandle(term string) *TKHandle {
 	}
 	h, err := NewTKHandle(term, blob)
 	if err != nil {
+		s.quarantine(term, err)
 		return nil
 	}
 	return h
@@ -231,6 +317,7 @@ func (s *Store) Replace(term string, occs []occur.Occ) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.lex, term) // any stale on-disk blob no longer describes the term
+	delete(s.quarantined, term)
 	if len(occs) == 0 {
 		delete(s.lists, term)
 		delete(s.tklists, term)
@@ -280,29 +367,62 @@ func (s *Store) Stats() SizeStats {
 	return st
 }
 
-// Save writes the store to a directory: the two blob files plus the
-// lexicon.
+// Save writes the store to a directory as a new committed generation (see
+// durable.go for the crash-safety protocol): the two blob files plus the
+// lexicon, all checksummed, atomically published via CURRENT.
 func (s *Store) Save(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return s.SaveFS(dir, faultinject.OS())
+}
+
+// SaveFS is Save through an explicit filesystem, the injection point of
+// the crash tests.
+func (s *Store) SaveFS(dir string, fsys faultinject.FS) error {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("colstore: save: %w", err)
 	}
+	gen, err := NextGen(dir)
+	if err != nil {
+		return fmt.Errorf("colstore: save: %w", err)
+	}
+	if err := s.SaveGen(dir, gen, fsys); err != nil {
+		return err
+	}
+	if err := CommitGen(dir, gen, fsys); err != nil {
+		return err
+	}
+	RemoveStaleGens(dir, gen, fsys)
+	return nil
+}
+
+// SaveGen writes the store's three files of one generation without
+// committing it, for callers (the xmlsearch layer) that bundle more files
+// into the same generation before the single CommitGen.
+func (s *Store) SaveGen(dir string, gen uint64, fsys faultinject.FS) error {
 	words := s.Words()
 	var colBlob, tkBlob []byte
 	lex := make([]byte, 0, 1024)
-	lex = append(lex, magic...)
+	lex = append(lex, magicV2...)
 	lex = binary.AppendUvarint(lex, uint64(s.N))
 	lex = binary.AppendUvarint(lex, uint64(s.Depth))
 	lex = binary.AppendUvarint(lex, uint64(len(words)))
+	var err error
 	for _, w := range words {
 		l := s.List(w)
 		tl := s.TopKList(w)
 		if l == nil || tl == nil {
+			if qerr := s.QuarantineErr(w); qerr != nil {
+				return fmt.Errorf("colstore: save: list %q quarantined: %w", w, qerr)
+			}
 			return fmt.Errorf("colstore: save: list %q unavailable", w)
 		}
 		colOff := uint64(len(colBlob))
-		colBlob, _ = l.AppendEncoded(colBlob)
+		if colBlob, err = l.EncodeChecked(colBlob); err != nil {
+			return fmt.Errorf("colstore: save: %w", err)
+		}
 		tkOff := uint64(len(tkBlob))
-		tkBlob, _ = tl.AppendEncoded(tkBlob)
+		if tkBlob, err = tl.EncodeChecked(tkBlob); err != nil {
+			return fmt.Errorf("colstore: save: %w", err)
+		}
 		lex = binary.AppendUvarint(lex, uint64(len(w)))
 		lex = append(lex, w...)
 		lex = binary.AppendUvarint(lex, colOff)
@@ -310,44 +430,40 @@ func (s *Store) Save(dir string) error {
 		lex = binary.AppendUvarint(lex, tkOff)
 		lex = binary.AppendUvarint(lex, uint64(len(tkBlob))-tkOff)
 		lex = binary.AppendUvarint(lex, uint64(l.NumRows))
+		lex = binary.LittleEndian.AppendUint32(lex, Checksum(colBlob[colOff:]))
+		lex = binary.LittleEndian.AppendUint32(lex, Checksum(tkBlob[tkOff:]))
 	}
-	for name, data := range map[string][]byte{
-		fileColumns: colBlob,
-		fileTopK:    tkBlob,
-		fileLexicon: lex,
+	for _, f := range []struct {
+		name string
+		data []byte
+	}{
+		{fileColumns, colBlob},
+		{fileTopK, tkBlob},
+		{fileLexicon, lex},
 	} {
-		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
-			return fmt.Errorf("colstore: save %s: %w", name, err)
+		path := filepath.Join(dir, GenName(f.name, gen))
+		if err := fsys.WriteFile(path, AppendFooter(f.data), 0o644); err != nil {
+			return fmt.Errorf("colstore: save %s: %w", f.name, err)
 		}
 	}
 	return nil
 }
 
-// Open maps an index directory. Lists decode lazily on first access.
-func Open(dir string) (*Store, error) {
-	lex, err := os.ReadFile(filepath.Join(dir, fileLexicon))
-	if err != nil {
-		return nil, fmt.Errorf("colstore: open: %w", err)
+// parseLexicon decodes a lexicon payload (magic included). Extent bounds
+// against the blob files are checked by the caller, which can quarantine
+// per term; everything here is fatal because a lexicon that cannot be
+// parsed identifies nothing.
+func parseLexicon(lex []byte) (n, depth int, entries map[string]lexEntry, err error) {
+	var format int
+	switch {
+	case len(lex) >= len(magicV2) && string(lex[:len(magicV2)]) == magicV2:
+		format = 2
+	case len(lex) >= len(magicV1) && string(lex[:len(magicV1)]) == magicV1:
+		format = 1
+	default:
+		return 0, 0, nil, fmt.Errorf("colstore: open: not an index lexicon")
 	}
-	colBlob, err := os.ReadFile(filepath.Join(dir, fileColumns))
-	if err != nil {
-		return nil, fmt.Errorf("colstore: open: %w", err)
-	}
-	tkBlob, err := os.ReadFile(filepath.Join(dir, fileTopK))
-	if err != nil {
-		return nil, fmt.Errorf("colstore: open: %w", err)
-	}
-	if len(lex) < len(magic) || string(lex[:len(magic)]) != magic {
-		return nil, fmt.Errorf("colstore: open: not an index lexicon")
-	}
-	s := &Store{
-		lists:   make(map[string]*List),
-		tklists: make(map[string]*TKList),
-		colBlob: colBlob,
-		tkBlob:  tkBlob,
-		lex:     make(map[string]lexEntry),
-	}
-	off := len(magic)
+	off := len(magicV1)
 	read := func() (uint64, error) {
 		v, sz := binary.Uvarint(lex[off:])
 		if sz <= 0 {
@@ -356,67 +472,197 @@ func Open(dir string) (*Store, error) {
 		off += sz
 		return v, nil
 	}
-	n, err := read()
+	nv, err := read()
 	if err != nil {
-		return nil, err
+		return 0, 0, nil, err
 	}
-	depth, err := read()
+	depthv, err := read()
 	if err != nil {
-		return nil, err
+		return 0, 0, nil, err
 	}
 	nWords, err := read()
 	if err != nil {
-		return nil, err
+		return 0, 0, nil, err
+	}
+	if depthv > 1<<15 {
+		return 0, 0, nil, fmt.Errorf("colstore: open: implausible depth %d", depthv)
 	}
 	if nWords > uint64(len(lex)) {
-		return nil, fmt.Errorf("colstore: open: implausible word count %d", nWords)
+		return 0, 0, nil, fmt.Errorf("colstore: open: implausible word count %d", nWords)
 	}
-	s.N, s.Depth = int(n), int(depth)
+	entries = make(map[string]lexEntry, nWords)
 	for i := uint64(0); i < nWords; i++ {
 		wl, err := read()
 		if err != nil {
-			return nil, err
+			return 0, 0, nil, err
 		}
-		if off+int(wl) > len(lex) {
-			return nil, fmt.Errorf("colstore: open: truncated word %d", i)
+		if uint64(off)+wl > uint64(len(lex)) {
+			return 0, 0, nil, fmt.Errorf("colstore: open: truncated word %d", i)
 		}
 		w := string(lex[off : off+int(wl)])
 		off += int(wl)
 		var e lexEntry
 		for _, dst := range []*uint64{&e.colOff, &e.colLen, &e.tkOff, &e.tkLen, &e.freq} {
 			if *dst, err = read(); err != nil {
-				return nil, err
+				return 0, 0, nil, err
 			}
 		}
-		if e.colOff+e.colLen > uint64(len(colBlob)) || e.tkOff+e.tkLen > uint64(len(tkBlob)) {
-			return nil, fmt.Errorf("colstore: open: word %q offsets out of range", w)
+		if format == 2 {
+			if off+8 > len(lex) {
+				return 0, 0, nil, fmt.Errorf("colstore: open: truncated checksums for word %q", w)
+			}
+			e.colCRC = binary.LittleEndian.Uint32(lex[off:])
+			e.tkCRC = binary.LittleEndian.Uint32(lex[off+4:])
+			e.hasCRC = true
+			off += 8
 		}
-		s.lex[w] = e
+		if _, dup := entries[w]; dup {
+			return 0, 0, nil, fmt.Errorf("colstore: open: duplicate word %q", w)
+		}
+		entries[w] = e
+	}
+	if off != len(lex) {
+		return 0, 0, nil, fmt.Errorf("colstore: open: %d trailing lexicon bytes", len(lex)-off)
+	}
+	return int(nv), int(depthv), entries, nil
+}
+
+// Open maps an index directory. Lists decode lazily on first access, and
+// on the checksummed v2 format each access verifies its CRC32C first:
+// damage to one term's bytes quarantines that term (reported via Health)
+// while the rest of the index keeps serving. Only damage to the small,
+// fully-verified metadata (CURRENT, the lexicon) fails the whole open.
+func Open(dir string) (*Store, error) {
+	gen, v2, err := CurrentGen(dir)
+	if err != nil {
+		return nil, err
+	}
+	name := func(base string) string {
+		if v2 {
+			return GenName(base, gen)
+		}
+		return base
+	}
+	lexRaw, err := os.ReadFile(filepath.Join(dir, name(fileLexicon)))
+	if err != nil {
+		return nil, fmt.Errorf("colstore: open: %w", err)
+	}
+	colBlob, err := os.ReadFile(filepath.Join(dir, name(fileColumns)))
+	if err != nil {
+		return nil, fmt.Errorf("colstore: open: %w", err)
+	}
+	tkBlob, err := os.ReadFile(filepath.Join(dir, name(fileTopK)))
+	if err != nil {
+		return nil, fmt.Errorf("colstore: open: %w", err)
+	}
+	s := &Store{
+		lists:   make(map[string]*List),
+		tklists: make(map[string]*TKList),
+		format:  1,
+	}
+	lex := lexRaw
+	if v2 {
+		s.format = 2
+		// The lexicon is the map of everything else: its footer and CRC are
+		// verified eagerly and damage is fatal (a clean error, not wrong
+		// results). Blob footers are advisory — per-list CRCs localize blob
+		// damage, so a bad blob footer only flags file-level damage.
+		lex, err = StripFooter(lexRaw)
+		if err != nil {
+			return nil, fmt.Errorf("colstore: open lexicon: %w", err)
+		}
+		if payload, ferr := StripFooter(colBlob); ferr == nil {
+			colBlob = payload
+		} else {
+			s.fileDamage = append(s.fileDamage, fmt.Sprintf("%s: %v", fileColumns, ferr))
+		}
+		if payload, ferr := StripFooter(tkBlob); ferr == nil {
+			tkBlob = payload
+		} else {
+			s.fileDamage = append(s.fileDamage, fmt.Sprintf("%s: %v", fileTopK, ferr))
+		}
+	}
+	n, depth, entries, err := parseLexicon(lex)
+	if err != nil {
+		return nil, err
+	}
+	s.N, s.Depth = n, depth
+	s.colBlob, s.tkBlob = colBlob, tkBlob
+	s.lex = entries
+	if s.format == 1 {
+		// Legacy lexicons carry no checksums; an out-of-range extent is
+		// indistinguishable from a corrupt lexicon, so reject wholesale as
+		// v1 always did.
+		for w, e := range entries {
+			if e.colOff+e.colLen > uint64(len(colBlob)) || e.tkOff+e.tkLen > uint64(len(tkBlob)) {
+				return nil, fmt.Errorf("colstore: open: word %q offsets out of range", w)
+			}
+		}
 	}
 	return s, nil
 }
 
-// Verify eagerly decodes and validates every list, returning the first
-// error. It is the integrity check the failure-injection tests exercise.
-func (s *Store) Verify() error {
-	s.mu.Lock()
-	words := make([]string, 0, len(s.lex))
-	for w := range s.lex {
-		words = append(words, w)
-	}
-	s.mu.Unlock()
-	sort.Strings(words)
+// TermFault is one quarantined term in a Health report.
+type TermFault struct {
+	Term string
+	Err  string
+}
+
+// Health is the degradation report of a store: which terms are quarantined
+// (their queries return no occurrences; everything else is exact) and any
+// file-level damage. The zero Degraded/empty report means the index is
+// fully intact.
+type Health struct {
+	Format      int // 0 in-memory, 1 legacy on-disk, 2 checksummed
+	Terms       int // terms the index knows (healthy + quarantined)
+	Quarantined []TermFault
+	FileDamage  []string
+}
+
+// Degraded reports whether any damage was detected.
+func (h Health) Degraded() bool { return len(h.Quarantined) > 0 || len(h.FileDamage) > 0 }
+
+// Health eagerly verifies every not-yet-decoded list (checksums and
+// structural invariants), quarantining failures, and returns the full
+// degradation report. It is how a caller chooses degraded service over an
+// outage after Open succeeds on a damaged directory.
+func (s *Store) Health() Health {
+	words := s.Words()
 	for _, w := range words {
-		s.mu.Lock()
-		e := s.lex[w]
-		_, _, err := DecodeList(w, s.colBlob[e.colOff:e.colOff+e.colLen])
-		if err == nil {
-			_, _, err = DecodeTKList(w, s.tkBlob[e.tkOff:e.tkOff+e.tkLen])
+		// Side effect: decode-or-quarantine through the usual access path.
+		if s.List(w) != nil {
+			s.TopKList(w)
 		}
-		s.mu.Unlock()
-		if err != nil {
-			return fmt.Errorf("colstore: verify %q: %w", w, err)
-		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := Health{Format: s.format, Terms: len(words)}
+	h.FileDamage = append(h.FileDamage, s.fileDamage...)
+	for w, err := range s.quarantined {
+		h.Quarantined = append(h.Quarantined, TermFault{Term: w, Err: err.Error()})
+	}
+	sort.Slice(h.Quarantined, func(i, j int) bool { return h.Quarantined[i].Term < h.Quarantined[j].Term })
+	return h
+}
+
+// QuarantineErr returns the recorded damage for a term, or nil.
+func (s *Store) QuarantineErr(term string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarantined[term]
+}
+
+// Verify eagerly decodes and validates every list, returning an error if
+// any damage is found. It is the strict all-or-nothing integrity check;
+// Health is the degraded-service variant.
+func (s *Store) Verify() error {
+	h := s.Health()
+	if len(h.FileDamage) > 0 {
+		return fmt.Errorf("colstore: verify: %s", h.FileDamage[0])
+	}
+	if len(h.Quarantined) > 0 {
+		q := h.Quarantined[0]
+		return fmt.Errorf("colstore: verify %q: %s", q.Term, q.Err)
 	}
 	return nil
 }

@@ -68,6 +68,49 @@ func BuildTKList(word string, occs []occur.Occ) *TKList {
 	return l
 }
 
+// Validate checks the structural invariants of the score-sorted list:
+// strictly ascending non-empty groups, per-row sequence lengths equal to
+// their group's, scores descending within each group, and MaxLen
+// consistency.
+func (l *TKList) Validate() error {
+	prevLen := 0
+	maxLen := 0
+	for gi, g := range l.Groups {
+		if g.Len <= prevLen {
+			return fmt.Errorf("group %d length %d not ascending", gi, g.Len)
+		}
+		prevLen = g.Len
+		if g.Len > maxLen {
+			maxLen = g.Len
+		}
+		if len(g.Rows) == 0 {
+			return fmt.Errorf("group %d empty", gi)
+		}
+		for i, r := range g.Rows {
+			if len(r.Seq) != g.Len {
+				return fmt.Errorf("group %d row %d has %d components, want %d", gi, i, len(r.Seq), g.Len)
+			}
+			if i > 0 && r.Score > g.Rows[i-1].Score {
+				return fmt.Errorf("group %d rows not score-sorted at %d", gi, i)
+			}
+		}
+	}
+	if maxLen != l.MaxLen {
+		return fmt.Errorf("MaxLen %d, deepest group %d", l.MaxLen, maxLen)
+	}
+	return nil
+}
+
+// EncodeChecked validates the list and then appends its on-disk blob,
+// propagating the validation error (see List.EncodeChecked).
+func (l *TKList) EncodeChecked(buf []byte) ([]byte, error) {
+	if err := l.Validate(); err != nil {
+		return buf, fmt.Errorf("colstore: encode %q: %w", l.Word, err)
+	}
+	out, _ := l.AppendEncoded(buf)
+	return out, nil
+}
+
 // MaxColScore returns, per 1-based level l <= MaxLen, the maximum damped
 // column score s_m(l) = max over rows with length >= l of score * decay^(len-l).
 // The slice is indexed by level (entry 0 unused). These are the per-column

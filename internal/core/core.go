@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -88,13 +89,21 @@ type Stats struct {
 // Evaluate runs Algorithm 1 over fully-decoded in-memory lists. It is a
 // convenience wrapper over EvaluateSources; see there for semantics.
 func Evaluate(lists []*colstore.List, opt Options) ([]Result, Stats) {
+	rs, st, _ := EvaluateCtx(context.Background(), lists, opt)
+	return rs, st
+}
+
+// EvaluateCtx is Evaluate honoring a context: cancellation or deadline
+// expiry is observed between levels and periodically inside the join
+// loops, aborting the evaluation with ctx.Err().
+func EvaluateCtx(ctx context.Context, lists []*colstore.List, opt Options) ([]Result, Stats, error) {
 	srcs := make([]colstore.Source, len(lists))
 	for i, l := range lists {
 		if l != nil {
 			srcs[i] = l
 		}
 	}
-	return EvaluateSources(srcs, opt)
+	return EvaluateSourcesCtx(ctx, srcs, opt)
 }
 
 // EvaluateSources runs Algorithm 1 over the given inverted-list sources
@@ -104,13 +113,24 @@ func Evaluate(lists []*colstore.List, opt Options) ([]Result, Stats) {
 // level. A nil or empty source means some keyword has no occurrence, so
 // there are no results.
 func EvaluateSources(lists []colstore.Source, opt Options) ([]Result, Stats) {
+	rs, st, _ := EvaluateSourcesCtx(context.Background(), lists, opt)
+	return rs, st
+}
+
+// EvaluateSourcesCtx is EvaluateSources honoring a context (see
+// EvaluateCtx). The partial results accumulated before the abort are
+// returned alongside the error.
+func EvaluateSourcesCtx(ctx context.Context, lists []colstore.Source, opt Options) ([]Result, Stats, error) {
 	var st Stats
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(lists) == 0 {
-		return nil, st
+		return nil, st, nil
 	}
 	for _, l := range lists {
 		if l == nil || l.Rows() == 0 {
-			return nil, st
+			return nil, st, nil
 		}
 	}
 	// Join ordering (Section III-C): left-deep, shortest list first.
@@ -118,7 +138,7 @@ func EvaluateSources(lists []colstore.Source, opt Options) ([]Result, Stats) {
 	copy(ordered, lists)
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Rows() < ordered[j].Rows() })
 
-	e := newEvaluator(ordered, opt)
+	e := newEvaluator(ctx, ordered, opt)
 	lmin := ordered[0].MaxLevel()
 	for _, l := range ordered {
 		if l.MaxLevel() < lmin {
@@ -127,15 +147,29 @@ func EvaluateSources(lists []colstore.Source, opt Options) ([]Result, Stats) {
 	}
 	var results []Result
 	for lev := lmin; lev >= 1; lev-- {
+		if err := ctx.Err(); err != nil {
+			return results, st, err
+		}
 		st.Levels++
 		results = e.processLevel(lev, results, &st)
+		if e.err != nil {
+			return results, st, e.err
+		}
 	}
 	st.Results = len(results)
-	return results, st
+	return results, st, nil
 }
+
+// ctxCheckStride is how many inner-loop iterations pass between context
+// checks: frequent enough that cancellation lands within microseconds,
+// rare enough to keep the checks off the join's hot-path profile.
+const ctxCheckStride = 2048
 
 // evaluator carries the per-query erasure state.
 type evaluator struct {
+	ctx     context.Context
+	err     error // sticky ctx.Err() once cancellation is observed
+	ops     int
 	lists   []colstore.Source
 	erased  []*eraseSet
 	curCols []*colstore.Column // columns of the level being processed
@@ -143,13 +177,30 @@ type evaluator struct {
 	decay   float64
 }
 
-func newEvaluator(lists []colstore.Source, opt Options) *evaluator {
-	e := &evaluator{lists: lists, opt: opt, decay: opt.decay()}
+func newEvaluator(ctx context.Context, lists []colstore.Source, opt Options) *evaluator {
+	e := &evaluator{ctx: ctx, lists: lists, opt: opt, decay: opt.decay()}
 	e.erased = make([]*eraseSet, len(lists))
 	for i, l := range lists {
 		e.erased[i] = newEraseSet(l.Rows())
 	}
 	return e
+}
+
+// tick accounts one unit of inner-loop work and reports whether the
+// evaluation must abort (context cancelled).
+func (e *evaluator) tick() bool {
+	if e.err != nil {
+		return true
+	}
+	e.ops++
+	if e.ops%ctxCheckStride != 0 {
+		return false
+	}
+	if err := e.ctx.Err(); err != nil {
+		e.err = err
+		return true
+	}
+	return false
 }
 
 // match is one joined value at the current level: the run index per list.
@@ -191,13 +242,19 @@ func (e *evaluator) processLevel(lev int, results []Result, st *Stats) []Result 
 		}
 		if useIndex {
 			st.IndexJoins++
-			cur = indexJoin(cur, cols[j], st)
+			cur = e.indexJoin(cur, cols[j], st)
 		} else {
 			st.MergeJoins++
-			cur = mergeJoin(cur, cols[j], st)
+			cur = e.mergeJoin(cur, cols[j], st)
+		}
+		if e.err != nil {
+			return results
 		}
 	}
 	for _, m := range cur {
+		if e.tick() {
+			return results
+		}
 		st.Matches++
 		if r, ok := e.applyMatch(lev, m); ok {
 			results = append(results, r)
@@ -208,9 +265,12 @@ func (e *evaluator) processLevel(lev int, results []Result, st *Stats) []Result 
 
 // indexJoin probes the column for each intermediate value (binary search
 // over the sorted runs; on disk this is the sparse-index lookup).
-func indexJoin(cur []match, col *colstore.Column, st *Stats) []match {
+func (e *evaluator) indexJoin(cur []match, col *colstore.Column, st *Stats) []match {
 	out := cur[:0]
 	for _, m := range cur {
+		if e.tick() {
+			return out
+		}
 		st.Probes++
 		if ri, ok := col.FindValue(m.value); ok {
 			m.runs = append(m.runs, int32(ri))
@@ -222,10 +282,13 @@ func indexJoin(cur []match, col *colstore.Column, st *Stats) []match {
 
 // mergeJoin advances two cursors over the sorted intermediate values and
 // the sorted column runs.
-func mergeJoin(cur []match, col *colstore.Column, st *Stats) []match {
+func (e *evaluator) mergeJoin(cur []match, col *colstore.Column, st *Stats) []match {
 	out := cur[:0]
 	i, j := 0, 0
 	for i < len(cur) && j < len(col.Runs) {
+		if e.tick() {
+			return out
+		}
 		st.RunsScanned++
 		a, b := cur[i].value, col.Runs[j].Value
 		switch {
@@ -304,6 +367,9 @@ func (e *evaluator) bestWitness(i int, run colstore.Run, lev int) float64 {
 	l := e.lists[i]
 	best := 0.0
 	for row := run.Row; row < run.Row+run.Count; row++ {
+		if e.tick() {
+			return best
+		}
 		if e.erased[i].isErased(row) {
 			continue
 		}

@@ -1,0 +1,240 @@
+// Package faultinject provides the write-path filesystem abstraction the
+// durable index storage goes through, plus a fault-injecting implementation
+// used by the crash- and corruption-robustness tests. The production code
+// saves indexes through the FS interface; tests substitute a FaultFS that
+// simulates a process crash (or power loss) at an arbitrary point of the
+// write schedule, including a torn write of the file being written at that
+// moment. Separate helpers flip bits in or truncate already-written files
+// to model media corruption.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// FS is the mutation surface of an index save: every durable write the
+// storage layer performs goes through exactly one of these calls, so a
+// fault schedule over op indices covers every crash point.
+type FS interface {
+	// MkdirAll creates a directory tree.
+	MkdirAll(path string, perm fs.FileMode) error
+	// WriteFile atomically-in-content (create, write, fsync, close) writes
+	// a file. It does NOT imply the directory entry is durable; callers
+	// must SyncDir before relying on the name surviving a crash.
+	WriteFile(path string, data []byte, perm fs.FileMode) error
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file (used for garbage collection of stale
+	// generations; failures are non-fatal to callers).
+	Remove(path string) error
+	// SyncDir fsyncs a directory, making the entries created or renamed
+	// inside it durable.
+	SyncDir(path string) error
+}
+
+// osFS is the production implementation.
+type osFS struct{}
+
+// OS returns the real filesystem implementation of FS.
+func OS() FS { return osFS{} }
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) WriteFile(path string, data []byte, perm fs.FileMode) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+func (osFS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ErrCrashed is returned by every FaultFS operation at and after the
+// injected crash point: from the process's point of view the save fails,
+// and from the disk's point of view nothing after the crash point happened.
+var ErrCrashed = errors.New("faultinject: simulated crash")
+
+// FaultFS wraps a base FS and simulates a crash at a chosen point in the
+// operation schedule. Operation indices are 1-based: CrashAt(n) lets the
+// first n-1 mutations complete, fails the n-th — a WriteFile caught at the
+// crash point leaves a torn prefix of TornFraction of its data on disk —
+// and rejects everything after it. CrashAt(0) (or a FaultFS that never
+// reaches its crash point) injects nothing, which is how schedules are
+// sized: run once with no crash point and read Ops().
+type FaultFS struct {
+	base FS
+
+	mu      sync.Mutex
+	ops     int
+	crashAt int
+	torn    float64
+	crashed bool
+}
+
+// NewFaultFS returns a fault-injecting wrapper over base (usually OS()).
+func NewFaultFS(base FS) *FaultFS {
+	return &FaultFS{base: base, torn: 0.5}
+}
+
+// CrashAt arms the crash for the 1-based n-th mutating operation; n <= 0
+// disarms it.
+func (f *FaultFS) CrashAt(n int) *FaultFS {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAt = n
+	return f
+}
+
+// TornFraction sets the fraction (0..1) of the crashing WriteFile's data
+// that reaches disk, modelling a torn write. The default is 0.5.
+func (f *FaultFS) TornFraction(frac float64) *FaultFS {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	f.torn = frac
+	return f
+}
+
+// Ops reports how many mutating operations have been attempted, which sizes
+// an exhaustive crash schedule.
+func (f *FaultFS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crashed reports whether the injected crash has fired.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// step accounts one mutating op and reports whether it is the crash point
+// (fire=true) or past it (err=ErrCrashed).
+func (f *FaultFS) step() (fire bool, torn float64, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return false, 0, ErrCrashed
+	}
+	f.ops++
+	if f.crashAt > 0 && f.ops == f.crashAt {
+		f.crashed = true
+		return true, f.torn, nil
+	}
+	return false, 0, nil
+}
+
+func (f *FaultFS) MkdirAll(path string, perm fs.FileMode) error {
+	fire, _, err := f.step()
+	if err != nil || fire {
+		return ErrCrashed
+	}
+	return f.base.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) WriteFile(path string, data []byte, perm fs.FileMode) error {
+	fire, torn, err := f.step()
+	if err != nil {
+		return ErrCrashed
+	}
+	if fire {
+		// Torn write: a prefix of the data reaches disk, the rest is lost
+		// with the crash.
+		n := int(float64(len(data)) * torn)
+		_ = f.base.WriteFile(path, data[:n], perm)
+		return ErrCrashed
+	}
+	return f.base.WriteFile(path, data, perm)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	fire, _, err := f.step()
+	if err != nil || fire {
+		return ErrCrashed
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(path string) error {
+	fire, _, err := f.step()
+	if err != nil || fire {
+		return ErrCrashed
+	}
+	return f.base.Remove(path)
+}
+
+func (f *FaultFS) SyncDir(path string) error {
+	fire, _, err := f.step()
+	if err != nil || fire {
+		return ErrCrashed
+	}
+	return f.base.SyncDir(path)
+}
+
+var (
+	_ FS = osFS{}
+	_ FS = (*FaultFS)(nil)
+)
+
+// FlipByte XORs the byte at offset off of the file with mask (mask 0 is
+// promoted to 0xff so the byte always changes), modelling a media bit-flip.
+func FlipByte(path string, off int64, mask byte) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if off < 0 || off >= int64(len(data)) {
+		return fmt.Errorf("faultinject: offset %d outside %q (%d bytes)", off, path, len(data))
+	}
+	if mask == 0 {
+		mask = 0xff
+	}
+	data[off] ^= mask
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Truncate cuts the file to n bytes, modelling a torn append or lost tail.
+func Truncate(path string, n int64) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if n < 0 || n > fi.Size() {
+		return fmt.Errorf("faultinject: truncation %d outside %q (%d bytes)", n, path, fi.Size())
+	}
+	return os.Truncate(path, n)
+}

@@ -1,0 +1,91 @@
+package faultinject
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCrashSchedule(t *testing.T) {
+	dir := t.TempDir()
+	save := func(fsys FS) error {
+		if err := fsys.WriteFile(filepath.Join(dir, "a"), []byte("aaaa"), 0o644); err != nil {
+			return err
+		}
+		if err := fsys.WriteFile(filepath.Join(dir, "b.tmp"), []byte("bbbb"), 0o644); err != nil {
+			return err
+		}
+		if err := fsys.Rename(filepath.Join(dir, "b.tmp"), filepath.Join(dir, "b")); err != nil {
+			return err
+		}
+		return fsys.SyncDir(dir)
+	}
+	// Count the schedule.
+	probe := NewFaultFS(OS())
+	if err := save(probe); err != nil {
+		t.Fatal(err)
+	}
+	if probe.Ops() != 4 {
+		t.Fatalf("schedule has %d ops, want 4", probe.Ops())
+	}
+	if probe.Crashed() {
+		t.Fatal("unarmed FaultFS must not crash")
+	}
+
+	// Crash at op 2 (the second WriteFile): "a" durable, "b" absent, the
+	// torn prefix of "b.tmp" on disk, rename and sync never happen.
+	os.RemoveAll(dir)
+	os.MkdirAll(dir, 0o755)
+	ffs := NewFaultFS(OS()).CrashAt(2).TornFraction(0.5)
+	err := save(ffs)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	if !ffs.Crashed() {
+		t.Fatal("crash did not fire")
+	}
+	if got, err := os.ReadFile(filepath.Join(dir, "a")); err != nil || string(got) != "aaaa" {
+		t.Fatalf("pre-crash file damaged: %q, %v", got, err)
+	}
+	if got, err := os.ReadFile(filepath.Join(dir, "b.tmp")); err != nil || string(got) != "bb" {
+		t.Fatalf("torn write = %q, %v; want prefix \"bb\"", got, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "b")); !os.IsNotExist(err) {
+		t.Fatal("post-crash rename happened")
+	}
+
+	// Ops after the crash all fail without touching disk.
+	if err := ffs.WriteFile(filepath.Join(dir, "c"), []byte("c"), 0o644); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write err = %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "c")); !os.IsNotExist(err) {
+		t.Fatal("post-crash write reached disk")
+	}
+}
+
+func TestCorruptionHelpers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(path, []byte{1, 2, 3, 4}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipByte(path, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if got[2] == 3 {
+		t.Fatal("FlipByte with zero mask left the byte unchanged")
+	}
+	if err := FlipByte(path, 99, 1); err == nil {
+		t.Fatal("out-of-range flip must error")
+	}
+	if err := Truncate(path, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); len(got) != 1 {
+		t.Fatalf("truncated to %d bytes, want 1", len(got))
+	}
+	if err := Truncate(path, 5); err == nil {
+		t.Fatal("growing truncate must error")
+	}
+}

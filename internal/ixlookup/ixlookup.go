@@ -8,6 +8,7 @@
 package ixlookup
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -39,21 +40,58 @@ type Stats struct {
 
 // evalCtx carries one evaluation's state.
 type evalCtx struct {
+	goCtx context.Context
+	err   error // sticky ctx.Err() once cancellation is observed
+	ops   int
 	lists []*invindex.List // ordered shortest-first
 	decay float64
 	st    *Stats
 }
 
+// ctxCheckStride is how many probes pass between context checks.
+const ctxCheckStride = 512
+
+// tick accounts one unit of work and reports whether the evaluation must
+// abort (context cancelled).
+func (c *evalCtx) tick() bool {
+	if c.err != nil {
+		return true
+	}
+	c.ops++
+	if c.ops%ctxCheckStride != 0 {
+		return false
+	}
+	if err := c.goCtx.Err(); err != nil {
+		c.err = err
+		return true
+	}
+	return false
+}
+
 // Evaluate runs the index-based algorithm and returns all results in
 // document order.
 func Evaluate(lists []*invindex.List, sem Semantics, decay float64) ([]Result, Stats) {
+	rs, st, _ := EvaluateCtx(context.Background(), lists, sem, decay)
+	return rs, st
+}
+
+// EvaluateCtx is Evaluate honoring a context: the driver-posting scan and
+// the candidate verification loops observe cancellation periodically and
+// abort with ctx.Err().
+func EvaluateCtx(goCtx context.Context, lists []*invindex.List, sem Semantics, decay float64) ([]Result, Stats, error) {
 	var st Stats
+	if goCtx == nil {
+		goCtx = context.Background()
+	}
+	if err := goCtx.Err(); err != nil {
+		return nil, st, err
+	}
 	if len(lists) == 0 {
-		return nil, st
+		return nil, st, nil
 	}
 	for _, l := range lists {
 		if l == nil || l.Len() == 0 {
-			return nil, st
+			return nil, st, nil
 		}
 	}
 	if decay == 0 {
@@ -62,7 +100,7 @@ func Evaluate(lists []*invindex.List, sem Semantics, decay float64) ([]Result, S
 	ordered := make([]*invindex.List, len(lists))
 	copy(ordered, lists)
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Len() < ordered[j].Len() })
-	ctx := &evalCtx{lists: ordered, decay: decay, st: &st}
+	ctx := &evalCtx{goCtx: goCtx, lists: ordered, decay: decay, st: &st}
 
 	// Candidate generation: for every occurrence v of the shortest list,
 	// the deepest contains-all ancestor of v, found from the closest
@@ -72,6 +110,9 @@ func Evaluate(lists []*invindex.List, sem Semantics, decay float64) ([]Result, S
 	seen := map[string]bool{}
 	var candidates []dewey.ID
 	for _, p := range ordered[0].Postings {
+		if ctx.tick() {
+			return nil, st, ctx.err
+		}
 		st.DriverPostings++
 		u := ctx.deepestCA(p.ID)
 		if u == nil {
@@ -92,6 +133,9 @@ func Evaluate(lists []*invindex.List, sem Semantics, decay float64) ([]Result, S
 		// Candidates are contains-all, descendants are contiguous after
 		// sorting, so one forward pass suffices.
 		for i, u := range candidates {
+			if ctx.tick() {
+				return out, st, ctx.err
+			}
 			st.Candidates++
 			if i+1 < len(candidates) && u.IsAncestorOf(candidates[i+1]) {
 				continue
@@ -100,13 +144,19 @@ func Evaluate(lists []*invindex.List, sem Semantics, decay float64) ([]Result, S
 		}
 	case ELCA:
 		for _, u := range candidates {
+			if ctx.tick() {
+				return out, st, ctx.err
+			}
 			st.Candidates++
 			if ok, sc := ctx.verifyELCA(u); ok {
 				out = append(out, Result{ID: u, Score: sc})
 			}
 		}
 	}
-	return out, st
+	if ctx.err != nil {
+		return out, st, ctx.err
+	}
+	return out, st, nil
 }
 
 // deepestCA returns the deepest ancestor-or-self of v whose subtree
@@ -165,6 +215,9 @@ func (c *evalCtx) verifyELCA(u dewey.ID) (bool, float64) {
 		best := math.Inf(-1)
 		found := false
 		for i := lo; i < hi; {
+			if c.tick() {
+				return false, 0
+			}
 			x := l.Postings[i]
 			if len(x.ID) == len(u) {
 				// Occurrence directly at u: never excluded.

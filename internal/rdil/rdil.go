@@ -13,6 +13,7 @@
 package rdil
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/dewey"
@@ -74,9 +75,25 @@ type verdict struct {
 // TopK returns the top-k results for the keyword query. Keywords missing
 // from the index yield no results.
 func (r *Index) TopK(keywords []string, sem Semantics, decay float64, k int) ([]Result, Stats) {
+	rs, st, _ := r.TopKCtx(context.Background(), keywords, sem, decay, k)
+	return rs, st
+}
+
+// ctxCheckStride is how many pulled occurrences pass between context
+// checks: RDIL's per-pull verification work is heavy, so a small stride
+// keeps cancellation latency low.
+const ctxCheckStride = 64
+
+// TopKCtx is TopK honoring a context: the round-robin pull loop observes
+// cancellation periodically and aborts with ctx.Err(), returning the
+// results emitted so far.
+func (r *Index) TopKCtx(ctx context.Context, keywords []string, sem Semantics, decay float64, k int) ([]Result, Stats, error) {
 	var st Stats
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(keywords) == 0 || k <= 0 {
-		return nil, st
+		return nil, st, nil
 	}
 	if decay == 0 {
 		decay = score.DefaultDecay
@@ -86,7 +103,7 @@ func (r *Index) TopK(keywords []string, sem Semantics, decay float64, k int) ([]
 	for i, w := range keywords {
 		lists[i] = r.idx.Get(w)
 		if lists[i] == nil || lists[i].Len() == 0 {
-			return nil, st
+			return nil, st, nil
 		}
 		perms[i] = r.order[w]
 	}
@@ -140,6 +157,11 @@ func (r *Index) TopK(keywords []string, sem Semantics, decay float64, k int) ([]
 			if cursors[i] >= len(perms[i]) {
 				continue
 			}
+			if st.Pulled%ctxCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return emitted, st, err
+				}
+			}
 			p := lists[i].Postings[perms[i][cursors[i]]]
 			cursors[i]++
 			st.Pulled++
@@ -179,7 +201,7 @@ func (r *Index) TopK(keywords []string, sem Semantics, decay float64, k int) ([]
 	if len(emitted) > k {
 		emitted = emitted[:k]
 	}
-	return emitted, st
+	return emitted, st, nil
 }
 
 func inEmitted(emitted []Result, key string) bool {

@@ -9,6 +9,7 @@
 package stack
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/dewey"
@@ -51,14 +52,30 @@ type entry struct {
 // returns all results in the (document) order they complete. Lists must
 // come from the same index; a nil or empty list yields no results.
 func Evaluate(lists []*invindex.List, sem Semantics, decay float64) ([]Result, Stats) {
+	rs, st, _ := EvaluateCtx(context.Background(), lists, sem, decay)
+	return rs, st
+}
+
+// ctxCheckStride is how many merged postings pass between context checks.
+const ctxCheckStride = 1024
+
+// EvaluateCtx is Evaluate honoring a context: the k-way merge observes
+// cancellation periodically and aborts with ctx.Err().
+func EvaluateCtx(ctx context.Context, lists []*invindex.List, sem Semantics, decay float64) ([]Result, Stats, error) {
 	var st Stats
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, st, err
+	}
 	k := len(lists)
 	if k == 0 || k > 64 {
-		return nil, st
+		return nil, st, nil
 	}
 	for _, l := range lists {
 		if l == nil || l.Len() == 0 {
-			return nil, st
+			return nil, st, nil
 		}
 	}
 	if decay == 0 {
@@ -138,6 +155,11 @@ func Evaluate(lists []*invindex.List, sem Semantics, decay float64) ([]Result, S
 		p := lists[best].Postings[cursors[best]]
 		cursors[best]++
 		st.PostingsRead++
+		if st.PostingsRead%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, st, err
+			}
+		}
 
 		lcp := 0
 		for lcp < len(stk) && lcp < len(p.ID) && stk[lcp].component == p.ID[lcp] {
@@ -164,7 +186,7 @@ func Evaluate(lists []*invindex.List, sem Semantics, decay float64) ([]Result, S
 	sort.SliceStable(results, func(i, j int) bool {
 		return dewey.Compare(results[i].ID, results[j].ID) < 0
 	})
-	return results, st
+	return results, st, nil
 }
 
 // TopK evaluates the full result set (the only option for this family),

@@ -1,0 +1,79 @@
+package topk
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/testutil"
+)
+
+// TestCancelledBeforeStart proves the "without completing the scan" half
+// of the cancellation contract: an already-cancelled context aborts before
+// a single row is pulled from the score-sorted cursors.
+func TestCancelledBeforeStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	e := newEnv(testutil.RandomDoc(rng, testutil.MediumParams()))
+	keywords := []string{"kw0", "kw1"}
+	lists := e.lists(keywords)
+	for _, l := range lists {
+		if l == nil {
+			t.Skip("generated doc lacks the test keywords")
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rs, st, err := EvaluateCtx(ctx, lists, Options{Semantics: core.ELCA, K: 5})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st.RowsPulled != 0 {
+		t.Fatalf("pulled %d rows under a pre-cancelled context", st.RowsPulled)
+	}
+	if len(rs) != 0 {
+		t.Fatalf("emitted %d results under a pre-cancelled context", len(rs))
+	}
+}
+
+// TestCancelMidScan cancels from inside the emit callback and requires the
+// evaluation to stop early with ctx.Err() while keeping the results it had
+// already proven safe.
+func TestCancelMidScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	e := newEnv(testutil.RandomDoc(rng, testutil.MediumParams()))
+	keywords := []string{"kw0", "kw1"}
+	lists := e.lists(keywords)
+	for _, l := range lists {
+		if l == nil {
+			t.Skip("generated doc lacks the test keywords")
+		}
+	}
+	full, fullStats := Evaluate(lists, Options{Semantics: core.ELCA, K: 1 << 30})
+	if len(full) < 2 {
+		t.Skip("not enough results to observe an early stop")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var emitted []core.Result
+	rs, st, err := EvaluateFuncCtx(ctx, lists, Options{Semantics: core.ELCA, K: 1 << 30},
+		func(r core.Result) bool {
+			emitted = append(emitted, r)
+			cancel()
+			return true
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st.RowsPulled >= fullStats.RowsPulled {
+		t.Fatalf("cancelled run pulled %d rows, full run %d — no early stop", st.RowsPulled, fullStats.RowsPulled)
+	}
+	// Whatever was handed out before the cancellation must be a prefix of
+	// the true result stream.
+	for i, r := range rs {
+		if r != full[i] {
+			t.Fatalf("result %d diverges after cancellation: %+v != %+v", i, r, full[i])
+		}
+	}
+	_ = emitted
+}

@@ -1,6 +1,7 @@
 package topk
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/colstore"
@@ -93,18 +94,34 @@ const DefaultHybridRatio = 4
 // V-D hybrid. Both inputs must describe the same keywords in the same
 // order.
 func EvaluateHybrid(colLists []*colstore.List, tkLists []*colstore.TKList, opt HybridOptions) ([]core.Result, bool) {
+	rs, usedTopK, _ := EvaluateHybridCtx(context.Background(), colLists, tkLists, opt)
+	return rs, usedTopK
+}
+
+// EvaluateHybridCtx is EvaluateHybrid honoring a context: both the
+// cardinality estimate and the chosen engine observe cancellation.
+func EvaluateHybridCtx(ctx context.Context, colLists []*colstore.List, tkLists []*colstore.TKList, opt HybridOptions) ([]core.Result, bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	ratio := opt.MinRatio
 	if ratio <= 0 {
 		ratio = DefaultHybridRatio
 	}
-	if EstimateCardinality(colLists) >= ratio*opt.K {
-		rs, _ := Evaluate(tkLists, Options{Semantics: opt.Semantics, Decay: opt.Decay, K: opt.K})
-		return rs, true
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
 	}
-	rs, _ := core.Evaluate(colLists, core.Options{Semantics: opt.Semantics, Decay: opt.Decay})
+	if EstimateCardinality(colLists) >= ratio*opt.K {
+		rs, _, err := EvaluateCtx(ctx, tkLists, Options{Semantics: opt.Semantics, Decay: opt.Decay, K: opt.K})
+		return rs, true, err
+	}
+	rs, _, err := core.EvaluateCtx(ctx, colLists, core.Options{Semantics: opt.Semantics, Decay: opt.Decay})
+	if err != nil {
+		return rs, false, err
+	}
 	core.SortByScore(rs)
 	if len(rs) > opt.K {
 		rs = rs[:opt.K]
 	}
-	return rs, false
+	return rs, false, nil
 }

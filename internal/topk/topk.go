@@ -9,6 +9,7 @@ package topk
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"sort"
 
@@ -54,20 +55,35 @@ type Stats struct {
 // query over the score-sorted lists. A nil or empty list yields no
 // results.
 func Evaluate(lists []*colstore.TKList, opt Options) ([]core.Result, Stats) {
+	rs, st, _ := EvaluateCtx(context.Background(), lists, opt)
+	return rs, st
+}
+
+// EvaluateCtx is Evaluate honoring a context: cancellation or deadline
+// expiry is observed at every column start and periodically inside the
+// pull loop, aborting the star join with ctx.Err().
+func EvaluateCtx(ctx context.Context, lists []*colstore.TKList, opt Options) ([]core.Result, Stats, error) {
 	srcs := make([]colstore.TKSource, len(lists))
 	for i, l := range lists {
 		if l != nil {
 			srcs[i] = l
 		}
 	}
-	return EvaluateSources(srcs, opt, nil)
+	return evaluate(ctx, srcs, opt, nil)
 }
 
 // EvaluateSources runs the top-K star join over TKSource views (in-memory
 // lists or streaming disk handles that decode only the (group, level)
 // columns the sweep visits before terminating).
 func EvaluateSources(lists []colstore.TKSource, opt Options, emit func(core.Result) bool) ([]core.Result, Stats) {
-	return evaluate(lists, opt, emit)
+	rs, st, _ := evaluate(context.Background(), lists, opt, emit)
+	return rs, st
+}
+
+// EvaluateSourcesCtx is EvaluateSources honoring a context (see
+// EvaluateCtx).
+func EvaluateSourcesCtx(ctx context.Context, lists []colstore.TKSource, opt Options, emit func(core.Result) bool) ([]core.Result, Stats, error) {
+	return evaluate(ctx, lists, opt, emit)
 }
 
 // EvaluateFunc is Evaluate with progressive emission: whenever a result's
@@ -83,24 +99,40 @@ func EvaluateFunc(lists []*colstore.TKList, opt Options, emit func(core.Result) 
 			srcs[i] = l
 		}
 	}
-	return evaluate(srcs, opt, emit)
+	rs, st, _ := evaluate(context.Background(), srcs, opt, emit)
+	return rs, st
 }
 
-func evaluate(lists []colstore.TKSource, opt Options, emit func(core.Result) bool) ([]core.Result, Stats) {
+// EvaluateFuncCtx is EvaluateFunc honoring a context. On cancellation the
+// results emitted so far are returned alongside ctx.Err().
+func EvaluateFuncCtx(ctx context.Context, lists []*colstore.TKList, opt Options, emit func(core.Result) bool) ([]core.Result, Stats, error) {
+	srcs := make([]colstore.TKSource, len(lists))
+	for i, l := range lists {
+		if l != nil {
+			srcs[i] = l
+		}
+	}
+	return evaluate(ctx, srcs, opt, emit)
+}
+
+func evaluate(ctx context.Context, lists []colstore.TKSource, opt Options, emit func(core.Result) bool) ([]core.Result, Stats, error) {
 	var st Stats
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(lists) == 0 || opt.K <= 0 {
-		return nil, st
+		return nil, st, nil
 	}
 	for _, l := range lists {
 		if l == nil || l.NumRows() == 0 {
-			return nil, st
+			return nil, st, nil
 		}
 	}
 	decay := opt.Decay
 	if decay == 0 {
 		decay = score.DefaultDecay
 	}
-	e := &engine{opt: opt, decay: decay, st: &st, emit: emit}
+	e := &engine{ctx: ctx, opt: opt, decay: decay, st: &st, emit: emit}
 	for _, l := range lists {
 		e.states = append(e.states, newListState(l))
 		e.maxCol = append(e.maxCol, l.MaxColScore(decay))
@@ -123,8 +155,17 @@ func evaluate(lists []colstore.TKSource, opt Options, emit func(core.Result) boo
 	}
 
 	for lev := lmin; lev >= 1 && !e.done(); lev-- {
+		if err := ctx.Err(); err != nil {
+			e.ctxErr = err
+			break
+		}
 		st.Levels++
 		e.runColumn(lev)
+	}
+	if e.ctxErr != nil {
+		// Cancelled: whatever was emitted before the abort is returned, but
+		// the buffer is not drained — those results were never proven safe.
+		return e.emitted, st, e.ctxErr
 	}
 	// All columns processed (or terminated): everything buffered is a true
 	// result; drain by score.
@@ -133,7 +174,7 @@ func evaluate(lists []colstore.TKSource, opt Options, emit func(core.Result) boo
 	if len(e.emitted) > opt.K {
 		e.emitted = e.emitted[:opt.K]
 	}
-	return e.emitted, st
+	return e.emitted, st, nil
 }
 
 // valueState accumulates the star-join bucket entry for one JDewey number
@@ -151,8 +192,14 @@ type rowRef struct {
 	list, group, row int
 }
 
+// ctxCheckStride is how many pulled rows pass between context checks
+// inside a column.
+const ctxCheckStride = 256
+
 // engine carries one evaluation's state.
 type engine struct {
+	ctx    context.Context
+	ctxErr error // sticky ctx.Err() once cancellation is observed
 	opt    Options
 	decay  float64
 	st     *Stats
@@ -165,7 +212,22 @@ type engine struct {
 	stopped bool // consumer cancelled via the emit callback
 }
 
-func (e *engine) done() bool { return e.stopped || len(e.emitted) >= e.opt.K }
+func (e *engine) done() bool { return e.stopped || e.ctxErr != nil || len(e.emitted) >= e.opt.K }
+
+// tick observes the context every ctxCheckStride pulls; true means abort.
+func (e *engine) tick() bool {
+	if e.ctxErr != nil {
+		return true
+	}
+	if e.st.RowsPulled%ctxCheckStride != 0 {
+		return false
+	}
+	if err := e.ctx.Err(); err != nil {
+		e.ctxErr = err
+		return true
+	}
+	return false
+}
 
 func (e *engine) k() int { return len(e.states) }
 
@@ -328,6 +390,11 @@ func (e *engine) runColumn(lev int) {
 	}
 
 	for {
+		if e.tick() {
+			// Cancelled mid-column: the whole evaluation aborts, so the
+			// end-of-column erasure bookkeeping is moot.
+			return
+		}
 		i := pullFrom()
 		if i < 0 {
 			break // column drained

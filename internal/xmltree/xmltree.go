@@ -15,6 +15,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/dewey"
 )
@@ -64,8 +65,9 @@ type Document struct {
 	Nodes []*Node // preorder
 	Depth int     // maximum level
 
-	byLevel [][]*Node // filled lazily by NodesAtLevel
-	jdIndex [][]*Node // per level, sorted by JDewey number; lazily built
+	lazyMu  sync.Mutex // guards the lazy builds of byLevel and jdIndex
+	byLevel [][]*Node  // filled lazily by NodesAtLevel
+	jdIndex [][]*Node  // per level, sorted by JDewey number; lazily built
 }
 
 // Len returns the number of element nodes in the document.
@@ -76,8 +78,10 @@ func (d *Document) Len() int { return len(d.Nodes) }
 func (d *Document) freeze() {
 	d.Nodes = d.Nodes[:0]
 	d.Depth = 0
+	d.lazyMu.Lock()
 	d.byLevel = nil
 	d.jdIndex = nil
+	d.lazyMu.Unlock()
 	var walk func(n *Node, id dewey.ID, level int)
 	walk = func(n *Node, id dewey.ID, level int) {
 		n.Dewey = id.Clone()
@@ -101,6 +105,12 @@ func (d *Document) freeze() {
 // order. Because JDewey numbers are assigned in document order within a
 // level, the returned slice is also sorted by JDewey number.
 func (d *Document) NodesAtLevel(level int) []*Node {
+	d.lazyMu.Lock()
+	defer d.lazyMu.Unlock()
+	return d.nodesAtLevelLocked(level)
+}
+
+func (d *Document) nodesAtLevelLocked(level int) []*Node {
 	if d.byLevel == nil {
 		d.byLevel = make([][]*Node, d.Depth+1)
 		for _, n := range d.Nodes {
@@ -120,18 +130,21 @@ func (d *Document) NodesAtLevel(level int) []*Node {
 // maintained separately from the document-order one and must be
 // invalidated by whoever renumbers nodes (see InvalidateJDeweyIndex).
 func (d *Document) NodeByJDewey(level int, jd uint32) *Node {
+	d.lazyMu.Lock()
 	if d.jdIndex == nil {
 		d.jdIndex = make([][]*Node, d.Depth+1)
 		for l := 1; l <= d.Depth; l++ {
-			nodes := append([]*Node(nil), d.NodesAtLevel(l)...)
+			nodes := append([]*Node(nil), d.nodesAtLevelLocked(l)...)
 			sort.Slice(nodes, func(i, j int) bool { return nodes[i].JD < nodes[j].JD })
 			d.jdIndex[l] = nodes
 		}
 	}
 	if level < 1 || level >= len(d.jdIndex) {
+		d.lazyMu.Unlock()
 		return nil
 	}
 	nodes := d.jdIndex[level]
+	d.lazyMu.Unlock()
 	lo, hi := 0, len(nodes)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -149,7 +162,11 @@ func (d *Document) NodeByJDewey(level int, jd uint32) *Node {
 
 // InvalidateJDeweyIndex drops the JDewey lookup table; package jdewey
 // calls it whenever node numbers change without a structural refresh.
-func (d *Document) InvalidateJDeweyIndex() { d.jdIndex = nil }
+func (d *Document) InvalidateJDeweyIndex() {
+	d.lazyMu.Lock()
+	d.jdIndex = nil
+	d.lazyMu.Unlock()
+}
 
 // NodeByDewey locates the node with the given Dewey ID, or nil.
 func (d *Document) NodeByDewey(id dewey.ID) *Node {

@@ -19,28 +19,52 @@
 // factor 0.9, and the join-based engines. The baseline engines the paper
 // compares against (stack-based, index-based, RDIL) are available through
 // SearchOptions.Algorithm for side-by-side experimentation.
+//
+// # Durability
+//
+// Save writes the index directory as an atomically committed generation:
+// every file is checksummed (CRC32C, per list and per file), fsynced, and
+// published by a single rename of the CURRENT commit-point file. A crash at
+// any earlier point leaves the previously committed index fully intact.
+// Load verifies checksums lazily; damage to a single term's list
+// quarantines that term (its queries return no occurrences) instead of
+// failing the whole index, and Health reports the degradation so callers
+// can choose degraded service over an outage. Damage to the small metadata
+// files (CURRENT, lexicon, document, numbering) is a clean Load error —
+// never a panic, never silently wrong results.
+//
+// # Cancellation
+//
+// Every engine has a Context variant (SearchContext, TopKContext,
+// TopKStreamContext) that observes ctx cancellation and deadlines
+// periodically inside its evaluation loops, returning ctx.Err() promptly
+// instead of completing the scan. The Context entry points additionally
+// contain panics from corrupted in-memory state, converting them to errors
+// wrapping ErrInternal.
 package xmlsearch
 
 import (
+	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"unicode/utf8"
 
 	"repro/internal/colstore"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/invindex"
-	"repro/internal/ixlookup"
 	"repro/internal/jdewey"
 	"repro/internal/occur"
 	"repro/internal/rdil"
 	"repro/internal/score"
 	"repro/internal/stack"
 	"repro/internal/tokenize"
-	"repro/internal/topk"
 	"repro/internal/xmltree"
 )
 
@@ -223,96 +247,14 @@ var ErrNoKeywords = fmt.Errorf("xmlsearch: query contains no indexable keywords"
 // descending score. Queries with a keyword absent from the document return
 // an empty (nil) slice.
 func (ix *Index) Search(query string, opt SearchOptions) ([]Result, error) {
-	keywords := Keywords(query)
-	if len(keywords) == 0 {
-		return nil, ErrNoKeywords
-	}
-	decay := opt.Decay
-	if decay == 0 {
-		decay = score.DefaultDecay
-	}
-	switch opt.Algorithm {
-	case AlgoJoin:
-		lists := make([]*colstore.List, len(keywords))
-		for i, w := range keywords {
-			lists[i] = ix.store.List(w)
-		}
-		rs, _ := core.Evaluate(lists, core.Options{Semantics: coreSem(opt.Semantics), Decay: decay})
-		core.SortByScore(rs)
-		return ix.materializeJoin(rs), nil
-	case AlgoStack:
-		rs, _ := stack.Evaluate(ix.invLists(keywords), stackSem(opt.Semantics), decay)
-		stack.SortByScore(rs)
-		out := make([]Result, 0, len(rs))
-		for _, r := range rs {
-			out = append(out, ix.materializeDewey(r.ID, r.Score))
-		}
-		return out, nil
-	case AlgoIndexLookup:
-		rs, _ := ixlookup.Evaluate(ix.invLists(keywords), ixlookupSem(opt.Semantics), decay)
-		out := make([]Result, 0, len(rs))
-		for _, r := range rs {
-			out = append(out, ix.materializeDewey(r.ID, r.Score))
-		}
-		sortResults(out)
-		return out, nil
-	case AlgoRDIL, AlgoHybrid:
-		return nil, fmt.Errorf("xmlsearch: algorithm %d is top-K only; use TopK", opt.Algorithm)
-	default:
-		return nil, fmt.Errorf("xmlsearch: unknown algorithm %d", opt.Algorithm)
-	}
+	return ix.SearchContext(context.Background(), query, opt)
 }
 
 // TopK returns the k best results of the keyword query in descending score
 // order, using the top-K engine selected by opt.Algorithm (the join-based
 // top-K star join by default).
 func (ix *Index) TopK(query string, k int, opt SearchOptions) ([]Result, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("xmlsearch: k must be positive")
-	}
-	keywords := Keywords(query)
-	if len(keywords) == 0 {
-		return nil, ErrNoKeywords
-	}
-	decay := opt.Decay
-	if decay == 0 {
-		decay = score.DefaultDecay
-	}
-	switch opt.Algorithm {
-	case AlgoJoin:
-		lists := make([]*colstore.TKList, len(keywords))
-		for i, w := range keywords {
-			lists[i] = ix.store.TopKList(w)
-		}
-		rs, _ := topkEvaluate(lists, coreSem(opt.Semantics), decay, k)
-		return ix.materializeJoin(rs), nil
-	case AlgoRDIL:
-		ix.ensureInv()
-		rs, _ := ix.rdilIdx.TopK(keywords, rdilSem(opt.Semantics), decay, k)
-		out := make([]Result, 0, len(rs))
-		for _, r := range rs {
-			out = append(out, ix.materializeDewey(r.ID, r.Score))
-		}
-		return out, nil
-	case AlgoHybrid:
-		colLists := make([]*colstore.List, len(keywords))
-		tkLists := make([]*colstore.TKList, len(keywords))
-		for i, w := range keywords {
-			colLists[i] = ix.store.List(w)
-			tkLists[i] = ix.store.TopKList(w)
-		}
-		rs, _ := topkEvaluateHybrid(colLists, tkLists, coreSem(opt.Semantics), decay, k)
-		return ix.materializeJoin(rs), nil
-	default:
-		all, err := ix.Search(query, opt)
-		if err != nil {
-			return nil, err
-		}
-		if k < len(all) {
-			all = all[:k]
-		}
-		return all, nil
-	}
+	return ix.TopKContext(context.Background(), query, k, opt)
 }
 
 // TopKStream evaluates a top-K query with the join-based top-K engine and
@@ -321,55 +263,87 @@ func (ix *Index) TopK(query string, k int, opt SearchOptions) ([]Result, error) 
 // returning false cancels the remaining evaluation. Results arrive in
 // descending score order.
 func (ix *Index) TopKStream(query string, k int, opt SearchOptions, fn func(Result) bool) error {
-	if k <= 0 {
-		return fmt.Errorf("xmlsearch: k must be positive")
-	}
-	if fn == nil {
-		return fmt.Errorf("xmlsearch: nil callback")
-	}
-	keywords := Keywords(query)
-	if len(keywords) == 0 {
-		return ErrNoKeywords
-	}
-	decay := opt.Decay
-	if decay == 0 {
-		decay = score.DefaultDecay
-	}
-	lists := make([]*colstore.TKList, len(keywords))
-	for i, w := range keywords {
-		lists[i] = ix.store.TopKList(w)
-	}
-	_, _ = topk.EvaluateFunc(lists, topk.Options{Semantics: coreSem(opt.Semantics), Decay: decay, K: k},
-		func(r core.Result) bool {
-			n := ix.doc.NodeByJDewey(r.Level, r.Value)
-			if n == nil {
-				return true
-			}
-			return fn(ix.materializeNode(n, r.Score))
-		})
-	return nil
+	return ix.TopKStreamContext(context.Background(), query, k, opt, fn)
 }
 
-// Save persists the index directory: the column store blobs, the source
+// File names of the xmlsearch layer inside an index directory; the column
+// store adds its three (see internal/colstore/durable.go for the
+// generation-and-CURRENT commit protocol every file shares).
+const (
+	fileDocument    = "document.xml"
+	fileMeta        = "index.meta"
+	fileCorpusNames = "corpus.names"
+)
+
+const (
+	indexMetaMagic   = "XKWMETA1\n" // legacy v1: no footer, no corpus file
+	indexMetaMagicV2 = "XKWMETA2\n"
+)
+
+// Save persists the index directory — the column store blobs, the source
 // document, the JDewey numbering (which after incremental mutations is no
-// longer the canonical fresh assignment), and the index flags.
+// longer the canonical fresh assignment), and the index flags — as one
+// atomically committed, checksummed generation: a crash at any point
+// leaves either the previous index or the new one fully intact, never a
+// mix and never a torn file that loads.
 func (ix *Index) Save(dir string) error {
-	if err := ix.store.Save(dir); err != nil {
-		return err
+	return ix.saveFS(dir, faultinject.OS(), nil)
+}
+
+// saveFS writes one complete generation — the column store's three files
+// plus document.xml, index.meta, and any extra files — then publishes it
+// with the single CommitGen rename. It is the injection point of the
+// crash tests.
+func (ix *Index) saveFS(dir string, fsys faultinject.FS, extra map[string][]byte) error {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("xmlsearch: save: %w", err)
 	}
-	f, err := os.Create(filepath.Join(dir, "document.xml"))
+	gen, err := colstore.NextGen(dir)
 	if err != nil {
 		return fmt.Errorf("xmlsearch: save: %w", err)
 	}
-	if err := ix.doc.WriteXML(f); err != nil {
-		f.Close()
+	if err := ix.store.SaveGen(dir, gen, fsys); err != nil {
+		return err
+	}
+	var xml bytes.Buffer
+	if err := ix.doc.WriteXML(&xml); err != nil {
 		return fmt.Errorf("xmlsearch: save: %w", err)
 	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("xmlsearch: save: %w", err)
+	files := []struct {
+		name string
+		data []byte
+	}{
+		{fileDocument, xml.Bytes()},
+		{fileMeta, ix.encodeMeta()},
 	}
-	// JDewey numbering, one uvarint per node in preorder.
-	jd := []byte(indexMetaMagic)
+	extraNames := make([]string, 0, len(extra))
+	for name := range extra {
+		extraNames = append(extraNames, name)
+	}
+	sort.Strings(extraNames)
+	for _, name := range extraNames {
+		files = append(files, struct {
+			name string
+			data []byte
+		}{name, extra[name]})
+	}
+	for _, f := range files {
+		path := filepath.Join(dir, colstore.GenName(f.name, gen))
+		if err := fsys.WriteFile(path, colstore.AppendFooter(f.data), 0o644); err != nil {
+			return fmt.Errorf("xmlsearch: save %s: %w", f.name, err)
+		}
+	}
+	if err := colstore.CommitGen(dir, gen, fsys); err != nil {
+		return err
+	}
+	colstore.RemoveStaleGens(dir, gen, fsys, fileDocument, fileMeta, fileCorpusNames)
+	return nil
+}
+
+// encodeMeta serializes the index flags and the preorder JDewey numbering,
+// one uvarint per node.
+func (ix *Index) encodeMeta() []byte {
+	jd := []byte(indexMetaMagicV2)
 	if ix.cfg.elemRank {
 		jd = append(jd, 1)
 	} else {
@@ -379,57 +353,106 @@ func (ix *Index) Save(dir string) error {
 	for _, n := range ix.doc.Nodes {
 		jd = binary.AppendUvarint(jd, uint64(n.JD))
 	}
-	if err := os.WriteFile(filepath.Join(dir, "index.meta"), jd, 0o644); err != nil {
-		return fmt.Errorf("xmlsearch: save: %w", err)
-	}
-	return nil
+	return jd
 }
 
-const indexMetaMagic = "XKWMETA1\n"
+// parseIndexMeta decodes an index.meta payload (either magic). The node
+// count is bounded by the bytes that could possibly hold that many varints
+// before anything is allocated, every number must fit a nonzero uint32,
+// and bytes after the last varint are rejected — a flipped length byte
+// yields an error, not a huge allocation or a silently misnumbered tree.
+func parseIndexMeta(meta []byte) (elemRank bool, jds []uint32, err error) {
+	if len(meta) < len(indexMetaMagic)+1 ||
+		(string(meta[:len(indexMetaMagic)]) != indexMetaMagic &&
+			string(meta[:len(indexMetaMagicV2)]) != indexMetaMagicV2) {
+		return false, nil, fmt.Errorf("xmlsearch: load: not an index.meta file")
+	}
+	switch meta[len(indexMetaMagic)] {
+	case 0:
+	case 1:
+		elemRank = true
+	default:
+		return false, nil, fmt.Errorf("xmlsearch: load: bad index flags %#x", meta[len(indexMetaMagic)])
+	}
+	off := len(indexMetaMagic) + 1
+	count, sz := binary.Uvarint(meta[off:])
+	if sz <= 0 {
+		return false, nil, fmt.Errorf("xmlsearch: load: truncated numbering header")
+	}
+	off += sz
+	if count > uint64(len(meta)-off) {
+		return false, nil, fmt.Errorf("xmlsearch: load: numbering claims %d nodes, %d bytes remain", count, len(meta)-off)
+	}
+	jds = make([]uint32, count)
+	for i := range jds {
+		v, sz := binary.Uvarint(meta[off:])
+		if sz <= 0 || v == 0 || v > 1<<32-1 {
+			return false, nil, fmt.Errorf("xmlsearch: load: truncated numbering at node %d", i)
+		}
+		jds[i] = uint32(v)
+		off += sz
+	}
+	if off != len(meta) {
+		return false, nil, fmt.Errorf("xmlsearch: load: %d trailing bytes after numbering", len(meta)-off)
+	}
+	return elemRank, jds, nil
+}
 
 // Load opens an index directory written by Save: the column store decodes
-// lazily, the document is re-parsed for result materialization, and the
-// saved JDewey numbering is adopted so the blobs and the tree agree even
-// when the index had been mutated incrementally before saving.
+// (and checksum-verifies) lazily, the document is re-parsed for result
+// materialization, and the saved JDewey numbering is adopted so the blobs
+// and the tree agree even when the index had been mutated incrementally
+// before saving. Damage to individual term lists degrades only those terms
+// (see Health); damage to the metadata files is a clean error here.
 func Load(dir string) (*Index, error) {
 	store, err := colstore.Open(dir)
 	if err != nil {
 		return nil, err
 	}
-	f, err := os.Open(filepath.Join(dir, "document.xml"))
+	gen, v2, err := colstore.CurrentGen(dir)
+	if err != nil {
+		return nil, err
+	}
+	readFile := func(base string) ([]byte, error) {
+		data, err := os.ReadFile(filepath.Join(dir, genFileName(base, gen, v2)))
+		if err != nil {
+			return nil, fmt.Errorf("xmlsearch: load: %w", err)
+		}
+		if v2 {
+			payload, ferr := colstore.StripFooter(data)
+			if ferr != nil {
+				return nil, fmt.Errorf("xmlsearch: load %s: %w", base, ferr)
+			}
+			return payload, nil
+		}
+		return data, nil
+	}
+	docRaw, err := readFile(fileDocument)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := xmltree.Parse(bytes.NewReader(docRaw))
 	if err != nil {
 		return nil, fmt.Errorf("xmlsearch: load: %w", err)
 	}
-	doc, err := xmltree.Parse(f)
-	f.Close()
+	meta, err := readFile(fileMeta)
 	if err != nil {
-		return nil, fmt.Errorf("xmlsearch: load: %w", err)
+		return nil, err
 	}
-	meta, err := os.ReadFile(filepath.Join(dir, "index.meta"))
+	elemRank, jds, err := parseIndexMeta(meta)
 	if err != nil {
-		return nil, fmt.Errorf("xmlsearch: load: %w", err)
-	}
-	if len(meta) < len(indexMetaMagic)+1 || string(meta[:len(indexMetaMagic)]) != indexMetaMagic {
-		return nil, fmt.Errorf("xmlsearch: load: bad index.meta")
+		return nil, err
 	}
 	var cfg config
-	if meta[len(indexMetaMagic)] == 1 {
+	if elemRank {
 		cfg.elemRank = true
 		cfg.erParams = score.DefaultElemRankParams()
 	}
-	off := len(indexMetaMagic) + 1
-	count, sz := binary.Uvarint(meta[off:])
-	if sz <= 0 || int(count) != doc.Len() {
-		return nil, fmt.Errorf("xmlsearch: load: numbering covers %d nodes, document has %d", count, doc.Len())
+	if len(jds) != doc.Len() {
+		return nil, fmt.Errorf("xmlsearch: load: numbering covers %d nodes, document has %d", len(jds), doc.Len())
 	}
-	off += sz
-	for _, n := range doc.Nodes {
-		v, sz := binary.Uvarint(meta[off:])
-		if sz <= 0 || v == 0 || v > 1<<32-1 {
-			return nil, fmt.Errorf("xmlsearch: load: truncated numbering")
-		}
-		n.JD = uint32(v)
-		off += sz
+	for i, n := range doc.Nodes {
+		n.JD = jds[i]
 	}
 	enc, err := jdewey.Adopt(doc, 4)
 	if err != nil {
@@ -447,6 +470,48 @@ func Load(dir string) (*Index, error) {
 	}
 	m = occur.ExtractN(doc, store.N)
 	return &Index{doc: doc, m: m, store: store, enc: enc, cfg: cfg}, nil
+}
+
+// genFileName resolves a base file name within a loaded index directory:
+// generation-suffixed on v2 layouts, bare on legacy ones.
+func genFileName(base string, gen uint64, v2 bool) string {
+	if v2 {
+		return colstore.GenName(base, gen)
+	}
+	return base
+}
+
+// TermFault is one quarantined keyword in a Health report.
+type TermFault struct {
+	Term string // the normalized keyword
+	Err  string // what its on-disk bytes failed
+}
+
+// Health is the degradation report of a loaded index. Quarantined keywords
+// read as absent — queries containing them return no results — while every
+// other keyword keeps serving exact results; FileDamage lists file-level
+// corruption not attributable to a single keyword.
+type Health struct {
+	Format      int // 0 in-memory, 1 legacy on-disk, 2 checksummed
+	Terms       int
+	Quarantined []TermFault
+	FileDamage  []string
+}
+
+// Degraded reports whether any damage was detected.
+func (h Health) Degraded() bool { return len(h.Quarantined) > 0 || len(h.FileDamage) > 0 }
+
+// Health eagerly verifies every list in the index (checksums plus
+// structural invariants) and reports what, if anything, is damaged. After
+// Load succeeds on a partially corrupted directory this is how a caller
+// distinguishes a fully intact index from degraded service.
+func (ix *Index) Health() Health {
+	sh := ix.store.Health()
+	h := Health{Format: sh.Format, Terms: sh.Terms, FileDamage: sh.FileDamage}
+	for _, q := range sh.Quarantined {
+		h.Quarantined = append(h.Quarantined, TermFault{Term: q.Term, Err: q.Err})
+	}
+	return h
 }
 
 // --- materialization and adapters ---
