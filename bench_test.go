@@ -18,6 +18,7 @@ import (
 	"repro/internal/colstore"
 	"repro/internal/core"
 	"repro/internal/ixlookup"
+	"repro/internal/obs"
 	"repro/internal/stack"
 	"repro/internal/topk"
 )
@@ -220,6 +221,39 @@ func BenchmarkAblationCompression(b *testing.B) {
 			b.ReportMetric(float64(raw)/float64(compressed), "compression-ratio")
 		}
 	})
+}
+
+// BenchmarkTopK measures the join-based top-K star join with tracing
+// disabled — the default configuration, whose only instrumentation cost
+// is one nil check per site. BenchmarkTopKTraced runs the identical query
+// with a live trace, bounding what -trace adds. Comparing the two (and
+// BenchmarkTopK against its pre-instrumentation baseline; see
+// EXPERIMENTS.md) verifies the zero-cost-when-disabled contract.
+func BenchmarkTopK(b *testing.B) {
+	dblp, _ := benchEnvs(b)
+	q := dblp.CorrelatedQueries()[0]
+	lists := make([]*colstore.TKList, len(q))
+	for i, w := range q {
+		lists[i] = dblp.Store.TopKList(w)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topk.Evaluate(lists, topk.Options{K: 10})
+	}
+}
+
+// BenchmarkTopKTraced is BenchmarkTopK with a fresh trace per query.
+func BenchmarkTopKTraced(b *testing.B) {
+	dblp, _ := benchEnvs(b)
+	q := dblp.CorrelatedQueries()[0]
+	lists := make([]*colstore.TKList, len(q))
+	for i, w := range q {
+		lists[i] = dblp.Store.TopKList(w)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topk.Evaluate(lists, topk.Options{K: 10, Trace: obs.NewTrace()})
+	}
 }
 
 // BenchmarkBuildWorkers measures the per-keyword-parallel column-store

@@ -7,6 +7,7 @@
 //	xkwbench                      # default sweep (scale 0.25, 8 queries/pt)
 //	xkwbench -full                # the paper's protocol (40 queries x 5 runs, scale 1.0)
 //	xkwbench -exp fig9 -scale 0.5 # one experiment at a chosen scale
+//	xkwbench -metrics -slow 5ms   # append engine metrics + slow-query log
 //	xkwbench -o results.txt
 package main
 
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/bench"
 )
@@ -29,6 +31,8 @@ func main() {
 		topK    = flag.Int("k", 10, "K for the top-K experiments")
 		exp     = flag.String("exp", "all", "experiment: all, table1, fig9, fig10, ablations")
 		out     = flag.String("o", "", "also write output to this file")
+		metrics = flag.Bool("metrics", false, "append per-engine metrics (Prometheus text + JSON) after the sweep")
+		slow    = flag.Duration("slow", 0, "with -metrics, log queries at or above this latency")
 	)
 	flag.Parse()
 
@@ -59,26 +63,59 @@ func main() {
 		w = io.MultiWriter(os.Stdout, f)
 	}
 
-	if *exp == "all" {
-		bench.RunAll(w, cfg)
-		return
-	}
 	dblp := bench.NewDBLPEnv(cfg.Scale, cfg.Seed)
+	var xmark *bench.Env
+	needXMark := *exp == "all" || *exp == "table1" || *exp == "ablations"
+	if needXMark {
+		xmark = bench.NewXMarkEnv(cfg.Scale, cfg.Seed)
+	}
+	if *slow > 0 {
+		dblp.Obs.SetSlowQueryThreshold(*slow)
+		if xmark != nil {
+			xmark.Obs.SetSlowQueryThreshold(*slow)
+		}
+	}
+
 	switch *exp {
+	case "all":
+		bench.RunAllEnvs(w, cfg, dblp, xmark)
 	case "table1":
-		xmark := bench.NewXMarkEnv(cfg.Scale, cfg.Seed)
 		bench.Table1(w, dblp, xmark)
 	case "fig9":
 		bench.Figure9(w, dblp, cfg)
 	case "fig10":
 		bench.Figure10(w, dblp, cfg)
 	case "ablations":
-		xmark := bench.NewXMarkEnv(cfg.Scale, cfg.Seed)
 		bench.AblationThreshold(w, dblp, cfg)
 		bench.AblationJoinPlan(w, dblp, cfg)
 		bench.AblationCompression(w, dblp, xmark)
 	default:
 		fmt.Fprintf(os.Stderr, "xkwbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+
+	if *metrics {
+		dumpMetrics(w, "dblp", dblp)
+		if xmark != nil {
+			dumpMetrics(w, "xmark", xmark)
+		}
+	}
+}
+
+// dumpMetrics writes one environment's accumulated engine metrics in both
+// exposition formats, plus the slow-query log when a threshold was set.
+func dumpMetrics(w io.Writer, name string, e *bench.Env) {
+	snap := e.Obs.Snapshot()
+	fmt.Fprintf(w, "\n=== %s metrics (prometheus) ===\n", name)
+	snap.WritePrometheus(w)
+	fmt.Fprintf(w, "\n=== %s metrics (json) ===\n", name)
+	snap.WriteJSON(w)
+	fmt.Fprintln(w)
+	if e.Obs.SlowQueryThreshold() > 0 {
+		sq := e.Obs.SlowQueries()
+		fmt.Fprintf(w, "\n=== %s slow queries (>= %v, %d captured) ===\n", name, e.Obs.SlowQueryThreshold(), len(sq))
+		for _, q := range sq {
+			fmt.Fprintf(w, "%-9s k=%-3d %-8v results=%-5d %q\n", q.Engine, q.K, q.Elapsed.Round(time.Microsecond), q.Results, q.Query)
+		}
 	}
 }

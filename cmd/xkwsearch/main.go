@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -38,7 +39,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   xkwsearch index -xml FILE -out DIR
-  xkwsearch query (-index DIR | -xml FILE) [-k N] [-sem elca|slca] [-algo join|stack|ixlookup|rdil|hybrid] QUERY...`)
+  xkwsearch query (-index DIR | -xml FILE) [-k N] [-sem elca|slca] [-algo join|stack|ixlookup|rdil|hybrid]
+                  [-stream] [-explain] [-trace] [-metrics] [-slow DUR] QUERY...`)
 	os.Exit(2)
 }
 
@@ -70,6 +72,9 @@ func runQuery(args []string) {
 	algoName := fs.String("algo", "join", "engine: join, stack, ixlookup, rdil, or hybrid")
 	stream := fs.Bool("stream", false, "print top-K results as they are proven (join engine)")
 	explain := fs.Bool("explain", false, "print the execution profile after the results")
+	trace := fs.Bool("trace", false, "print the per-query execution trace after the results")
+	metrics := fs.Bool("metrics", false, "print the engine metrics (Prometheus text + JSON) after the query")
+	slow := fs.Duration("slow", 0, "log queries at or above this latency (printed with -metrics)")
 	fs.Parse(args)
 	query := strings.Join(fs.Args(), " ")
 	if query == "" || (*indexDir == "") == (*xmlPath == "") {
@@ -113,46 +118,80 @@ func runQuery(args []string) {
 		fatal(fmt.Errorf("unknown algorithm %q", *algoName))
 	}
 
+	if *slow > 0 {
+		idx.SetSlowQueryThreshold(*slow)
+	}
+
+	var qs *xmlsearch.QueryStats
 	if *stream {
 		if *k <= 0 {
 			fatal(fmt.Errorf("-stream needs -k > 0"))
 		}
 		start := time.Now()
 		rank := 0
-		err := idx.TopKStream(query, *k, opt, func(r xmlsearch.Result) bool {
+		emit := func(r xmlsearch.Result) bool {
 			rank++
 			fmt.Printf("%2d. (+%v) score=%.4f  %-24s %s\n", rank, time.Since(start).Round(time.Microsecond), r.Score, r.Dewey, r.Path)
 			return true
-		})
+		}
+		if *trace {
+			qs, err = idx.TopKStreamTraced(context.Background(), query, *k, opt, emit)
+		} else {
+			err = idx.TopKStream(query, *k, opt, emit)
+		}
 		if err != nil {
 			fatal(err)
 		}
-		return
-	}
-	start := time.Now()
-	var results []xmlsearch.Result
-	if *k > 0 {
-		results, err = idx.TopK(query, *k, opt)
 	} else {
-		results, err = idx.Search(query, opt)
-	}
-	elapsed := time.Since(start)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("%d result(s) in %v for %v [%s/%s]\n", len(results), elapsed.Round(time.Microsecond), xmlsearch.Keywords(query), *semName, *algoName)
-	for i, r := range results {
-		fmt.Printf("%2d. score=%.4f  %-24s %s\n", i+1, r.Score, r.Dewey, r.Path)
-		if r.Snippet != "" {
-			fmt.Printf("    %s\n", r.Snippet)
+		start := time.Now()
+		var results []xmlsearch.Result
+		switch {
+		case *trace && *k > 0:
+			results, qs, err = idx.TopKTraced(context.Background(), query, *k, opt)
+		case *trace:
+			results, qs, err = idx.SearchTraced(context.Background(), query, opt)
+		case *k > 0:
+			results, err = idx.TopK(query, *k, opt)
+		default:
+			results, err = idx.Search(query, opt)
 		}
-	}
-	if *explain && opt.Algorithm == xmlsearch.AlgoJoin {
-		ex, err := idx.Explain(query, *k, opt)
+		elapsed := time.Since(start)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println(ex)
+		fmt.Printf("%d result(s) in %v for %v [%s/%s]\n", len(results), elapsed.Round(time.Microsecond), xmlsearch.Keywords(query), *semName, *algoName)
+		for i, r := range results {
+			fmt.Printf("%2d. score=%.4f  %-24s %s\n", i+1, r.Score, r.Dewey, r.Path)
+			if r.Snippet != "" {
+				fmt.Printf("    %s\n", r.Snippet)
+			}
+		}
+		if *explain && opt.Algorithm == xmlsearch.AlgoJoin {
+			ex, err := idx.Explain(query, *k, opt)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(ex)
+		}
+	}
+	if qs != nil {
+		fmt.Printf("\n--- trace: engine=%s elapsed=%v events=%d ---\n", qs.Engine, qs.Elapsed.Round(time.Microsecond), len(qs.Trace.Events()))
+		qs.RenderTrace(os.Stdout)
+	}
+	if *metrics {
+		snap := idx.Stats()
+		fmt.Println("\n--- metrics (prometheus) ---")
+		snap.WritePrometheus(os.Stdout)
+		fmt.Println("\n--- metrics (json) ---")
+		snap.WriteJSON(os.Stdout)
+		fmt.Println()
+		if *slow > 0 {
+			sq := idx.SlowQueries()
+			fmt.Printf("\n--- slow queries (>= %v, %d captured) ---\n", *slow, len(sq))
+			for _, q := range sq {
+				fmt.Printf("%-9s k=%-3d %-8v results=%-5d %q\n", q.Engine, q.K, q.Elapsed.Round(time.Microsecond), q.Results, q.Query)
+			}
+		}
 	}
 }
 

@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/colstore"
 	"repro/internal/core"
 	"repro/internal/ixlookup"
+	"repro/internal/obs"
 	"repro/internal/stack"
 	"repro/internal/topk"
 )
@@ -24,6 +26,11 @@ import (
 // in-memory state, e.g. an index mutated concurrently with a query —
 // is contained and surfaced as an error wrapping ErrInternal rather than
 // taking down the caller's process.
+//
+// Every public entry point funnels through a private *Obs variant that
+// threads an optional *obs.Trace into the engines (nil — the untraced
+// default — keeps the engines' instrumentation at a single pointer check
+// per site) and records the query into the index's metrics registry.
 
 // ErrInternal is wrapped by errors reporting a contained engine panic.
 // Results accompanying such an error must be discarded.
@@ -36,10 +43,52 @@ func guard(err *error) {
 	}
 }
 
+// searchEngine maps an Algorithm to its metrics slot for complete
+// evaluations.
+func searchEngine(a Algorithm) obs.Engine {
+	switch a {
+	case AlgoStack:
+		return obs.EngineStack
+	case AlgoIndexLookup:
+		return obs.EngineIxLookup
+	case AlgoRDIL:
+		return obs.EngineRDIL
+	case AlgoHybrid:
+		return obs.EngineHybrid
+	default:
+		return obs.EngineJoin
+	}
+}
+
+// topKEngine maps an Algorithm to its metrics slot for top-K evaluations;
+// AlgoJoin selects the top-K star join rather than the complete join.
+func topKEngine(a Algorithm) obs.Engine {
+	if a == AlgoJoin {
+		return obs.EngineTopK
+	}
+	return searchEngine(a)
+}
+
 // SearchContext is Search honoring a context: cancellation or deadline
 // expiry aborts the evaluation with ctx.Err().
-func (ix *Index) SearchContext(ctx context.Context, query string, opt SearchOptions) (_ []Result, err error) {
+func (ix *Index) SearchContext(ctx context.Context, query string, opt SearchOptions) ([]Result, error) {
+	return ix.searchObs(ctx, query, opt, nil)
+}
+
+// searchObs wraps searchEval with the panic guard and per-query metrics
+// accounting (latency histogram, result/error/cancellation counters, and
+// the slow-query log).
+func (ix *Index) searchObs(ctx context.Context, query string, opt SearchOptions, tr *obs.Trace) (rs []Result, err error) {
+	start := time.Now()
+	defer func() {
+		ix.metrics.RecordQuery(searchEngine(opt.Algorithm), query, 0, time.Since(start), len(rs), err, tr)
+	}()
 	defer guard(&err)
+	return ix.searchEval(ctx, query, opt, tr)
+}
+
+// searchEval dispatches a complete evaluation to the selected engine.
+func (ix *Index) searchEval(ctx context.Context, query string, opt SearchOptions, tr *obs.Trace) ([]Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -55,16 +104,16 @@ func (ix *Index) SearchContext(ctx context.Context, query string, opt SearchOpti
 	case AlgoJoin:
 		lists := make([]*colstore.List, len(keywords))
 		for i, w := range keywords {
-			lists[i] = ix.store.List(w)
+			lists[i] = ix.store.ListObs(w, tr)
 		}
-		rs, _, err := core.EvaluateCtx(ctx, lists, core.Options{Semantics: coreSem(opt.Semantics), Decay: decay})
+		rs, _, err := core.EvaluateCtx(ctx, lists, core.Options{Semantics: coreSem(opt.Semantics), Decay: decay, Trace: tr})
 		if err != nil {
 			return nil, err
 		}
 		core.SortByScore(rs)
 		return ix.materializeJoin(rs), nil
 	case AlgoStack:
-		rs, _, err := stack.EvaluateCtx(ctx, ix.invLists(keywords), stackSem(opt.Semantics), decay)
+		rs, _, err := stack.EvaluateObsCtx(ctx, ix.invListsObs(keywords, tr), stackSem(opt.Semantics), decay, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -75,7 +124,7 @@ func (ix *Index) SearchContext(ctx context.Context, query string, opt SearchOpti
 		}
 		return out, nil
 	case AlgoIndexLookup:
-		rs, _, err := ixlookup.EvaluateCtx(ctx, ix.invLists(keywords), ixlookupSem(opt.Semantics), decay)
+		rs, _, err := ixlookup.EvaluateObsCtx(ctx, ix.invListsObs(keywords, tr), ixlookupSem(opt.Semantics), decay, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -94,8 +143,23 @@ func (ix *Index) SearchContext(ctx context.Context, query string, opt SearchOpti
 
 // TopKContext is TopK honoring a context: cancellation or deadline expiry
 // aborts the evaluation with ctx.Err() without completing the scan.
-func (ix *Index) TopKContext(ctx context.Context, query string, k int, opt SearchOptions) (_ []Result, err error) {
+func (ix *Index) TopKContext(ctx context.Context, query string, k int, opt SearchOptions) ([]Result, error) {
+	return ix.topKObs(ctx, query, k, opt, nil)
+}
+
+// topKObs wraps topKEval with the panic guard and per-query metrics
+// accounting.
+func (ix *Index) topKObs(ctx context.Context, query string, k int, opt SearchOptions, tr *obs.Trace) (rs []Result, err error) {
+	start := time.Now()
+	defer func() {
+		ix.metrics.RecordQuery(topKEngine(opt.Algorithm), query, k, time.Since(start), len(rs), err, tr)
+	}()
 	defer guard(&err)
+	return ix.topKEval(ctx, query, k, opt, tr)
+}
+
+// topKEval dispatches a top-K evaluation to the selected engine.
+func (ix *Index) topKEval(ctx context.Context, query string, k int, opt SearchOptions, tr *obs.Trace) ([]Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -114,16 +178,19 @@ func (ix *Index) TopKContext(ctx context.Context, query string, k int, opt Searc
 	case AlgoJoin:
 		lists := make([]*colstore.TKList, len(keywords))
 		for i, w := range keywords {
-			lists[i] = ix.store.TopKList(w)
+			lists[i] = ix.store.TopKListObs(w, tr)
 		}
-		rs, _, err := topk.EvaluateCtx(ctx, lists, topk.Options{Semantics: coreSem(opt.Semantics), Decay: decay, K: k})
+		rs, _, err := topk.EvaluateCtx(ctx, lists, topk.Options{Semantics: coreSem(opt.Semantics), Decay: decay, K: k, Trace: tr})
 		if err != nil {
 			return nil, err
 		}
 		return ix.materializeJoin(rs), nil
 	case AlgoRDIL:
 		ix.ensureInv()
-		rs, _, err := ix.rdilIdx.TopKCtx(ctx, keywords, rdilSem(opt.Semantics), decay, k)
+		if tr != nil {
+			ix.invListsObs(keywords, tr)
+		}
+		rs, _, err := ix.rdilIdx.TopKObsCtx(ctx, keywords, rdilSem(opt.Semantics), decay, k, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -136,17 +203,17 @@ func (ix *Index) TopKContext(ctx context.Context, query string, k int, opt Searc
 		colLists := make([]*colstore.List, len(keywords))
 		tkLists := make([]*colstore.TKList, len(keywords))
 		for i, w := range keywords {
-			colLists[i] = ix.store.List(w)
-			tkLists[i] = ix.store.TopKList(w)
+			colLists[i] = ix.store.ListObs(w, tr)
+			tkLists[i] = ix.store.TopKListObs(w, tr)
 		}
 		rs, _, err := topk.EvaluateHybridCtx(ctx, colLists, tkLists,
-			topk.HybridOptions{Semantics: coreSem(opt.Semantics), Decay: decay, K: k})
+			topk.HybridOptions{Semantics: coreSem(opt.Semantics), Decay: decay, K: k, Trace: tr})
 		if err != nil {
 			return nil, err
 		}
 		return ix.materializeJoin(rs), nil
 	default:
-		all, err := ix.SearchContext(ctx, query, opt)
+		all, err := ix.searchEval(ctx, query, opt, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -160,38 +227,50 @@ func (ix *Index) TopKContext(ctx context.Context, query string, k int, opt Searc
 // TopKStreamContext is TopKStream honoring a context: results already
 // proven safe are delivered to fn before cancellation is observed; the
 // remaining evaluation then aborts with ctx.Err().
-func (ix *Index) TopKStreamContext(ctx context.Context, query string, k int, opt SearchOptions, fn func(Result) bool) (err error) {
+func (ix *Index) TopKStreamContext(ctx context.Context, query string, k int, opt SearchOptions, fn func(Result) bool) error {
+	_, err := ix.topKStreamObs(ctx, query, k, opt, fn, nil)
+	return err
+}
+
+// topKStreamObs runs the streaming top-K star join, guarded and metered
+// like the other entry points. It returns the number of results delivered.
+func (ix *Index) topKStreamObs(ctx context.Context, query string, k int, opt SearchOptions, fn func(Result) bool, tr *obs.Trace) (delivered int, err error) {
+	start := time.Now()
+	defer func() {
+		ix.metrics.RecordQuery(obs.EngineTopK, query, k, time.Since(start), delivered, err, tr)
+	}()
 	defer guard(&err)
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if k <= 0 {
-		return fmt.Errorf("xmlsearch: k must be positive")
+		return 0, fmt.Errorf("xmlsearch: k must be positive")
 	}
 	if fn == nil {
-		return fmt.Errorf("xmlsearch: nil callback")
+		return 0, fmt.Errorf("xmlsearch: nil callback")
 	}
 	keywords := Keywords(query)
 	if len(keywords) == 0 {
-		return ErrNoKeywords
+		return 0, ErrNoKeywords
 	}
 	if err := ctx.Err(); err != nil {
-		return err
+		return 0, err
 	}
 	decay := effectiveDecay(opt.Decay)
 	lists := make([]*colstore.TKList, len(keywords))
 	for i, w := range keywords {
-		lists[i] = ix.store.TopKList(w)
+		lists[i] = ix.store.TopKListObs(w, tr)
 	}
-	_, _, err = topk.EvaluateFuncCtx(ctx, lists, topk.Options{Semantics: coreSem(opt.Semantics), Decay: decay, K: k},
+	_, _, err = topk.EvaluateFuncCtx(ctx, lists, topk.Options{Semantics: coreSem(opt.Semantics), Decay: decay, K: k, Trace: tr},
 		func(r core.Result) bool {
 			n := ix.doc.NodeByJDewey(r.Level, r.Value)
 			if n == nil {
 				return true
 			}
+			delivered++
 			return fn(ix.materializeNode(n, r.Score))
 		})
-	return err
+	return delivered, err
 }
 
 // SearchContext is Corpus.Search honoring a context.

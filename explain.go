@@ -1,14 +1,24 @@
 package xmlsearch
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/colstore"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/score"
 	"repro/internal/topk"
 )
+
+// ListInfo describes one keyword's inverted list as the explained query
+// saw it.
+type ListInfo struct {
+	Keyword string `json:"keyword"`
+	Rows    int    `json:"rows"` // occurrence count (document frequency)
+}
 
 // Explanation reports what a join-based evaluation did: the workload
 // shape, the per-level join decisions (Section III-C), and — for top-K
@@ -17,11 +27,24 @@ import (
 // the paper's experiments are built on.
 type Explanation struct {
 	Keywords  []string
-	DocFreqs  []int // per keyword, occurrence counts
+	DocFreqs  []int // per keyword, occurrence counts (kept for compatibility)
 	Semantics Semantics
 	K         int // 0 for a complete evaluation
 	Results   int
 	Elapsed   time.Duration
+
+	// Lists is the typed per-keyword view of the workload: each keyword
+	// with the length of its inverted list.
+	Lists []ListInfo
+	// JoinOrder is the keywords in the order the engine joined their
+	// lists: shortest-first for the complete evaluation (Section III-C);
+	// for a top-K run the star join consumes every list simultaneously,
+	// so the order is the query's own.
+	JoinOrder []string
+	// Trace is the full event trace of the explained run (join steps,
+	// plan switches, threshold updates, termination). Render it with
+	// RenderTrace.
+	Trace *obs.Trace
 
 	// Complete evaluation (K == 0).
 	Levels      int   // columns processed bottom-up
@@ -53,17 +76,20 @@ func (ix *Index) Explain(query string, k int, opt SearchOptions) (*Explanation, 
 	if decay == 0 {
 		decay = score.DefaultDecay
 	}
-	ex := &Explanation{Keywords: keywords, Semantics: opt.Semantics, K: k}
+	ex := &Explanation{Keywords: keywords, Semantics: opt.Semantics, K: k, Trace: obs.NewTrace()}
 	for _, w := range keywords {
-		ex.DocFreqs = append(ex.DocFreqs, ix.store.DocFreq(w))
+		df := ix.store.DocFreq(w)
+		ex.DocFreqs = append(ex.DocFreqs, df)
+		ex.Lists = append(ex.Lists, ListInfo{Keyword: w, Rows: df})
 	}
 	start := time.Now()
 	if k <= 0 {
 		lists := make([]*colstore.List, len(keywords))
 		for i, w := range keywords {
-			lists[i] = ix.store.List(w)
+			lists[i] = ix.store.ListObs(w, ex.Trace)
 		}
-		rs, st := core.Evaluate(lists, core.Options{Semantics: coreSem(opt.Semantics), Decay: decay})
+		rs, st, _ := core.EvaluateCtx(context.Background(), lists,
+			core.Options{Semantics: coreSem(opt.Semantics), Decay: decay, Trace: ex.Trace})
 		ex.Elapsed = time.Since(start)
 		ex.Results = len(rs)
 		ex.Levels = st.Levels
@@ -71,13 +97,17 @@ func (ix *Index) Explain(query string, k int, opt SearchOptions) (*Explanation, 
 		ex.IndexJoins = st.IndexJoins
 		ex.RunsScanned = st.RunsScanned
 		ex.Probes = st.Probes
+		for _, j := range st.JoinOrder {
+			ex.JoinOrder = append(ex.JoinOrder, keywords[j])
+		}
 		return ex, nil
 	}
 	lists := make([]*colstore.TKList, len(keywords))
 	for i, w := range keywords {
-		lists[i] = ix.store.TopKList(w)
+		lists[i] = ix.store.TopKListObs(w, ex.Trace)
 	}
-	rs, st := topk.Evaluate(lists, topk.Options{Semantics: coreSem(opt.Semantics), Decay: decay, K: k})
+	rs, st, _ := topk.EvaluateCtx(context.Background(), lists,
+		topk.Options{Semantics: coreSem(opt.Semantics), Decay: decay, K: k, Trace: ex.Trace})
 	ex.Elapsed = time.Since(start)
 	ex.Results = len(rs)
 	ex.Levels = st.Levels
@@ -85,7 +115,15 @@ func (ix *Index) Explain(query string, k int, opt SearchOptions) (*Explanation, 
 	ex.RowsTotal = st.RowsTotal
 	ex.EarlyEmits = st.EarlyEmits
 	ex.TerminatedEarly = st.TerminatedEarly
+	// The star join reads every list in lockstep; the join order is the
+	// query's keyword order.
+	ex.JoinOrder = append(ex.JoinOrder, keywords...)
 	return ex, nil
+}
+
+// RenderTrace writes the explained run's span-and-event timeline.
+func (e *Explanation) RenderTrace(w io.Writer) {
+	e.Trace.Render(w)
 }
 
 // String renders the explanation in a compact human-readable form.
@@ -95,8 +133,8 @@ func (e *Explanation) String() string {
 			e.K, e.Semantics, e.Keywords, e.DocFreqs, e.Results, e.Elapsed.Round(time.Microsecond),
 			e.RowsPulled, e.RowsTotal, e.EarlyEmits, e.TerminatedEarly)
 	}
-	return fmt.Sprintf("full %v over %v df=%v: %d results in %v; %d levels, %d merge + %d index joins (%d runs, %d probes)",
-		e.Semantics, e.Keywords, e.DocFreqs, e.Results, e.Elapsed.Round(time.Microsecond),
+	return fmt.Sprintf("full %v over %v df=%v join-order=%v: %d results in %v; %d levels, %d merge + %d index joins (%d runs, %d probes)",
+		e.Semantics, e.Keywords, e.DocFreqs, e.JoinOrder, e.Results, e.Elapsed.Round(time.Microsecond),
 		e.Levels, e.MergeJoins, e.IndexJoins, e.RunsScanned, e.Probes)
 }
 

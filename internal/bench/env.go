@@ -9,6 +9,7 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"time"
 
 	"repro/internal/colstore"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/invindex"
 	"repro/internal/ixlookup"
 	"repro/internal/jdewey"
+	"repro/internal/obs"
 	"repro/internal/occur"
 	"repro/internal/rdil"
 	"repro/internal/stack"
@@ -32,6 +34,9 @@ type Env struct {
 	Store *colstore.Store
 	Inv   *invindex.Index
 	RDIL  *rdil.Index
+	// Obs accumulates per-engine query counters and latency histograms
+	// across every Run* call, for xkwbench -metrics.
+	Obs *obs.Metrics
 }
 
 // NewEnv indexes a generated dataset for all engines.
@@ -39,13 +44,21 @@ func NewEnv(ds *gen.Dataset) *Env {
 	jdewey.Assign(ds.Doc, 0)
 	m := occur.Extract(ds.Doc)
 	inv := invindex.Build(m)
-	return &Env{
+	e := &Env{
 		DS:    ds,
 		M:     m,
 		Store: colstore.Build(m),
 		Inv:   inv,
 		RDIL:  rdil.NewIndex(inv),
+		Obs:   obs.NewMetrics(),
 	}
+	e.Store.SetObs(&e.Obs.Store)
+	return e
+}
+
+// record accounts one benchmark query into the environment's metrics.
+func (e *Env) record(eng obs.Engine, q []string, k int, start time.Time, n int) {
+	e.Obs.RecordQuery(eng, strings.Join(q, " "), k, time.Since(start), n, nil, nil)
 }
 
 // NewDBLPEnv and NewXMarkEnv build the two standard environments.
@@ -86,49 +99,63 @@ func (e *Env) invLists(q []string) []*invindex.List {
 
 // RunJoin evaluates the complete result set with the join-based algorithm.
 func (e *Env) RunJoin(q []string, sem core.Semantics, plan core.JoinPlan) int {
+	start := time.Now()
 	rs, _ := core.Evaluate(e.colLists(q), core.Options{Semantics: sem, Plan: plan})
+	e.record(obs.EngineJoin, q, 0, start, len(rs))
 	return len(rs)
 }
 
 // RunStack evaluates with the stack-based baseline.
 func (e *Env) RunStack(q []string, sem stack.Semantics) int {
+	start := time.Now()
 	rs, _ := stack.Evaluate(e.invLists(q), sem, 0)
+	e.record(obs.EngineStack, q, 0, start, len(rs))
 	return len(rs)
 }
 
 // RunIxlookup evaluates with the index-based baseline.
 func (e *Env) RunIxlookup(q []string, sem ixlookup.Semantics) int {
+	start := time.Now()
 	rs, _ := ixlookup.Evaluate(e.invLists(q), sem, 0)
+	e.record(obs.EngineIxLookup, q, 0, start, len(rs))
 	return len(rs)
 }
 
 // RunTopKJoin runs the join-based top-K algorithm and returns the stats.
 func (e *Env) RunTopKJoin(q []string, k int, mode topk.ThresholdMode) (int, topk.Stats) {
+	start := time.Now()
 	rs, st := topk.Evaluate(e.tkLists(q), topk.Options{Semantics: core.ELCA, K: k, Threshold: mode})
+	e.record(obs.EngineTopK, q, k, start, len(rs))
 	return len(rs), st
 }
 
 // RunJoinThenSort evaluates the complete set with the join-based algorithm
 // and ranks it — the "general join-based algorithm" line of Figure 10.
 func (e *Env) RunJoinThenSort(q []string, k int) int {
+	start := time.Now()
 	rs, _ := core.Evaluate(e.colLists(q), core.Options{})
 	core.SortByScore(rs)
 	if k < len(rs) {
 		rs = rs[:k]
 	}
+	e.record(obs.EngineJoin, q, k, start, len(rs))
 	return len(rs)
 }
 
 // RunHybrid runs the Section V-D hybrid strategy and reports whether the
 // top-K join was selected.
 func (e *Env) RunHybrid(q []string, k int) (int, bool) {
+	start := time.Now()
 	rs, usedTopK := topk.EvaluateHybrid(e.colLists(q), e.tkLists(q), topk.HybridOptions{K: k})
+	e.record(obs.EngineHybrid, q, k, start, len(rs))
 	return len(rs), usedTopK
 }
 
 // RunRDIL runs the RDIL top-K baseline.
 func (e *Env) RunRDIL(q []string, k int) (int, rdil.Stats) {
+	start := time.Now()
 	rs, st := e.RDIL.TopK(q, rdil.ELCA, 0, k)
+	e.record(obs.EngineRDIL, q, k, start, len(rs))
 	return len(rs), st
 }
 

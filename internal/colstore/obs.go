@@ -1,0 +1,148 @@
+package colstore
+
+import (
+	"repro/internal/obs"
+)
+
+// SetObs installs process-wide read-path counters on the store (nil
+// disables recording). Counters are atomic; the pointer itself is guarded
+// by s.mu like the rest of the store state.
+func (s *Store) SetObs(c *obs.StoreCounters) {
+	s.mu.Lock()
+	s.obsC = c
+	s.mu.Unlock()
+}
+
+// listDecodeStats sizes a freshly decoded JDewey-ordered list: blocks is
+// the number of column payloads decoded, decodedBytes the in-memory size
+// of the reconstructed structure, and sparseEntries the number of
+// sparse-index entries the encoded columns carry (the skip points a
+// seeking reader jumps across instead of scanning runs).
+func listDecodeStats(l *List) (blocks int, decodedBytes, sparseEntries int64) {
+	blocks = len(l.Cols)
+	decodedBytes = int64(l.NumRows) * 6 // lens (uint16) + scores (float32)
+	for i := range l.Cols {
+		runs := len(l.Cols[i].Runs)
+		decodedBytes += int64(runs) * 12 // Run{Value, Row, Count}
+		sparseEntries += int64(runs / sparseEvery)
+	}
+	return
+}
+
+// tkDecodeStats sizes a freshly decoded score-sorted list: one block per
+// (group, level) column payload.
+func tkDecodeStats(l *TKList) (blocks int, decodedBytes int64) {
+	for _, g := range l.Groups {
+		blocks += g.Len
+		decodedBytes += int64(len(g.Rows)) * int64(4+4*g.Len) // score + seq
+	}
+	return
+}
+
+// ListObs is List with per-query trace attribution: the open (and, on
+// first disk access, the decode with block/byte accounting) is recorded
+// on tr, and quarantine hits surface as trace events. The store-wide
+// counters installed with SetObs are updated on either entry point.
+func (s *Store) ListObs(term string, tr *obs.Trace) *List {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if l, ok := s.lists[term]; ok {
+		s.obsC.RecordOpen()
+		if tr != nil {
+			var enc int64
+			if e, onDisk := s.lex[term]; onDisk {
+				enc = int64(e.colLen)
+			}
+			tr.ListOpen(term, l.NumRows, l.MaxLen, enc)
+		}
+		return l
+	}
+	if qerr, bad := s.quarantined[term]; bad {
+		if tr != nil {
+			tr.Quarantine(term, qerr.Error())
+		}
+		return nil
+	}
+	e, ok := s.lex[term]
+	if !ok {
+		return nil
+	}
+	blob, err := s.colSlice(e)
+	if err != nil {
+		s.quarantine(term, err)
+		if tr != nil {
+			tr.Quarantine(term, err.Error())
+		}
+		return nil
+	}
+	l, _, err := DecodeList(term, blob)
+	if err != nil {
+		s.quarantine(term, err)
+		if tr != nil {
+			tr.Quarantine(term, err.Error())
+		}
+		return nil
+	}
+	s.lists[term] = l
+	s.obsC.RecordOpen()
+	blocks, decoded, sparse := listDecodeStats(l)
+	s.obsC.RecordDecode(blocks, int64(len(blob)), decoded)
+	s.obsC.RecordSparseSkips(sparse)
+	if tr != nil {
+		tr.ListOpen(term, l.NumRows, l.MaxLen, int64(e.colLen))
+		tr.Decode(term, blocks, int64(len(blob)), decoded)
+	}
+	return l
+}
+
+// TopKListObs is TopKList with per-query trace attribution (see ListObs).
+func (s *Store) TopKListObs(term string, tr *obs.Trace) *TKList {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if l, ok := s.tklists[term]; ok {
+		s.obsC.RecordOpen()
+		if tr != nil {
+			var enc int64
+			if e, onDisk := s.lex[term]; onDisk {
+				enc = int64(e.tkLen)
+			}
+			tr.ListOpen(term, l.NumRows(), l.MaxLen, enc)
+		}
+		return l
+	}
+	if qerr, bad := s.quarantined[term]; bad {
+		if tr != nil {
+			tr.Quarantine(term, qerr.Error())
+		}
+		return nil
+	}
+	e, ok := s.lex[term]
+	if !ok {
+		return nil
+	}
+	blob, err := s.tkSlice(e)
+	if err != nil {
+		s.quarantine(term, err)
+		if tr != nil {
+			tr.Quarantine(term, err.Error())
+		}
+		return nil
+	}
+	l, _, err := DecodeTKList(term, blob)
+	if err != nil {
+		s.quarantine(term, err)
+		if tr != nil {
+			tr.Quarantine(term, err.Error())
+		}
+		return nil
+	}
+	s.tklists[term] = l
+	s.obsC.RecordOpen()
+	blocks, decoded := tkDecodeStats(l)
+	s.obsC.RecordDecode(blocks, int64(len(blob)), decoded)
+	if tr != nil {
+		tr.ListOpen(term, l.NumRows(), l.MaxLen, int64(e.tkLen))
+		tr.Decode(term, blocks, int64(len(blob)), decoded)
+	}
+	return l
+}

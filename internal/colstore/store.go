@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/occur"
 )
 
@@ -49,6 +50,9 @@ type Store struct {
 	format      int // 0 in-memory, 1 legacy, 2 checksummed
 	quarantined map[string]error
 	fileDamage  []string
+
+	// Read-path observability counters (nil = disabled; see SetObs).
+	obsC *obs.StoreCounters
 }
 
 type lexEntry struct {
@@ -126,6 +130,7 @@ func (s *Store) quarantine(term string, err error) {
 	}
 	if _, dup := s.quarantined[term]; !dup {
 		s.quarantined[term] = err
+		s.obsC.RecordQuarantine()
 	}
 }
 
@@ -159,59 +164,13 @@ func (s *Store) tkSlice(e lexEntry) ([]byte, error) {
 // structural failure — the term is then quarantined and reported by
 // Health, so one corrupt list degrades only its own term).
 func (s *Store) List(term string) *List {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if l, ok := s.lists[term]; ok {
-		return l
-	}
-	if _, bad := s.quarantined[term]; bad {
-		return nil
-	}
-	e, ok := s.lex[term]
-	if !ok {
-		return nil
-	}
-	blob, err := s.colSlice(e)
-	if err != nil {
-		s.quarantine(term, err)
-		return nil
-	}
-	l, _, err := DecodeList(term, blob)
-	if err != nil {
-		s.quarantine(term, err)
-		return nil
-	}
-	s.lists[term] = l
-	return l
+	return s.ListObs(term, nil)
 }
 
 // TopKList returns the score-sorted list for a term, or nil (same
 // quarantine semantics as List).
 func (s *Store) TopKList(term string) *TKList {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if l, ok := s.tklists[term]; ok {
-		return l
-	}
-	if _, bad := s.quarantined[term]; bad {
-		return nil
-	}
-	e, ok := s.lex[term]
-	if !ok {
-		return nil
-	}
-	blob, err := s.tkSlice(e)
-	if err != nil {
-		s.quarantine(term, err)
-		return nil
-	}
-	l, _, err := DecodeTKList(term, blob)
-	if err != nil {
-		s.quarantine(term, err)
-		return nil
-	}
-	s.tklists[term] = l
-	return l
+	return s.TopKListObs(term, nil)
 }
 
 // Handle returns the streaming (column-at-a-time) view of a term's list,
@@ -638,6 +597,7 @@ func (s *Store) Health() Health {
 	defer s.mu.Unlock()
 	h := Health{Format: s.format, Terms: len(words)}
 	h.FileDamage = append(h.FileDamage, s.fileDamage...)
+	sort.Strings(h.FileDamage)
 	for w, err := range s.quarantined {
 		h.Quarantined = append(h.Quarantined, TermFault{Term: w, Err: err.Error()})
 	}

@@ -12,7 +12,11 @@ import (
 	"math"
 	"sort"
 
+	"fmt"
+	"strings"
+
 	"repro/internal/colstore"
+	"repro/internal/obs"
 	"repro/internal/score"
 )
 
@@ -58,6 +62,12 @@ type Options struct {
 	Semantics Semantics
 	Plan      JoinPlan
 	Decay     float64 // damping base d(Δl) = Decay^Δl; 0 selects score.DefaultDecay
+
+	// Trace, when non-nil, receives the per-query execution events (join
+	// order, per-level join steps, dynamic plan switches, cancellation
+	// strides). Nil disables tracing at the cost of one pointer check per
+	// instrumentation site.
+	Trace *obs.Trace
 }
 
 func (o Options) decay() float64 {
@@ -84,6 +94,10 @@ type Stats struct {
 	Probes      int64 // binary-search probes issued by index joins
 	Matches     int   // contains-all nodes found (before output filtering)
 	Results     int
+	// JoinOrder is the chosen evaluation order as a permutation of the
+	// caller's list indices: JoinOrder[i] is the input position of the
+	// i-th list joined (shortest-first, Section III-C).
+	JoinOrder []int
 }
 
 // Evaluate runs Algorithm 1 over fully-decoded in-memory lists. It is a
@@ -133,12 +147,36 @@ func EvaluateSourcesCtx(ctx context.Context, lists []colstore.Source, opt Option
 			return nil, st, nil
 		}
 	}
-	// Join ordering (Section III-C): left-deep, shortest list first.
+	// Join ordering (Section III-C): left-deep, shortest list first. The
+	// permutation is kept in Stats so callers can name the lists.
+	idx := make([]int, len(lists))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return lists[idx[a]].Rows() < lists[idx[b]].Rows() })
 	ordered := make([]colstore.Source, len(lists))
-	copy(ordered, lists)
-	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Rows() < ordered[j].Rows() })
+	for i, j := range idx {
+		ordered[i] = lists[j]
+	}
+	st.JoinOrder = idx
+	if tr := opt.Trace; tr != nil {
+		var b strings.Builder
+		b.WriteString("rows:")
+		total := int64(0)
+		for i, l := range ordered {
+			if i > 0 {
+				b.WriteByte('<')
+			}
+			fmt.Fprintf(&b, "%d", l.Rows())
+			total += int64(l.Rows())
+		}
+		tr.JoinOrder(b.String(), len(ordered), ordered[0].Rows(), total)
+	}
 
 	e := newEvaluator(ctx, ordered, opt)
+	if tr := opt.Trace; tr != nil {
+		defer func() { tr.CancelChecks(int64(e.ops/ctxCheckStride), ctxCheckStride) }()
+	}
 	lmin := ordered[0].MaxLevel()
 	for _, l := range ordered {
 		if l.MaxLevel() < lmin {
@@ -175,6 +213,8 @@ type evaluator struct {
 	curCols []*colstore.Column // columns of the level being processed
 	opt     Options
 	decay   float64
+
+	lastPlan string // previous dynamic join choice, for plan-switch events
 }
 
 func newEvaluator(ctx context.Context, lists []colstore.Source, opt Options) *evaluator {
@@ -239,6 +279,20 @@ func (e *evaluator) processLevel(lev int, results []Result, st *Stats) []Result 
 			// Dynamic optimization: the intermediate result shrank enough
 			// below the next column to favour probing over scanning.
 			useIndex = len(cur)*indexJoinRatio < len(cols[j].Runs)
+		}
+		if tr := e.opt.Trace; tr != nil {
+			kind := "merge"
+			if useIndex {
+				kind = "index"
+			}
+			// A plan switch is the dynamic optimizer changing algorithm
+			// between consecutive joins; the triggering cardinalities are
+			// the intermediate size versus the next column's runs.
+			if e.opt.Plan == PlanAuto && e.lastPlan != "" && kind != e.lastPlan {
+				tr.PlanSwitch(kind, lev, len(cur), len(cols[j].Runs))
+			}
+			e.lastPlan = kind
+			tr.JoinStep(kind, lev, len(cur), len(cols[j].Runs))
 		}
 		if useIndex {
 			st.IndexJoins++

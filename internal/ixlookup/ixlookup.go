@@ -9,11 +9,14 @@ package ixlookup
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"repro/internal/dewey"
 	"repro/internal/invindex"
+	"repro/internal/obs"
 	"repro/internal/score"
 )
 
@@ -79,6 +82,13 @@ func Evaluate(lists []*invindex.List, sem Semantics, decay float64) ([]Result, S
 // the candidate verification loops observe cancellation periodically and
 // abort with ctx.Err().
 func EvaluateCtx(goCtx context.Context, lists []*invindex.List, sem Semantics, decay float64) ([]Result, Stats, error) {
+	return EvaluateObsCtx(goCtx, lists, sem, decay, nil)
+}
+
+// EvaluateObsCtx is EvaluateCtx with per-query tracing: the driver-list
+// choice (the family's one join-order decision), cancellation-check
+// strides, and probe counters are recorded on tr (nil disables tracing).
+func EvaluateObsCtx(goCtx context.Context, lists []*invindex.List, sem Semantics, decay float64, tr *obs.Trace) ([]Result, Stats, error) {
 	var st Stats
 	if goCtx == nil {
 		goCtx = context.Background()
@@ -101,6 +111,23 @@ func EvaluateCtx(goCtx context.Context, lists []*invindex.List, sem Semantics, d
 	copy(ordered, lists)
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Len() < ordered[j].Len() })
 	ctx := &evalCtx{goCtx: goCtx, lists: ordered, decay: decay, st: &st}
+	if tr != nil {
+		var b strings.Builder
+		fmt.Fprintf(&b, "driver=%s:rows=", ordered[0].Word)
+		total := int64(0)
+		for i, l := range ordered {
+			if i > 0 {
+				b.WriteByte('<')
+			}
+			fmt.Fprintf(&b, "%d", l.Len())
+			total += int64(l.Len())
+		}
+		tr.JoinOrder(b.String(), len(ordered), ordered[0].Len(), total)
+		defer func() {
+			tr.CancelChecks(int64(ctx.ops/ctxCheckStride), ctxCheckStride)
+			tr.Note("ixlookup driver/probes/candidates", int64(st.DriverPostings), st.Probes, int64(st.Candidates))
+		}()
+	}
 
 	// Candidate generation: for every occurrence v of the shortest list,
 	// the deepest contains-all ancestor of v, found from the closest

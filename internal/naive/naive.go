@@ -5,8 +5,11 @@
 package naive
 
 import (
+	"fmt"
 	"math"
+	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/occur"
 	"repro/internal/score"
 	"repro/internal/xmltree"
@@ -32,6 +35,15 @@ const (
 // than 64 keywords are unsupported (bitmask-based), far beyond anything the
 // paper considers.
 func Evaluate(doc *xmltree.Document, m *occur.Map, keywords []string, sem Semantics, decay float64) []Result {
+	return EvaluateObs(doc, m, keywords, sem, decay, nil)
+}
+
+// EvaluateObs is Evaluate with per-query tracing: occurrence-list opens
+// and the full-scan "plan" are recorded on tr (nil disables tracing). The
+// oracle performs no joins, so its trace documents only what it read —
+// which is also what makes it the baseline every other trace's early
+// termination is measured against.
+func EvaluateObs(doc *xmltree.Document, m *occur.Map, keywords []string, sem Semantics, decay float64, tr *obs.Trace) []Result {
 	k := len(keywords)
 	if k == 0 || k > 64 {
 		return nil
@@ -45,6 +57,27 @@ func Evaluate(doc *xmltree.Document, m *occur.Map, keywords []string, sem Semant
 		if len(occs[i]) == 0 {
 			return nil
 		}
+	}
+	if tr != nil {
+		var b strings.Builder
+		b.WriteString("full-scan:rows=")
+		total := int64(0)
+		for i, w := range keywords {
+			maxLev := 0
+			for _, o := range occs[i] {
+				if o.Node.Level > maxLev {
+					maxLev = o.Node.Level
+				}
+			}
+			tr.ListOpen(w, len(occs[i]), maxLev, 0)
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", len(occs[i]))
+			total += int64(len(occs[i]))
+		}
+		tr.JoinOrder(b.String(), k, len(occs[0]), total)
+		tr.Note("naive nodes scanned", int64(doc.Len()), 0, 0)
 	}
 	full := uint64(1)<<k - 1
 

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"time"
+)
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WritePrometheus writes the snapshot in Prometheus text exposition
+// format (version 0.0.4). Metric names are prefixed with "xkw_".
+func (s Snapshot) WritePrometheus(w io.Writer) {
+	fmt.Fprintln(w, "# HELP xkw_queries_total Completed queries per engine.")
+	fmt.Fprintln(w, "# TYPE xkw_queries_total counter")
+	for _, e := range s.Engines {
+		fmt.Fprintf(w, "xkw_queries_total{engine=%q} %d\n", e.Engine, e.Queries)
+	}
+	fmt.Fprintln(w, "# HELP xkw_query_errors_total Failed queries per engine (excluding cancellations).")
+	fmt.Fprintln(w, "# TYPE xkw_query_errors_total counter")
+	for _, e := range s.Engines {
+		fmt.Fprintf(w, "xkw_query_errors_total{engine=%q} %d\n", e.Engine, e.Errors)
+	}
+	fmt.Fprintln(w, "# HELP xkw_query_cancelled_total Cancelled queries per engine.")
+	fmt.Fprintln(w, "# TYPE xkw_query_cancelled_total counter")
+	for _, e := range s.Engines {
+		fmt.Fprintf(w, "xkw_query_cancelled_total{engine=%q} %d\n", e.Engine, e.Cancelled)
+	}
+	fmt.Fprintln(w, "# HELP xkw_query_results_total Results returned per engine.")
+	fmt.Fprintln(w, "# TYPE xkw_query_results_total counter")
+	for _, e := range s.Engines {
+		fmt.Fprintf(w, "xkw_query_results_total{engine=%q} %d\n", e.Engine, e.Results)
+	}
+	fmt.Fprintln(w, "# HELP xkw_query_duration_seconds Query latency per engine.")
+	fmt.Fprintln(w, "# TYPE xkw_query_duration_seconds histogram")
+	for _, e := range s.Engines {
+		cum := int64(0)
+		for _, b := range e.Latency.Buckets {
+			cum += b.N
+			le := "+Inf"
+			if b.LE != 0 {
+				le = fmt.Sprintf("%g", b.LE.Seconds())
+			}
+			fmt.Fprintf(w, "xkw_query_duration_seconds_bucket{engine=%q,le=%q} %d\n", e.Engine, le, cum)
+		}
+		fmt.Fprintf(w, "xkw_query_duration_seconds_sum{engine=%q} %g\n",
+			e.Engine, time.Duration(e.Latency.SumNano).Seconds())
+		fmt.Fprintf(w, "xkw_query_duration_seconds_count{engine=%q} %d\n", e.Engine, e.Latency.Count)
+	}
+	st := s.Store
+	storeCounters := []struct {
+		name, help string
+		v          int64
+	}{
+		{"xkw_store_list_opens_total", "Inverted-list opens.", st.ListOpens},
+		{"xkw_store_list_decodes_total", "Inverted lists decoded from disk bytes.", st.ListDecodes},
+		{"xkw_store_blocks_decoded_total", "Encoded blocks decoded.", st.BlocksDecoded},
+		{"xkw_store_compressed_bytes_total", "On-disk bytes fed to decoders.", st.CompressedBytes},
+		{"xkw_store_decoded_bytes_total", "In-memory bytes produced by decoders.", st.DecodedBytes},
+		{"xkw_store_sparse_skips_total", "Sparse-index skips taken during seeks.", st.SparseSkips},
+		{"xkw_store_quarantines_total", "Terms quarantined on read.", st.Quarantines},
+	}
+	for _, c := range storeCounters {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v)
+	}
+}
+
+// PublishExpvar publishes the metrics under the given expvar name as a
+// live JSON snapshot. Publishing the same name twice is a no-op (expvar
+// panics on duplicates, so re-publication is guarded).
+func (m *Metrics) PublishExpvar(name string) {
+	if m == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
+}

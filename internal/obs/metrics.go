@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// EngineMetrics accumulates per-engine query counters. All fields are
+// atomics; recording is lock-free.
+type EngineMetrics struct {
+	Queries   Counter
+	Errors    Counter
+	Cancelled Counter
+	Results   Counter
+	Latency   Histogram
+}
+
+// StoreCounters accumulates column-store read-path counters. A *StoreCounters
+// is installed on a colstore.Store with SetObs; a nil receiver disables
+// recording with a single pointer check.
+type StoreCounters struct {
+	ListOpens       Counter // inverted-list opens (lazy or cached)
+	ListDecodes     Counter // lists actually decoded from disk bytes
+	BlocksDecoded   Counter // runs/length-groups/delta blocks decoded
+	CompressedBytes Counter // on-disk bytes fed to decoders
+	DecodedBytes    Counter // in-memory bytes produced by decoders
+	SparseSkips     Counter // sparse-index skips taken during seeks
+	Quarantines     Counter // terms quarantined on read
+}
+
+// RecordOpen notes one list open. Nil-safe.
+func (s *StoreCounters) RecordOpen() {
+	if s == nil {
+		return
+	}
+	s.ListOpens.Inc()
+}
+
+// RecordDecode notes one completed list decode. Nil-safe.
+func (s *StoreCounters) RecordDecode(blocks int, compressed, decoded int64) {
+	if s == nil {
+		return
+	}
+	s.ListDecodes.Inc()
+	s.BlocksDecoded.Add(int64(blocks))
+	s.CompressedBytes.Add(compressed)
+	s.DecodedBytes.Add(decoded)
+}
+
+// RecordSparseSkips notes sparse-index skips taken during a seek. Nil-safe.
+func (s *StoreCounters) RecordSparseSkips(n int64) {
+	if s == nil || n == 0 {
+		return
+	}
+	s.SparseSkips.Add(n)
+}
+
+// RecordQuarantine notes one quarantined term. Nil-safe.
+func (s *StoreCounters) RecordQuarantine() {
+	if s == nil {
+		return
+	}
+	s.Quarantines.Inc()
+}
+
+// StoreSnapshot is a point-in-time copy of StoreCounters.
+type StoreSnapshot struct {
+	ListOpens       int64 `json:"list_opens"`
+	ListDecodes     int64 `json:"list_decodes"`
+	BlocksDecoded   int64 `json:"blocks_decoded"`
+	CompressedBytes int64 `json:"compressed_bytes"`
+	DecodedBytes    int64 `json:"decoded_bytes"`
+	SparseSkips     int64 `json:"sparse_skips"`
+	Quarantines     int64 `json:"quarantines"`
+}
+
+// Snapshot copies the store counters (zero snapshot for nil).
+func (s *StoreCounters) Snapshot() StoreSnapshot {
+	if s == nil {
+		return StoreSnapshot{}
+	}
+	return StoreSnapshot{
+		ListOpens:       s.ListOpens.Load(),
+		ListDecodes:     s.ListDecodes.Load(),
+		BlocksDecoded:   s.BlocksDecoded.Load(),
+		CompressedBytes: s.CompressedBytes.Load(),
+		DecodedBytes:    s.DecodedBytes.Load(),
+		SparseSkips:     s.SparseSkips.Load(),
+		Quarantines:     s.Quarantines.Load(),
+	}
+}
+
+// SlowQuery is one entry of the slow-query log.
+type SlowQuery struct {
+	When     time.Time     `json:"when"`
+	Engine   string        `json:"engine"`
+	Query    string        `json:"query"`
+	K        int           `json:"k,omitempty"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+	Results  int           `json:"results"`
+	Err      string        `json:"err,omitempty"`
+	TraceSig string        `json:"trace,omitempty"`
+}
+
+// slowLogCap bounds the slow-query ring buffer.
+const slowLogCap = 64
+
+// Metrics is the process-wide (or per-index) metrics registry: per-engine
+// query counters and latency histograms, column-store read counters, and
+// a bounded slow-query log. Recording on the query path is lock-free; the
+// slow-query log takes a mutex, but only for queries already past the
+// configured latency threshold.
+type Metrics struct {
+	engines [numEngines]EngineMetrics
+	Store   StoreCounters
+
+	slowThresholdNs Counter // configured slow-query latency threshold (0 = disabled)
+
+	slowMu   sync.Mutex
+	slowRing [slowLogCap]SlowQuery
+	slowLen  int
+	slowNext int
+}
+
+// NewMetrics returns a ready registry with the slow-query log disabled.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// Engine returns the metric set of one engine for direct recording.
+func (m *Metrics) Engine(e Engine) *EngineMetrics {
+	if m == nil || int(e) >= int(numEngines) {
+		return nil
+	}
+	return &m.engines[e]
+}
+
+// SetSlowQueryThreshold sets the latency past which a query is captured
+// in the slow-query log. Zero or negative disables the log.
+func (m *Metrics) SetSlowQueryThreshold(d time.Duration) {
+	if m == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	// Counter is monotonic in spirit only; store the raw value.
+	m.slowThresholdNs.v.Store(int64(d))
+}
+
+// SlowQueryThreshold returns the configured threshold (0 = disabled).
+func (m *Metrics) SlowQueryThreshold() time.Duration {
+	if m == nil {
+		return 0
+	}
+	return time.Duration(m.slowThresholdNs.Load())
+}
+
+// RecordQuery records one completed query: engine counters, latency
+// histogram, and — if elapsed exceeds the slow-query threshold — a
+// slow-log entry. Nil-safe.
+func (m *Metrics) RecordQuery(e Engine, query string, k int, elapsed time.Duration, results int, err error, tr *Trace) {
+	if m == nil || int(e) >= int(numEngines) {
+		return
+	}
+	em := &m.engines[e]
+	em.Queries.Inc()
+	em.Results.Add(int64(results))
+	em.Latency.Observe(elapsed)
+	if err != nil {
+		if isCancel(err) {
+			em.Cancelled.Inc()
+		} else {
+			em.Errors.Inc()
+		}
+	}
+	if th := m.SlowQueryThreshold(); th > 0 && elapsed >= th {
+		sq := SlowQuery{
+			When:    time.Now(),
+			Engine:  e.String(),
+			Query:   query,
+			K:       k,
+			Elapsed: elapsed,
+			Results: results,
+		}
+		if err != nil {
+			sq.Err = err.Error()
+		}
+		if tr != nil {
+			sq.TraceSig = tr.Signature()
+		}
+		m.slowMu.Lock()
+		m.slowRing[m.slowNext] = sq
+		m.slowNext = (m.slowNext + 1) % slowLogCap
+		if m.slowLen < slowLogCap {
+			m.slowLen++
+		}
+		m.slowMu.Unlock()
+	}
+}
+
+// isCancel reports whether err is a context cancellation; the facade
+// propagates context errors unwrapped or wrapped, so errors.Is suffices.
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// SlowQueries returns the slow-query log, oldest first.
+func (m *Metrics) SlowQueries() []SlowQuery {
+	if m == nil {
+		return nil
+	}
+	m.slowMu.Lock()
+	defer m.slowMu.Unlock()
+	out := make([]SlowQuery, 0, m.slowLen)
+	start := m.slowNext - m.slowLen
+	if start < 0 {
+		start += slowLogCap
+	}
+	for i := 0; i < m.slowLen; i++ {
+		out = append(out, m.slowRing[(start+i)%slowLogCap])
+	}
+	return out
+}
+
+// EngineSnapshot is a point-in-time copy of one engine's metrics.
+type EngineSnapshot struct {
+	Engine    string            `json:"engine"`
+	Queries   int64             `json:"queries"`
+	Errors    int64             `json:"errors"`
+	Cancelled int64             `json:"cancelled"`
+	Results   int64             `json:"results"`
+	Latency   HistogramSnapshot `json:"latency"`
+}
+
+// Snapshot is a point-in-time copy of a Metrics registry.
+type Snapshot struct {
+	Engines     []EngineSnapshot `json:"engines"`
+	Store       StoreSnapshot    `json:"store"`
+	SlowQueries []SlowQuery      `json:"slow_queries,omitempty"`
+}
+
+// Snapshot copies every counter in the registry. Safe to call
+// concurrently with recording.
+func (m *Metrics) Snapshot() Snapshot {
+	if m == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{Store: m.Store.Snapshot(), SlowQueries: m.SlowQueries()}
+	for e := Engine(0); e < numEngines; e++ {
+		em := &m.engines[e]
+		s.Engines = append(s.Engines, EngineSnapshot{
+			Engine:    e.String(),
+			Queries:   em.Queries.Load(),
+			Errors:    em.Errors.Load(),
+			Cancelled: em.Cancelled.Load(),
+			Results:   em.Results.Load(),
+			Latency:   em.Latency.Snapshot(),
+		})
+	}
+	return s
+}

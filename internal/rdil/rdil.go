@@ -14,10 +14,13 @@ package rdil
 
 import (
 	"context"
+	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/dewey"
 	"repro/internal/invindex"
+	"repro/internal/obs"
 	"repro/internal/score"
 )
 
@@ -88,6 +91,13 @@ const ctxCheckStride = 64
 // cancellation periodically and aborts with ctx.Err(), returning the
 // results emitted so far.
 func (r *Index) TopKCtx(ctx context.Context, keywords []string, sem Semantics, decay float64, k int) ([]Result, Stats, error) {
+	return r.TopKObsCtx(ctx, keywords, sem, decay, k, nil)
+}
+
+// TopKObsCtx is TopKCtx with per-query tracing: the round-robin input
+// order, TA threshold updates, emissions, early termination, and
+// cancellation strides are recorded on tr (nil disables tracing).
+func (r *Index) TopKObsCtx(ctx context.Context, keywords []string, sem Semantics, decay float64, k int, tr *obs.Trace) ([]Result, Stats, error) {
 	var st Stats
 	if ctx == nil {
 		ctx = context.Background()
@@ -106,6 +116,23 @@ func (r *Index) TopKCtx(ctx context.Context, keywords []string, sem Semantics, d
 			return nil, st, nil
 		}
 		perms[i] = r.order[w]
+	}
+	totalRows := int64(0)
+	if tr != nil {
+		var b strings.Builder
+		b.WriteString("score-order-round-robin:rows=")
+		for i, l := range lists {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", l.Len())
+			totalRows += int64(l.Len())
+		}
+		tr.JoinOrder(b.String(), len(lists), lists[0].Len(), totalRows)
+		defer func() {
+			tr.CancelChecks(int64(st.Pulled/ctxCheckStride), ctxCheckStride)
+			tr.Note("rdil pulled/probes/verifications", int64(st.Pulled), st.Probes, int64(st.Verifications))
+		}()
 	}
 	e := &engine{lists: lists, decay: decay, st: &st, verdicts: map[string]*verdict{}, sem: sem}
 
@@ -128,6 +155,9 @@ func (r *Index) TopKCtx(ctx context.Context, keywords []string, sem Semantics, d
 		for i := range lists {
 			t += nextScore(i)
 		}
+		if tr != nil {
+			tr.Threshold(0, t, len(candidates), len(emitted))
+		}
 		return t
 	}
 	drain := func(final bool) {
@@ -147,6 +177,9 @@ func (r *Index) TopKCtx(ctx context.Context, keywords []string, sem Semantics, d
 				panic("rdil: corrupt candidate key: " + bestKey)
 			}
 			emitted = append(emitted, Result{ID: id, Score: bestScore})
+			if tr != nil {
+				tr.Emit(len(id), len(emitted), bestScore)
+			}
 		}
 	}
 
@@ -200,6 +233,9 @@ func (r *Index) TopKCtx(ctx context.Context, keywords []string, sem Semantics, d
 	drain(true)
 	if len(emitted) > k {
 		emitted = emitted[:k]
+	}
+	if tr != nil && len(emitted) >= k && int64(st.Pulled) < totalRows {
+		tr.Terminated(0, int64(st.Pulled), totalRows)
 	}
 	return emitted, st, nil
 }

@@ -10,10 +10,13 @@ package stack
 
 import (
 	"context"
+	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/dewey"
 	"repro/internal/invindex"
+	"repro/internal/obs"
 	"repro/internal/score"
 )
 
@@ -62,6 +65,13 @@ const ctxCheckStride = 1024
 // EvaluateCtx is Evaluate honoring a context: the k-way merge observes
 // cancellation periodically and aborts with ctx.Err().
 func EvaluateCtx(ctx context.Context, lists []*invindex.List, sem Semantics, decay float64) ([]Result, Stats, error) {
+	return EvaluateObsCtx(ctx, lists, sem, decay, nil)
+}
+
+// EvaluateObsCtx is EvaluateCtx with per-query tracing: the merge-order
+// decision, cancellation-check strides, and stack-churn counters are
+// recorded on tr (nil disables tracing).
+func EvaluateObsCtx(ctx context.Context, lists []*invindex.List, sem Semantics, decay float64, tr *obs.Trace) ([]Result, Stats, error) {
 	var st Stats
 	if ctx == nil {
 		ctx = context.Background()
@@ -80,6 +90,29 @@ func EvaluateCtx(ctx context.Context, lists []*invindex.List, sem Semantics, dec
 	}
 	if decay == 0 {
 		decay = score.DefaultDecay
+	}
+	if tr != nil {
+		// The stack family has no order freedom — every list is merged in
+		// document order and scanned in full, so the "driver" is the largest
+		// list (Section V: runtime is bounded by the highest frequency).
+		var b strings.Builder
+		b.WriteString("doc-order-merge:rows=")
+		maxRows, total := 0, int64(0)
+		for i, l := range lists {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", l.Len())
+			if l.Len() > maxRows {
+				maxRows = l.Len()
+			}
+			total += int64(l.Len())
+		}
+		tr.JoinOrder(b.String(), k, maxRows, total)
+		defer func() {
+			tr.CancelChecks(int64(st.PostingsRead/ctxCheckStride), ctxCheckStride)
+			tr.Note("stack pushes/pops/postings", int64(st.Pushes), int64(st.Pops), int64(st.PostingsRead))
+		}()
 	}
 	full := uint64(1)<<k - 1
 

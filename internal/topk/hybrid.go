@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/colstore"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // This file implements the hybrid strategy sketched in Section V-D of the
@@ -81,6 +82,11 @@ type HybridOptions struct {
 	// chosen; below it the complete evaluation is expected to be cheaper.
 	// Zero selects DefaultHybridRatio.
 	MinRatio int
+
+	// Trace, when non-nil, records the plan decision (with the estimated
+	// cardinality and the ratio*K cutoff that triggered it) and is passed
+	// down to whichever engine runs.
+	Trace *obs.Trace
 }
 
 // DefaultHybridRatio requires the estimated result count to exceed 4K
@@ -111,11 +117,18 @@ func EvaluateHybridCtx(ctx context.Context, colLists []*colstore.List, tkLists [
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
 	}
-	if EstimateCardinality(colLists) >= ratio*opt.K {
-		rs, _, err := EvaluateCtx(ctx, tkLists, Options{Semantics: opt.Semantics, Decay: opt.Decay, K: opt.K})
+	est := EstimateCardinality(colLists)
+	if est >= ratio*opt.K {
+		if opt.Trace != nil {
+			opt.Trace.PlanSwitch("topk-join", 0, est, ratio*opt.K)
+		}
+		rs, _, err := EvaluateCtx(ctx, tkLists, Options{Semantics: opt.Semantics, Decay: opt.Decay, K: opt.K, Trace: opt.Trace})
 		return rs, true, err
 	}
-	rs, _, err := core.EvaluateCtx(ctx, colLists, core.Options{Semantics: opt.Semantics, Decay: opt.Decay})
+	if opt.Trace != nil {
+		opt.Trace.PlanSwitch("full-join", 0, est, ratio*opt.K)
+	}
+	rs, _, err := core.EvaluateCtx(ctx, colLists, core.Options{Semantics: opt.Semantics, Decay: opt.Decay, Trace: opt.Trace})
 	if err != nil {
 		return rs, false, err
 	}

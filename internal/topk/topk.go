@@ -10,11 +10,14 @@ package topk
 import (
 	"container/heap"
 	"context"
+	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"repro/internal/colstore"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/score"
 )
 
@@ -39,6 +42,12 @@ type Options struct {
 	Decay     float64 // 0 selects score.DefaultDecay
 	K         int
 	Threshold ThresholdMode
+
+	// Trace, when non-nil, receives the per-query execution events
+	// (star-join input order, threshold updates, emissions, early
+	// termination, cancellation strides). Nil disables tracing at the cost
+	// of one pointer check per instrumentation site.
+	Trace *obs.Trace
 }
 
 // Stats reports execution counters.
@@ -132,7 +141,7 @@ func evaluate(ctx context.Context, lists []colstore.TKSource, opt Options, emit 
 	if decay == 0 {
 		decay = score.DefaultDecay
 	}
-	e := &engine{ctx: ctx, opt: opt, decay: decay, st: &st, emit: emit}
+	e := &engine{ctx: ctx, opt: opt, decay: decay, st: &st, emit: emit, tr: opt.Trace}
 	for _, l := range lists {
 		e.states = append(e.states, newListState(l))
 		e.maxCol = append(e.maxCol, l.MaxColScore(decay))
@@ -152,6 +161,25 @@ func evaluate(ctx context.Context, lists []colstore.TKSource, opt Options, emit 
 			}
 			st.RowsTotal += l.GroupSize(g) * levels
 		}
+	}
+	if tr := e.tr; tr != nil {
+		// The star join reads every list round-robin (then max-peek); the
+		// order decision here is the input arrangement and its row volumes.
+		var b strings.Builder
+		b.WriteString("star:rows=")
+		minRows, total := lists[0].NumRows(), int64(0)
+		for i, l := range lists {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", l.NumRows())
+			if l.NumRows() < minRows {
+				minRows = l.NumRows()
+			}
+			total += int64(l.NumRows())
+		}
+		tr.JoinOrder(b.String(), len(lists), minRows, total)
+		defer func() { tr.CancelChecks(int64(st.RowsPulled/ctxCheckStride), ctxCheckStride) }()
 	}
 
 	for lev := lmin; lev >= 1 && !e.done(); lev-- {
@@ -209,7 +237,8 @@ type engine struct {
 	emitted []core.Result
 	buffer  resultHeap // completed results awaiting the threshold
 	emit    func(core.Result) bool
-	stopped bool // consumer cancelled via the emit callback
+	stopped bool       // consumer cancelled via the emit callback
+	tr      *obs.Trace // nil = tracing disabled
 }
 
 func (e *engine) done() bool { return e.stopped || e.ctxErr != nil || len(e.emitted) >= e.opt.K }
@@ -361,6 +390,11 @@ func (e *engine) runColumn(lev int) {
 		if higher > t {
 			t = higher
 		}
+		// Infinite bounds ("nothing unseen can score at all") are not
+		// recorded: only finite threshold values are meaningful updates.
+		if e.tr != nil && !math.IsInf(t, 0) {
+			e.tr.Threshold(lev, t, e.buffer.Len(), len(e.emitted))
+		}
 		return t
 	}
 
@@ -442,6 +476,9 @@ func (e *engine) runColumn(lev int) {
 			}
 			if e.done() {
 				e.st.TerminatedEarly = true
+				if e.tr != nil {
+					e.tr.Terminated(lev, int64(e.st.RowsPulled), int64(e.st.RowsTotal))
+				}
 				return
 			}
 		}
@@ -467,9 +504,15 @@ func (e *engine) runColumn(lev int) {
 	}
 	// The column holds no more unseen results; only higher columns bound
 	// the buffer now.
+	if e.tr != nil && !math.IsInf(higher, 0) {
+		e.tr.Threshold(lev, higher, e.buffer.Len(), len(e.emitted))
+	}
 	e.drain(higher)
-	if e.done() {
+	if e.done() && !e.st.TerminatedEarly {
 		e.st.TerminatedEarly = true
+		if e.tr != nil {
+			e.tr.Terminated(lev, int64(e.st.RowsPulled), int64(e.st.RowsTotal))
+		}
 	}
 }
 
@@ -483,6 +526,9 @@ func (e *engine) drain(threshold float64) {
 		}
 		heap.Pop(&e.buffer)
 		e.emitted = append(e.emitted, top)
+		if e.tr != nil {
+			e.tr.Emit(top.Level, len(e.emitted), top.Score)
+		}
 		if e.emit != nil && !e.emit(top) {
 			e.stopped = true
 		}

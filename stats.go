@@ -1,0 +1,99 @@
+package xmlsearch
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// QueryStats is the per-query execution profile returned by the *Traced
+// entry points: which engine ran, how long it took, and the full event
+// trace (join-order decisions, plan switches, threshold updates, list
+// decodes, early termination, cancellation strides).
+type QueryStats struct {
+	Query    string        `json:"query"`
+	Keywords []string      `json:"keywords"`
+	Engine   string        `json:"engine"`
+	K        int           `json:"k,omitempty"` // 0 for a complete evaluation
+	Results  int           `json:"results"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+	Trace    *obs.Trace    `json:"trace"`
+}
+
+// RenderTrace writes the human-readable span-and-event timeline.
+func (qs *QueryStats) RenderTrace(w io.Writer) {
+	qs.Trace.Render(w)
+}
+
+// newQueryStats assembles the profile after the traced evaluation ended.
+func newQueryStats(query string, engine obs.Engine, k, results int, tr *obs.Trace) *QueryStats {
+	return &QueryStats{
+		Query:    query,
+		Keywords: Keywords(query),
+		Engine:   engine.String(),
+		K:        k,
+		Results:  results,
+		Elapsed:  tr.Duration(),
+		Trace:    tr,
+	}
+}
+
+// SearchTraced is SearchContext with per-query tracing enabled: it returns
+// the results plus the execution profile. Tracing allocates a bounded
+// event log per query; untraced queries pay only a nil check per
+// instrumentation site.
+func (ix *Index) SearchTraced(ctx context.Context, query string, opt SearchOptions) ([]Result, *QueryStats, error) {
+	tr := obs.NewTrace()
+	sp := tr.Start("search/" + searchEngine(opt.Algorithm).String())
+	rs, err := ix.searchObs(ctx, query, opt, tr)
+	tr.End(sp)
+	return rs, newQueryStats(query, searchEngine(opt.Algorithm), 0, len(rs), tr), err
+}
+
+// TopKTraced is TopKContext with per-query tracing enabled.
+func (ix *Index) TopKTraced(ctx context.Context, query string, k int, opt SearchOptions) ([]Result, *QueryStats, error) {
+	tr := obs.NewTrace()
+	sp := tr.Start("topk/" + topKEngine(opt.Algorithm).String())
+	rs, err := ix.topKObs(ctx, query, k, opt, tr)
+	tr.End(sp)
+	return rs, newQueryStats(query, topKEngine(opt.Algorithm), k, len(rs), tr), err
+}
+
+// TopKStreamTraced is TopKStreamContext with per-query tracing enabled:
+// fn receives each result the moment it is proven safe, and the returned
+// profile covers the whole evaluation including the early-termination
+// point.
+func (ix *Index) TopKStreamTraced(ctx context.Context, query string, k int, opt SearchOptions, fn func(Result) bool) (*QueryStats, error) {
+	tr := obs.NewTrace()
+	sp := tr.Start("topk-stream/" + obs.EngineTopK.String())
+	delivered, err := ix.topKStreamObs(ctx, query, k, opt, fn, tr)
+	tr.End(sp)
+	return newQueryStats(query, obs.EngineTopK, k, delivered, tr), err
+}
+
+// Metrics returns the index's live metrics registry: cumulative per-engine
+// query counters and latency histograms plus the column-store decode
+// counters. It is safe for concurrent use with queries; see
+// Metrics.Snapshot, Metrics.WriteJSON-style exposition via Snapshot, and
+// Metrics.PublishExpvar.
+func (ix *Index) Metrics() *obs.Metrics { return ix.metrics }
+
+// Stats returns a point-in-time snapshot of every engine counter,
+// histogram, and store counter, taken without blocking concurrent queries.
+func (ix *Index) Stats() obs.Snapshot { return ix.metrics.Snapshot() }
+
+// SetSlowQueryThreshold enables the slow-query log: queries at or above d
+// are captured (engine, query text, latency, result count, and — when the
+// query was traced — the trace signature). Zero disables capture.
+func (ix *Index) SetSlowQueryThreshold(d time.Duration) {
+	ix.metrics.SetSlowQueryThreshold(d)
+}
+
+// SlowQueries returns the captured slow-query entries, oldest first.
+func (ix *Index) SlowQueries() []obs.SlowQuery { return ix.metrics.SlowQueries() }
+
+// PublishExpvar publishes the metrics snapshot under the given expvar
+// name (idempotent; a duplicate name is ignored).
+func (ix *Index) PublishExpvar(name string) { ix.metrics.PublishExpvar(name) }

@@ -60,6 +60,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/invindex"
 	"repro/internal/jdewey"
+	"repro/internal/obs"
 	"repro/internal/occur"
 	"repro/internal/rdil"
 	"repro/internal/score"
@@ -135,15 +136,25 @@ type Result struct {
 // (InsertElement, RemoveElement) require external synchronization with
 // in-flight queries.
 type Index struct {
-	doc   *xmltree.Document
-	m     *occur.Map
-	store *colstore.Store
-	enc   *jdewey.Encoding
-	cfg   config
+	doc     *xmltree.Document
+	m       *occur.Map
+	store   *colstore.Store
+	enc     *jdewey.Encoding
+	cfg     config
+	metrics *obs.Metrics
 
 	invMu   sync.Mutex
 	inv     *invindex.Index
 	rdilIdx *rdil.Index
+}
+
+// newIndex assembles an Index around its parts and hooks the metrics
+// registry into the column store so list opens, decodes, and quarantines
+// are counted from the first query on.
+func newIndex(doc *xmltree.Document, m *occur.Map, store *colstore.Store, enc *jdewey.Encoding, cfg config) *Index {
+	ix := &Index{doc: doc, m: m, store: store, enc: enc, cfg: cfg, metrics: obs.NewMetrics()}
+	store.SetObs(&ix.metrics.Store)
+	return ix
 }
 
 // Option configures index construction.
@@ -207,7 +218,7 @@ func FromDocument(doc *xmltree.Document, opts ...Option) (*Index, error) {
 	} else {
 		m = occur.Extract(doc)
 	}
-	return &Index{doc: doc, m: m, store: colstore.Build(m), enc: enc, cfg: cfg}, nil
+	return newIndex(doc, m, colstore.Build(m), enc, cfg), nil
 }
 
 // Len returns the number of element nodes indexed.
@@ -466,10 +477,10 @@ func Load(dir string) (*Index, error) {
 		m.N = store.N
 		// Rank factors are position-dependent; rebuild the store from the
 		// recomputed map rather than trusting potentially stale blobs.
-		return &Index{doc: doc, m: m, store: colstore.Build(m), enc: enc, cfg: cfg}, nil
+		return newIndex(doc, m, colstore.Build(m), enc, cfg), nil
 	}
 	m = occur.ExtractN(doc, store.N)
-	return &Index{doc: doc, m: m, store: store, enc: enc, cfg: cfg}, nil
+	return newIndex(doc, m, store, enc, cfg), nil
 }
 
 // genFileName resolves a base file name within a loaded index directory:
@@ -561,6 +572,23 @@ func (ix *Index) invLists(keywords []string) []*invindex.List {
 	lists := make([]*invindex.List, len(keywords))
 	for i, w := range keywords {
 		lists[i] = ix.inv.Get(w)
+	}
+	return lists
+}
+
+// invListsObs is invLists with per-query tracing: one list-open event per
+// keyword (the document-order baselines have no block decoding, so only
+// the row counts are meaningful).
+func (ix *Index) invListsObs(keywords []string, tr *obs.Trace) []*invindex.List {
+	lists := ix.invLists(keywords)
+	if tr != nil {
+		for i, l := range lists {
+			if l == nil {
+				tr.ListOpen(keywords[i], 0, 0, 0)
+				continue
+			}
+			tr.ListOpen(l.Word, l.Len(), 0, 0)
+		}
 	}
 	return lists
 }
