@@ -1,0 +1,138 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/gen"
+)
+
+// The -writers experiment measures what snapshot isolation buys: query
+// latency while N writer goroutines continuously mutate the index, against
+// the same workload on a read-only index. With copy-on-write snapshots a
+// query never blocks behind a writer, so the concurrent percentiles should
+// stay within a small factor of the read-only baseline (the residual cost
+// is cache pressure from the writers' list rebuilds).
+
+// concurrentServing runs the mixed read/write experiment and prints the
+// latency comparison.
+func concurrentServing(w io.Writer, scale float64, seed int64, writers, topK int) error {
+	ds := gen.DBLP(scale, seed)
+	var xml strings.Builder
+	if err := ds.Doc.WriteXML(&xml); err != nil {
+		return err
+	}
+	idx, err := xmlsearch.Open(strings.NewReader(xml.String()))
+	if err != nil {
+		return err
+	}
+
+	queries := servingQueries(ds, seed, 64)
+	const (
+		warm    = 50
+		samples = 400
+	)
+	run := func() []time.Duration {
+		lat := make([]time.Duration, 0, samples)
+		for i := 0; i < warm+samples; i++ {
+			q := queries[i%len(queries)]
+			start := time.Now()
+			if _, err := idx.TopK(q, topK, xmlsearch.SearchOptions{}); err != nil {
+				panic(fmt.Sprintf("xkwbench: query %q: %v", q, err))
+			}
+			if i >= warm {
+				lat = append(lat, time.Since(start))
+			}
+		}
+		return lat
+	}
+
+	base := run()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var mutations atomic.Int64
+	hosts := mutationHosts(ds)
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(g)))
+			var mine []string
+			for i := 0; !stop.Load(); i++ {
+				if len(mine) > 8 {
+					d := mine[0]
+					mine = mine[1:]
+					// Churn nodes always form a prefix of their host's
+					// children (inserted at the front, removed from the
+					// front), so this never detaches original content.
+					_ = idx.RemoveElement(d)
+					mutations.Add(1)
+					continue
+				}
+				host := hosts[rng.Intn(len(hosts))]
+				text := ds.HighTerms[rng.Intn(len(ds.HighTerms))]
+				d, err := idx.InsertElement(host, 0, "churn", text)
+				if err == nil {
+					mine = append(mine, d)
+				}
+				mutations.Add(1)
+			}
+		}(g)
+	}
+	contended := run()
+	stop.Store(true)
+	wg.Wait()
+
+	bp50, bp95 := percentiles(base)
+	cp50, cp95 := percentiles(contended)
+	fmt.Fprintf(w, "\n=== concurrent serving (dblp scale %.2g, %d writers, top-%d) ===\n", scale, writers, topK)
+	fmt.Fprintf(w, "%-22s %12s %12s\n", "", "p50", "p95")
+	fmt.Fprintf(w, "%-22s %12v %12v\n", "read-only", bp50.Round(time.Microsecond), bp95.Round(time.Microsecond))
+	fmt.Fprintf(w, "%-22s %12v %12v\n", fmt.Sprintf("with %d writers", writers), cp50.Round(time.Microsecond), cp95.Round(time.Microsecond))
+	fmt.Fprintf(w, "p50 ratio: %.2fx over %d concurrent mutations\n",
+		float64(cp50)/float64(bp50), mutations.Load())
+	ws := idx.Stats().Writer
+	fmt.Fprintf(w, "writer: %d inserts, %d removes, %d rejected, %d lists rebuilt, %d renumberings, %d snapshots\n",
+		ws.Inserts, ws.Removes, ws.Errors, ws.DirtyTerms, ws.Renumbered, ws.Snapshots)
+	return nil
+}
+
+// servingQueries mixes two-keyword band/high queries like the Figure 10
+// random workload.
+func servingQueries(ds *gen.Dataset, seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	var out []string
+	for i := 0; i < n; i++ {
+		band := ds.BandValues[rng.Intn(len(ds.BandValues))]
+		lows := ds.Bands[band]
+		q := lows[rng.Intn(len(lows))] + " " + ds.HighTerms[rng.Intn(len(ds.HighTerms))]
+		out = append(out, q)
+	}
+	return out
+}
+
+// mutationHosts picks stable insertion parents: the root's direct children,
+// whose Dewey ids writers cannot shift (only the root's grandchildren churn).
+func mutationHosts(ds *gen.Dataset) []string {
+	var hosts []string
+	for i := range ds.Doc.Root.Children {
+		hosts = append(hosts, fmt.Sprintf("1.%d", i+1))
+	}
+	if len(hosts) == 0 {
+		hosts = []string{"1"}
+	}
+	return hosts
+}
+
+func percentiles(lat []time.Duration) (p50, p95 time.Duration) {
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return lat[len(lat)*50/100], lat[len(lat)*95/100]
+}

@@ -8,6 +8,7 @@
 //	xkwbench -full                # the paper's protocol (40 queries x 5 runs, scale 1.0)
 //	xkwbench -exp fig9 -scale 0.5 # one experiment at a chosen scale
 //	xkwbench -metrics -slow 5ms   # append engine metrics + slow-query log
+//	xkwbench -writers 4           # query latency under concurrent mutation
 //	xkwbench -o results.txt
 package main
 
@@ -33,6 +34,7 @@ func main() {
 		out     = flag.String("o", "", "also write output to this file")
 		metrics = flag.Bool("metrics", false, "append per-engine metrics (Prometheus text + JSON) after the sweep")
 		slow    = flag.Duration("slow", 0, "with -metrics, log queries at or above this latency")
+		writers = flag.Int("writers", 0, "run the concurrent-serving experiment with this many writer goroutines")
 	)
 	flag.Parse()
 
@@ -61,6 +63,17 @@ func main() {
 		}
 		defer f.Close()
 		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	if *writers > 0 {
+		// The concurrent-serving experiment runs the whole library stack
+		// (snapshot-isolated Index, not the per-engine harness), so it is
+		// its own mode rather than a member of the sweep table.
+		if err := concurrentServing(w, cfg.Scale, cfg.Seed, *writers, cfg.TopK); err != nil {
+			fmt.Fprintln(os.Stderr, "xkwbench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	dblp := bench.NewDBLPEnv(cfg.Scale, cfg.Seed)

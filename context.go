@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/colstore"
 	"repro/internal/core"
 	"repro/internal/ixlookup"
 	"repro/internal/obs"
@@ -87,7 +86,10 @@ func (ix *Index) searchObs(ctx context.Context, query string, opt SearchOptions,
 	return ix.searchEval(ctx, query, opt, tr)
 }
 
-// searchEval dispatches a complete evaluation to the selected engine.
+// searchEval pins the current snapshot and dispatches a complete
+// evaluation to the selected engine. Every list, node lookup, and
+// materialization of the query comes from the one pinned snapshot, so a
+// concurrently published mutation cannot tear the evaluation.
 func (ix *Index) searchEval(ctx context.Context, query string, opt SearchOptions, tr *obs.Trace) ([]Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -99,38 +101,36 @@ func (ix *Index) searchEval(ctx context.Context, query string, opt SearchOptions
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	s := ix.view()
 	decay := effectiveDecay(opt.Decay)
 	switch opt.Algorithm {
 	case AlgoJoin:
-		lists := make([]*colstore.List, len(keywords))
-		for i, w := range keywords {
-			lists[i] = ix.store.ListObs(w, tr)
-		}
+		lists := s.store.Lists(keywords, tr)
 		rs, _, err := core.EvaluateCtx(ctx, lists, core.Options{Semantics: coreSem(opt.Semantics), Decay: decay, Trace: tr})
 		if err != nil {
 			return nil, err
 		}
 		core.SortByScore(rs)
-		return ix.materializeJoin(rs), nil
+		return s.materializeJoin(rs), nil
 	case AlgoStack:
-		rs, _, err := stack.EvaluateObsCtx(ctx, ix.invListsObs(keywords, tr), stackSem(opt.Semantics), decay, tr)
+		rs, _, err := stack.EvaluateObsCtx(ctx, s.invListsObs(keywords, tr), stackSem(opt.Semantics), decay, tr)
 		if err != nil {
 			return nil, err
 		}
 		stack.SortByScore(rs)
 		out := make([]Result, 0, len(rs))
 		for _, r := range rs {
-			out = append(out, ix.materializeDewey(r.ID, r.Score))
+			out = append(out, s.materializeDewey(r.ID, r.Score))
 		}
 		return out, nil
 	case AlgoIndexLookup:
-		rs, _, err := ixlookup.EvaluateObsCtx(ctx, ix.invListsObs(keywords, tr), ixlookupSem(opt.Semantics), decay, tr)
+		rs, _, err := ixlookup.EvaluateObsCtx(ctx, s.invListsObs(keywords, tr), ixlookupSem(opt.Semantics), decay, tr)
 		if err != nil {
 			return nil, err
 		}
 		out := make([]Result, 0, len(rs))
 		for _, r := range rs {
-			out = append(out, ix.materializeDewey(r.ID, r.Score))
+			out = append(out, s.materializeDewey(r.ID, r.Score))
 		}
 		sortResults(out)
 		return out, nil
@@ -173,45 +173,39 @@ func (ix *Index) topKEval(ctx context.Context, query string, k int, opt SearchOp
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	s := ix.view()
 	decay := effectiveDecay(opt.Decay)
 	switch opt.Algorithm {
 	case AlgoJoin:
-		lists := make([]*colstore.TKList, len(keywords))
-		for i, w := range keywords {
-			lists[i] = ix.store.TopKListObs(w, tr)
-		}
+		lists := s.store.TopKLists(keywords, tr)
 		rs, _, err := topk.EvaluateCtx(ctx, lists, topk.Options{Semantics: coreSem(opt.Semantics), Decay: decay, K: k, Trace: tr})
 		if err != nil {
 			return nil, err
 		}
-		return ix.materializeJoin(rs), nil
+		return s.materializeJoin(rs), nil
 	case AlgoRDIL:
-		ix.ensureInv()
+		s.ensureInv()
 		if tr != nil {
-			ix.invListsObs(keywords, tr)
+			s.invListsObs(keywords, tr)
 		}
-		rs, _, err := ix.rdilIdx.TopKObsCtx(ctx, keywords, rdilSem(opt.Semantics), decay, k, tr)
+		rs, _, err := s.rdilIdx.TopKObsCtx(ctx, keywords, rdilSem(opt.Semantics), decay, k, tr)
 		if err != nil {
 			return nil, err
 		}
 		out := make([]Result, 0, len(rs))
 		for _, r := range rs {
-			out = append(out, ix.materializeDewey(r.ID, r.Score))
+			out = append(out, s.materializeDewey(r.ID, r.Score))
 		}
 		return out, nil
 	case AlgoHybrid:
-		colLists := make([]*colstore.List, len(keywords))
-		tkLists := make([]*colstore.TKList, len(keywords))
-		for i, w := range keywords {
-			colLists[i] = ix.store.ListObs(w, tr)
-			tkLists[i] = ix.store.TopKListObs(w, tr)
-		}
+		colLists := s.store.Lists(keywords, tr)
+		tkLists := s.store.TopKLists(keywords, tr)
 		rs, _, err := topk.EvaluateHybridCtx(ctx, colLists, tkLists,
 			topk.HybridOptions{Semantics: coreSem(opt.Semantics), Decay: decay, K: k, Trace: tr})
 		if err != nil {
 			return nil, err
 		}
-		return ix.materializeJoin(rs), nil
+		return s.materializeJoin(rs), nil
 	default:
 		all, err := ix.searchEval(ctx, query, opt, tr)
 		if err != nil {
@@ -256,19 +250,17 @@ func (ix *Index) topKStreamObs(ctx context.Context, query string, k int, opt Sea
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
+	s := ix.view()
 	decay := effectiveDecay(opt.Decay)
-	lists := make([]*colstore.TKList, len(keywords))
-	for i, w := range keywords {
-		lists[i] = ix.store.TopKListObs(w, tr)
-	}
+	lists := s.store.TopKLists(keywords, tr)
 	_, _, err = topk.EvaluateFuncCtx(ctx, lists, topk.Options{Semantics: coreSem(opt.Semantics), Decay: decay, K: k, Trace: tr},
 		func(r core.Result) bool {
-			n := ix.doc.NodeByJDewey(r.Level, r.Value)
+			n := s.doc.NodeByJDewey(r.Level, r.Value)
 			if n == nil {
 				return true
 			}
 			delivered++
-			return fn(ix.materializeNode(n, r.Score))
+			return fn(materializeNode(n, r.Score))
 		})
 	return delivered, err
 }

@@ -6,7 +6,6 @@ import (
 	"io"
 	"time"
 
-	"repro/internal/colstore"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/score"
@@ -76,18 +75,16 @@ func (ix *Index) Explain(query string, k int, opt SearchOptions) (*Explanation, 
 	if decay == 0 {
 		decay = score.DefaultDecay
 	}
+	s := ix.view()
 	ex := &Explanation{Keywords: keywords, Semantics: opt.Semantics, K: k, Trace: obs.NewTrace()}
 	for _, w := range keywords {
-		df := ix.store.DocFreq(w)
+		df := s.store.DocFreq(w)
 		ex.DocFreqs = append(ex.DocFreqs, df)
 		ex.Lists = append(ex.Lists, ListInfo{Keyword: w, Rows: df})
 	}
 	start := time.Now()
 	if k <= 0 {
-		lists := make([]*colstore.List, len(keywords))
-		for i, w := range keywords {
-			lists[i] = ix.store.ListObs(w, ex.Trace)
-		}
+		lists := s.store.Lists(keywords, ex.Trace)
 		rs, st, _ := core.EvaluateCtx(context.Background(), lists,
 			core.Options{Semantics: coreSem(opt.Semantics), Decay: decay, Trace: ex.Trace})
 		ex.Elapsed = time.Since(start)
@@ -102,10 +99,7 @@ func (ix *Index) Explain(query string, k int, opt SearchOptions) (*Explanation, 
 		}
 		return ex, nil
 	}
-	lists := make([]*colstore.TKList, len(keywords))
-	for i, w := range keywords {
-		lists[i] = ix.store.TopKListObs(w, ex.Trace)
-	}
+	lists := s.store.TopKLists(keywords, ex.Trace)
 	rs, st, _ := topk.EvaluateCtx(context.Background(), lists,
 		topk.Options{Semantics: coreSem(opt.Semantics), Decay: decay, K: k, Trace: ex.Trace})
 	ex.Elapsed = time.Since(start)

@@ -180,7 +180,7 @@ func TestParseIndexMetaHardening(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	good := idx.encodeMeta()
+	good := idx.encodeMeta(idx.view())
 	if _, jds, err := parseIndexMeta(good); err != nil || len(jds) != idx.Len() {
 		t.Fatalf("round trip: %v, %d numbers (want %d)", err, len(jds), idx.Len())
 	}

@@ -1,0 +1,121 @@
+package colstore
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Cache is a size-bounded LRU over decoded inverted lists, shared by every
+// snapshot of one index. Disk-opened stores route their lazy decodes
+// through it instead of memoizing each list forever: the decoded form of a
+// term's on-disk blob is immutable for the lifetime of the index (an
+// incremental mutation removes the term's lexicon entry from the new
+// snapshot before rebuilding it in memory, so a stale cached decode can
+// never be served), which makes sharing one cache across concurrently
+// serving snapshots safe.
+//
+// The bound is on decoded bytes, the same accounting the observability
+// counters report, and eviction is strict LRU. Hits, misses, and evictions
+// are recorded on the obs.StoreCounters installed with SetObs.
+type Cache struct {
+	mu    sync.Mutex
+	max   int64
+	cur   int64
+	ll    *list.List // front = most recently used
+	index map[cacheKey]*list.Element
+	obsC  *obs.StoreCounters
+}
+
+type cacheKey struct {
+	term string
+	tk   bool // false: JDewey-ordered list; true: score-sorted list
+}
+
+type cacheEntry struct {
+	key   cacheKey
+	val   any // *List or *TKList
+	bytes int64
+}
+
+// DefaultCacheBytes is the decoded-bytes bound installed on indexes that
+// do not choose their own: large enough that a working set of hot lists
+// stays decoded, small enough that an unbounded lexicon cannot exhaust
+// memory.
+const DefaultCacheBytes = 64 << 20
+
+// NewCache returns a cache bounded at maxBytes of decoded list bytes.
+// maxBytes <= 0 selects DefaultCacheBytes.
+func NewCache(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	return &Cache{max: maxBytes, ll: list.New(), index: map[cacheKey]*list.Element{}}
+}
+
+// SetObs installs the counters cache hits/misses/evictions are recorded
+// on (nil disables recording).
+func (c *Cache) SetObs(o *obs.StoreCounters) {
+	c.mu.Lock()
+	c.obsC = o
+	c.mu.Unlock()
+}
+
+// get returns the cached decode for key, marking it most recently used,
+// and records the hit or miss.
+func (c *Cache) get(k cacheKey) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.index[k]
+	if !ok {
+		c.obsC.RecordCacheMiss()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.obsC.RecordCacheHit()
+	return el.Value.(*cacheEntry).val, true
+}
+
+// put inserts (or refreshes) a decoded list of the given decoded size,
+// evicting least-recently-used entries until the bound holds again. An
+// entry larger than the whole bound is still admitted alone — the caller
+// already paid for the decode, and a cache that rejects it would thrash on
+// every access to that term.
+func (c *Cache) put(k cacheKey, v any, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[k]; ok {
+		e := el.Value.(*cacheEntry)
+		c.cur += bytes - e.bytes
+		e.val, e.bytes = v, bytes
+		c.ll.MoveToFront(el)
+	} else {
+		c.index[k] = c.ll.PushFront(&cacheEntry{key: k, val: v, bytes: bytes})
+		c.cur += bytes
+	}
+	var evicted int64
+	for c.cur > c.max && c.ll.Len() > 1 {
+		back := c.ll.Back()
+		e := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.index, e.key)
+		c.cur -= e.bytes
+		evicted++
+	}
+	c.obsC.RecordCacheEvictions(evicted)
+}
+
+// Len returns the number of cached decoded lists.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the decoded bytes currently held.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cur
+}

@@ -1,0 +1,220 @@
+package colstore
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/testutil"
+)
+
+// TestCacheLRUBound: the cache honors its decoded-bytes bound with strict
+// LRU eviction, records hits/misses/evictions, and admits an entry larger
+// than the whole bound alone rather than thrashing on it.
+func TestCacheLRUBound(t *testing.T) {
+	var ctr obs.StoreCounters
+	c := NewCache(100)
+	c.SetObs(&ctr)
+
+	k := func(term string) cacheKey { return cacheKey{term: term} }
+	if _, ok := c.get(k("a")); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.put(k("a"), "A", 40)
+	c.put(k("b"), "B", 40)
+	if v, ok := c.get(k("a")); !ok || v != "A" {
+		t.Fatal("a must be cached")
+	}
+	// a is now most recently used; c's insertion must evict b, not a.
+	c.put(k("c"), "C", 40)
+	if _, ok := c.get(k("b")); ok {
+		t.Fatal("LRU entry b must have been evicted")
+	}
+	if _, ok := c.get(k("a")); !ok {
+		t.Fatal("recently used entry a must survive")
+	}
+	if got := c.Bytes(); got != 80 {
+		t.Fatalf("cache holds %d bytes, want 80", got)
+	}
+
+	// Refreshing an entry updates its accounted size in place.
+	c.put(k("a"), "A2", 10)
+	if got, want := c.Bytes(), int64(50); got != want {
+		t.Fatalf("after refresh: %d bytes, want %d", got, want)
+	}
+	if v, _ := c.get(k("a")); v != "A2" {
+		t.Fatal("refresh must replace the value")
+	}
+
+	// An oversize entry is admitted alone: everything else goes, it stays.
+	c.put(k("huge"), "H", 500)
+	if c.Len() != 1 {
+		t.Fatalf("oversize admission left %d entries, want 1", c.Len())
+	}
+	if v, ok := c.get(k("huge")); !ok || v != "H" {
+		t.Fatal("oversize entry must be served")
+	}
+
+	// The same term's two list kinds are distinct keys.
+	c2 := NewCache(1000)
+	c2.put(cacheKey{term: "x"}, "col", 10)
+	c2.put(cacheKey{term: "x", tk: true}, "tk", 10)
+	if v, _ := c2.get(cacheKey{term: "x"}); v != "col" {
+		t.Fatal("column entry clobbered by top-K entry")
+	}
+	if v, _ := c2.get(cacheKey{term: "x", tk: true}); v != "tk" {
+		t.Fatal("top-K entry missing")
+	}
+
+	snap := ctr.Snapshot()
+	if snap.CacheHits == 0 || snap.CacheMisses == 0 || snap.CacheEvictions == 0 {
+		t.Fatalf("counters not recorded: %+v", snap)
+	}
+}
+
+// TestStoreDecodesThroughCache: a disk-opened store with a cache installed
+// serves the first open by decoding (a miss) and subsequent opens from the
+// cache (hits), through both the single-list and the parallel multi-list
+// paths.
+func TestStoreDecodesThroughCache(t *testing.T) {
+	_, m := buildDoc(t, 11, testutil.MediumParams())
+	dir := t.TempDir()
+	if err := Build(m).Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ctr obs.StoreCounters
+	s.SetObs(&ctr)
+	cache := NewCache(0)
+	cache.SetObs(&ctr)
+	s.SetCache(cache)
+
+	words := s.Words()
+	if len(words) < 3 {
+		t.Fatal("fixture too small")
+	}
+	w := words[0]
+	if s.ListObs(w, nil) == nil {
+		t.Fatal("list must open")
+	}
+	miss0, hit0 := ctr.CacheMisses.Load(), ctr.CacheHits.Load()
+	if miss0 == 0 {
+		t.Fatal("first open must miss the cache")
+	}
+	l1 := s.ListObs(w, nil)
+	l2 := s.ListObs(w, nil)
+	if l1 == nil || l1 != l2 {
+		t.Fatal("repeated opens must serve the identical cached decode")
+	}
+	if ctr.CacheHits.Load() < hit0+2 {
+		t.Fatal("repeated opens must hit the cache")
+	}
+	if ctr.CacheMisses.Load() != miss0 {
+		t.Fatal("repeated opens must not miss")
+	}
+
+	// The parallel path resolves a mix of cached and cold terms, matching
+	// what per-term opens produce.
+	batch := append([]string{w}, words[1:3]...)
+	lists := s.Lists(batch, nil)
+	for i, term := range batch {
+		if lists[i] == nil || lists[i] != s.ListObs(term, nil) {
+			t.Fatalf("parallel open of %q differs from single open", term)
+		}
+	}
+	tks := s.TopKLists(batch, nil)
+	for i, term := range batch {
+		if tks[i] == nil || tks[i] != s.TopKListObs(term, nil) {
+			t.Fatalf("parallel top-K open of %q differs from single open", term)
+		}
+	}
+
+	// A clone shares the cache: opens through the clone hit immediately.
+	clone := s.Clone()
+	hitBefore := ctr.CacheHits.Load()
+	if clone.ListObs(w, nil) != l1 {
+		t.Fatal("clone must serve the shared cached decode")
+	}
+	if ctr.CacheHits.Load() != hitBefore+1 {
+		t.Fatal("clone open must count as a cache hit")
+	}
+}
+
+// TestParallelListsMatchSerial: the parallel multi-list open over a store
+// WITHOUT a cache must behave exactly like serial per-term opens, including
+// nils for unindexed terms and duplicates resolving to the same list.
+func TestParallelListsMatchSerial(t *testing.T) {
+	_, m := buildDoc(t, 12, testutil.MediumParams())
+	dir := t.TempDir()
+	if err := Build(m).Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := s.Words()
+	batch := append(append([]string{}, words...), "no-such-term", words[0])
+	lists := s.Lists(batch, nil)
+	for i, term := range batch {
+		want := s.ListObs(term, nil)
+		if lists[i] != want {
+			t.Fatalf("term %q: parallel open %p, serial %p", term, lists[i], want)
+		}
+	}
+	if lists[len(words)] != nil {
+		t.Fatal("unindexed term must resolve to nil")
+	}
+}
+
+// Benchmarks for the CI smoke: the cached open path against the full
+// checksum-verify-and-decode path of a cold open.
+func benchStore(b *testing.B, withCache bool) (*Store, string) {
+	b.Helper()
+	_, m := buildDoc(b, 7, testutil.MediumParams())
+	dir := b.TempDir()
+	if err := Build(m).Save(dir); err != nil {
+		b.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if withCache {
+		s.SetCache(NewCache(0))
+	}
+	// Pick the widest list so the benchmark measures real decode work.
+	best, bestRows := "", -1
+	for _, w := range s.Words() {
+		if df := s.DocFreq(w); df > bestRows {
+			best, bestRows = w, df
+		}
+	}
+	return s, best
+}
+
+func BenchmarkListOpenCached(b *testing.B) {
+	s, term := benchStore(b, true)
+	s.ListObs(term, nil) // prime the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.ListObs(term, nil) == nil {
+			b.Fatal("list vanished")
+		}
+	}
+}
+
+func BenchmarkListOpenUncached(b *testing.B) {
+	s, term := benchStore(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.mu.Lock()
+		delete(s.lists, term) // force the decode path every iteration
+		s.mu.Unlock()
+		if s.ListObs(term, nil) == nil {
+			b.Fatal("list vanished")
+		}
+	}
+}

@@ -13,7 +13,7 @@ import (
 	"repro/internal/xmltree"
 )
 
-func buildDoc(t *testing.T, seed int64, p testutil.DocParams) (*xmltree.Document, *occur.Map) {
+func buildDoc(t testing.TB, seed int64, p testutil.DocParams) (*xmltree.Document, *occur.Map) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	doc := testutil.RandomDoc(rng, p)

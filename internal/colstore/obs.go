@@ -67,6 +67,16 @@ func (s *Store) ListObs(term string, tr *obs.Trace) *List {
 	if !ok {
 		return nil
 	}
+	if s.cache != nil {
+		if v, hit := s.cache.get(cacheKey{term: term, tk: false}); hit {
+			l := v.(*List)
+			s.obsC.RecordOpen()
+			if tr != nil {
+				tr.ListOpen(term, l.NumRows, l.MaxLen, int64(e.colLen))
+			}
+			return l
+		}
+	}
 	blob, err := s.colSlice(e)
 	if err != nil {
 		s.quarantine(term, err)
@@ -83,9 +93,13 @@ func (s *Store) ListObs(term string, tr *obs.Trace) *List {
 		}
 		return nil
 	}
-	s.lists[term] = l
-	s.obsC.RecordOpen()
 	blocks, decoded, sparse := listDecodeStats(l)
+	if s.cache != nil {
+		s.cache.put(cacheKey{term: term, tk: false}, l, decoded)
+	} else {
+		s.lists[term] = l
+	}
+	s.obsC.RecordOpen()
 	s.obsC.RecordDecode(blocks, int64(len(blob)), decoded)
 	s.obsC.RecordSparseSkips(sparse)
 	if tr != nil {
@@ -120,6 +134,16 @@ func (s *Store) TopKListObs(term string, tr *obs.Trace) *TKList {
 	if !ok {
 		return nil
 	}
+	if s.cache != nil {
+		if v, hit := s.cache.get(cacheKey{term: term, tk: true}); hit {
+			l := v.(*TKList)
+			s.obsC.RecordOpen()
+			if tr != nil {
+				tr.ListOpen(term, l.NumRows(), l.MaxLen, int64(e.tkLen))
+			}
+			return l
+		}
+	}
 	blob, err := s.tkSlice(e)
 	if err != nil {
 		s.quarantine(term, err)
@@ -136,9 +160,13 @@ func (s *Store) TopKListObs(term string, tr *obs.Trace) *TKList {
 		}
 		return nil
 	}
-	s.tklists[term] = l
-	s.obsC.RecordOpen()
 	blocks, decoded := tkDecodeStats(l)
+	if s.cache != nil {
+		s.cache.put(cacheKey{term: term, tk: true}, l, decoded)
+	} else {
+		s.tklists[term] = l
+	}
+	s.obsC.RecordOpen()
 	s.obsC.RecordDecode(blocks, int64(len(blob)), decoded)
 	if tr != nil {
 		tr.ListOpen(term, l.NumRows(), l.MaxLen, int64(e.tkLen))

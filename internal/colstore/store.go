@@ -53,6 +53,11 @@ type Store struct {
 
 	// Read-path observability counters (nil = disabled; see SetObs).
 	obsC *obs.StoreCounters
+
+	// Optional shared size-bounded cache for lazy decodes (see SetCache).
+	// When installed, disk decodes land here instead of in the unbounded
+	// lists/tklists memos; snapshot clones share it.
+	cache *Cache
 }
 
 type lexEntry struct {
@@ -120,6 +125,58 @@ func BuildWorkers(m *occur.Map, workers int) *Store {
 		s.tklists[b.term] = b.tk
 	}
 	return s
+}
+
+// SetCache routes this store's lazy decodes through a shared size-bounded
+// cache instead of the store's own unbounded memo; nil restores the
+// unbounded memoization. Snapshot clones inherit the cache, so every
+// snapshot of one index shares one bounded decode budget.
+func (s *Store) SetCache(c *Cache) {
+	s.mu.Lock()
+	s.cache = c
+	s.mu.Unlock()
+}
+
+// Clone returns a copy-on-write snapshot of the store: the term maps are
+// copied, while the immutable decoded lists, on-disk blobs, lexicon
+// entries, shared cache, and observability counters carry over by
+// reference. Replace on the clone rebuilds lists off to the side and never
+// affects the original, so in-flight queries keep reading a consistent
+// store while a writer prepares the next snapshot.
+func (s *Store) Clone() *Store {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ns := &Store{
+		N:       s.N,
+		Depth:   s.Depth,
+		lists:   make(map[string]*List, len(s.lists)),
+		tklists: make(map[string]*TKList, len(s.tklists)),
+		colBlob: s.colBlob,
+		tkBlob:  s.tkBlob,
+		format:  s.format,
+		obsC:    s.obsC,
+		cache:   s.cache,
+	}
+	for k, v := range s.lists {
+		ns.lists[k] = v
+	}
+	for k, v := range s.tklists {
+		ns.tklists[k] = v
+	}
+	if s.lex != nil {
+		ns.lex = make(map[string]lexEntry, len(s.lex))
+		for k, v := range s.lex {
+			ns.lex[k] = v
+		}
+	}
+	if s.quarantined != nil {
+		ns.quarantined = make(map[string]error, len(s.quarantined))
+		for k, v := range s.quarantined {
+			ns.quarantined[k] = v
+		}
+	}
+	ns.fileDamage = append([]string(nil), s.fileDamage...)
+	return ns
 }
 
 // quarantine records one term's on-disk damage (under s.mu). The term then

@@ -240,6 +240,14 @@ func Adopt(doc *xmltree.Document, gap int) (*Encoding, error) {
 	return e, nil
 }
 
+// CloneFor duplicates the maintenance handle onto a cloned document
+// carrying the same numbering (see xmltree.Document.Clone). The per-level
+// maxima are copied, so insertions against the clone reserve numbers
+// exactly as they would have against the original.
+func (e *Encoding) CloneFor(doc *xmltree.Document) *Encoding {
+	return &Encoding{Doc: doc, Gap: e.Gap, levelMax: append([]uint32(nil), e.levelMax...)}
+}
+
 // Remove detaches n's subtree from the document. Deletion needs no
 // renumbering: the numbers simply disappear (Section III-A).
 func (e *Encoding) Remove(n *xmltree.Node) {

@@ -5,6 +5,8 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -66,18 +68,63 @@ func (s Snapshot) WritePrometheus(w io.Writer) {
 		{"xkw_store_decoded_bytes_total", "In-memory bytes produced by decoders.", st.DecodedBytes},
 		{"xkw_store_sparse_skips_total", "Sparse-index skips taken during seeks.", st.SparseSkips},
 		{"xkw_store_quarantines_total", "Terms quarantined on read.", st.Quarantines},
+		{"xkw_store_cache_hits_total", "Decoded-list cache hits.", st.CacheHits},
+		{"xkw_store_cache_misses_total", "Decoded-list cache misses.", st.CacheMisses},
+		{"xkw_store_cache_evictions_total", "Decoded lists evicted by the cache size bound.", st.CacheEvictions},
 	}
 	for _, c := range storeCounters {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v)
 	}
+	wr := s.Writer
+	writerCounters := []struct {
+		name, help string
+		v          int64
+	}{
+		{"xkw_writer_inserts_total", "Published element insertions.", wr.Inserts},
+		{"xkw_writer_removes_total", "Published element removals.", wr.Removes},
+		{"xkw_writer_errors_total", "Rejected mutations.", wr.Errors},
+		{"xkw_writer_dirty_terms_total", "Inverted lists rebuilt by mutations.", wr.DirtyTerms},
+		{"xkw_writer_renumbered_total", "Gap-exhausted subtree renumberings.", wr.Renumbered},
+		{"xkw_writer_snapshots_total", "Index snapshots published.", wr.Snapshots},
+	}
+	for _, c := range writerCounters {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v)
+	}
 }
 
+// expvarSlots maps each published expvar name to the Metrics registry the
+// published function currently reads. The indirection makes PublishExpvar
+// safe to call any number of times, concurrently, and from any number of
+// Metrics registries in one process: expvar.Publish — which panics on a
+// duplicate name — runs exactly once per name, and later publications
+// rebind the name to the newest registry instead of panicking or silently
+// pointing at a stale one.
+var (
+	expvarMu    sync.Mutex
+	expvarSlots = map[string]*atomic.Pointer[Metrics]{}
+)
+
 // PublishExpvar publishes the metrics under the given expvar name as a
-// live JSON snapshot. Publishing the same name twice is a no-op (expvar
-// panics on duplicates, so re-publication is guarded).
+// live JSON snapshot. It is idempotent and concurrency-safe: publishing a
+// name again (from this or any other Metrics, e.g. a second index in the
+// same process) rebinds the name to the latest registry — never the
+// duplicate-name panic of a bare expvar.Publish.
 func (m *Metrics) PublishExpvar(name string) {
-	if m == nil || expvar.Get(name) != nil {
+	if m == nil {
 		return
 	}
-	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if slot, ok := expvarSlots[name]; ok {
+		slot.Store(m)
+		return
+	}
+	slot := &atomic.Pointer[Metrics]{}
+	slot.Store(m)
+	expvarSlots[name] = slot
+	if expvar.Get(name) != nil {
+		// The name was taken by someone outside this registry; leave it.
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return slot.Load().Snapshot() }))
 }

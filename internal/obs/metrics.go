@@ -28,6 +28,34 @@ type StoreCounters struct {
 	DecodedBytes    Counter // in-memory bytes produced by decoders
 	SparseSkips     Counter // sparse-index skips taken during seeks
 	Quarantines     Counter // terms quarantined on read
+	CacheHits       Counter // decoded-list cache hits
+	CacheMisses     Counter // decoded-list cache misses (disk decode follows)
+	CacheEvictions  Counter // decoded lists evicted by the size bound
+}
+
+// RecordCacheHit notes one decoded-list cache hit. Nil-safe.
+func (s *StoreCounters) RecordCacheHit() {
+	if s == nil {
+		return
+	}
+	s.CacheHits.Inc()
+}
+
+// RecordCacheMiss notes one decoded-list cache miss. Nil-safe.
+func (s *StoreCounters) RecordCacheMiss() {
+	if s == nil {
+		return
+	}
+	s.CacheMisses.Inc()
+}
+
+// RecordCacheEvictions notes n decoded lists evicted by the cache's size
+// bound. Nil-safe.
+func (s *StoreCounters) RecordCacheEvictions(n int64) {
+	if s == nil || n == 0 {
+		return
+	}
+	s.CacheEvictions.Add(n)
 }
 
 // RecordOpen notes one list open. Nil-safe.
@@ -74,6 +102,9 @@ type StoreSnapshot struct {
 	DecodedBytes    int64 `json:"decoded_bytes"`
 	SparseSkips     int64 `json:"sparse_skips"`
 	Quarantines     int64 `json:"quarantines"`
+	CacheHits       int64 `json:"cache_hits"`
+	CacheMisses     int64 `json:"cache_misses"`
+	CacheEvictions  int64 `json:"cache_evictions"`
 }
 
 // Snapshot copies the store counters (zero snapshot for nil).
@@ -89,6 +120,74 @@ func (s *StoreCounters) Snapshot() StoreSnapshot {
 		DecodedBytes:    s.DecodedBytes.Load(),
 		SparseSkips:     s.SparseSkips.Load(),
 		Quarantines:     s.Quarantines.Load(),
+		CacheHits:       s.CacheHits.Load(),
+		CacheMisses:     s.CacheMisses.Load(),
+		CacheEvictions:  s.CacheEvictions.Load(),
+	}
+}
+
+// WriterMetrics accumulates index-mutation counters. Recording is
+// lock-free; one writer publishes at a time, but readers snapshot
+// concurrently.
+type WriterMetrics struct {
+	Inserts    Counter // InsertElement calls that published a snapshot
+	Removes    Counter // RemoveElement calls that published a snapshot
+	Errors     Counter // mutations rejected before publication
+	DirtyTerms Counter // inverted lists rebuilt across all mutations
+	Renumbered Counter // gap-exhausted subtree renumberings (Section III-A fallback)
+	Snapshots  Counter // snapshots published (== successful mutations)
+	Latency    Histogram
+}
+
+// RecordMutation records one mutation attempt: its kind (insert or
+// remove), the number of inverted lists rebuilt, whether the JDewey gap
+// fallback renumbered a subtree, and the end-to-end latency including
+// snapshot publication. Failed mutations count only as errors. Nil-safe.
+func (w *WriterMetrics) RecordMutation(insert bool, dirty int, renumbered bool, elapsed time.Duration, err error) {
+	if w == nil {
+		return
+	}
+	if err != nil {
+		w.Errors.Inc()
+		return
+	}
+	if insert {
+		w.Inserts.Inc()
+	} else {
+		w.Removes.Inc()
+	}
+	w.DirtyTerms.Add(int64(dirty))
+	if renumbered {
+		w.Renumbered.Inc()
+	}
+	w.Snapshots.Inc()
+	w.Latency.Observe(elapsed)
+}
+
+// WriterSnapshot is a point-in-time copy of WriterMetrics.
+type WriterSnapshot struct {
+	Inserts    int64             `json:"inserts"`
+	Removes    int64             `json:"removes"`
+	Errors     int64             `json:"errors"`
+	DirtyTerms int64             `json:"dirty_terms"`
+	Renumbered int64             `json:"renumbered"`
+	Snapshots  int64             `json:"snapshots"`
+	Latency    HistogramSnapshot `json:"latency"`
+}
+
+// Snapshot copies the writer counters (zero snapshot for nil).
+func (w *WriterMetrics) Snapshot() WriterSnapshot {
+	if w == nil {
+		return WriterSnapshot{}
+	}
+	return WriterSnapshot{
+		Inserts:    w.Inserts.Load(),
+		Removes:    w.Removes.Load(),
+		Errors:     w.Errors.Load(),
+		DirtyTerms: w.DirtyTerms.Load(),
+		Renumbered: w.Renumbered.Load(),
+		Snapshots:  w.Snapshots.Load(),
+		Latency:    w.Latency.Snapshot(),
 	}
 }
 
@@ -115,6 +214,7 @@ const slowLogCap = 64
 type Metrics struct {
 	engines [numEngines]EngineMetrics
 	Store   StoreCounters
+	Writer  WriterMetrics
 
 	slowThresholdNs Counter // configured slow-query latency threshold (0 = disabled)
 
@@ -237,6 +337,7 @@ type EngineSnapshot struct {
 type Snapshot struct {
 	Engines     []EngineSnapshot `json:"engines"`
 	Store       StoreSnapshot    `json:"store"`
+	Writer      WriterSnapshot   `json:"writer"`
 	SlowQueries []SlowQuery      `json:"slow_queries,omitempty"`
 }
 
@@ -246,7 +347,7 @@ func (m *Metrics) Snapshot() Snapshot {
 	if m == nil {
 		return Snapshot{}
 	}
-	s := Snapshot{Store: m.Store.Snapshot(), SlowQueries: m.SlowQueries()}
+	s := Snapshot{Store: m.Store.Snapshot(), Writer: m.Writer.Snapshot(), SlowQueries: m.SlowQueries()}
 	for e := Engine(0); e < numEngines; e++ {
 		em := &m.engines[e]
 		s.Engines = append(s.Engines, EngineSnapshot{

@@ -116,6 +116,24 @@ func (m *Map) UpdateTerms(doc *xmltree.Document, terms map[string]bool) {
 	m.Depth = doc.Depth
 }
 
+// CloneRemapped copies the map with every occurrence's node pointer
+// remapped by preorder ordinal into nodes (typically the Nodes slice of a
+// Document.Clone of the tree the map was extracted from). Occurrence
+// slices are duplicated, so mutating the clone's lists never touches the
+// original — the copy-on-write step of snapshot-isolated maintenance.
+func (m *Map) CloneRemapped(nodes []*xmltree.Node) *Map {
+	nm := &Map{Terms: make(map[string][]Occ, len(m.Terms)), N: m.N, Depth: m.Depth}
+	for term, occs := range m.Terms {
+		cp := make([]Occ, len(occs))
+		copy(cp, occs)
+		for i := range cp {
+			cp[i].Node = nodes[cp[i].Node.Ord]
+		}
+		nm.Terms[term] = cp
+	}
+	return nm
+}
+
 // DocFreq returns the number of nodes directly containing term.
 func (m *Map) DocFreq(term string) int { return len(m.Terms[term]) }
 

@@ -111,3 +111,33 @@ func (d *Document) RemoveNode(n *Node) {
 // Refresh recomputes the derived per-document tables after external
 // structural mutation.
 func (d *Document) Refresh() { d.freeze() }
+
+// Clone deep-copies the document: every node (tag, text, JDewey number) is
+// duplicated and the derived tables are recomputed from the copied
+// structure. Because freeze assigns Dewey identifiers, levels, and
+// ordinals deterministically from structure alone, the clone's node at
+// ordinal i corresponds exactly to the original's node at ordinal i — the
+// property the copy-on-write mutation path relies on to remap occurrence
+// lists onto the cloned tree.
+func (d *Document) Clone() *Document {
+	nd := &Document{}
+	if d.Root == nil {
+		return nd
+	}
+	var cloneNode func(n *Node) *Node
+	cloneNode = func(n *Node) *Node {
+		c := &Node{Tag: n.Tag, Text: n.Text, JD: n.JD}
+		if len(n.Children) > 0 {
+			c.Children = make([]*Node, len(n.Children))
+			for i, ch := range n.Children {
+				cc := cloneNode(ch)
+				cc.Parent = c
+				c.Children[i] = cc
+			}
+		}
+		return c
+	}
+	nd.Root = cloneNode(d.Root)
+	nd.freeze()
+	return nd
+}

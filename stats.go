@@ -95,5 +95,9 @@ func (ix *Index) SetSlowQueryThreshold(d time.Duration) {
 func (ix *Index) SlowQueries() []obs.SlowQuery { return ix.metrics.SlowQueries() }
 
 // PublishExpvar publishes the metrics snapshot under the given expvar
-// name (idempotent; a duplicate name is ignored).
+// name. Publishing is idempotent and rebindable: the name is registered
+// with the expvar package at most once, and publishing another index's
+// metrics under the same name atomically redirects the variable to the
+// newer registry (last publication wins) instead of panicking on the
+// duplicate registration.
 func (ix *Index) PublishExpvar(name string) { ix.metrics.PublishExpvar(name) }

@@ -126,7 +126,7 @@ func TestGoldenTraceNaive(t *testing.T) {
 	keywords := ds.Correlated[0]
 	run := func() string {
 		tr := obs.NewTrace()
-		rs := naive.EvaluateObs(idx.doc, idx.m, keywords, naive.ELCA, 0, tr)
+		rs := naive.EvaluateObs(idx.view().doc, idx.view().m, keywords, naive.ELCA, 0, tr)
 		if len(rs) == 0 {
 			t.Fatal("oracle found no results")
 		}
@@ -201,7 +201,7 @@ func TestSnapshotDuringConcurrentQueries(t *testing.T) {
 	idx, q := traceEnv(t)
 	algos := []Algorithm{AlgoJoin, AlgoStack, AlgoIndexLookup, AlgoRDIL, AlgoHybrid}
 	idx.SetSlowQueryThreshold(1) // capture everything: exercises the slow log too
-	idx.ensureInv()              // the lazy baseline build is not query-concurrent-safe
+	idx.view().ensureInv()       // warm the lazy baseline build before the storm
 
 	var wg sync.WaitGroup
 	const perWorker = 20

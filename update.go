@@ -3,6 +3,7 @@ package xmlsearch
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/dewey"
 	"repro/internal/jdewey"
@@ -20,11 +21,23 @@ import (
 // occurrences' JDewey numbers — changed, instead of reindexing the
 // document.
 //
+// Concurrency: mutations are snapshot-isolated from queries. A writer
+// serializes against other writers (writeMu), clones the current
+// snapshot's document, occurrence map, maintenance handle, and column
+// store copy-on-write, applies the mutation and the list rebuilds entirely
+// to the clone, and publishes the finished snapshot with one atomic swap.
+// Queries pin a snapshot before the swap or after it — never in between —
+// and never block behind the writer. The writer pays the clone (O(document)
+// plus O(changed lists)); readers pay nothing.
+//
 // Scoring note: the corpus constant N of the tf-idf local score stays
 // frozen at its construction value, so unrelated lists keep their scores
 // (standard incremental-IR practice); document frequencies of the touched
-// terms are always recomputed. Mutations must be externally synchronized
-// with queries.
+// terms are always recomputed. When the index was built WithElemRank, a
+// structural mutation shifts the link-based rank of potentially every
+// node, so fresh ranks are re-applied to every list (see applyDirty) —
+// rebuilding everything is the price of keeping scores consistent rather
+// than letting untouched terms keep pre-mutation structural ranks.
 
 // InsertElement adds a new leaf element <tag>text</tag> under the element
 // identified by parentDewey (dotted notation, e.g. "1.2"), at child
@@ -33,7 +46,17 @@ import (
 // siblings shift, while JDewey-based identities move only if a gap-
 // exhausted subtree had to be renumbered — the maintenance asymmetry the
 // paper's encoding is designed around.
-func (ix *Index) InsertElement(parentDewey string, pos int, tag, text string) (string, error) {
+//
+// The mutation is safe to run concurrently with queries: in-flight queries
+// finish on the pre-mutation snapshot, queries starting after the return
+// see the inserted element.
+func (ix *Index) InsertElement(parentDewey string, pos int, tag, text string) (newDewey string, err error) {
+	start := time.Now()
+	var dirtyN int
+	var renumbered bool
+	defer func() {
+		ix.metrics.Writer.RecordMutation(true, dirtyN, renumbered, time.Since(start), err)
+	}()
 	if tag == "" {
 		return "", fmt.Errorf("xmlsearch: empty element tag")
 	}
@@ -41,10 +64,15 @@ func (ix *Index) InsertElement(parentDewey string, pos int, tag, text string) (s
 	if err != nil {
 		return "", fmt.Errorf("xmlsearch: bad parent id: %w", err)
 	}
-	parent := ix.doc.NodeByDewey(id)
-	if parent == nil {
+
+	ix.writeMu.Lock()
+	defer ix.writeMu.Unlock()
+	cur := ix.view()
+	if cur.doc.NodeByDewey(id) == nil {
 		return "", fmt.Errorf("xmlsearch: no element at %s", parentDewey)
 	}
+	next := cur.clone()
+	parent := next.doc.NodeByDewey(id) // same Dewey path resolves in the clone
 	if pos < 0 || pos > len(parent.Children) {
 		return "", fmt.Errorf("xmlsearch: position %d out of range [0,%d]", pos, len(parent.Children))
 	}
@@ -53,36 +81,67 @@ func (ix *Index) InsertElement(parentDewey string, pos int, tag, text string) (s
 	for _, term := range tokenize.Tokens(text) {
 		dirty[term] = true
 	}
-	renumbered, err := ix.enc.Insert(parent, child, pos)
+	moved, err := next.enc.Insert(parent, child, pos)
 	if err != nil {
 		return "", fmt.Errorf("xmlsearch: %w", err)
 	}
-	if renumbered != nil {
-		collectTerms(renumbered, dirty)
+	if moved != nil {
+		renumbered = true
+		collectTerms(moved, dirty)
 	}
-	ix.applyDirty(dirty)
+	dirtyN = ix.applyDirty(next, dirty)
+	ix.snap.Store(next)
 	return child.Dewey.String(), nil
 }
 
 // RemoveElement detaches the element (and its whole subtree) identified by
-// its Dewey identifier. The root cannot be removed.
-func (ix *Index) RemoveElement(deweyStr string) error {
+// its Dewey identifier. The root cannot be removed. Like InsertElement it
+// is snapshot-isolated from concurrent queries.
+func (ix *Index) RemoveElement(deweyStr string) (err error) {
+	start := time.Now()
+	var dirtyN int
+	defer func() {
+		ix.metrics.Writer.RecordMutation(false, dirtyN, false, time.Since(start), err)
+	}()
 	id, err := dewey.Parse(deweyStr)
 	if err != nil {
 		return fmt.Errorf("xmlsearch: bad id: %w", err)
 	}
-	n := ix.doc.NodeByDewey(id)
-	if n == nil {
+
+	ix.writeMu.Lock()
+	defer ix.writeMu.Unlock()
+	cur := ix.view()
+	victim := cur.doc.NodeByDewey(id)
+	if victim == nil {
 		return fmt.Errorf("xmlsearch: no element at %s", deweyStr)
 	}
-	if n.Parent == nil {
+	if victim.Parent == nil {
 		return fmt.Errorf("xmlsearch: cannot remove the document root")
 	}
+	next := cur.clone()
+	n := next.doc.NodeByDewey(id)
 	dirty := map[string]bool{}
 	collectTerms(n, dirty)
-	ix.enc.Remove(n)
-	ix.applyDirty(dirty)
+	next.enc.Remove(n)
+	dirtyN = ix.applyDirty(next, dirty)
+	ix.snap.Store(next)
 	return nil
+}
+
+// clone duplicates a snapshot copy-on-write: the document tree is deep-
+// copied, the occurrence map is remapped onto the cloned nodes, the JDewey
+// maintenance handle is re-homed, and the column store's term maps are
+// copied while the immutable lists, blobs, and shared decode cache carry
+// over. The clone shares no mutable state with the original, so the writer
+// may freely mutate it while the original keeps serving queries.
+func (s *snapshot) clone() *snapshot {
+	doc := s.doc.Clone()
+	return &snapshot{
+		doc:   doc,
+		m:     s.m.CloneRemapped(doc.Nodes),
+		store: s.store.Clone(),
+		enc:   s.enc.CloneFor(doc),
+	}
 }
 
 // collectTerms accumulates every term occurring in the subtree of n.
@@ -95,16 +154,29 @@ func collectTerms(n *xmltree.Node, into map[string]bool) {
 	}
 }
 
-// applyDirty refreshes the occurrence map, rebuilds the dirty lists in the
-// column store, and invalidates the lazily-built baseline indexes.
-func (ix *Index) applyDirty(dirty map[string]bool) {
-	ix.m.UpdateTerms(ix.doc, dirty)
+// applyDirty refreshes the occurrence map of the snapshot under
+// construction, rebuilds the dirty lists in its column store, and returns
+// how many lists were rebuilt. With ElemRank enabled, the dirty set is
+// widened to every indexed term: the link-based rank is a global property
+// of the tree, so a structural mutation moves the rank factor of
+// occurrences far from the mutation site, and re-applying fresh ranks
+// everywhere is what keeps the published snapshot's scores mutually
+// consistent (the alternative — freezing ranks like the corpus constant N
+// — would let two occurrences of one term carry ranks from different tree
+// generations).
+func (ix *Index) applyDirty(s *snapshot, dirty map[string]bool) int {
+	if ix.cfg.elemRank {
+		for term := range s.m.Terms {
+			dirty[term] = true
+		}
+	}
+	s.m.UpdateTerms(s.doc, dirty)
 	var ranks []float64
 	if ix.cfg.elemRank {
-		ranks = score.ElemRank(ix.doc, ix.cfg.erParams)
+		ranks = score.ElemRank(s.doc, ix.cfg.erParams)
 	}
 	for term := range dirty {
-		occs := ix.m.Terms[term]
+		occs := s.m.Terms[term]
 		if ranks != nil {
 			for i := range occs {
 				occs[i].Score *= float32(ranks[occs[i].Node.Ord])
@@ -118,27 +190,33 @@ func (ix *Index) applyDirty(dirty map[string]bool) {
 		sorted := make([]occur.Occ, len(occs))
 		copy(sorted, occs)
 		sortByJDewey(sorted)
-		ix.store.Replace(term, sorted)
+		s.store.Replace(term, sorted)
 	}
 	// The store keeps carrying the frozen scoring constant; only the depth
 	// tracks the document.
-	ix.store.SetMeta(ix.m.N, ix.doc.Depth)
-	ix.invalidateBaselines()
+	s.store.SetMeta(s.m.N, s.doc.Depth)
+	return len(dirty)
 }
 
+// sortByJDewey stably sorts occurrences into JDewey-sequence order. The
+// sequences are computed once up front (they cost a root-path walk each)
+// into a single keyed slice that is sorted in place and written back —
+// one allocation, against the former three (seqs + permutation + sorted
+// copy) of sorting an index permutation and applying it.
 func sortByJDewey(occs []occur.Occ) {
-	seqs := make([]jdewey.Seq, len(occs))
+	if len(occs) < 2 {
+		return
+	}
+	type keyed struct {
+		seq jdewey.Seq
+		occ occur.Occ
+	}
+	ks := make([]keyed, len(occs))
 	for i := range occs {
-		seqs[i] = occs[i].Node.JDeweySeq()
+		ks[i] = keyed{seq: occs[i].Node.JDeweySeq(), occ: occs[i]}
 	}
-	idx := make([]int, len(occs))
-	for i := range idx {
-		idx[i] = i
+	sort.SliceStable(ks, func(a, b int) bool { return jdewey.Compare(ks[a].seq, ks[b].seq) < 0 })
+	for i := range ks {
+		occs[i] = ks[i].occ
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return jdewey.Compare(seqs[idx[a]], seqs[idx[b]]) < 0 })
-	sorted := make([]occur.Occ, len(occs))
-	for i, j := range idx {
-		sorted[i] = occs[j]
-	}
-	copy(occs, sorted)
 }

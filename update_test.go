@@ -119,7 +119,7 @@ func TestIncrementalMatchesRebuild(t *testing.T) {
 			inserted = append(inserted[:i], inserted[i+1:]...)
 		} else {
 			// Insert under a random existing element.
-			all := idx.doc.Nodes
+			all := idx.view().doc.Nodes
 			parent := all[rng.Intn(len(all))]
 			text := fmt.Sprintf("%s %s", vocab[rng.Intn(len(vocab))], vocab[rng.Intn(len(vocab))])
 			d, err := idx.InsertElement(parent.Dewey.String(), rng.Intn(len(parent.Children)+1), "ins", text)
@@ -131,7 +131,7 @@ func TestIncrementalMatchesRebuild(t *testing.T) {
 
 		// Rebuild from scratch over the mutated document.
 		var buf bytes.Buffer
-		if err := idx.doc.WriteXML(&buf); err != nil {
+		if err := idx.view().doc.WriteXML(&buf); err != nil {
 			t.Fatal(err)
 		}
 		fresh, err := Open(&buf)

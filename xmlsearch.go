@@ -33,6 +33,15 @@
 // files (CURRENT, lexicon, document, numbering) is a clean Load error —
 // never a panic, never silently wrong results.
 //
+// # Concurrency
+//
+// An Index serves queries and mutations concurrently without any caller
+// synchronization. Queries pin an immutable snapshot with one atomic load
+// and run entirely against it; InsertElement and RemoveElement build the
+// next snapshot copy-on-write and publish it with one atomic swap, so a
+// query never blocks behind a writer and never observes a half-applied
+// mutation. See DESIGN.md §9 for the snapshot lifecycle.
+//
 // # Cancellation
 //
 // Every engine has a Context variant (SearchContext, TopKContext,
@@ -53,6 +62,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"unicode/utf8"
 
 	"repro/internal/colstore"
@@ -132,30 +142,66 @@ type Result struct {
 }
 
 // Index is a searchable in-memory index over one XML document. It is safe
-// for concurrent queries after construction; incremental mutations
-// (InsertElement, RemoveElement) require external synchronization with
-// in-flight queries.
+// for fully concurrent use: queries (Search, TopK, TopKStream, and their
+// Context/Traced variants) pin an immutable snapshot of the index with a
+// single atomic load and never block, while incremental mutations
+// (InsertElement, RemoveElement) build the next snapshot copy-on-write off
+// to the side and publish it with one atomic swap. In-flight queries
+// finish on the snapshot they pinned; queries arriving after the swap see
+// the mutated index. No external synchronization is required.
 type Index struct {
-	doc     *xmltree.Document
-	m       *occur.Map
-	store   *colstore.Store
-	enc     *jdewey.Encoding
+	// snap is the currently published immutable view; queries load it
+	// exactly once and never observe a half-applied mutation.
+	snap atomic.Pointer[snapshot]
+	// writeMu serializes mutations (and only mutations — queries never
+	// take it): one writer at a time clones, applies, and publishes.
+	writeMu sync.Mutex
+
 	cfg     config
 	metrics *obs.Metrics
+	// cache is the decoded-list cache shared by every snapshot of this
+	// index (see colstore.Cache for why sharing across snapshots is safe).
+	cache *colstore.Cache
+}
 
-	invMu   sync.Mutex
-	inv     *invindex.Index
-	rdilIdx *rdil.Index
+// snapshot is one immutable view of the index: the document tree, the
+// occurrence map, the column store, the JDewey maintenance handle, and the
+// lazily-built document-order baselines. Everything a query touches hangs
+// off the snapshot it pinned, so a concurrently published mutation can
+// never tear a running evaluation. The lazily-built parts (baseline
+// indexes, lazy list decodes inside the store) are internally synchronized
+// and idempotent — they fill in caches without changing what the snapshot
+// logically contains.
+type snapshot struct {
+	doc   *xmltree.Document
+	m     *occur.Map
+	store *colstore.Store
+	enc   *jdewey.Encoding
+
+	// Lazily-built document-order baselines, built at most once per
+	// snapshot on first use by the stack/index-lookup/RDIL engines.
+	baseOnce sync.Once
+	inv      *invindex.Index
+	rdilIdx  *rdil.Index
 }
 
 // newIndex assembles an Index around its parts and hooks the metrics
 // registry into the column store so list opens, decodes, and quarantines
-// are counted from the first query on.
+// are counted from the first query on. Disk-backed stores additionally get
+// the shared size-bounded decode cache.
 func newIndex(doc *xmltree.Document, m *occur.Map, store *colstore.Store, enc *jdewey.Encoding, cfg config) *Index {
-	ix := &Index{doc: doc, m: m, store: store, enc: enc, cfg: cfg, metrics: obs.NewMetrics()}
+	ix := &Index{cfg: cfg, metrics: obs.NewMetrics(), cache: colstore.NewCache(0)}
+	ix.cache.SetObs(&ix.metrics.Store)
 	store.SetObs(&ix.metrics.Store)
+	store.SetCache(ix.cache)
+	ix.snap.Store(&snapshot{doc: doc, m: m, store: store, enc: enc})
 	return ix
 }
+
+// view returns the currently published snapshot. Callers use every part of
+// the returned snapshot together; mixing parts of different snapshots is
+// what the pinning discipline exists to prevent.
+func (ix *Index) view() *snapshot { return ix.snap.Load() }
 
 // Option configures index construction.
 type Option func(*config)
@@ -222,10 +268,10 @@ func FromDocument(doc *xmltree.Document, opts ...Option) (*Index, error) {
 }
 
 // Len returns the number of element nodes indexed.
-func (ix *Index) Len() int { return ix.doc.Len() }
+func (ix *Index) Len() int { return ix.view().doc.Len() }
 
 // Depth returns the document's tree depth.
-func (ix *Index) Depth() int { return ix.doc.Depth }
+func (ix *Index) Depth() int { return ix.view().doc.Depth }
 
 // DocFreq returns the number of nodes directly containing the (normalized)
 // keyword.
@@ -234,7 +280,7 @@ func (ix *Index) DocFreq(keyword string) int {
 	if w == "" {
 		return 0
 	}
-	return ix.store.DocFreq(w)
+	return ix.view().store.DocFreq(w)
 }
 
 // Keywords tokenizes a free-text query into the distinct normalized
@@ -306,6 +352,9 @@ func (ix *Index) Save(dir string) error {
 // with the single CommitGen rename. It is the injection point of the
 // crash tests.
 func (ix *Index) saveFS(dir string, fsys faultinject.FS, extra map[string][]byte) error {
+	// Pin one snapshot for the whole save: a mutation published midway
+	// cannot mix generations inside the written directory.
+	s := ix.view()
 	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("xmlsearch: save: %w", err)
 	}
@@ -313,11 +362,11 @@ func (ix *Index) saveFS(dir string, fsys faultinject.FS, extra map[string][]byte
 	if err != nil {
 		return fmt.Errorf("xmlsearch: save: %w", err)
 	}
-	if err := ix.store.SaveGen(dir, gen, fsys); err != nil {
+	if err := s.store.SaveGen(dir, gen, fsys); err != nil {
 		return err
 	}
 	var xml bytes.Buffer
-	if err := ix.doc.WriteXML(&xml); err != nil {
+	if err := s.doc.WriteXML(&xml); err != nil {
 		return fmt.Errorf("xmlsearch: save: %w", err)
 	}
 	files := []struct {
@@ -325,7 +374,7 @@ func (ix *Index) saveFS(dir string, fsys faultinject.FS, extra map[string][]byte
 		data []byte
 	}{
 		{fileDocument, xml.Bytes()},
-		{fileMeta, ix.encodeMeta()},
+		{fileMeta, ix.encodeMeta(s)},
 	}
 	extraNames := make([]string, 0, len(extra))
 	for name := range extra {
@@ -351,17 +400,17 @@ func (ix *Index) saveFS(dir string, fsys faultinject.FS, extra map[string][]byte
 	return nil
 }
 
-// encodeMeta serializes the index flags and the preorder JDewey numbering,
-// one uvarint per node.
-func (ix *Index) encodeMeta() []byte {
+// encodeMeta serializes the index flags and the preorder JDewey numbering
+// of the pinned snapshot, one uvarint per node.
+func (ix *Index) encodeMeta(s *snapshot) []byte {
 	jd := []byte(indexMetaMagicV2)
 	if ix.cfg.elemRank {
 		jd = append(jd, 1)
 	} else {
 		jd = append(jd, 0)
 	}
-	jd = binary.AppendUvarint(jd, uint64(ix.doc.Len()))
-	for _, n := range ix.doc.Nodes {
+	jd = binary.AppendUvarint(jd, uint64(s.doc.Len()))
+	for _, n := range s.doc.Nodes {
 		jd = binary.AppendUvarint(jd, uint64(n.JD))
 	}
 	return jd
@@ -517,7 +566,7 @@ func (h Health) Degraded() bool { return len(h.Quarantined) > 0 || len(h.FileDam
 // Load succeeds on a partially corrupted directory this is how a caller
 // distinguishes a fully intact index from degraded service.
 func (ix *Index) Health() Health {
-	sh := ix.store.Health()
+	sh := ix.view().store.Health()
 	h := Health{Format: sh.Format, Terms: sh.Terms, FileDamage: sh.FileDamage}
 	for _, q := range sh.Quarantined {
 		h.Quarantined = append(h.Quarantined, TermFault{Term: q.Term, Err: q.Err})
@@ -529,27 +578,27 @@ func (ix *Index) Health() Health {
 
 const snippetLen = 80
 
-func (ix *Index) materializeJoin(rs []core.Result) []Result {
+func (s *snapshot) materializeJoin(rs []core.Result) []Result {
 	out := make([]Result, 0, len(rs))
 	for _, r := range rs {
-		n := ix.doc.NodeByJDewey(r.Level, r.Value)
+		n := s.doc.NodeByJDewey(r.Level, r.Value)
 		if n == nil {
 			continue
 		}
-		out = append(out, ix.materializeNode(n, r.Score))
+		out = append(out, materializeNode(n, r.Score))
 	}
 	return out
 }
 
-func (ix *Index) materializeDewey(id []uint32, s float64) Result {
-	n := ix.doc.NodeByDewey(id)
+func (s *snapshot) materializeDewey(id []uint32, score float64) Result {
+	n := s.doc.NodeByDewey(id)
 	if n == nil {
-		return Result{Dewey: "?", Score: s}
+		return Result{Dewey: "?", Score: score}
 	}
-	return ix.materializeNode(n, s)
+	return materializeNode(n, score)
 }
 
-func (ix *Index) materializeNode(n *xmltree.Node, s float64) Result {
+func materializeNode(n *xmltree.Node, s float64) Result {
 	snippet := n.Text
 	if len(snippet) > snippetLen {
 		cut := snippetLen
@@ -567,11 +616,11 @@ func (ix *Index) materializeNode(n *xmltree.Node, s float64) Result {
 	}
 }
 
-func (ix *Index) invLists(keywords []string) []*invindex.List {
-	ix.ensureInv()
+func (s *snapshot) invLists(keywords []string) []*invindex.List {
+	s.ensureInv()
 	lists := make([]*invindex.List, len(keywords))
 	for i, w := range keywords {
-		lists[i] = ix.inv.Get(w)
+		lists[i] = s.inv.Get(w)
 	}
 	return lists
 }
@@ -579,8 +628,8 @@ func (ix *Index) invLists(keywords []string) []*invindex.List {
 // invListsObs is invLists with per-query tracing: one list-open event per
 // keyword (the document-order baselines have no block decoding, so only
 // the row counts are meaningful).
-func (ix *Index) invListsObs(keywords []string, tr *obs.Trace) []*invindex.List {
-	lists := ix.invLists(keywords)
+func (s *snapshot) invListsObs(keywords []string, tr *obs.Trace) []*invindex.List {
+	lists := s.invLists(keywords)
 	if tr != nil {
 		for i, l := range lists {
 			if l == nil {
@@ -593,22 +642,16 @@ func (ix *Index) invListsObs(keywords []string, tr *obs.Trace) []*invindex.List 
 	return lists
 }
 
-func (ix *Index) ensureInv() {
-	ix.invMu.Lock()
-	defer ix.invMu.Unlock()
-	if ix.inv == nil {
-		ix.inv = invindex.Build(ix.m)
-		ix.rdilIdx = rdil.NewIndex(ix.inv)
-	}
-}
-
-// invalidateBaselines drops the lazily-built document-order indexes after
-// a mutation; they rebuild on next use. (The paper's own index — the
-// column store — is maintained incrementally instead.)
-func (ix *Index) invalidateBaselines() {
-	ix.invMu.Lock()
-	defer ix.invMu.Unlock()
-	ix.inv, ix.rdilIdx = nil, nil
+// ensureInv builds the document-order baseline indexes at most once per
+// snapshot. A freshly published snapshot starts without them — the paper's
+// own index (the column store) is maintained incrementally, while the
+// baselines simply rebuild from the snapshot's occurrence map on first
+// baseline query.
+func (s *snapshot) ensureInv() {
+	s.baseOnce.Do(func() {
+		s.inv = invindex.Build(s.m)
+		s.rdilIdx = rdil.NewIndex(s.inv)
+	})
 }
 
 func coreSem(s Semantics) core.Semantics {
