@@ -10,6 +10,17 @@
 //	xkwbench -metrics -slow 5ms   # append engine metrics + slow-query log
 //	xkwbench -writers 4           # query latency under concurrent mutation
 //	xkwbench -o results.txt
+//
+// Machine-readable telemetry and the CI perf gate:
+//
+//	xkwbench -exp smoke -json BENCH_smoke.json
+//	xkwbench -exp smoke -json BENCH_smoke.json -baseline results/BENCH_smoke.json -tol 3.0
+//
+// -exp smoke measures every engine on the mid-band workload against a
+// disk-backed store and writes per-engine p50/p95/p99, throughput, and
+// decode volume (plus the machine fingerprint) to -json. With -baseline,
+// the run exits nonzero when any point's p50 regresses beyond -tol
+// (fractional; 3.0 = 4x slower) against the committed baseline.
 package main
 
 import (
@@ -24,17 +35,20 @@ import (
 
 func main() {
 	var (
-		full    = flag.Bool("full", false, "run the paper-scale protocol (slower)")
-		scale   = flag.Float64("scale", 0, "override dataset scale factor")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		queries = flag.Int("queries", 0, "override queries per sweep point")
-		reps    = flag.Int("reps", 0, "override repetitions per query")
-		topK    = flag.Int("k", 10, "K for the top-K experiments")
-		exp     = flag.String("exp", "all", "experiment: all, table1, fig9, fig10, ablations")
-		out     = flag.String("o", "", "also write output to this file")
-		metrics = flag.Bool("metrics", false, "append per-engine metrics (Prometheus text + JSON) after the sweep")
-		slow    = flag.Duration("slow", 0, "with -metrics, log queries at or above this latency")
-		writers = flag.Int("writers", 0, "run the concurrent-serving experiment with this many writer goroutines")
+		full     = flag.Bool("full", false, "run the paper-scale protocol (slower)")
+		scale    = flag.Float64("scale", 0, "override dataset scale factor")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		queries  = flag.Int("queries", 0, "override queries per sweep point")
+		reps     = flag.Int("reps", 0, "override repetitions per query")
+		topK     = flag.Int("k", 10, "K for the top-K experiments")
+		exp      = flag.String("exp", "all", "experiment: all, table1, fig9, fig10, ablations, smoke")
+		out      = flag.String("o", "", "also write output to this file")
+		jsonOut  = flag.String("json", "", "with -exp smoke, write the telemetry report to this file")
+		baseline = flag.String("baseline", "", "with -exp smoke, gate the run against this baseline report")
+		tol      = flag.Float64("tol", 0.25, "fractional p50 regression tolerance for -baseline (0.25 = 25%)")
+		metrics  = flag.Bool("metrics", false, "append per-engine metrics (Prometheus text + JSON) after the sweep")
+		slow     = flag.Duration("slow", 0, "with -metrics, log queries at or above this latency")
+		writers  = flag.Int("writers", 0, "run the concurrent-serving experiment with this many writer goroutines")
 	)
 	flag.Parse()
 
@@ -70,6 +84,14 @@ func main() {
 		// (snapshot-isolated Index, not the per-engine harness), so it is
 		// its own mode rather than a member of the sweep table.
 		if err := concurrentServing(w, cfg.Scale, cfg.Seed, *writers, cfg.TopK); err != nil {
+			fmt.Fprintln(os.Stderr, "xkwbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *exp == "smoke" {
+		if err := runSmoke(w, cfg, *jsonOut, *baseline, *tol); err != nil {
 			fmt.Fprintln(os.Stderr, "xkwbench:", err)
 			os.Exit(1)
 		}
@@ -113,6 +135,49 @@ func main() {
 			dumpMetrics(w, "xmark", xmark)
 		}
 	}
+}
+
+// runSmoke measures the telemetry smoke sweep, writes the JSON report,
+// and — when a baseline is given — gates the run against it, exiting
+// through an error listing every regressed point.
+func runSmoke(w io.Writer, cfg bench.Config, jsonOut, baseline string, tol float64) error {
+	dir, err := os.MkdirTemp("", "xkwbench-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	report, err := bench.Smoke(cfg, dir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== telemetry smoke: scale=%.2f queries/pt=%d reps=%d K=%d (%s/%s, %d CPU, %s) ==\n",
+		cfg.Scale, cfg.QueriesPerPt, cfg.RepsPerQuery, cfg.TopK,
+		report.Env.GOOS, report.Env.GOARCH, report.Env.NumCPU, report.Env.GoVersion)
+	fmt.Fprintf(w, "%-10s %-14s %12s %12s %12s %10s %12s\n", "engine", "workload", "p50", "p95", "p99", "qps", "decoded")
+	for _, p := range report.Points {
+		fmt.Fprintf(w, "%-10s %-14s %12v %12v %12v %10.0f %12d\n",
+			p.Engine, p.Label, time.Duration(p.P50Ns), time.Duration(p.P95Ns), time.Duration(p.P99Ns), p.QPS, p.DecodedBytes)
+	}
+	if jsonOut != "" {
+		if err := bench.WriteReport(jsonOut, report); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "report written to %s\n", jsonOut)
+	}
+	if baseline != "" {
+		base, err := bench.ReadReport(baseline)
+		if err != nil {
+			return err
+		}
+		if v := bench.CompareReports(base, report, tol); len(v) > 0 {
+			for _, line := range v {
+				fmt.Fprintln(os.Stderr, "REGRESSION:", line)
+			}
+			return fmt.Errorf("%d point(s) regressed beyond %.0f%% vs %s", len(v), tol*100, baseline)
+		}
+		fmt.Fprintf(w, "perf gate passed: no p50 regression beyond %.0f%% vs %s\n", tol*100, baseline)
+	}
+	return nil
 }
 
 // dumpMetrics writes one environment's accumulated engine metrics in both

@@ -13,6 +13,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,7 +41,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   xkwsearch index -xml FILE -out DIR
   xkwsearch query (-index DIR | -xml FILE) [-k N] [-sem elca|slca] [-algo join|stack|ixlookup|rdil|hybrid]
-                  [-stream] [-explain] [-trace] [-metrics] [-slow DUR] QUERY...`)
+                  [-stream] [-explain] [-trace] [-trace-out FILE] [-metrics] [-slow DUR] QUERY...`)
 	os.Exit(2)
 }
 
@@ -73,6 +74,7 @@ func runQuery(args []string) {
 	stream := fs.Bool("stream", false, "print top-K results as they are proven (join engine)")
 	explain := fs.Bool("explain", false, "print the execution profile after the results")
 	trace := fs.Bool("trace", false, "print the per-query execution trace after the results")
+	traceOut := fs.String("trace-out", "", "write the query's full execution profile (span tree + events) as JSON to this file (implies tracing)")
 	metrics := fs.Bool("metrics", false, "print the engine metrics (Prometheus text + JSON) after the query")
 	slow := fs.Duration("slow", 0, "log queries at or above this latency (printed with -metrics)")
 	fs.Parse(args)
@@ -80,6 +82,7 @@ func runQuery(args []string) {
 	if query == "" || (*indexDir == "") == (*xmlPath == "") {
 		usage()
 	}
+	traced := *trace || *traceOut != ""
 
 	var (
 		idx *xmlsearch.Index
@@ -134,7 +137,7 @@ func runQuery(args []string) {
 			fmt.Printf("%2d. (+%v) score=%.4f  %-24s %s\n", rank, time.Since(start).Round(time.Microsecond), r.Score, r.Dewey, r.Path)
 			return true
 		}
-		if *trace {
+		if traced {
 			qs, err = idx.TopKStreamTraced(context.Background(), query, *k, opt, emit)
 		} else {
 			err = idx.TopKStream(query, *k, opt, emit)
@@ -146,9 +149,9 @@ func runQuery(args []string) {
 		start := time.Now()
 		var results []xmlsearch.Result
 		switch {
-		case *trace && *k > 0:
+		case traced && *k > 0:
 			results, qs, err = idx.TopKTraced(context.Background(), query, *k, opt)
-		case *trace:
+		case traced:
 			results, qs, err = idx.SearchTraced(context.Background(), query, opt)
 		case *k > 0:
 			results, err = idx.TopK(query, *k, opt)
@@ -174,9 +177,19 @@ func runQuery(args []string) {
 			fmt.Println(ex)
 		}
 	}
-	if qs != nil {
+	if qs != nil && *trace {
 		fmt.Printf("\n--- trace: engine=%s elapsed=%v events=%d ---\n", qs.Engine, qs.Elapsed.Round(time.Microsecond), len(qs.Trace.Events()))
 		qs.RenderTrace(os.Stdout)
+	}
+	if qs != nil && *traceOut != "" {
+		data, err := json.MarshalIndent(qs, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*traceOut, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *traceOut)
 	}
 	if *metrics {
 		snap := idx.Stats()

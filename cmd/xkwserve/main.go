@@ -1,0 +1,99 @@
+// Command xkwserve loads an index and serves it over HTTP together with
+// its full operational plane: Prometheus metrics, liveness/readiness
+// probes backed by storage self-verification, the slow-query log, a
+// bounded tail-sampled trace store, Go runtime profiles, and a traced
+// /search endpoint.
+//
+// Usage:
+//
+//	xkwserve (-index DIR | -xml FILE) [-addr :8080]
+//	         [-slow 50ms] [-trace-keep 256] [-trace-sample 64] [-trace-seed 1]
+//	         [-mutexfrac N] [-blockrate N]
+//
+// Trace capture policy: every query through /search is traced; traces of
+// queries that erred, were cancelled, or ran at or above -slow are always
+// retained (up to -trace-keep, oldest evicted), the rest pass through a
+// -trace-sample sized reservoir. -slow 0 retains every trace — useful in
+// development, unbounded only by -trace-keep.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	xmlsearch "repro"
+	"repro/internal/obs"
+	"repro/internal/obshttp"
+)
+
+func main() {
+	fs := flag.NewFlagSet("xkwserve", flag.ExitOnError)
+	indexDir := fs.String("index", "", "saved index directory")
+	xmlPath := fs.String("xml", "", "XML document to index on the fly")
+	addr := fs.String("addr", ":8080", "listen address")
+	slow := fs.Duration("slow", 50*time.Millisecond, "slow-query threshold for the slow log and trace retention (0 retains every trace)")
+	traceKeep := fs.Int("trace-keep", obs.DefaultKeepTraces, "capacity of the slow/error/cancelled trace ring")
+	traceSample := fs.Int("trace-sample", obs.DefaultSampleTraces, "reservoir capacity for ordinary traces")
+	traceSeed := fs.Int64("trace-seed", 1, "reservoir sampling seed")
+	mutexFrac := fs.Int("mutexfrac", 0, "mutex profile fraction (0 = off)")
+	blockRate := fs.Int("blockrate", 0, "block profile rate in ns (0 = off)")
+	fs.Parse(os.Args[1:])
+	if (*indexDir == "") == (*xmlPath == "") {
+		fmt.Fprintln(os.Stderr, "usage: xkwserve (-index DIR | -xml FILE) [-addr :8080] [-slow DUR] [-trace-keep N] [-trace-sample N] [-trace-seed N] [-mutexfrac N] [-blockrate N]")
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	var (
+		ix  *xmlsearch.Index
+		err error
+	)
+	if *indexDir != "" {
+		ix, err = xmlsearch.Load(*indexDir)
+	} else {
+		ix, err = xmlsearch.OpenFile(*xmlPath)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("xkwserve: loaded %d nodes (depth %d) in %v\n", ix.Len(), ix.Depth(), time.Since(start).Round(time.Millisecond))
+	if h := ix.Health(); h.Degraded() {
+		fmt.Printf("xkwserve: WARNING: degraded index: %d quarantined term(s), %d damaged file(s)\n", len(h.Quarantined), len(h.FileDamage))
+	}
+
+	ix.SetSlowQueryThreshold(*slow)
+	ix.SetTraceStore(obs.NewTraceStore(*traceKeep, *traceSample, *slow, *traceSeed))
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: obshttp.NewHandler(ix, obshttp.Options{MutexProfileFraction: *mutexFrac, BlockProfileRate: *blockRate}),
+	}
+	go func() {
+		fmt.Printf("xkwserve: listening on %s\n", *addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("\nxkwserve: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xkwserve:", err)
+	os.Exit(1)
+}

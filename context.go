@@ -74,13 +74,32 @@ func (ix *Index) SearchContext(ctx context.Context, query string, opt SearchOpti
 	return ix.searchObs(ctx, query, opt, nil)
 }
 
+// finishQuery is the shared tail of every query path: engine metrics and
+// slow-query log, then — when a trace store is installed and the query
+// was traced — the tail-sampling offer, linking the retained trace ID
+// into the engine's latency histogram as an exemplar.
+func (ix *Index) finishQuery(e obs.Engine, query string, k int, elapsed time.Duration, results int, err error, tr *obs.Trace) {
+	ix.metrics.RecordQuery(e, query, k, elapsed, results, err, tr)
+	ts := ix.traces.Load()
+	if ts == nil || tr == nil {
+		return
+	}
+	if id := ts.Add(e, query, k, elapsed, results, err, tr); id != 0 {
+		if em := ix.metrics.Engine(e); em != nil {
+			em.Latency.SetExemplar(elapsed, int64(id))
+		}
+	}
+}
+
 // searchObs wraps searchEval with the panic guard and per-query metrics
-// accounting (latency histogram, result/error/cancellation counters, and
-// the slow-query log).
+// accounting (latency histogram, result/error/cancellation counters, the
+// slow-query log, and tail-sampled trace capture).
 func (ix *Index) searchObs(ctx context.Context, query string, opt SearchOptions, tr *obs.Trace) (rs []Result, err error) {
 	start := time.Now()
+	ix.pinned.Add(1)
 	defer func() {
-		ix.metrics.RecordQuery(searchEngine(opt.Algorithm), query, 0, time.Since(start), len(rs), err, tr)
+		ix.pinned.Add(-1)
+		ix.finishQuery(searchEngine(opt.Algorithm), query, 0, time.Since(start), len(rs), err, tr)
 	}()
 	defer guard(&err)
 	return ix.searchEval(ctx, query, opt, tr)
@@ -151,8 +170,10 @@ func (ix *Index) TopKContext(ctx context.Context, query string, k int, opt Searc
 // accounting.
 func (ix *Index) topKObs(ctx context.Context, query string, k int, opt SearchOptions, tr *obs.Trace) (rs []Result, err error) {
 	start := time.Now()
+	ix.pinned.Add(1)
 	defer func() {
-		ix.metrics.RecordQuery(topKEngine(opt.Algorithm), query, k, time.Since(start), len(rs), err, tr)
+		ix.pinned.Add(-1)
+		ix.finishQuery(topKEngine(opt.Algorithm), query, k, time.Since(start), len(rs), err, tr)
 	}()
 	defer guard(&err)
 	return ix.topKEval(ctx, query, k, opt, tr)
@@ -230,8 +251,10 @@ func (ix *Index) TopKStreamContext(ctx context.Context, query string, k int, opt
 // like the other entry points. It returns the number of results delivered.
 func (ix *Index) topKStreamObs(ctx context.Context, query string, k int, opt SearchOptions, fn func(Result) bool, tr *obs.Trace) (delivered int, err error) {
 	start := time.Now()
+	ix.pinned.Add(1)
 	defer func() {
-		ix.metrics.RecordQuery(obs.EngineTopK, query, k, time.Since(start), delivered, err, tr)
+		ix.pinned.Add(-1)
+		ix.finishQuery(obs.EngineTopK, query, k, time.Since(start), delivered, err, tr)
 	}()
 	defer guard(&err)
 	if ctx == nil {

@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/colstore"
+	"repro/internal/core"
+	"repro/internal/ixlookup"
+	"repro/internal/stack"
+	"repro/internal/topk"
+)
+
+// Machine-readable benchmark telemetry. The table/figure renderers in
+// experiments.go print for humans; this file measures the same workloads
+// into a Report — per-engine latency quantiles, throughput, and decode
+// volume, stamped with the machine fingerprint — that CI stores as an
+// artifact and gates against a committed baseline with CompareReports.
+
+// Point is one measured sweep point: one engine on one workload.
+// Latencies are per-execution quantiles over Queries x Reps executions
+// (plus one untimed warm-up pass per query, matching Timing's protocol).
+type Point struct {
+	Exp    string `json:"exp"`
+	Engine string `json:"engine"`
+	// Label names the workload within the experiment, stable across
+	// scales and machines — CompareReports matches points on
+	// (Exp, Engine, Label, K).
+	Label   string `json:"label"`
+	K       int    `json:"k,omitempty"` // 0 for complete evaluations
+	Queries int    `json:"queries"`
+	Reps    int    `json:"reps"`
+
+	P50Ns  int64   `json:"p50_ns"`
+	P95Ns  int64   `json:"p95_ns"`
+	P99Ns  int64   `json:"p99_ns"`
+	MeanNs int64   `json:"mean_ns"`
+	QPS    float64 `json:"qps"`
+	// DecodedBytes is the store decode volume attributed to this point
+	// (first touch of each list decodes it; later points reusing the same
+	// terms read the already-decoded list and attribute 0).
+	DecodedBytes int64 `json:"decoded_bytes"`
+}
+
+// Report is one benchmark run: which experiment, on what machine, under
+// which configuration, measuring which points.
+type Report struct {
+	Exp    string      `json:"exp"`
+	Env    Fingerprint `json:"env"`
+	Config Config      `json:"config"`
+	Points []Point     `json:"points"`
+}
+
+// quantile returns the q-th percentile (nearest-rank on the sorted slice).
+func quantile(sorted []time.Duration, q int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[(len(sorted)-1)*q/100]
+}
+
+// measure times fn over the workload — per-execution durations, one
+// warm-up per query — and assembles the Point, attributing the store
+// decode volume that happened during the measurement (warm-up included:
+// that is where first-touch decodes land).
+func (e *Env) measure(exp, engine, label string, k int, qs [][]string, reps int, fn func(q []string)) Point {
+	if reps < 1 {
+		reps = 1
+	}
+	before := e.Obs.Store.Snapshot().DecodedBytes
+	durs := make([]time.Duration, 0, len(qs)*reps)
+	var total time.Duration
+	for _, q := range qs {
+		fn(q) // warm up caches and lazily-decoded lists
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			fn(q)
+			d := time.Since(start)
+			durs = append(durs, d)
+			total += d
+		}
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	var mean time.Duration
+	var qps float64
+	if len(durs) > 0 {
+		mean = total / time.Duration(len(durs))
+		if total > 0 {
+			qps = float64(len(durs)) / total.Seconds()
+		}
+	}
+	return Point{
+		Exp: exp, Engine: engine, Label: label, K: k,
+		Queries: len(qs), Reps: reps,
+		P50Ns: int64(quantile(durs, 50)), P95Ns: int64(quantile(durs, 95)),
+		P99Ns: int64(quantile(durs, 99)), MeanNs: int64(mean), QPS: qps,
+		DecodedBytes: e.Obs.Store.Snapshot().DecodedBytes - before,
+	}
+}
+
+// Smoke runs the CI benchmark smoke: every engine over the mid-band k=2
+// workload (top-K engines at cfg.TopK), measured against a disk-backed
+// column store persisted into dir and reopened — so list decodes pull
+// real on-disk bytes and DecodedBytes measures the true decode volume
+// rather than reading pre-built in-memory lists.
+func Smoke(cfg Config, dir string) (*Report, error) {
+	e := NewDBLPEnv(cfg.Scale, cfg.Seed)
+	if err := e.Store.Save(dir); err != nil {
+		return nil, fmt.Errorf("bench: persist store: %w", err)
+	}
+	reopened, err := colstore.Open(dir)
+	if err != nil {
+		return nil, fmt.Errorf("bench: reopen store: %w", err)
+	}
+	reopened.SetObs(&e.Obs.Store)
+	e.Store = reopened
+
+	mid := e.DS.BandValues[len(e.DS.BandValues)/2]
+	qs := e.BandQueries(cfg.Seed, 2, mid, cfg.QueriesPerPt)
+	const label = "band-mid/k=2"
+	r := &Report{Exp: "smoke", Env: CurrentFingerprint(), Config: cfg}
+	r.Points = append(r.Points,
+		e.measure("smoke", "join", label, 0, qs, cfg.RepsPerQuery,
+			func(q []string) { e.RunJoin(q, core.ELCA, core.PlanAuto) }),
+		e.measure("smoke", "stack", label, 0, qs, cfg.RepsPerQuery,
+			func(q []string) { e.RunStack(q, stack.ELCA) }),
+		e.measure("smoke", "ixlookup", label, 0, qs, cfg.RepsPerQuery,
+			func(q []string) { e.RunIxlookup(q, ixlookup.ELCA) }),
+		e.measure("smoke", "topk", label, cfg.TopK, qs, cfg.RepsPerQuery,
+			func(q []string) { e.RunTopKJoin(q, cfg.TopK, topk.StarJoin) }),
+		e.measure("smoke", "rdil", label, cfg.TopK, qs, cfg.RepsPerQuery,
+			func(q []string) { e.RunRDIL(q, cfg.TopK) }),
+		e.measure("smoke", "hybrid", label, cfg.TopK, qs, cfg.RepsPerQuery,
+			func(q []string) { e.RunHybrid(q, cfg.TopK) }),
+	)
+	return r, nil
+}
+
+// WriteReport writes the report as indented JSON.
+func WriteReport(path string, r *Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadReport loads a report written by WriteReport.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// CompareReports gates cur against base: for every baseline point, the
+// matching current point (same Exp, Engine, Label, K) must exist and its
+// p50 must not exceed base p50 * (1 + tol). It returns one human-readable
+// line per violation — empty means the gate passes. Points the current
+// report adds beyond the baseline are ignored (new benchmarks are not
+// regressions). tol is fractional: 0.25 allows 25% slower; CI comparing
+// across unlike machines (see Fingerprint) should use a multiple of that.
+func CompareReports(base, cur *Report, tol float64) []string {
+	type key struct {
+		exp, engine, label string
+		k                  int
+	}
+	curPts := make(map[key]Point, len(cur.Points))
+	for _, p := range cur.Points {
+		curPts[key{p.Exp, p.Engine, p.Label, p.K}] = p
+	}
+	var violations []string
+	for _, b := range base.Points {
+		c, ok := curPts[key{b.Exp, b.Engine, b.Label, b.K}]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("%s/%s %s k=%d: point missing from current report", b.Exp, b.Engine, b.Label, b.K))
+			continue
+		}
+		limit := float64(b.P50Ns) * (1 + tol)
+		if float64(c.P50Ns) > limit {
+			violations = append(violations,
+				fmt.Sprintf("%s/%s %s k=%d: p50 %v exceeds baseline %v by more than %.0f%% (limit %v)",
+					b.Exp, b.Engine, b.Label, b.K,
+					time.Duration(c.P50Ns), time.Duration(b.P50Ns), tol*100, time.Duration(int64(limit))))
+		}
+	}
+	return violations
+}

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// smokeConfig is Smoke at test size: seconds, not minutes.
+func smokeConfig() Config {
+	return Config{Scale: 0.05, Seed: 1, QueriesPerPt: 2, RepsPerQuery: 2, TopK: 5, MaxKeywords: 3}
+}
+
+func TestSmokeReportShape(t *testing.T) {
+	cfg := smokeConfig()
+	r, err := Smoke(cfg, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Exp != "smoke" {
+		t.Errorf("exp = %q", r.Exp)
+	}
+	if r.Env.GoVersion == "" || r.Env.GOOS == "" || r.Env.NumCPU == 0 {
+		t.Errorf("fingerprint incomplete: %+v", r.Env)
+	}
+	wantEngines := map[string]bool{"join": false, "stack": false, "ixlookup": false, "topk": false, "rdil": false, "hybrid": false}
+	var decoded int64
+	for _, p := range r.Points {
+		if _, ok := wantEngines[p.Engine]; !ok {
+			t.Errorf("unexpected engine %q", p.Engine)
+			continue
+		}
+		wantEngines[p.Engine] = true
+		if p.P50Ns <= 0 || p.MeanNs <= 0 || p.QPS <= 0 {
+			t.Errorf("%s: empty timings: %+v", p.Engine, p)
+		}
+		if p.P50Ns > p.P95Ns || p.P95Ns > p.P99Ns {
+			t.Errorf("%s: quantiles not monotone: p50=%d p95=%d p99=%d", p.Engine, p.P50Ns, p.P95Ns, p.P99Ns)
+		}
+		if p.Queries != cfg.QueriesPerPt || p.Reps != cfg.RepsPerQuery {
+			t.Errorf("%s: workload size %d x %d", p.Engine, p.Queries, p.Reps)
+		}
+		decoded += p.DecodedBytes
+	}
+	for eng, seen := range wantEngines {
+		if !seen {
+			t.Errorf("no point for engine %q", eng)
+		}
+	}
+	// The store was persisted and reopened, so the sweep's first touches
+	// of each list decode real on-disk bytes.
+	if decoded == 0 {
+		t.Error("no decoded bytes attributed across the whole sweep — store not disk-backed?")
+	}
+}
+
+func TestReportRoundTripAndGate(t *testing.T) {
+	cfg := smokeConfig()
+	r, err := Smoke(cfg, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := WriteReport(path, r); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != len(r.Points) || back.Env != r.Env {
+		t.Fatalf("round trip lost data: %d points vs %d", len(back.Points), len(r.Points))
+	}
+
+	// A report gated against itself always passes.
+	if v := CompareReports(back, r, 0.25); len(v) != 0 {
+		t.Errorf("self-comparison flagged regressions: %v", v)
+	}
+
+	// Inverted gate: doctor the baseline impossibly fast — every point
+	// must now read as a regression, proving the gate can fail.
+	doctored := *back
+	doctored.Points = make([]Point, len(back.Points))
+	copy(doctored.Points, back.Points)
+	for i := range doctored.Points {
+		doctored.Points[i].P50Ns = 1 // 1ns baseline
+	}
+	v := CompareReports(&doctored, r, 0.25)
+	if len(v) != len(r.Points) {
+		t.Fatalf("doctored baseline flagged %d of %d points:\n%s", len(v), len(r.Points), strings.Join(v, "\n"))
+	}
+	if !strings.Contains(v[0], "exceeds baseline") {
+		t.Errorf("violation message unhelpful: %q", v[0])
+	}
+}
+
+func TestCompareReportsMissingPoint(t *testing.T) {
+	base := &Report{Points: []Point{
+		{Exp: "smoke", Engine: "join", Label: "band-mid/k=2", P50Ns: 1000},
+		{Exp: "smoke", Engine: "topk", Label: "band-mid/k=2", K: 10, P50Ns: 1000},
+	}}
+	cur := &Report{Points: []Point{
+		{Exp: "smoke", Engine: "join", Label: "band-mid/k=2", P50Ns: 1100},
+	}}
+	v := CompareReports(base, cur, 0.25)
+	if len(v) != 1 || !strings.Contains(v[0], "missing") {
+		t.Fatalf("missing point not flagged: %v", v)
+	}
+
+	// Within tolerance passes; beyond it fails; extra current points are
+	// not regressions.
+	cur.Points = append(cur.Points,
+		Point{Exp: "smoke", Engine: "topk", Label: "band-mid/k=2", K: 10, P50Ns: 1249},
+		Point{Exp: "smoke", Engine: "rdil", Label: "band-mid/k=2", K: 10, P50Ns: 999999})
+	if v := CompareReports(base, cur, 0.25); len(v) != 0 {
+		t.Errorf("within-tolerance comparison failed: %v", v)
+	}
+	cur.Points[1].P50Ns = 1300
+	if v := CompareReports(base, cur, 0.25); len(v) != 1 {
+		t.Errorf("25%% tolerance missed a 30%% regression: %v", v)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,44 +18,88 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 	return enc.Encode(s)
 }
 
-// WritePrometheus writes the snapshot in Prometheus text exposition
-// format (version 0.0.4). Metric names are prefixed with "xkw_".
-func (s Snapshot) WritePrometheus(w io.Writer) {
-	fmt.Fprintln(w, "# HELP xkw_queries_total Completed queries per engine.")
-	fmt.Fprintln(w, "# TYPE xkw_queries_total counter")
-	for _, e := range s.Engines {
-		fmt.Fprintf(w, "xkw_queries_total{engine=%q} %d\n", e.Engine, e.Queries)
-	}
-	fmt.Fprintln(w, "# HELP xkw_query_errors_total Failed queries per engine (excluding cancellations).")
-	fmt.Fprintln(w, "# TYPE xkw_query_errors_total counter")
-	for _, e := range s.Engines {
-		fmt.Fprintf(w, "xkw_query_errors_total{engine=%q} %d\n", e.Engine, e.Errors)
-	}
-	fmt.Fprintln(w, "# HELP xkw_query_cancelled_total Cancelled queries per engine.")
-	fmt.Fprintln(w, "# TYPE xkw_query_cancelled_total counter")
-	for _, e := range s.Engines {
-		fmt.Fprintf(w, "xkw_query_cancelled_total{engine=%q} %d\n", e.Engine, e.Cancelled)
-	}
-	fmt.Fprintln(w, "# HELP xkw_query_results_total Results returned per engine.")
-	fmt.Fprintln(w, "# TYPE xkw_query_results_total counter")
-	for _, e := range s.Engines {
-		fmt.Fprintf(w, "xkw_query_results_total{engine=%q} %d\n", e.Engine, e.Results)
-	}
-	fmt.Fprintln(w, "# HELP xkw_query_duration_seconds Query latency per engine.")
-	fmt.Fprintln(w, "# TYPE xkw_query_duration_seconds histogram")
-	for _, e := range s.Engines {
-		cum := int64(0)
-		for _, b := range e.Latency.Buckets {
-			cum += b.N
-			le := "+Inf"
-			if b.LE != 0 {
-				le = fmt.Sprintf("%g", b.LE.Seconds())
-			}
-			fmt.Fprintf(w, "xkw_query_duration_seconds_bucket{engine=%q,le=%q} %d\n", e.Engine, le, cum)
+// escapeHelp escapes a HELP docstring per the text exposition format:
+// backslash and line feed are the only escapes defined for HELP lines.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the text exposition format:
+// backslash, double quote, and line feed.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// header writes the HELP/TYPE preamble of one metric family.
+func header(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// writeHistogramSeries writes the bucket/sum/count series of one
+// histogram. labels is a preformatted, already-escaped label list without
+// braces ("" for none); le is appended to it per bucket.
+func writeHistogramSeries(w io.Writer, name, labels string, h HistogramSnapshot) {
+	brace := func(extra string) string {
+		switch {
+		case labels == "" && extra == "":
+			return ""
+		case labels == "":
+			return "{" + extra + "}"
+		case extra == "":
+			return "{" + labels + "}"
+		default:
+			return "{" + labels + "," + extra + "}"
 		}
-		fmt.Fprintf(w, "xkw_query_duration_seconds_sum{engine=%q} %g\n",
-			e.Engine, time.Duration(e.Latency.SumNano).Seconds())
-		fmt.Fprintf(w, "xkw_query_duration_seconds_count{engine=%q} %d\n", e.Engine, e.Latency.Count)
+	}
+	buckets := h.Buckets
+	if len(buckets) == 0 {
+		// A zero-valued snapshot still exposes the fixed bucket shape, so
+		// scrape targets never see a bucketless histogram.
+		buckets = make([]BucketCount, len(latencyBounds)+1)
+		for i := range latencyBounds {
+			buckets[i].LE = latencyBounds[i]
+		}
+	}
+	cum := int64(0)
+	for _, b := range buckets {
+		cum += b.N
+		le := "+Inf"
+		if b.LE != 0 {
+			le = fmt.Sprintf("%g", b.LE.Seconds())
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, brace(`le="`+le+`"`), cum)
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, brace(""), time.Duration(h.SumNano).Seconds())
+	fmt.Fprintf(w, "%s_count%s %d\n", name, brace(""), h.Count)
+}
+
+// WritePrometheus writes the snapshot in Prometheus text exposition
+// format (version 0.0.4). Metric names are prefixed with "xkw_"; HELP
+// text and label values are escaped per the format. Exemplar trace IDs
+// are not part of the 0.0.4 format — they are exposed in the JSON
+// snapshot (see BucketCount.ExemplarTraceID) and the /traces endpoints.
+func (s Snapshot) WritePrometheus(w io.Writer) {
+	engineCounters := []struct {
+		name, help string
+		v          func(e EngineSnapshot) int64
+	}{
+		{"xkw_queries_total", "Completed queries per engine.", func(e EngineSnapshot) int64 { return e.Queries }},
+		{"xkw_query_errors_total", "Failed queries per engine (excluding cancellations).", func(e EngineSnapshot) int64 { return e.Errors }},
+		{"xkw_query_cancelled_total", "Cancelled queries per engine.", func(e EngineSnapshot) int64 { return e.Cancelled }},
+		{"xkw_query_results_total", "Results returned per engine.", func(e EngineSnapshot) int64 { return e.Results }},
+	}
+	for _, c := range engineCounters {
+		header(w, c.name, c.help, "counter")
+		for _, e := range s.Engines {
+			fmt.Fprintf(w, "%s{engine=\"%s\"} %d\n", c.name, escapeLabel(e.Engine), c.v(e))
+		}
+	}
+	header(w, "xkw_query_duration_seconds", "Query latency per engine.", "histogram")
+	for _, e := range s.Engines {
+		writeHistogramSeries(w, "xkw_query_duration_seconds", `engine="`+escapeLabel(e.Engine)+`"`, e.Latency)
 	}
 	st := s.Store
 	storeCounters := []struct {
@@ -73,7 +118,8 @@ func (s Snapshot) WritePrometheus(w io.Writer) {
 		{"xkw_store_cache_evictions_total", "Decoded lists evicted by the cache size bound.", st.CacheEvictions},
 	}
 	for _, c := range storeCounters {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v)
+		header(w, c.name, c.help, "counter")
+		fmt.Fprintf(w, "%s %d\n", c.name, c.v)
 	}
 	wr := s.Writer
 	writerCounters := []struct {
@@ -88,7 +134,25 @@ func (s Snapshot) WritePrometheus(w io.Writer) {
 		{"xkw_writer_snapshots_total", "Index snapshots published.", wr.Snapshots},
 	}
 	for _, c := range writerCounters {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v)
+		header(w, c.name, c.help, "counter")
+		fmt.Fprintf(w, "%s %d\n", c.name, c.v)
+	}
+	header(w, "xkw_writer_duration_seconds", "End-to-end mutation latency including snapshot publication.", "histogram")
+	writeHistogramSeries(w, "xkw_writer_duration_seconds", "", wr.Latency)
+	g := s.Gauges
+	gauges := []struct {
+		name, help string
+		v          float64
+	}{
+		{"xkw_snapshot_generation", "Generation of the currently published index snapshot.", float64(g.SnapshotGen)},
+		{"xkw_pinned_queries", "In-flight queries currently holding a snapshot pin.", float64(g.PinnedQueries)},
+		{"xkw_store_cache_lists", "Decoded lists currently held by the cache.", float64(g.CacheLists)},
+		{"xkw_store_cache_bytes", "Decoded bytes currently held by the cache.", float64(g.CacheBytes)},
+		{"xkw_store_cache_hit_ratio", "Decoded-list cache hit ratio since process start.", st.CacheHitRatio},
+	}
+	for _, c := range gauges {
+		header(w, c.name, c.help, "gauge")
+		fmt.Fprintf(w, "%s %g\n", c.name, c.v)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -93,18 +94,22 @@ func (s *StoreCounters) RecordQuarantine() {
 	s.Quarantines.Inc()
 }
 
-// StoreSnapshot is a point-in-time copy of StoreCounters.
+// StoreSnapshot is a point-in-time copy of StoreCounters. CacheHitRatio
+// is derived at snapshot time — hits / (hits + misses), 0 with no
+// lookups — so dashboards and /readyz read it directly instead of each
+// re-deriving it from the raw counters.
 type StoreSnapshot struct {
-	ListOpens       int64 `json:"list_opens"`
-	ListDecodes     int64 `json:"list_decodes"`
-	BlocksDecoded   int64 `json:"blocks_decoded"`
-	CompressedBytes int64 `json:"compressed_bytes"`
-	DecodedBytes    int64 `json:"decoded_bytes"`
-	SparseSkips     int64 `json:"sparse_skips"`
-	Quarantines     int64 `json:"quarantines"`
-	CacheHits       int64 `json:"cache_hits"`
-	CacheMisses     int64 `json:"cache_misses"`
-	CacheEvictions  int64 `json:"cache_evictions"`
+	ListOpens       int64   `json:"list_opens"`
+	ListDecodes     int64   `json:"list_decodes"`
+	BlocksDecoded   int64   `json:"blocks_decoded"`
+	CompressedBytes int64   `json:"compressed_bytes"`
+	DecodedBytes    int64   `json:"decoded_bytes"`
+	SparseSkips     int64   `json:"sparse_skips"`
+	Quarantines     int64   `json:"quarantines"`
+	CacheHits       int64   `json:"cache_hits"`
+	CacheMisses     int64   `json:"cache_misses"`
+	CacheEvictions  int64   `json:"cache_evictions"`
+	CacheHitRatio   float64 `json:"cache_hit_ratio"`
 }
 
 // Snapshot copies the store counters (zero snapshot for nil).
@@ -112,7 +117,7 @@ func (s *StoreCounters) Snapshot() StoreSnapshot {
 	if s == nil {
 		return StoreSnapshot{}
 	}
-	return StoreSnapshot{
+	out := StoreSnapshot{
 		ListOpens:       s.ListOpens.Load(),
 		ListDecodes:     s.ListDecodes.Load(),
 		BlocksDecoded:   s.BlocksDecoded.Load(),
@@ -124,6 +129,44 @@ func (s *StoreCounters) Snapshot() StoreSnapshot {
 		CacheMisses:     s.CacheMisses.Load(),
 		CacheEvictions:  s.CacheEvictions.Load(),
 	}
+	if lookups := out.CacheHits + out.CacheMisses; lookups > 0 {
+		out.CacheHitRatio = float64(out.CacheHits) / float64(lookups)
+	}
+	return out
+}
+
+// Gauges are point-in-time values (not cumulative counters) sampled from
+// the serving index when a snapshot is taken: the snapshot/writer state
+// and the decoded-list cache occupancy. They come from a gauge source the
+// index installs with SetGaugeSource, because the underlying state (the
+// published snapshot pointer, the cache) lives outside this package.
+type Gauges struct {
+	// SnapshotGen is the generation of the currently published snapshot
+	// (1 for a freshly built index, +1 per published mutation).
+	SnapshotGen int64 `json:"snapshot_gen"`
+	// PinnedQueries is the number of in-flight queries currently holding
+	// a snapshot pin.
+	PinnedQueries int64 `json:"pinned_queries"`
+	// CacheLists and CacheBytes are the decoded-list cache occupancy.
+	CacheLists int64 `json:"cache_lists"`
+	CacheBytes int64 `json:"cache_bytes"`
+}
+
+// gaugeSource supplies live gauge values at snapshot time.
+type gaugeSource func() Gauges
+
+// SetGaugeSource installs the function Snapshot calls to sample the live
+// gauges (nil uninstalls it). Nil-safe.
+func (m *Metrics) SetGaugeSource(fn func() Gauges) {
+	if m == nil {
+		return
+	}
+	if fn == nil {
+		m.gauges.Store(nil)
+		return
+	}
+	src := gaugeSource(fn)
+	m.gauges.Store(&src)
 }
 
 // WriterMetrics accumulates index-mutation counters. Recording is
@@ -215,6 +258,7 @@ type Metrics struct {
 	engines [numEngines]EngineMetrics
 	Store   StoreCounters
 	Writer  WriterMetrics
+	gauges  atomic.Pointer[gaugeSource]
 
 	slowThresholdNs Counter // configured slow-query latency threshold (0 = disabled)
 
@@ -338,16 +382,20 @@ type Snapshot struct {
 	Engines     []EngineSnapshot `json:"engines"`
 	Store       StoreSnapshot    `json:"store"`
 	Writer      WriterSnapshot   `json:"writer"`
+	Gauges      Gauges           `json:"gauges"`
 	SlowQueries []SlowQuery      `json:"slow_queries,omitempty"`
 }
 
-// Snapshot copies every counter in the registry. Safe to call
-// concurrently with recording.
+// Snapshot copies every counter in the registry and samples the installed
+// gauge source. Safe to call concurrently with recording.
 func (m *Metrics) Snapshot() Snapshot {
 	if m == nil {
 		return Snapshot{}
 	}
 	s := Snapshot{Store: m.Store.Snapshot(), Writer: m.Writer.Snapshot(), SlowQueries: m.SlowQueries()}
+	if src := m.gauges.Load(); src != nil {
+		s.Gauges = (*src)()
+	}
 	for e := Engine(0); e < numEngines; e++ {
 		em := &m.engines[e]
 		s.Engines = append(s.Engines, EngineSnapshot{

@@ -108,28 +108,50 @@ var latencyBounds = [...]time.Duration{
 
 // Histogram is a bounded latency histogram with fixed exponential bucket
 // bounds. Observations are lock-free; the zero value is ready to use.
+// Each bucket additionally carries an exemplar slot: the ID of the last
+// stored trace whose latency fell in that bucket, linking a histogram
+// bucket to a concrete trace in the TraceStore (0 = no exemplar yet).
 type Histogram struct {
-	counts [len(latencyBounds) + 1]atomic.Int64
-	count  atomic.Int64
-	sum    atomic.Int64 // nanoseconds
+	counts    [len(latencyBounds) + 1]atomic.Int64
+	exemplars [len(latencyBounds) + 1]atomic.Int64 // trace IDs, 0 = none
+	count     atomic.Int64
+	sum       atomic.Int64 // nanoseconds
 }
 
-// Observe records one duration.
-func (h *Histogram) Observe(d time.Duration) {
+// bucketIndex returns the index of the bucket d falls into.
+func bucketIndex(d time.Duration) int {
 	i := 0
 	for i < len(latencyBounds) && d > latencyBounds[i] {
 		i++
 	}
-	h.counts[i].Add(1)
+	return i
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.counts[bucketIndex(d)].Add(1)
 	h.count.Add(1)
 	h.sum.Add(int64(d))
 }
 
+// SetExemplar links the bucket d falls into to a stored trace: snapshots
+// then expose the trace ID next to the bucket count, so a latency bucket
+// (say the one holding the p99) is one lookup away from a full trace of a
+// query that landed there. Last write wins; nil-safe.
+func (h *Histogram) SetExemplar(d time.Duration, traceID int64) {
+	if h == nil || traceID == 0 {
+		return
+	}
+	h.exemplars[bucketIndex(d)].Store(traceID)
+}
+
 // BucketCount is one histogram bucket in a snapshot; LE == 0 marks the
-// final +Inf bucket.
+// final +Inf bucket. ExemplarTraceID, when nonzero, names a stored trace
+// whose latency fell in this bucket.
 type BucketCount struct {
-	LE time.Duration `json:"le_ns"`
-	N  int64         `json:"n"`
+	LE              time.Duration `json:"le_ns"`
+	N               int64         `json:"n"`
+	ExemplarTraceID int64         `json:"exemplar_trace_id,omitempty"`
 }
 
 // HistogramSnapshot is a point-in-time copy of a Histogram.
@@ -148,9 +170,10 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		Buckets: make([]BucketCount, len(latencyBounds)+1),
 	}
 	for i := range latencyBounds {
-		s.Buckets[i] = BucketCount{LE: latencyBounds[i], N: h.counts[i].Load()}
+		s.Buckets[i] = BucketCount{LE: latencyBounds[i], N: h.counts[i].Load(), ExemplarTraceID: h.exemplars[i].Load()}
 	}
-	s.Buckets[len(latencyBounds)] = BucketCount{LE: 0, N: h.counts[len(latencyBounds)].Load()}
+	last := len(latencyBounds)
+	s.Buckets[last] = BucketCount{LE: 0, N: h.counts[last].Load(), ExemplarTraceID: h.exemplars[last].Load()}
 	return s
 }
 

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -122,6 +123,7 @@ type Trace struct {
 	spans  []Span
 	events []Event
 	cur    int32 // innermost open span, -1 at root
+	id     uint64
 
 	dropped int
 	lastThL int64   // dedup state for EvThreshold
@@ -167,6 +169,40 @@ func (t *Trace) Dropped() int {
 		return 0
 	}
 	return t.dropped
+}
+
+// ID returns the trace's TraceStore ID — nonzero only after the trace was
+// retained by a TraceStore (see TraceStore.Add), 0 otherwise.
+func (t *Trace) ID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.id
+}
+
+// TraceExport is the machine-readable form of a trace: the full span tree
+// plus the typed event log, suitable for sharing or offline diffing. Span
+// parent indexes refer into Spans; event Span fields likewise.
+type TraceExport struct {
+	ID      uint64  `json:"id,omitempty"`
+	Spans   []Span  `json:"spans"`
+	Events  []Event `json:"events"`
+	Dropped int     `json:"dropped,omitempty"`
+}
+
+// Export copies the trace into its exportable form (zero value for nil).
+func (t *Trace) Export() TraceExport {
+	if t == nil {
+		return TraceExport{}
+	}
+	return TraceExport{ID: t.id, Spans: t.spans, Events: t.events, Dropped: t.dropped}
+}
+
+// MarshalJSON serializes the trace as its Export form, so structures
+// embedding a *Trace (QueryStats, HTTP responses) produce the span tree
+// and event log rather than an empty object.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	return json.Marshal(t.Export())
 }
 
 // Start opens a span and returns its id (-1 on a nil trace). Spans nest:

@@ -1,0 +1,303 @@
+// Package obshttp is the operational plane of a serving index: one
+// http.Handler exposing Prometheus and JSON metrics, liveness/readiness
+// probes backed by the storage layer's self-verification, the slow-query
+// log, the tail-sampled trace store, the Go runtime profiles, and a
+// query endpoint whose every execution is traced and offered to the
+// trace store — so an operator can go from "p99 spiked" to the span
+// tree of an actual slow query without redeploying.
+//
+// The handler holds only an *xmlsearch.Index; all state it serves is the
+// index's own observability surface (Metrics, Health, SlowQueries,
+// TraceStore). It is safe for concurrent use and adds no locks of its
+// own beyond what those surfaces already guarantee.
+package obshttp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"time"
+
+	xmlsearch "repro"
+	"repro/internal/obs"
+)
+
+// Options configures the process-global profiling knobs the handler
+// applies when constructed. Both default to off (0): mutex and block
+// profiling cost on every contended lock operation, so they are opt-in.
+type Options struct {
+	// MutexProfileFraction samples 1/n of mutex contention events
+	// (runtime.SetMutexProfileFraction). 0 leaves the current setting.
+	MutexProfileFraction int
+	// BlockProfileRate samples blocking events lasting at least rate
+	// nanoseconds (runtime.SetBlockProfileRate). 0 leaves the current
+	// setting.
+	BlockProfileRate int
+}
+
+// handler serves the operational routes over one index.
+type handler struct {
+	ix *xmlsearch.Index
+}
+
+// NewHandler builds the operational-plane handler for ix. Routes:
+//
+//	GET /                  route directory (text)
+//	GET /metrics           Prometheus text exposition (format 0.0.4)
+//	GET /metrics.json      full metrics snapshot as JSON (incl. exemplars)
+//	GET /healthz           liveness: 200 once the process serves
+//	GET /readyz            readiness: storage Health(); 503 on file damage
+//	GET /slow              slow-query log, NDJSON, oldest first
+//	GET /traces            tail-sampled trace summaries, newest first
+//	GET /traces/{id}       one retained trace: full span tree + events
+//	GET /search            run a query (q, k, engine, sem) traced
+//	GET /debug/pprof/...   Go runtime profiles
+//
+// Queries through /search honor the request context, so a disconnected
+// client cancels the evaluation, and the cancellation itself is a
+// tail-sampling "keep" signal.
+func NewHandler(ix *xmlsearch.Index, opt Options) http.Handler {
+	if opt.MutexProfileFraction > 0 {
+		runtime.SetMutexProfileFraction(opt.MutexProfileFraction)
+	}
+	if opt.BlockProfileRate > 0 {
+		runtime.SetBlockProfileRate(opt.BlockProfileRate)
+	}
+	h := &handler{ix: ix}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", h.root)
+	mux.HandleFunc("GET /metrics", h.metrics)
+	mux.HandleFunc("GET /metrics.json", h.metricsJSON)
+	mux.HandleFunc("GET /healthz", h.healthz)
+	mux.HandleFunc("GET /readyz", h.readyz)
+	mux.HandleFunc("GET /slow", h.slow)
+	mux.HandleFunc("GET /traces", h.traces)
+	mux.HandleFunc("GET /traces/{id}", h.traceByID)
+	mux.HandleFunc("GET /search", h.search)
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (h *handler) root(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `xkwserve operational plane
+  /metrics          Prometheus exposition
+  /metrics.json     metrics snapshot (JSON, with exemplar trace IDs)
+  /healthz          liveness
+  /readyz           readiness (storage self-verification)
+  /slow             slow-query log (NDJSON)
+  /traces           tail-sampled traces
+  /traces/{id}      one trace (span tree + events)
+  /search?q=&k=&engine=&sem=
+  /debug/pprof/     Go runtime profiles
+`)
+}
+
+func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	h.ix.Stats().WritePrometheus(w)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func (h *handler) metricsJSON(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.ix.Stats())
+}
+
+func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// readyzResponse is the readiness report: the storage layer's eager
+// self-verification result. Quarantined terms degrade service (those
+// keywords read as absent) but keep it up — 200 with degraded=true;
+// file-level damage means whole lists may be missing — 503.
+type readyzResponse struct {
+	Status      string                `json:"status"`
+	Degraded    bool                  `json:"degraded"`
+	Format      int                   `json:"format"`
+	Terms       int                   `json:"terms"`
+	Quarantined int                   `json:"quarantined"`
+	Faults      []xmlsearch.TermFault `json:"faults,omitempty"`
+	FileDamage  []string              `json:"file_damage,omitempty"`
+}
+
+func (h *handler) readyz(w http.ResponseWriter, r *http.Request) {
+	hl := h.ix.Health()
+	resp := readyzResponse{
+		Status:      "ready",
+		Degraded:    hl.Degraded(),
+		Format:      hl.Format,
+		Terms:       hl.Terms,
+		Quarantined: len(hl.Quarantined),
+		Faults:      hl.Quarantined,
+		FileDamage:  hl.FileDamage,
+	}
+	status := http.StatusOK
+	if len(hl.FileDamage) > 0 {
+		resp.Status = "unready"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+// slow streams the slow-query log as NDJSON, one obs.SlowQuery per line,
+// oldest first — the shape `jq` and log shippers want.
+func (h *handler) slow(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, sq := range h.ix.SlowQueries() {
+		if enc.Encode(sq) != nil {
+			return
+		}
+	}
+}
+
+func (h *handler) store(w http.ResponseWriter) *obs.TraceStore {
+	ts := h.ix.TraceStore()
+	if ts == nil {
+		http.Error(w, "trace capture disabled (no trace store installed)", http.StatusNotFound)
+	}
+	return ts
+}
+
+func (h *handler) traces(w http.ResponseWriter, r *http.Request) {
+	ts := h.store(w)
+	if ts == nil {
+		return
+	}
+	sums := ts.Traces()
+	if sums == nil {
+		sums = []obs.TraceSummary{}
+	}
+	writeJSON(w, http.StatusOK, sums)
+}
+
+func (h *handler) traceByID(w http.ResponseWriter, r *http.Request) {
+	ts := h.store(w)
+	if ts == nil {
+		return
+	}
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad trace id", http.StatusBadRequest)
+		return
+	}
+	st, ok := ts.Get(id)
+	if !ok {
+		http.Error(w, "no such trace (evicted or never retained)", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// engineByName maps the ?engine= parameter to an Algorithm. The names
+// match obs.Engine labels; "topk" selects the default join-based top-K
+// engine explicitly.
+func engineByName(name string) (xmlsearch.Algorithm, error) {
+	switch name {
+	case "", "join", "topk":
+		return xmlsearch.AlgoJoin, nil
+	case "stack":
+		return xmlsearch.AlgoStack, nil
+	case "ixlookup":
+		return xmlsearch.AlgoIndexLookup, nil
+	case "rdil":
+		return xmlsearch.AlgoRDIL, nil
+	case "hybrid":
+		return xmlsearch.AlgoHybrid, nil
+	default:
+		return 0, fmt.Errorf("unknown engine %q (want join, stack, ixlookup, rdil, hybrid, topk)", name)
+	}
+}
+
+// searchResponse is the /search reply: the ranked results plus the
+// query's execution profile. TraceID is nonzero when the tail sampler
+// retained the trace — follow it to /traces/{id}.
+type searchResponse struct {
+	Query   string             `json:"query"`
+	Engine  string             `json:"engine"`
+	K       int                `json:"k,omitempty"`
+	Elapsed time.Duration      `json:"elapsed_ns"`
+	Results []xmlsearch.Result `json:"results"`
+	TraceID uint64             `json:"trace_id,omitempty"`
+}
+
+// search runs one traced query. q is required; k defaults to 10 and
+// k=0 requests a complete (non-top-K) evaluation; engine and sem select
+// the evaluation engine and LCA semantics.
+func (h *handler) search(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	k := 10
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		n, err := strconv.Atoi(ks)
+		if err != nil || n < 0 {
+			http.Error(w, "bad k parameter", http.StatusBadRequest)
+			return
+		}
+		k = n
+	}
+	algo, err := engineByName(r.URL.Query().Get("engine"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	opt := xmlsearch.SearchOptions{Algorithm: algo}
+	switch sem := r.URL.Query().Get("sem"); sem {
+	case "", "elca":
+		opt.Semantics = xmlsearch.ELCA
+	case "slca":
+		opt.Semantics = xmlsearch.SLCA
+	default:
+		http.Error(w, "bad sem parameter (want elca or slca)", http.StatusBadRequest)
+		return
+	}
+
+	var (
+		rs   []xmlsearch.Result
+		qs   *xmlsearch.QueryStats
+		qerr error
+	)
+	if k == 0 {
+		rs, qs, qerr = h.ix.SearchTraced(r.Context(), q, opt)
+	} else {
+		rs, qs, qerr = h.ix.TopKTraced(r.Context(), q, k, opt)
+	}
+	if qerr != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(qerr, xmlsearch.ErrNoKeywords) {
+			status = http.StatusBadRequest
+		}
+		writeJSON(w, status, map[string]any{"error": qerr.Error(), "trace_id": qs.TraceID})
+		return
+	}
+	if rs == nil {
+		rs = []xmlsearch.Result{}
+	}
+	writeJSON(w, http.StatusOK, searchResponse{
+		Query:   q,
+		Engine:  qs.Engine,
+		K:       k,
+		Elapsed: qs.Elapsed,
+		Results: rs,
+		TraceID: qs.TraceID,
+	})
+}

@@ -20,6 +20,10 @@ type QueryStats struct {
 	Results  int           `json:"results"`
 	Elapsed  time.Duration `json:"elapsed_ns"`
 	Trace    *obs.Trace    `json:"trace"`
+	// TraceID is the trace's ID in the index's trace store — nonzero only
+	// when a store is installed (SetTraceStore) and tail sampling retained
+	// this query's trace; /traces/{id} then serves it back.
+	TraceID uint64 `json:"trace_id,omitempty"`
 }
 
 // RenderTrace writes the human-readable span-and-event timeline.
@@ -28,6 +32,8 @@ func (qs *QueryStats) RenderTrace(w io.Writer) {
 }
 
 // newQueryStats assembles the profile after the traced evaluation ended.
+// By this point the *Obs path has already offered the trace to the trace
+// store (if one is installed), so a retained trace carries its ID.
 func newQueryStats(query string, engine obs.Engine, k, results int, tr *obs.Trace) *QueryStats {
 	return &QueryStats{
 		Query:    query,
@@ -37,6 +43,7 @@ func newQueryStats(query string, engine obs.Engine, k, results int, tr *obs.Trac
 		Results:  results,
 		Elapsed:  tr.Duration(),
 		Trace:    tr,
+		TraceID:  tr.ID(),
 	}
 }
 
@@ -93,6 +100,18 @@ func (ix *Index) SetSlowQueryThreshold(d time.Duration) {
 
 // SlowQueries returns the captured slow-query entries, oldest first.
 func (ix *Index) SlowQueries() []obs.SlowQuery { return ix.metrics.SlowQueries() }
+
+// SetTraceStore installs (or, with nil, removes) the tail-sampled trace
+// store: every traced query that completes is offered to it, slow/error/
+// cancelled traces are always retained until ring capacity, ordinary ones
+// are reservoir-sampled, and retained trace IDs are linked into the
+// latency histograms as exemplars. Untraced queries (plain Search/TopK)
+// cost one extra pointer check and are never captured — capture requires
+// the *Traced entry points that allocate a trace to begin with.
+func (ix *Index) SetTraceStore(ts *obs.TraceStore) { ix.traces.Store(ts) }
+
+// TraceStore returns the installed trace store (nil when capture is off).
+func (ix *Index) TraceStore() *obs.TraceStore { return ix.traces.Load() }
 
 // PublishExpvar publishes the metrics snapshot under the given expvar
 // name. Publishing is idempotent and rebindable: the name is registered

@@ -91,6 +91,7 @@ func (ix *Index) InsertElement(parentDewey string, pos int, tag, text string) (n
 	}
 	dirtyN = ix.applyDirty(next, dirty)
 	ix.snap.Store(next)
+	ix.gen.Add(1)
 	return child.Dewey.String(), nil
 }
 
@@ -125,6 +126,7 @@ func (ix *Index) RemoveElement(deweyStr string) (err error) {
 	next.enc.Remove(n)
 	dirtyN = ix.applyDirty(next, dirty)
 	ix.snap.Store(next)
+	ix.gen.Add(1)
 	return nil
 }
 

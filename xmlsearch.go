@@ -162,6 +162,14 @@ type Index struct {
 	// cache is the decoded-list cache shared by every snapshot of this
 	// index (see colstore.Cache for why sharing across snapshots is safe).
 	cache *colstore.Cache
+	// traces, when set, tail-samples completed traced queries (see
+	// SetTraceStore); nil disables capture with one pointer check.
+	traces atomic.Pointer[obs.TraceStore]
+	// gen is the generation of the published snapshot: 1 at construction,
+	// +1 per published mutation. pinned counts in-flight queries holding a
+	// snapshot pin. Both feed the obs gauges.
+	gen    atomic.Int64
+	pinned atomic.Int64
 }
 
 // snapshot is one immutable view of the index: the document tree, the
@@ -194,6 +202,15 @@ func newIndex(doc *xmltree.Document, m *occur.Map, store *colstore.Store, enc *j
 	ix.cache.SetObs(&ix.metrics.Store)
 	store.SetObs(&ix.metrics.Store)
 	store.SetCache(ix.cache)
+	ix.gen.Store(1)
+	ix.metrics.SetGaugeSource(func() obs.Gauges {
+		return obs.Gauges{
+			SnapshotGen:   ix.gen.Load(),
+			PinnedQueries: ix.pinned.Load(),
+			CacheLists:    int64(ix.cache.Len()),
+			CacheBytes:    ix.cache.Bytes(),
+		}
+	})
 	ix.snap.Store(&snapshot{doc: doc, m: m, store: store, enc: enc})
 	return ix
 }
