@@ -4,7 +4,12 @@
 // corresponding figure plots. The dataset scale can be adjusted with the
 // XKW_BENCH_SCALE environment variable (default 0.1); cmd/xkwbench runs
 // the same sweeps at paper scale with tabular output.
-package xmlsearch
+//
+// This file is an external test package (xmlsearch_test): the bench
+// harness itself imports the library (its telemetry smoke exercises the
+// planner and plan cache through the public API), so an in-package test
+// importing bench would be an import cycle.
+package xmlsearch_test
 
 import (
 	"bytes"
@@ -14,6 +19,7 @@ import (
 	"sync"
 	"testing"
 
+	xmlsearch "repro"
 	"repro/internal/bench"
 	"repro/internal/colstore"
 	"repro/internal/core"
@@ -284,7 +290,7 @@ func BenchmarkIndexBuild(b *testing.B) {
 	b.SetBytes(int64(len(xml)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Open(bytes.NewReader(xml)); err != nil {
+		if _, err := xmlsearch.Open(bytes.NewReader(xml)); err != nil {
 			b.Fatal(err)
 		}
 	}

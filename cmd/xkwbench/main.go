@@ -158,6 +158,7 @@ func runSmoke(w io.Writer, cfg bench.Config, jsonOut, baseline string, tol float
 		fmt.Fprintf(w, "%-10s %-14s %12v %12v %12v %10.0f %12d\n",
 			p.Engine, p.Label, time.Duration(p.P50Ns), time.Duration(p.P95Ns), time.Duration(p.P99Ns), p.QPS, p.DecodedBytes)
 	}
+	fmt.Fprintf(w, "plan-cache hit ratio (prepared AlgoAuto, 3 passes): %.2f\n", report.PlanCacheHitRatio)
 	if jsonOut != "" {
 		if err := bench.WriteReport(jsonOut, report); err != nil {
 			return err

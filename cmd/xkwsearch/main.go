@@ -40,8 +40,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   xkwsearch index -xml FILE -out DIR
-  xkwsearch query (-index DIR | -xml FILE) [-k N] [-sem elca|slca] [-algo join|stack|ixlookup|rdil|hybrid]
-                  [-stream] [-explain] [-trace] [-trace-out FILE] [-metrics] [-slow DUR] QUERY...`)
+  xkwsearch query (-index DIR | -xml FILE) [-k N] [-sem elca|slca] [-algo join|stack|ixlookup|rdil|hybrid|auto]
+                  [-plan] [-stream] [-explain] [-trace] [-trace-out FILE] [-metrics] [-slow DUR] QUERY...`)
 	os.Exit(2)
 }
 
@@ -70,7 +70,8 @@ func runQuery(args []string) {
 	xmlPath := fs.String("xml", "", "XML document to index on the fly")
 	k := fs.Int("k", 10, "number of results (0 = all)")
 	semName := fs.String("sem", "elca", "semantics: elca or slca")
-	algoName := fs.String("algo", "join", "engine: join, stack, ixlookup, rdil, or hybrid")
+	algoName := fs.String("algo", "join", "engine: join, stack, ixlookup, rdil, hybrid, or auto (cost-based)")
+	plan := fs.Bool("plan", false, "print the query plan (chosen engine, cost estimates) before the results")
 	stream := fs.Bool("stream", false, "print top-K results as they are proven (join engine)")
 	explain := fs.Bool("explain", false, "print the execution profile after the results")
 	trace := fs.Bool("trace", false, "print the per-query execution trace after the results")
@@ -117,12 +118,22 @@ func runQuery(args []string) {
 		opt.Algorithm = xmlsearch.AlgoRDIL
 	case "hybrid":
 		opt.Algorithm = xmlsearch.AlgoHybrid
+	case "auto":
+		opt.Algorithm = xmlsearch.AlgoAuto
 	default:
 		fatal(fmt.Errorf("unknown algorithm %q", *algoName))
 	}
 
 	if *slow > 0 {
 		idx.SetSlowQueryThreshold(*slow)
+	}
+
+	if *plan {
+		p, err := idx.Plan(query, *k, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(p)
 	}
 
 	var qs *xmlsearch.QueryStats
@@ -169,7 +180,7 @@ func runQuery(args []string) {
 				fmt.Printf("    %s\n", r.Snippet)
 			}
 		}
-		if *explain && opt.Algorithm == xmlsearch.AlgoJoin {
+		if *explain && (opt.Algorithm == xmlsearch.AlgoJoin || opt.Algorithm == xmlsearch.AlgoAuto) {
 			ex, err := idx.Explain(query, *k, opt)
 			if err != nil {
 				fatal(err)

@@ -44,9 +44,10 @@ func main() {
 	traceSeed := fs.Int64("trace-seed", 1, "reservoir sampling seed")
 	mutexFrac := fs.Int("mutexfrac", 0, "mutex profile fraction (0 = off)")
 	blockRate := fs.Int("blockrate", 0, "block profile rate in ns (0 = off)")
+	planCache := fs.Int("plancache", 0, "query-plan cache capacity for engine=auto (0 = default)")
 	fs.Parse(os.Args[1:])
 	if (*indexDir == "") == (*xmlPath == "") {
-		fmt.Fprintln(os.Stderr, "usage: xkwserve (-index DIR | -xml FILE) [-addr :8080] [-slow DUR] [-trace-keep N] [-trace-sample N] [-trace-seed N] [-mutexfrac N] [-blockrate N]")
+		fmt.Fprintln(os.Stderr, "usage: xkwserve (-index DIR | -xml FILE) [-addr :8080] [-slow DUR] [-trace-keep N] [-trace-sample N] [-trace-seed N] [-mutexfrac N] [-blockrate N] [-plancache N]")
 		os.Exit(2)
 	}
 
@@ -70,6 +71,9 @@ func main() {
 
 	ix.SetSlowQueryThreshold(*slow)
 	ix.SetTraceStore(obs.NewTraceStore(*traceKeep, *traceSample, *slow, *traceSeed))
+	if *planCache > 0 {
+		ix.SetPlanCacheCapacity(*planCache)
+	}
 
 	srv := &http.Server{
 		Addr:    *addr,

@@ -6,11 +6,8 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/ixlookup"
+	"repro/internal/exec"
 	"repro/internal/obs"
-	"repro/internal/stack"
-	"repro/internal/topk"
 )
 
 // Context-honoring entry points. Each engine checks the context
@@ -30,6 +27,9 @@ import (
 // threads an optional *obs.Trace into the engines (nil — the untraced
 // default — keeps the engines' instrumentation at a single pointer check
 // per site) and records the query into the index's metrics registry.
+// Engine dispatch is a registry lookup (see engines.go): an explicit
+// Algorithm resolves without planning, AlgoAuto consults the cost-based
+// planner through the snapshot-keyed plan cache.
 
 // ErrInternal is wrapped by errors reporting a contained engine panic.
 // Results accompanying such an error must be discarded.
@@ -42,36 +42,89 @@ func guard(err *error) {
 	}
 }
 
-// searchEngine maps an Algorithm to its metrics slot for complete
-// evaluations.
-func searchEngine(a Algorithm) obs.Engine {
-	switch a {
-	case AlgoStack:
-		return obs.EngineStack
-	case AlgoIndexLookup:
-		return obs.EngineIxLookup
-	case AlgoRDIL:
-		return obs.EngineRDIL
-	case AlgoHybrid:
-		return obs.EngineHybrid
-	default:
-		return obs.EngineJoin
-	}
+// searchEngineSlot maps an Algorithm to its metrics slot for complete
+// evaluations — the attribution used before the engine is resolved (and
+// after, for every explicit algorithm). AlgoAuto is attributed to the
+// engine the planner picks; its pre-plan default is the join slot.
+func searchEngineSlot(a Algorithm) obs.Engine {
+	return engines.ObsFor(int(a), false, obs.EngineJoin)
 }
 
-// topKEngine maps an Algorithm to its metrics slot for top-K evaluations;
-// AlgoJoin selects the top-K star join rather than the complete join.
-func topKEngine(a Algorithm) obs.Engine {
-	if a == AlgoJoin {
-		return obs.EngineTopK
+// topKEngineSlot maps an Algorithm to its metrics slot for top-K
+// evaluations; AlgoJoin selects the top-K star join rather than the
+// complete join.
+func topKEngineSlot(a Algorithm) obs.Engine {
+	return engines.ObsFor(int(a), true, obs.EngineJoin)
+}
+
+// resolveEngine picks the engine for a resolved query: a registry lookup
+// for an explicit algorithm (plan == nil), the cost-based planner —
+// through the plan cache — for AlgoAuto.
+func (ix *Index) resolveEngine(s *snapshot, q exec.Query, algo Algorithm, topK bool, tr *obs.Trace) (*queryEngine, *exec.Plan, error) {
+	if algo != AlgoAuto {
+		if e := engines.ForAlgo(int(algo), topK); e != nil {
+			return e, nil, nil
+		}
+		if engines.HasAlgo(int(algo)) {
+			return nil, nil, fmt.Errorf("xmlsearch: algorithm %v is top-K only; use TopK", algo)
+		}
+		return nil, nil, fmt.Errorf("xmlsearch: unknown algorithm %v", algo)
 	}
-	return searchEngine(a)
+	p, _, err := ix.planAuto(s, q, tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	e := engines.ByName(p.Engine)
+	if e == nil {
+		return nil, nil, fmt.Errorf("xmlsearch: planned engine %q is not registered", p.Engine)
+	}
+	return e, p, nil
+}
+
+// planAuto returns the cost-based plan for the query against the pinned
+// snapshot, consulting the generation-keyed plan cache first. The
+// reported hit tells whether planning was skipped entirely.
+func (ix *Index) planAuto(s *snapshot, q exec.Query, tr *obs.Trace) (*exec.Plan, bool, error) {
+	key := exec.CacheKey(q.Keywords, q.Semantics, exec.KBucket(q.K), s.gen)
+	if p := ix.plans.Get(key); p != nil {
+		if tr != nil {
+			tr.PlanSwitch("auto:"+p.Engine+" (cached)", 0, len(q.Keywords), q.K)
+		}
+		return p, true, nil
+	}
+	// Cost the k-bucket, not the exact k, so the cached plan is reusable
+	// by every query in the bucket; the engine still runs the exact k.
+	bq := q
+	bq.K = exec.KBucket(q.K)
+	p := engines.Plan(bq, s.planStats(q.Keywords), s.gen)
+	if p == nil {
+		return nil, false, fmt.Errorf("xmlsearch: no registered engine can serve this query")
+	}
+	ix.metrics.Planner.RecordPlan(true)
+	ix.plans.Put(key, p)
+	if tr != nil {
+		tr.PlanSwitch("auto:"+p.Engine, 0, len(q.Keywords), q.K)
+	}
+	return p, false, nil
+}
+
+// planStats reads the planner's statistics from the snapshot: per-keyword
+// row counts straight off the lexicon — no list is decoded — plus the
+// document shape.
+func (s *snapshot) planStats(keywords []string) exec.Stats {
+	st := exec.Stats{Nodes: s.doc.Len(), Depth: s.doc.Depth}
+	st.Lists = make([]exec.ListStat, len(keywords))
+	for i, w := range keywords {
+		st.Lists[i] = exec.ListStat{Keyword: w, Rows: s.store.DocFreq(w)}
+	}
+	return st
 }
 
 // SearchContext is Search honoring a context: cancellation or deadline
 // expiry aborts the evaluation with ctx.Err().
 func (ix *Index) SearchContext(ctx context.Context, query string, opt SearchOptions) ([]Result, error) {
-	return ix.searchObs(ctx, query, opt, nil)
+	rs, _, err := ix.searchObs(ctx, query, nil, opt, nil)
+	return rs, err
 }
 
 // finishQuery is the shared tail of every query path: engine metrics and
@@ -93,163 +146,118 @@ func (ix *Index) finishQuery(e obs.Engine, query string, k int, elapsed time.Dur
 
 // searchObs wraps searchEval with the panic guard and per-query metrics
 // accounting (latency histogram, result/error/cancellation counters, the
-// slow-query log, and tail-sampled trace capture).
-func (ix *Index) searchObs(ctx context.Context, query string, opt SearchOptions, tr *obs.Trace) (rs []Result, err error) {
+// slow-query log, and tail-sampled trace capture). kws, when non-nil,
+// are the query's pre-tokenized keywords (the prepared-query path); nil
+// tokenizes query. The resolved metrics slot is returned for the traced
+// entry points.
+func (ix *Index) searchObs(ctx context.Context, query string, kws []string, opt SearchOptions, tr *obs.Trace) (rs []Result, eng obs.Engine, err error) {
 	start := time.Now()
 	ix.pinned.Add(1)
+	eng = searchEngineSlot(opt.Algorithm)
 	defer func() {
 		ix.pinned.Add(-1)
-		ix.finishQuery(searchEngine(opt.Algorithm), query, 0, time.Since(start), len(rs), err, tr)
+		ix.finishQuery(eng, query, 0, time.Since(start), len(rs), err, tr)
 	}()
 	defer guard(&err)
-	return ix.searchEval(ctx, query, opt, tr)
+	return ix.searchEval(ctx, query, kws, opt, tr)
 }
 
-// searchEval pins the current snapshot and dispatches a complete
-// evaluation to the selected engine. Every list, node lookup, and
-// materialization of the query comes from the one pinned snapshot, so a
-// concurrently published mutation cannot tear the evaluation.
-func (ix *Index) searchEval(ctx context.Context, query string, opt SearchOptions, tr *obs.Trace) ([]Result, error) {
+// searchEval pins the current snapshot, resolves the engine through the
+// registry (planning cost-based for AlgoAuto), and runs the complete
+// evaluation. Every list, node lookup, and materialization of the query
+// comes from the one pinned snapshot, so a concurrently published
+// mutation cannot tear the evaluation.
+func (ix *Index) searchEval(ctx context.Context, query string, kws []string, opt SearchOptions, tr *obs.Trace) (rs []Result, eng obs.Engine, err error) {
+	eng = searchEngineSlot(opt.Algorithm)
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	keywords := Keywords(query)
+	keywords := kws
+	if keywords == nil {
+		keywords = Keywords(query)
+	}
 	if len(keywords) == 0 {
-		return nil, ErrNoKeywords
+		return nil, eng, ErrNoKeywords
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, eng, err
 	}
 	s := ix.view()
-	decay := effectiveDecay(opt.Decay)
-	switch opt.Algorithm {
-	case AlgoJoin:
-		lists := s.store.Lists(keywords, tr)
-		rs, _, err := core.EvaluateCtx(ctx, lists, core.Options{Semantics: coreSem(opt.Semantics), Decay: decay, Trace: tr})
-		if err != nil {
-			return nil, err
-		}
-		core.SortByScore(rs)
-		return s.materializeJoin(rs), nil
-	case AlgoStack:
-		rs, _, err := stack.EvaluateObsCtx(ctx, s.invListsObs(keywords, tr), stackSem(opt.Semantics), decay, tr)
-		if err != nil {
-			return nil, err
-		}
-		stack.SortByScore(rs)
-		out := make([]Result, 0, len(rs))
-		for _, r := range rs {
-			out = append(out, s.materializeDewey(r.ID, r.Score))
-		}
-		return out, nil
-	case AlgoIndexLookup:
-		rs, _, err := ixlookup.EvaluateObsCtx(ctx, s.invListsObs(keywords, tr), ixlookupSem(opt.Semantics), decay, tr)
-		if err != nil {
-			return nil, err
-		}
-		out := make([]Result, 0, len(rs))
-		for _, r := range rs {
-			out = append(out, s.materializeDewey(r.ID, r.Score))
-		}
-		sortResults(out)
-		return out, nil
-	case AlgoRDIL, AlgoHybrid:
-		return nil, fmt.Errorf("xmlsearch: algorithm %d is top-K only; use TopK", opt.Algorithm)
-	default:
-		return nil, fmt.Errorf("xmlsearch: unknown algorithm %d", opt.Algorithm)
+	q := exec.Query{Keywords: keywords, Semantics: int(opt.Semantics), Decay: effectiveDecay(opt.Decay)}
+	e, _, err := ix.resolveEngine(s, q, opt.Algorithm, false, tr)
+	if err != nil {
+		return nil, eng, err
 	}
+	eng = e.Obs
+	rs, err = e.Run(ctx, s, q, tr)
+	return rs, eng, err
 }
 
 // TopKContext is TopK honoring a context: cancellation or deadline expiry
 // aborts the evaluation with ctx.Err() without completing the scan.
 func (ix *Index) TopKContext(ctx context.Context, query string, k int, opt SearchOptions) ([]Result, error) {
-	return ix.topKObs(ctx, query, k, opt, nil)
+	rs, _, err := ix.topKObs(ctx, query, nil, k, opt, nil)
+	return rs, err
 }
 
 // topKObs wraps topKEval with the panic guard and per-query metrics
 // accounting.
-func (ix *Index) topKObs(ctx context.Context, query string, k int, opt SearchOptions, tr *obs.Trace) (rs []Result, err error) {
+func (ix *Index) topKObs(ctx context.Context, query string, kws []string, k int, opt SearchOptions, tr *obs.Trace) (rs []Result, eng obs.Engine, err error) {
 	start := time.Now()
 	ix.pinned.Add(1)
+	eng = topKEngineSlot(opt.Algorithm)
 	defer func() {
 		ix.pinned.Add(-1)
-		ix.finishQuery(topKEngine(opt.Algorithm), query, k, time.Since(start), len(rs), err, tr)
+		ix.finishQuery(eng, query, k, time.Since(start), len(rs), err, tr)
 	}()
 	defer guard(&err)
-	return ix.topKEval(ctx, query, k, opt, tr)
+	return ix.topKEval(ctx, query, kws, k, opt, tr)
 }
 
-// topKEval dispatches a top-K evaluation to the selected engine.
-func (ix *Index) topKEval(ctx context.Context, query string, k int, opt SearchOptions, tr *obs.Trace) ([]Result, error) {
+// topKEval resolves the engine through the registry and runs the top-K
+// evaluation against the pinned snapshot.
+func (ix *Index) topKEval(ctx context.Context, query string, kws []string, k int, opt SearchOptions, tr *obs.Trace) (rs []Result, eng obs.Engine, err error) {
+	eng = topKEngineSlot(opt.Algorithm)
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if k <= 0 {
-		return nil, fmt.Errorf("xmlsearch: k must be positive")
+		return nil, eng, fmt.Errorf("xmlsearch: k must be positive")
 	}
-	keywords := Keywords(query)
+	keywords := kws
+	if keywords == nil {
+		keywords = Keywords(query)
+	}
 	if len(keywords) == 0 {
-		return nil, ErrNoKeywords
+		return nil, eng, ErrNoKeywords
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, eng, err
 	}
 	s := ix.view()
-	decay := effectiveDecay(opt.Decay)
-	switch opt.Algorithm {
-	case AlgoJoin:
-		lists := s.store.TopKLists(keywords, tr)
-		rs, _, err := topk.EvaluateCtx(ctx, lists, topk.Options{Semantics: coreSem(opt.Semantics), Decay: decay, K: k, Trace: tr})
-		if err != nil {
-			return nil, err
-		}
-		return s.materializeJoin(rs), nil
-	case AlgoRDIL:
-		s.ensureInv()
-		if tr != nil {
-			s.invListsObs(keywords, tr)
-		}
-		rs, _, err := s.rdilIdx.TopKObsCtx(ctx, keywords, rdilSem(opt.Semantics), decay, k, tr)
-		if err != nil {
-			return nil, err
-		}
-		out := make([]Result, 0, len(rs))
-		for _, r := range rs {
-			out = append(out, s.materializeDewey(r.ID, r.Score))
-		}
-		return out, nil
-	case AlgoHybrid:
-		colLists := s.store.Lists(keywords, tr)
-		tkLists := s.store.TopKLists(keywords, tr)
-		rs, _, err := topk.EvaluateHybridCtx(ctx, colLists, tkLists,
-			topk.HybridOptions{Semantics: coreSem(opt.Semantics), Decay: decay, K: k, Trace: tr})
-		if err != nil {
-			return nil, err
-		}
-		return s.materializeJoin(rs), nil
-	default:
-		all, err := ix.searchEval(ctx, query, opt, tr)
-		if err != nil {
-			return nil, err
-		}
-		if k < len(all) {
-			all = all[:k]
-		}
-		return all, nil
+	q := exec.Query{Keywords: keywords, Semantics: int(opt.Semantics), K: k, Decay: effectiveDecay(opt.Decay)}
+	e, _, err := ix.resolveEngine(s, q, opt.Algorithm, true, tr)
+	if err != nil {
+		return nil, eng, err
 	}
+	eng = e.Obs
+	rs, err = e.Run(ctx, s, q, tr)
+	return rs, eng, err
 }
 
 // TopKStreamContext is TopKStream honoring a context: results already
 // proven safe are delivered to fn before cancellation is observed; the
 // remaining evaluation then aborts with ctx.Err().
 func (ix *Index) TopKStreamContext(ctx context.Context, query string, k int, opt SearchOptions, fn func(Result) bool) error {
-	_, err := ix.topKStreamObs(ctx, query, k, opt, fn, nil)
+	_, err := ix.topKStreamObs(ctx, query, nil, k, opt, fn, nil)
 	return err
 }
 
-// topKStreamObs runs the streaming top-K star join, guarded and metered
-// like the other entry points. It returns the number of results delivered.
-func (ix *Index) topKStreamObs(ctx context.Context, query string, k int, opt SearchOptions, fn func(Result) bool, tr *obs.Trace) (delivered int, err error) {
+// topKStreamObs runs the streaming top-K star join (the registry's one
+// streaming-capable engine, regardless of opt.Algorithm), guarded and
+// metered like the other entry points. It returns the number of results
+// delivered.
+func (ix *Index) topKStreamObs(ctx context.Context, query string, kws []string, k int, opt SearchOptions, fn func(Result) bool, tr *obs.Trace) (delivered int, err error) {
 	start := time.Now()
 	ix.pinned.Add(1)
 	defer func() {
@@ -266,7 +274,10 @@ func (ix *Index) topKStreamObs(ctx context.Context, query string, k int, opt Sea
 	if fn == nil {
 		return 0, fmt.Errorf("xmlsearch: nil callback")
 	}
-	keywords := Keywords(query)
+	keywords := kws
+	if keywords == nil {
+		keywords = Keywords(query)
+	}
 	if len(keywords) == 0 {
 		return 0, ErrNoKeywords
 	}
@@ -274,18 +285,8 @@ func (ix *Index) topKStreamObs(ctx context.Context, query string, k int, opt Sea
 		return 0, err
 	}
 	s := ix.view()
-	decay := effectiveDecay(opt.Decay)
-	lists := s.store.TopKLists(keywords, tr)
-	_, _, err = topk.EvaluateFuncCtx(ctx, lists, topk.Options{Semantics: coreSem(opt.Semantics), Decay: decay, K: k, Trace: tr},
-		func(r core.Result) bool {
-			n := s.doc.NodeByJDewey(r.Level, r.Value)
-			if n == nil {
-				return true
-			}
-			delivered++
-			return fn(materializeNode(n, r.Score))
-		})
-	return delivered, err
+	q := exec.Query{Keywords: keywords, Semantics: int(opt.Semantics), K: k, Decay: effectiveDecay(opt.Decay)}
+	return engines.ForStream().Stream(ctx, s, q, tr, fn)
 }
 
 // SearchContext is Corpus.Search honoring a context.

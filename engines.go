@@ -1,0 +1,193 @@
+package xmlsearch
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dewey"
+	"repro/internal/exec"
+	"repro/internal/ixlookup"
+	"repro/internal/obs"
+	"repro/internal/score"
+	"repro/internal/stack"
+	"repro/internal/topk"
+)
+
+// The engine registry: every evaluator the facade can run, with its
+// capability set, metrics slot, cost model, and the glue that adapts the
+// pinned snapshot's data structures to the engine's inputs and its
+// results back to the public Result type. The dispatch switches that
+// used to live in context.go and explain.go are registry lookups now;
+// the per-engine adapters live next to their registration.
+
+// queryEngine is the registry instantiation for this facade.
+type queryEngine = exec.Engine[*snapshot, Result]
+
+// engines holds every evaluator. Registration order matters twice: the
+// planner breaks cost ties in registration order, and ForAlgo returns
+// the first capability match — "topk" precedes "join" so an explicit
+// AlgoJoin top-K query runs the star join while a complete one runs the
+// full bottom-up join, exactly as before.
+var engines = exec.NewRegistry(
+	&queryEngine{
+		Name: "topk", Algo: int(AlgoJoin),
+		Caps: exec.CapTopK | exec.CapStream, Obs: obs.EngineTopK,
+		Cost: exec.CostTopKJoin, Run: runTopKJoin, Stream: streamTopKJoin,
+	},
+	&queryEngine{
+		Name: "join", Algo: int(AlgoJoin),
+		Caps: exec.CapComplete | exec.CapTopK, Obs: obs.EngineJoin,
+		Cost: exec.CostJoin, Run: runJoin,
+	},
+	&queryEngine{
+		Name: "stack", Algo: int(AlgoStack),
+		Caps: exec.CapComplete | exec.CapTopK, Obs: obs.EngineStack,
+		Cost: exec.CostStack, Run: runStack,
+	},
+	&queryEngine{
+		Name: "ixlookup", Algo: int(AlgoIndexLookup),
+		Caps: exec.CapComplete | exec.CapTopK, Obs: obs.EngineIxLookup,
+		Cost: exec.CostIxLookup, Run: runIxLookup,
+	},
+	&queryEngine{
+		Name: "rdil", Algo: int(AlgoRDIL),
+		Caps: exec.CapTopK, Obs: obs.EngineRDIL,
+		Cost: exec.CostRDIL, Run: runRDIL,
+	},
+	&queryEngine{
+		Name: "hybrid", Algo: int(AlgoHybrid),
+		Caps: exec.CapTopK, Obs: obs.EngineHybrid,
+		Cost: exec.CostHybrid, Run: runHybrid,
+	},
+)
+
+// runJoin is the complete join-based evaluation (Section III). With
+// K > 0 — reachable only through the planner choosing sort-after-complete
+// for a small expected result set — it truncates the ranked set.
+func runJoin(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trace) ([]Result, error) {
+	lists := s.store.Lists(q.Keywords, tr)
+	rs, _, err := core.EvaluateCtx(ctx, lists, core.Options{Semantics: coreSem(Semantics(q.Semantics)), Decay: q.Decay, Trace: tr})
+	if err != nil {
+		return nil, err
+	}
+	core.SortByScore(rs)
+	return truncate(s.materializeJoin(rs), q.K), nil
+}
+
+// runTopKJoin is the top-K star join (Section IV): score-ordered cursors
+// with threshold-proven early termination.
+func runTopKJoin(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trace) ([]Result, error) {
+	lists := s.store.TopKLists(q.Keywords, tr)
+	rs, _, err := topk.EvaluateCtx(ctx, lists, topk.Options{Semantics: coreSem(Semantics(q.Semantics)), Decay: q.Decay, K: q.K, Trace: tr})
+	if err != nil {
+		return nil, err
+	}
+	return s.materializeJoin(rs), nil
+}
+
+// streamTopKJoin delivers each star-join result the moment the threshold
+// proves it safe. Results whose node vanished from the snapshot's tree
+// are skipped without counting against delivery.
+func streamTopKJoin(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trace, emit func(Result) bool) (int, error) {
+	lists := s.store.TopKLists(q.Keywords, tr)
+	delivered := 0
+	_, _, err := topk.EvaluateFuncCtx(ctx, lists, topk.Options{Semantics: coreSem(Semantics(q.Semantics)), Decay: q.Decay, K: q.K, Trace: tr},
+		func(r core.Result) bool {
+			n := s.doc.NodeByJDewey(r.Level, r.Value)
+			if n == nil {
+				return true
+			}
+			delivered++
+			return emit(materializeNode(n, r.Score))
+		})
+	return delivered, err
+}
+
+// runStack is the stack-based baseline: full document-order merge, then
+// rank (and truncate, for top-K).
+func runStack(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trace) ([]Result, error) {
+	rs, _, err := stack.EvaluateObsCtx(ctx, s.invListsObs(q.Keywords, tr), stackSem(Semantics(q.Semantics)), q.Decay, tr)
+	if err != nil {
+		return nil, err
+	}
+	stack.SortByScore(rs)
+	out := make([]Result, 0, len(rs))
+	for _, r := range rs {
+		out = append(out, s.materializeDewey(r.ID, r.Score))
+	}
+	return truncate(out, q.K), nil
+}
+
+// runIxLookup is the index-lookup baseline: shortest-list-driven probes,
+// then rank by the canonical ordering (and truncate, for top-K).
+func runIxLookup(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trace) ([]Result, error) {
+	rs, _, err := ixlookup.EvaluateObsCtx(ctx, s.invListsObs(q.Keywords, tr), ixlookupSem(Semantics(q.Semantics)), q.Decay, tr)
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(rs, func(i, j int) bool {
+		if c := exec.Compare(rs[i].Score, rs[j].Score, len(rs[i].ID), len(rs[j].ID)); c != 0 {
+			return c < 0
+		}
+		return dewey.Compare(rs[i].ID, rs[j].ID) < 0
+	})
+	out := make([]Result, 0, len(rs))
+	for _, r := range rs {
+		out = append(out, s.materializeDewey(r.ID, r.Score))
+	}
+	return truncate(out, q.K), nil
+}
+
+// runRDIL is the RDIL top-K baseline (classic TA over score-ordered
+// lists with random-access lookups).
+func runRDIL(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trace) ([]Result, error) {
+	s.ensureInv()
+	if tr != nil {
+		s.invListsObs(q.Keywords, tr)
+	}
+	rs, _, err := s.rdilIdx.TopKObsCtx(ctx, q.Keywords, rdilSem(Semantics(q.Semantics)), q.Decay, q.K, tr)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(rs))
+	for _, r := range rs {
+		out = append(out, s.materializeDewey(r.ID, r.Score))
+	}
+	return out, nil
+}
+
+// runHybrid is the Section V-D strategy: a cardinality estimate decides
+// between the star join and the complete evaluation.
+func runHybrid(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trace) ([]Result, error) {
+	colLists := s.store.Lists(q.Keywords, tr)
+	tkLists := s.store.TopKLists(q.Keywords, tr)
+	rs, _, err := topk.EvaluateHybridCtx(ctx, colLists, tkLists,
+		topk.HybridOptions{Semantics: coreSem(Semantics(q.Semantics)), Decay: q.Decay, K: q.K, Trace: tr})
+	if err != nil {
+		return nil, err
+	}
+	return s.materializeJoin(rs), nil
+}
+
+// truncate caps a ranked result slice at k (0 = no cap).
+func truncate(rs []Result, k int) []Result {
+	if k > 0 && k < len(rs) {
+		return rs[:k]
+	}
+	return rs
+}
+
+func effectiveDecay(d float64) float64 {
+	if d == 0 {
+		return score.DefaultDecay
+	}
+	return d
+}
+
+func ixlookupSem(s Semantics) ixlookup.Semantics {
+	if s == SLCA {
+		return ixlookup.SLCA
+	}
+	return ixlookup.ELCA
+}

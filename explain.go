@@ -45,6 +45,11 @@ type Explanation struct {
 	// RenderTrace.
 	Trace *obs.Trace
 
+	// Plan is the query plan: which engine the planner resolved, and —
+	// when the query was explained under AlgoAuto — every candidate
+	// engine's cost estimate and whether the plan came from the cache.
+	Plan *QueryPlan
+
 	// Complete evaluation (K == 0).
 	Levels      int   // columns processed bottom-up
 	MergeJoins  int   // joins executed as merge joins
@@ -63,20 +68,27 @@ type Explanation struct {
 // evaluation when k == 0, the top-K star join otherwise) and returns the
 // execution profile together with the result count. Only the join-based
 // engines expose these counters; baselines are for comparison benchmarks.
+// AlgoAuto is accepted: the counters still come from the join-based run,
+// while the attached Plan reports the engine the cost-based planner
+// would pick and every candidate's estimate.
 func (ix *Index) Explain(query string, k int, opt SearchOptions) (*Explanation, error) {
-	if opt.Algorithm != AlgoJoin {
+	if opt.Algorithm != AlgoJoin && opt.Algorithm != AlgoAuto {
 		return nil, fmt.Errorf("xmlsearch: Explain supports the join-based engine only")
 	}
 	keywords := Keywords(query)
 	if len(keywords) == 0 {
 		return nil, ErrNoKeywords
 	}
+	plan, err := ix.planFor(keywords, k, opt)
+	if err != nil {
+		return nil, err
+	}
 	decay := opt.Decay
 	if decay == 0 {
 		decay = score.DefaultDecay
 	}
 	s := ix.view()
-	ex := &Explanation{Keywords: keywords, Semantics: opt.Semantics, K: k, Trace: obs.NewTrace()}
+	ex := &Explanation{Keywords: keywords, Semantics: opt.Semantics, K: k, Trace: obs.NewTrace(), Plan: plan}
 	for _, w := range keywords {
 		df := s.store.DocFreq(w)
 		ex.DocFreqs = append(ex.DocFreqs, df)

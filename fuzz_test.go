@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/colstore"
+	"repro/internal/exec"
 )
 
 // FuzzLoadMeta drives the index.meta parser with mutations of a real saved
@@ -48,6 +49,57 @@ func FuzzLoadMeta(f *testing.F) {
 		for i, v := range jds {
 			if v == 0 {
 				t.Fatalf("accepted numbering with zero at node %d", i)
+			}
+		}
+	})
+}
+
+// FuzzPlan drives the cost-based planner with arbitrary query strings and
+// k values. Planning must never panic, and every plan it produces must
+// name a registered engine capable of the requested mode; queries the
+// planner accepts must then execute under AlgoAuto without error.
+func FuzzPlan(f *testing.F) {
+	idx, err := Open(strings.NewReader(
+		`<lib><book><title>sensor network</title><year>2010</year></book><book><title>query ranking network</title></book></lib>`))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add("sensor network", 10)
+	f.Add("query", 0)
+	f.Add("", 3)
+	f.Add("zzz absent words", -5)
+	f.Add("sensor sensor network SENSOR", 1<<20)
+	f.Add("the and of", 1) // stopwords only
+	f.Fuzz(func(t *testing.T, query string, k int) {
+		opt := SearchOptions{Algorithm: AlgoAuto}
+		p, err := idx.Plan(query, k, opt)
+		if err != nil {
+			if len(Keywords(query)) > 0 && err != ErrNoKeywords {
+				t.Fatalf("planner rejected servable query %q: %v", query, err)
+			}
+			return
+		}
+		e := engines.ByName(p.Engine)
+		if e == nil {
+			t.Fatalf("plan names unregistered engine %q", p.Engine)
+		}
+		want := exec.CapComplete
+		if k > 0 {
+			want = exec.CapTopK
+		}
+		if e.Caps&want == 0 {
+			t.Fatalf("engine %q lacks the planned mode (k=%d)", p.Engine, k)
+		}
+		// Planned queries execute; bound huge k so the fuzzer stays fast
+		// (the document is tiny — results are capped by it anyway).
+		switch {
+		case k <= 0:
+			if _, err := idx.Search(query, opt); err != nil {
+				t.Fatalf("planned query failed to execute: %v", err)
+			}
+		case k <= 1<<10:
+			if _, err := idx.TopK(query, k, opt); err != nil {
+				t.Fatalf("planned top-%d query failed to execute: %v", k, err)
 			}
 		}
 	})

@@ -1,12 +1,15 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
+	xmlsearch "repro"
 	"repro/internal/colstore"
 	"repro/internal/core"
 	"repro/internal/ixlookup"
@@ -52,6 +55,11 @@ type Report struct {
 	Env    Fingerprint `json:"env"`
 	Config Config      `json:"config"`
 	Points []Point     `json:"points"`
+	// PlanCacheHitRatio is the planner's plan-cache hit ratio over the
+	// smoke's prepared-query phase (three passes over the workload under
+	// AlgoAuto — first pass misses, later passes hit, so a healthy cache
+	// reads about 2/3). Informational: CompareReports does not gate on it.
+	PlanCacheHitRatio float64 `json:"plan_cache_hit_ratio,omitempty"`
 }
 
 // quantile returns the q-th percentile (nearest-rank on the sorted slice).
@@ -136,7 +144,48 @@ func Smoke(cfg Config, dir string) (*Report, error) {
 		e.measure("smoke", "hybrid", label, cfg.TopK, qs, cfg.RepsPerQuery,
 			func(q []string) { e.RunHybrid(q, cfg.TopK) }),
 	)
+
+	// Prepared-query phase: the same workload through the library's
+	// planner — Prepare once per query, three executions under AlgoAuto —
+	// so the report carries the plan-cache hit ratio CI can eyeball.
+	// This runs after every engine point on purpose: FromDocument
+	// re-assigns JDewey numbers on the shared document, which would skew
+	// the engines' pre-built lists if it ran first.
+	ratio, err := planCacheRatio(e, qs, cfg.TopK)
+	if err != nil {
+		return nil, err
+	}
+	r.PlanCacheHitRatio = ratio
 	return r, nil
+}
+
+// planCacheRatio indexes the environment's document through the public
+// API and replays the workload as prepared AlgoAuto queries: pass one
+// populates the plan cache (all misses), passes two and three hit it,
+// so the returned ratio lands near 2/3 when caching works.
+func planCacheRatio(e *Env, qs [][]string, k int) (float64, error) {
+	ix, err := xmlsearch.FromDocument(e.DS.Doc)
+	if err != nil {
+		return 0, fmt.Errorf("bench: index for plan-cache phase: %w", err)
+	}
+	opt := xmlsearch.SearchOptions{Algorithm: xmlsearch.AlgoAuto}
+	prepared := make([]*xmlsearch.PreparedQuery, 0, len(qs))
+	for _, q := range qs {
+		pq, err := ix.Prepare(strings.Join(q, " "), opt)
+		if err != nil {
+			return 0, fmt.Errorf("bench: prepare %v: %w", q, err)
+		}
+		prepared = append(prepared, pq)
+	}
+	ctx := context.Background()
+	for pass := 0; pass < 3; pass++ {
+		for _, pq := range prepared {
+			if _, err := pq.TopK(ctx, k); err != nil {
+				return 0, fmt.Errorf("bench: prepared top-K %q: %w", pq.Query(), err)
+			}
+		}
+	}
+	return ix.Stats().Planner.CacheHitRatio, nil
 }
 
 // WriteReport writes the report as indented JSON.

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/colstore"
+	"repro/internal/exec"
 	"repro/internal/obs"
 	"repro/internal/score"
 )
@@ -435,16 +436,14 @@ func (e *evaluator) bestWitness(i int, run colstore.Run, lev int) float64 {
 	return best
 }
 
-// SortByScore orders results by descending score, breaking ties bottom-up
-// by level and then by JDewey number, the deterministic order the top-K
-// engines and the experiments use.
+// SortByScore orders results by the canonical exec.Compare ordering
+// (descending score, deeper levels first), breaking full ties by JDewey
+// number — the deterministic order the top-K engines and the experiments
+// use.
 func SortByScore(rs []Result) {
 	sort.SliceStable(rs, func(i, j int) bool {
-		if rs[i].Score != rs[j].Score {
-			return rs[i].Score > rs[j].Score
-		}
-		if rs[i].Level != rs[j].Level {
-			return rs[i].Level > rs[j].Level
+		if c := exec.Compare(rs[i].Score, rs[j].Score, rs[i].Level, rs[j].Level); c != 0 {
+			return c < 0
 		}
 		return rs[i].Value < rs[j].Value
 	})

@@ -1,0 +1,136 @@
+package exec
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// DefaultPlanCacheCap bounds the plan cache when no capacity is set.
+const DefaultPlanCacheCap = 1024
+
+// PlanCache is a bounded LRU of built plans keyed by CacheKey. Because
+// the snapshot generation is part of the key, a stale plan can never be
+// returned for a mutated index — Invalidate exists to reclaim the dead
+// entries eagerly rather than waiting for LRU pressure.
+type PlanCache struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List // front = most recently used; values are *cacheEntry
+	byKey    map[string]*list.Element
+	counters *obs.PlannerCounters
+}
+
+type cacheEntry struct {
+	key  string
+	plan *Plan
+}
+
+// NewPlanCache builds a cache bounded to capacity entries (<= 0 selects
+// DefaultPlanCacheCap).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity <= 0 {
+		capacity = DefaultPlanCacheCap
+	}
+	return &PlanCache{capacity: capacity, lru: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// SetObs wires the planner counters; nil disables counting.
+func (c *PlanCache) SetObs(pc *obs.PlannerCounters) {
+	c.mu.Lock()
+	c.counters = pc
+	c.mu.Unlock()
+}
+
+// Get returns the cached plan for key, or nil, counting the hit or miss.
+func (c *PlanCache) Get(key string) *Plan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.counters.RecordCacheMiss()
+		return nil
+	}
+	c.lru.MoveToFront(el)
+	c.counters.RecordCacheHit()
+	return el.Value.(*cacheEntry).plan
+}
+
+// Put inserts (or refreshes) the plan under key, evicting from the LRU
+// tail past capacity.
+func (c *PlanCache) Put(key string, p *Plan) {
+	if p == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).plan = p
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.lru.PushFront(&cacheEntry{key: key, plan: p})
+	for c.lru.Len() > c.capacity {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		delete(c.byKey, tail.Value.(*cacheEntry).key)
+		c.counters.RecordCacheEviction()
+	}
+}
+
+// Len returns the current entry count.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// SetCapacity rebounds the cache, evicting down to the new capacity
+// immediately (<= 0 selects DefaultPlanCacheCap).
+func (c *PlanCache) SetCapacity(capacity int) {
+	if capacity <= 0 {
+		capacity = DefaultPlanCacheCap
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.capacity = capacity
+	for c.lru.Len() > c.capacity {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		delete(c.byKey, tail.Value.(*cacheEntry).key)
+		c.counters.RecordCacheEviction()
+	}
+}
+
+// Invalidate drops every plan built against a generation other than
+// current. A mutation publish calls it with the new generation, so the
+// cache holds only live plans (stale ones could otherwise linger until
+// LRU pressure; they can never be returned, because the generation is
+// part of the lookup key).
+func (c *PlanCache) Invalidate(current int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	dropped := 0
+	for el := c.lru.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.plan.Generation != current {
+			c.lru.Remove(el)
+			delete(c.byKey, e.key)
+			dropped++
+		}
+	}
+	if dropped > 0 {
+		c.counters.RecordCacheInvalidations(dropped)
+	}
+}
+
+// Reset drops every entry without counting (test and benchmark support).
+func (c *PlanCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Init()
+	clear(c.byKey)
+}

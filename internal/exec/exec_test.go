@@ -1,0 +1,337 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// testRegistry mirrors the shape of the facade's real registry: a top-K
+// star join and a complete join sharing one Algo (registration order
+// resolves explicit top-K requests to the star join), plus a complete
+// baseline and a top-K-only baseline.
+func testRegistry() *Registry[int, int] {
+	return NewRegistry(
+		&Engine[int, int]{Name: "topk", Algo: 0, Caps: CapTopK | CapStream, Obs: obs.EngineTopK, Cost: CostTopKJoin},
+		&Engine[int, int]{Name: "join", Algo: 0, Caps: CapComplete | CapTopK, Obs: obs.EngineJoin, Cost: CostJoin},
+		&Engine[int, int]{Name: "stack", Algo: 1, Caps: CapComplete | CapTopK, Obs: obs.EngineStack, Cost: CostStack},
+		&Engine[int, int]{Name: "rdil", Algo: 2, Caps: CapTopK, Obs: obs.EngineRDIL, Cost: CostRDIL},
+	)
+}
+
+func stats(depth, nodes int, rows ...int) Stats {
+	st := Stats{Nodes: nodes, Depth: depth}
+	for i, r := range rows {
+		st.Lists = append(st.Lists, ListStat{Keyword: fmt.Sprintf("kw%d", i), Rows: r})
+	}
+	return st
+}
+
+func TestRegistryDispatch(t *testing.T) {
+	r := testRegistry()
+	// Shared Algo 0: complete mode resolves past the top-K-only star join
+	// to the complete join; top-K mode stops at the star join (first
+	// registered capability match).
+	if e := r.ForAlgo(0, false); e == nil || e.Name != "join" {
+		t.Fatalf("ForAlgo(0, complete) = %v, want join", e)
+	}
+	if e := r.ForAlgo(0, true); e == nil || e.Name != "topk" {
+		t.Fatalf("ForAlgo(0, topK) = %v, want topk", e)
+	}
+	// A top-K-only algorithm has no complete engine but is still known.
+	if e := r.ForAlgo(2, false); e != nil {
+		t.Fatalf("ForAlgo(2, complete) = %v, want nil", e)
+	}
+	if !r.HasAlgo(2) {
+		t.Fatal("HasAlgo(2) = false")
+	}
+	if r.HasAlgo(99) {
+		t.Fatal("HasAlgo(99) = true")
+	}
+	if e := r.ForStream(); e == nil || e.Name != "topk" {
+		t.Fatalf("ForStream = %v, want topk", e)
+	}
+	if e := r.ByName("stack"); e == nil || e.Algo != 1 {
+		t.Fatalf("ByName(stack) = %v", e)
+	}
+	if e := r.ByName("nope"); e != nil {
+		t.Fatalf("ByName(nope) = %v, want nil", e)
+	}
+}
+
+func TestRegistryObsFor(t *testing.T) {
+	r := testRegistry()
+	cases := []struct {
+		algo int
+		topK bool
+		want obs.Engine
+	}{
+		{0, false, obs.EngineJoin},
+		{0, true, obs.EngineTopK},
+		{2, true, obs.EngineRDIL},
+		// Mode mismatch still attributes to the algorithm's own slot: a
+		// rejected complete query against a top-K-only engine counts where
+		// the caller aimed it.
+		{2, false, obs.EngineRDIL},
+		// Unknown algorithm falls back to the default.
+		{99, false, obs.EngineJoin},
+	}
+	for _, c := range cases {
+		if got := r.ObsFor(c.algo, c.topK, obs.EngineJoin); got != c.want {
+			t.Errorf("ObsFor(%d, %v) = %v, want %v", c.algo, c.topK, got, c.want)
+		}
+	}
+}
+
+func TestRegistryDuplicateNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate name did not panic")
+		}
+	}()
+	NewRegistry(
+		&Engine[int, int]{Name: "dup"},
+		&Engine[int, int]{Name: "dup"},
+	)
+}
+
+func TestPlanPicksCheapest(t *testing.T) {
+	r := testRegistry()
+	// Complete mode: only join and stack are candidates.
+	st := stats(4, 1000, 50, 900)
+	p := r.Plan(Query{Keywords: []string{"a", "b"}}, st, 7)
+	if p == nil {
+		t.Fatal("Plan returned nil")
+	}
+	if !p.Auto || p.Generation != 7 {
+		t.Fatalf("plan meta = auto:%v gen:%d", p.Auto, p.Generation)
+	}
+	if len(p.Costs) != 2 {
+		t.Fatalf("complete plan costed %d engines, want 2 (join, stack)", len(p.Costs))
+	}
+	best := math.Inf(1)
+	var cheapest string
+	for _, c := range p.Costs {
+		if c.Cost < best {
+			best, cheapest = c.Cost, c.Engine
+		}
+	}
+	if p.Engine != cheapest {
+		t.Fatalf("plan chose %s, cheapest is %s (%v)", p.Engine, cheapest, p.Costs)
+	}
+	if p.Reason == "" {
+		t.Fatal("plan has no reason")
+	}
+
+	// Top-K mode admits every engine with CapTopK.
+	p = r.Plan(Query{Keywords: []string{"a", "b"}, K: 10}, st, 7)
+	if p == nil || len(p.Costs) != 4 {
+		t.Fatalf("top-K plan = %+v, want 4 candidates", p)
+	}
+}
+
+func TestPlanNoCapableEngine(t *testing.T) {
+	r := NewRegistry(&Engine[int, int]{Name: "only-topk", Caps: CapTopK})
+	if p := r.Plan(Query{Keywords: []string{"a"}}, stats(2, 10, 5), 1); p != nil {
+		t.Fatalf("Plan over top-K-only registry served complete mode: %+v", p)
+	}
+}
+
+func TestPlanRegistrationOrderBreaksTies(t *testing.T) {
+	flat := func(Query, Stats) float64 { return 1 }
+	r := NewRegistry(
+		&Engine[int, int]{Name: "first", Caps: CapComplete, Cost: flat},
+		&Engine[int, int]{Name: "second", Caps: CapComplete, Cost: flat},
+	)
+	if p := r.Plan(Query{Keywords: []string{"a"}}, stats(2, 10, 5), 1); p.Engine != "first" {
+		t.Fatalf("tie broke to %s, want first", p.Engine)
+	}
+}
+
+// TestCostModelSkew checks the paper's crossovers, not absolute numbers:
+// high frequency skew favors probing (ixlookup-style) costs over full
+// scans, and a tiny K over a huge expected result set favors the star
+// join over the complete join.
+func TestCostModelSkew(t *testing.T) {
+	q := Query{Keywords: []string{"rare", "common"}}
+	skewed := stats(6, 100000, 3, 80000)
+	if probe, scan := CostIxLookup(q, skewed), CostStack(q, skewed); probe >= scan {
+		t.Fatalf("skewed lists: probe cost %v >= scan cost %v", probe, scan)
+	}
+	// Correlated keywords (large expected result set), small K: the star
+	// join reads a small prefix; the complete join pays the whole set.
+	qk := Query{Keywords: []string{"a", "b"}, K: 10}
+	correlated := stats(6, 10000, 8000, 9000)
+	if star, complete := CostTopKJoin(qk, correlated), CostJoin(qk, correlated); star >= complete {
+		t.Fatalf("correlated top-K: star %v >= complete %v", star, complete)
+	}
+	// A sparse workload whose expected result set is near zero: the star
+	// join's threshold never proves anything, so the complete join with
+	// truncation should not lose by much — and RDIL must always cost more
+	// than the star join it approximates with random accesses.
+	sparse := stats(6, 100000, 4, 5)
+	if rd, star := CostRDIL(qk, sparse), CostTopKJoin(qk, sparse); rd <= star {
+		t.Fatalf("RDIL %v <= star join %v", rd, star)
+	}
+}
+
+func TestKBucket(t *testing.T) {
+	cases := map[int]int{
+		-3: 0, 0: 0, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 10: 16, 16: 16, 17: 32, 1000: 1024,
+	}
+	for k, want := range cases {
+		if got := KBucket(k); got != want {
+			t.Errorf("KBucket(%d) = %d, want %d", k, got, want)
+		}
+	}
+	if got := KBucket(math.MaxInt); got != 1<<30 {
+		t.Errorf("KBucket(MaxInt) = %d, want saturation at %d", got, 1<<30)
+	}
+}
+
+func TestCacheKeyDistinguishes(t *testing.T) {
+	base := CacheKey([]string{"a", "b"}, 0, 16, 1)
+	for name, other := range map[string]string{
+		"keyword order": CacheKey([]string{"b", "a"}, 0, 16, 1),
+		"semantics":     CacheKey([]string{"a", "b"}, 1, 16, 1),
+		"k-bucket":      CacheKey([]string{"a", "b"}, 0, 32, 1),
+		"generation":    CacheKey([]string{"a", "b"}, 0, 16, 2),
+		// The NUL separator keeps concatenations apart: ["ab"] vs ["a","b"].
+		"boundaries": CacheKey([]string{"ab"}, 0, 16, 1),
+	} {
+		if other == base {
+			t.Errorf("%s: key collision %q", name, base)
+		}
+	}
+	if CacheKey([]string{"a", "b"}, 0, 16, 1) != base {
+		t.Error("identical inputs produced different keys")
+	}
+}
+
+func TestPlanCacheLRU(t *testing.T) {
+	c := NewPlanCache(2)
+	var pc obs.PlannerCounters
+	c.SetObs(&pc)
+	p1, p2, p3 := &Plan{Engine: "e1", Generation: 1}, &Plan{Engine: "e2", Generation: 1}, &Plan{Engine: "e3", Generation: 1}
+	c.Put("k1", p1)
+	c.Put("k2", p2)
+	if got := c.Get("k1"); got != p1 {
+		t.Fatalf("Get(k1) = %v", got)
+	}
+	// k1 is now most recent; inserting k3 evicts k2.
+	c.Put("k3", p3)
+	if c.Get("k2") != nil {
+		t.Fatal("k2 survived eviction")
+	}
+	if c.Get("k1") != p1 || c.Get("k3") != p3 {
+		t.Fatal("LRU evicted the wrong entry")
+	}
+	s := pc.Snapshot()
+	if s.CacheEvictions != 1 {
+		t.Fatalf("evictions = %d, want 1", s.CacheEvictions)
+	}
+	if s.CacheHits != 3 || s.CacheMisses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 3/1", s.CacheHits, s.CacheMisses)
+	}
+	if ratio := s.CacheHitRatio; math.Abs(ratio-0.75) > 1e-9 {
+		t.Fatalf("hit ratio = %v, want 0.75", ratio)
+	}
+}
+
+func TestPlanCacheInvalidate(t *testing.T) {
+	c := NewPlanCache(8)
+	var pc obs.PlannerCounters
+	c.SetObs(&pc)
+	c.Put("old1", &Plan{Generation: 1})
+	c.Put("old2", &Plan{Generation: 1})
+	c.Put("cur", &Plan{Generation: 2})
+	c.Invalidate(2)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after invalidate, want 1", c.Len())
+	}
+	if c.Get("cur") == nil {
+		t.Fatal("current-generation plan was invalidated")
+	}
+	if n := pc.Snapshot().CacheInvalidations; n != 2 {
+		t.Fatalf("invalidations = %d, want 2", n)
+	}
+}
+
+func TestPlanCacheSetCapacityEvicts(t *testing.T) {
+	c := NewPlanCache(8)
+	for i := 0; i < 8; i++ {
+		c.Put(fmt.Sprintf("k%d", i), &Plan{Generation: 1})
+	}
+	c.SetCapacity(3)
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d after SetCapacity(3)", c.Len())
+	}
+	// The three survivors are the most recently used.
+	for i := 5; i < 8; i++ {
+		if c.Get(fmt.Sprintf("k%d", i)) == nil {
+			t.Fatalf("k%d evicted, want retained", i)
+		}
+	}
+}
+
+// TestPlanCacheNilObs: every counter path must be nil-safe — the cache is
+// usable before SetObs is called.
+func TestPlanCacheNilObs(t *testing.T) {
+	c := NewPlanCache(1)
+	c.Get("miss")
+	c.Put("a", &Plan{Generation: 1})
+	c.Get("a")
+	c.Put("b", &Plan{Generation: 2}) // evicts a
+	c.Invalidate(3)                  // drops b
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestPlanCacheConcurrent(t *testing.T) {
+	c := NewPlanCache(16)
+	var pc obs.PlannerCounters
+	c.SetObs(&pc)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (g*31+i)%40)
+				if c.Get(key) == nil {
+					c.Put(key, &Plan{Generation: int64(i % 3)})
+				}
+				if i%97 == 0 {
+					c.Invalidate(int64(i % 3))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("cache grew past capacity: %d", c.Len())
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		si, sj float64
+		li, lj int
+		want   int
+	}{
+		{2, 1, 0, 0, -1}, // higher score first
+		{1, 2, 5, 0, 1},
+		{1, 1, 3, 2, -1}, // deeper node first at equal score
+		{1, 1, 2, 3, 1},
+		{1, 1, 3, 3, 0}, // full tie: caller breaks by document order
+	}
+	for _, c := range cases {
+		if got := Compare(c.si, c.sj, c.li, c.lj); got != c.want {
+			t.Errorf("Compare(%v,%v,%d,%d) = %d, want %d", c.si, c.sj, c.li, c.lj, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// EngineCost is one engine's estimated cost for a planned query, in
+// abstract row-operation units (comparable only within one plan).
+type EngineCost struct {
+	Engine string  `json:"engine"`
+	Cost   float64 `json:"cost"`
+}
+
+// Plan is a planned query: the resolved keywords and their statistics,
+// the engine the planner chose, and why. Plans are immutable once built
+// and safe to share between goroutines (the plan cache hands the same
+// *Plan to every hit).
+type Plan struct {
+	Keywords  []string     `json:"keywords"`
+	Semantics int          `json:"semantics"`
+	K         int          `json:"k"` // the k-bucket the plan was costed for (0 = complete)
+	Lists     []ListStat   `json:"lists"`
+	Engine    string       `json:"engine"`
+	Reason    string       `json:"reason"`
+	Costs     []EngineCost `json:"costs"`
+	// Generation is the snapshot generation the statistics were read from;
+	// the cache drops the plan when a mutation publishes a new generation.
+	Generation int64 `json:"generation"`
+	// Auto records that the engine was chosen by the cost model rather
+	// than an explicit SearchOptions.Algorithm.
+	Auto bool `json:"auto"`
+}
+
+// Plan costs every engine capable of the query's mode and picks the
+// cheapest (registration order breaks ties). It returns nil only when no
+// registered engine can serve the mode at all.
+func (r *Registry[S, R]) Plan(q Query, st Stats, gen int64) *Plan {
+	want := CapComplete
+	if q.K > 0 {
+		want = CapTopK
+	}
+	p := &Plan{
+		Keywords:   q.Keywords,
+		Semantics:  q.Semantics,
+		K:          q.K,
+		Lists:      st.Lists,
+		Generation: gen,
+		Auto:       true,
+	}
+	var chosen *Engine[S, R]
+	best := math.Inf(1)
+	for _, e := range r.engines {
+		if e.Caps&want == 0 {
+			continue
+		}
+		c := math.Inf(1)
+		if e.Cost != nil {
+			c = e.Cost(q, st)
+		}
+		p.Costs = append(p.Costs, EngineCost{Engine: e.Name, Cost: c})
+		if chosen == nil || c < best {
+			chosen, best = e, c
+		}
+	}
+	if chosen == nil {
+		return nil
+	}
+	p.Engine = chosen.Name
+	minRows, totalRows := rowBounds(st)
+	p.Reason = fmt.Sprintf("cost %.4g over %d candidate(s); rows min=%d total=%d est-results=%d",
+		best, len(p.Costs), minRows, totalRows, int(estResults(st)))
+	return p
+}
+
+// TrivialPlan records an explicitly selected engine without costing the
+// alternatives; Reason documents that no choice was made.
+func TrivialPlan[S, R any](e *Engine[S, R], q Query, st Stats, gen int64) *Plan {
+	return &Plan{
+		Keywords:   q.Keywords,
+		Semantics:  q.Semantics,
+		K:          q.K,
+		Lists:      st.Lists,
+		Engine:     e.Name,
+		Reason:     "explicitly selected",
+		Generation: gen,
+	}
+}
+
+// --- cost model ---
+//
+// The heuristics lift the paper's Section III-C per-level decisions
+// (merge joins scan both lists, index joins probe the longer list once
+// per row of the shorter) and the Section V crossovers (the star join
+// wins when the expected result set is large relative to K — correlated
+// keywords — while sort-after-complete wins on small result sets) to a
+// whole-query estimate over the lexicon row counts. Costs are abstract
+// row operations: only their order matters, and only within one plan.
+
+// rowBounds returns the minimum and total list lengths.
+func rowBounds(st Stats) (min, total int) {
+	min = math.MaxInt
+	for _, l := range st.Lists {
+		if l.Rows < min {
+			min = l.Rows
+		}
+		total += l.Rows
+	}
+	if min == math.MaxInt {
+		min = 0
+	}
+	return min, total
+}
+
+// lg is a probe-cost logarithm, safe at zero.
+func lg(n int) float64 { return math.Log2(float64(n) + 2) }
+
+// estResults estimates the result cardinality under independence: each
+// of the Nodes elements holds keyword i with probability rows_i/Nodes.
+func estResults(st Stats) float64 {
+	if st.Nodes <= 0 || len(st.Lists) == 0 {
+		return 0
+	}
+	est := float64(st.Nodes)
+	for _, l := range st.Lists {
+		est *= float64(l.Rows) / float64(st.Nodes)
+	}
+	return est
+}
+
+// perLevel scales a single-pass cost by the number of join levels the
+// bottom-up evaluation walks.
+func perLevel(st Stats) float64 {
+	if st.Depth > 1 {
+		return float64(st.Depth - 1)
+	}
+	return 1
+}
+
+// CostJoin estimates the complete join-based evaluation: per level, the
+// dynamic optimizer picks the cheaper of a merge join (scan both lists)
+// and an index join (probe the longer list per row of the shorter), so
+// the whole-query cost is the cheaper strategy's, plus a per-level
+// setup overhead.
+func CostJoin(q Query, st Stats) float64 {
+	min, total := rowBounds(st)
+	merge := float64(total)
+	probe := float64(min) * float64(len(st.Lists)) * lg(total)
+	return math.Min(merge, probe) + perLevel(st)*32
+}
+
+// CostStack estimates the stack-based baseline: one document-order merge
+// of every Dewey list with per-row stack maintenance proportional to the
+// tree depth.
+func CostStack(q Query, st Stats) float64 {
+	_, total := rowBounds(st)
+	return float64(total) * (1 + 0.25*float64(st.Depth))
+}
+
+// CostIxLookup estimates the index-lookup baseline: the shortest list
+// drives binary-search probes into each longer list. It beats the join
+// when the shortest list is tiny (high frequency skew) because it pays
+// no per-level setup.
+func CostIxLookup(q Query, st Stats) float64 {
+	min, total := rowBounds(st)
+	return float64(min)*float64(len(st.Lists))*lg(total)*1.5 + 8
+}
+
+// CostTopKJoin estimates the top-K star join: the score-ordered cursors
+// pull rows until the unseen-result threshold proves K results safe.
+// The expected pulled fraction shrinks as the result set grows relative
+// to K (correlated keywords terminate early); an empty expected result
+// set means the threshold never proves anything and the scan completes.
+func CostTopKJoin(q Query, st Stats) float64 {
+	_, total := rowBounds(st)
+	est := estResults(st)
+	coverage := 1.0
+	if est > 0 {
+		coverage = math.Min(1, float64(q.K)/est)
+	}
+	return coverage*float64(total) + float64(q.K)*float64(len(st.Lists))*lg(total) + 16
+}
+
+// CostRDIL estimates the RDIL baseline: classic TA with random-access
+// lookups per pulled row, an order of magnitude per-row overhead over
+// the star join's sorted cursors.
+func CostRDIL(q Query, st Stats) float64 {
+	return CostTopKJoin(q, st)*4 + float64(q.K)*lg(rowTotal(st))*8 + 64
+}
+
+// CostHybrid estimates the Section V-D hybrid: it runs whichever of the
+// star join and the complete join its cardinality estimate favors, so
+// its cost tracks the better of the two plus the estimation overhead —
+// a safe choice, never the predicted-cheapest one.
+func CostHybrid(q Query, st Stats) float64 {
+	complete := CostJoin(q, st) + float64(q.K)
+	return math.Min(CostTopKJoin(q, st), complete)*1.1 + 24
+}
+
+func rowTotal(st Stats) int {
+	_, total := rowBounds(st)
+	return total
+}
+
+// KBucket buckets k for cache keying so nearby k values share one plan:
+// 0 stays 0 (complete evaluation); positive k rounds up to the next
+// power of two, saturating well below overflow.
+func KBucket(k int) int {
+	if k <= 0 {
+		return 0
+	}
+	b := 1
+	for b < k && b < 1<<30 {
+		b <<= 1
+	}
+	return b
+}
+
+// CacheKey builds the plan-cache key for a resolved query: the keywords
+// (order-sensitive, NUL-separated), semantics, k-bucket, and snapshot
+// generation.
+func CacheKey(keywords []string, semantics, kBucket int, gen int64) string {
+	var b strings.Builder
+	for _, w := range keywords {
+		b.WriteString(w)
+		b.WriteByte(0)
+	}
+	b.WriteString(strconv.Itoa(semantics))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(kBucket))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatInt(gen, 10))
+	return b.String()
+}

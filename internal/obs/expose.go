@@ -139,6 +139,22 @@ func (s Snapshot) WritePrometheus(w io.Writer) {
 	}
 	header(w, "xkw_writer_duration_seconds", "End-to-end mutation latency including snapshot publication.", "histogram")
 	writeHistogramSeries(w, "xkw_writer_duration_seconds", "", wr.Latency)
+	pl := s.Planner
+	plannerCounters := []struct {
+		name, help string
+		v          int64
+	}{
+		{"xkw_planner_plans_total", "Query plans built (trivial or cost-based).", pl.Plans},
+		{"xkw_planner_auto_plans_total", "Query plans built by the cost model (AlgoAuto).", pl.AutoPlans},
+		{"xkw_plan_cache_hits_total", "Plan-cache hits.", pl.CacheHits},
+		{"xkw_plan_cache_misses_total", "Plan-cache misses.", pl.CacheMisses},
+		{"xkw_plan_cache_evictions_total", "Plans evicted by the plan-cache LRU bound.", pl.CacheEvictions},
+		{"xkw_plan_cache_invalidations_total", "Plans dropped by mutation publishes.", pl.CacheInvalidations},
+	}
+	for _, c := range plannerCounters {
+		header(w, c.name, c.help, "counter")
+		fmt.Fprintf(w, "%s %d\n", c.name, c.v)
+	}
 	g := s.Gauges
 	gauges := []struct {
 		name, help string
@@ -149,6 +165,8 @@ func (s Snapshot) WritePrometheus(w io.Writer) {
 		{"xkw_store_cache_lists", "Decoded lists currently held by the cache.", float64(g.CacheLists)},
 		{"xkw_store_cache_bytes", "Decoded bytes currently held by the cache.", float64(g.CacheBytes)},
 		{"xkw_store_cache_hit_ratio", "Decoded-list cache hit ratio since process start.", st.CacheHitRatio},
+		{"xkw_plan_cache_entries", "Plans currently held by the plan cache.", float64(g.PlanCacheEntries)},
+		{"xkw_plan_cache_hit_ratio", "Plan-cache hit ratio since process start.", pl.CacheHitRatio},
 	}
 	for _, c := range gauges {
 		header(w, c.name, c.help, "gauge")

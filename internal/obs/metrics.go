@@ -135,6 +135,94 @@ func (s *StoreCounters) Snapshot() StoreSnapshot {
 	return out
 }
 
+// PlannerCounters accumulates planner and plan-cache counters. A
+// *PlannerCounters is installed on an exec.PlanCache with SetObs; a nil
+// receiver disables recording with a single pointer check.
+type PlannerCounters struct {
+	Plans              Counter // plans built (trivial or cost-based)
+	AutoPlans          Counter // plans built by the cost model (AlgoAuto)
+	CacheHits          Counter // plan-cache hits
+	CacheMisses        Counter // plan-cache misses (a plan build follows)
+	CacheEvictions     Counter // plans evicted by the LRU bound
+	CacheInvalidations Counter // plans dropped by mutation publishes
+}
+
+// RecordPlan notes one plan build; auto marks a cost-based choice.
+// Nil-safe.
+func (p *PlannerCounters) RecordPlan(auto bool) {
+	if p == nil {
+		return
+	}
+	p.Plans.Inc()
+	if auto {
+		p.AutoPlans.Inc()
+	}
+}
+
+// RecordCacheHit notes one plan-cache hit. Nil-safe.
+func (p *PlannerCounters) RecordCacheHit() {
+	if p == nil {
+		return
+	}
+	p.CacheHits.Inc()
+}
+
+// RecordCacheMiss notes one plan-cache miss. Nil-safe.
+func (p *PlannerCounters) RecordCacheMiss() {
+	if p == nil {
+		return
+	}
+	p.CacheMisses.Inc()
+}
+
+// RecordCacheEviction notes one plan evicted by the LRU bound. Nil-safe.
+func (p *PlannerCounters) RecordCacheEviction() {
+	if p == nil {
+		return
+	}
+	p.CacheEvictions.Inc()
+}
+
+// RecordCacheInvalidations notes n plans dropped because a mutation
+// published a new snapshot generation. Nil-safe.
+func (p *PlannerCounters) RecordCacheInvalidations(n int) {
+	if p == nil || n == 0 {
+		return
+	}
+	p.CacheInvalidations.Add(int64(n))
+}
+
+// PlannerSnapshot is a point-in-time copy of PlannerCounters, with the
+// cache hit ratio derived at snapshot time (0 with no lookups).
+type PlannerSnapshot struct {
+	Plans              int64   `json:"plans"`
+	AutoPlans          int64   `json:"auto_plans"`
+	CacheHits          int64   `json:"cache_hits"`
+	CacheMisses        int64   `json:"cache_misses"`
+	CacheEvictions     int64   `json:"cache_evictions"`
+	CacheInvalidations int64   `json:"cache_invalidations"`
+	CacheHitRatio      float64 `json:"cache_hit_ratio"`
+}
+
+// Snapshot copies the planner counters (zero snapshot for nil).
+func (p *PlannerCounters) Snapshot() PlannerSnapshot {
+	if p == nil {
+		return PlannerSnapshot{}
+	}
+	out := PlannerSnapshot{
+		Plans:              p.Plans.Load(),
+		AutoPlans:          p.AutoPlans.Load(),
+		CacheHits:          p.CacheHits.Load(),
+		CacheMisses:        p.CacheMisses.Load(),
+		CacheEvictions:     p.CacheEvictions.Load(),
+		CacheInvalidations: p.CacheInvalidations.Load(),
+	}
+	if lookups := out.CacheHits + out.CacheMisses; lookups > 0 {
+		out.CacheHitRatio = float64(out.CacheHits) / float64(lookups)
+	}
+	return out
+}
+
 // Gauges are point-in-time values (not cumulative counters) sampled from
 // the serving index when a snapshot is taken: the snapshot/writer state
 // and the decoded-list cache occupancy. They come from a gauge source the
@@ -150,6 +238,8 @@ type Gauges struct {
 	// CacheLists and CacheBytes are the decoded-list cache occupancy.
 	CacheLists int64 `json:"cache_lists"`
 	CacheBytes int64 `json:"cache_bytes"`
+	// PlanCacheEntries is the plan cache's current occupancy.
+	PlanCacheEntries int64 `json:"plan_cache_entries"`
 }
 
 // gaugeSource supplies live gauge values at snapshot time.
@@ -258,6 +348,7 @@ type Metrics struct {
 	engines [numEngines]EngineMetrics
 	Store   StoreCounters
 	Writer  WriterMetrics
+	Planner PlannerCounters
 	gauges  atomic.Pointer[gaugeSource]
 
 	slowThresholdNs Counter // configured slow-query latency threshold (0 = disabled)
@@ -382,6 +473,7 @@ type Snapshot struct {
 	Engines     []EngineSnapshot `json:"engines"`
 	Store       StoreSnapshot    `json:"store"`
 	Writer      WriterSnapshot   `json:"writer"`
+	Planner     PlannerSnapshot  `json:"planner"`
 	Gauges      Gauges           `json:"gauges"`
 	SlowQueries []SlowQuery      `json:"slow_queries,omitempty"`
 }
@@ -392,7 +484,7 @@ func (m *Metrics) Snapshot() Snapshot {
 	if m == nil {
 		return Snapshot{}
 	}
-	s := Snapshot{Store: m.Store.Snapshot(), Writer: m.Writer.Snapshot(), SlowQueries: m.SlowQueries()}
+	s := Snapshot{Store: m.Store.Snapshot(), Writer: m.Writer.Snapshot(), Planner: m.Planner.Snapshot(), SlowQueries: m.SlowQueries()}
 	if src := m.gauges.Load(); src != nil {
 		s.Gauges = (*src)()
 	}

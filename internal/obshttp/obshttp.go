@@ -207,7 +207,7 @@ func (h *handler) traceByID(w http.ResponseWriter, r *http.Request) {
 
 // engineByName maps the ?engine= parameter to an Algorithm. The names
 // match obs.Engine labels; "topk" selects the default join-based top-K
-// engine explicitly.
+// engine explicitly, "auto" the cost-based planner.
 func engineByName(name string) (xmlsearch.Algorithm, error) {
 	switch name {
 	case "", "join", "topk":
@@ -220,8 +220,10 @@ func engineByName(name string) (xmlsearch.Algorithm, error) {
 		return xmlsearch.AlgoRDIL, nil
 	case "hybrid":
 		return xmlsearch.AlgoHybrid, nil
+	case "auto":
+		return xmlsearch.AlgoAuto, nil
 	default:
-		return 0, fmt.Errorf("unknown engine %q (want join, stack, ixlookup, rdil, hybrid, topk)", name)
+		return 0, fmt.Errorf("unknown engine %q (want join, stack, ixlookup, rdil, hybrid, topk, auto)", name)
 	}
 }
 
@@ -235,6 +237,10 @@ type searchResponse struct {
 	Elapsed time.Duration      `json:"elapsed_ns"`
 	Results []xmlsearch.Result `json:"results"`
 	TraceID uint64             `json:"trace_id,omitempty"`
+	// Plan is the query plan the evaluation resolved through (always the
+	// trivially planned engine for explicit ?engine= values; the cached
+	// cost-based choice for engine=auto).
+	Plan *xmlsearch.QueryPlan `json:"plan,omitempty"`
 }
 
 // search runs one traced query. q is required; k defaults to 10 and
@@ -292,6 +298,9 @@ func (h *handler) search(w http.ResponseWriter, r *http.Request) {
 	if rs == nil {
 		rs = []xmlsearch.Result{}
 	}
+	// Best-effort: the plan is diagnostic context, a planning error must
+	// not fail a query that already succeeded.
+	plan, _ := h.ix.Plan(q, k, opt)
 	writeJSON(w, http.StatusOK, searchResponse{
 		Query:   q,
 		Engine:  qs.Engine,
@@ -299,5 +308,6 @@ func (h *handler) search(w http.ResponseWriter, r *http.Request) {
 		Elapsed: qs.Elapsed,
 		Results: rs,
 		TraceID: qs.TraceID,
+		Plan:    plan,
 	})
 }

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/dewey"
+	"repro/internal/exec"
 	"repro/internal/invindex"
 	"repro/internal/obs"
 	"repro/internal/score"
@@ -234,15 +235,13 @@ func TopK(lists []*invindex.List, sem Semantics, decay float64, k int) ([]Result
 	return rs, st
 }
 
-// SortByScore orders results by descending score, deeper levels first,
-// then document order — the shared tie-break of all engines.
+// SortByScore orders results by the canonical exec.Compare ordering
+// (descending score, deeper levels first), breaking full ties by Dewey
+// document order.
 func SortByScore(rs []Result) {
 	sort.SliceStable(rs, func(i, j int) bool {
-		if rs[i].Score != rs[j].Score {
-			return rs[i].Score > rs[j].Score
-		}
-		if len(rs[i].ID) != len(rs[j].ID) {
-			return len(rs[i].ID) > len(rs[j].ID)
+		if c := exec.Compare(rs[i].Score, rs[j].Score, len(rs[i].ID), len(rs[j].ID)); c != 0 {
+			return c < 0
 		}
 		return dewey.Compare(rs[i].ID, rs[j].ID) < 0
 	})

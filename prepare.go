@@ -1,0 +1,188 @@
+package xmlsearch
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/exec"
+)
+
+// Prepared queries and the public face of the query planner. Prepare
+// tokenizes and validates a query once; each execution of the returned
+// PreparedQuery then skips tokenization, and — for AlgoAuto — resolves
+// its engine through the snapshot-keyed plan cache, so a hot repeated
+// query pays neither statistics lookup nor cost estimation. The same
+// cache also serves ad-hoc Search/TopK/TopKStream calls with AlgoAuto;
+// Prepare just shaves the per-call tokenization off on top.
+
+// PreparedQuery is a tokenized, validated query bound to its Index. It
+// is immutable and safe for concurrent use by any number of goroutines;
+// each execution pins the then-current snapshot, so a prepared query
+// observes mutations exactly like an ad-hoc one.
+type PreparedQuery struct {
+	ix       *Index
+	query    string
+	keywords []string
+	opt      SearchOptions
+}
+
+// Prepare tokenizes and validates the query under the given options. It
+// returns ErrNoKeywords when no indexable keyword remains and an error
+// for an unknown Algorithm; a top-K-only algorithm prepares fine and
+// fails only if executed with Search.
+func (ix *Index) Prepare(query string, opt SearchOptions) (*PreparedQuery, error) {
+	keywords := Keywords(query)
+	if len(keywords) == 0 {
+		return nil, ErrNoKeywords
+	}
+	if opt.Algorithm != AlgoAuto && !engines.HasAlgo(int(opt.Algorithm)) {
+		return nil, fmt.Errorf("xmlsearch: unknown algorithm %v", opt.Algorithm)
+	}
+	return &PreparedQuery{ix: ix, query: query, keywords: keywords, opt: opt}, nil
+}
+
+// Query returns the original query text.
+func (pq *PreparedQuery) Query() string { return pq.query }
+
+// Keywords returns the resolved keywords (shared slice; do not mutate).
+func (pq *PreparedQuery) Keywords() []string { return pq.keywords }
+
+// Search evaluates the complete ranked result set.
+func (pq *PreparedQuery) Search(ctx context.Context) ([]Result, error) {
+	rs, _, err := pq.ix.searchObs(ctx, pq.query, pq.keywords, pq.opt, nil)
+	return rs, err
+}
+
+// TopK returns the k best results in descending score order.
+func (pq *PreparedQuery) TopK(ctx context.Context, k int) ([]Result, error) {
+	rs, _, err := pq.ix.topKObs(ctx, pq.query, pq.keywords, k, pq.opt, nil)
+	return rs, err
+}
+
+// TopKStream delivers each of the k best results to fn the moment it is
+// proven safe; fn returning false cancels the remaining evaluation.
+func (pq *PreparedQuery) TopKStream(ctx context.Context, k int, fn func(Result) bool) error {
+	_, err := pq.ix.topKStreamObs(ctx, pq.query, pq.keywords, k, pq.opt, fn, nil)
+	return err
+}
+
+// Plan returns the query plan this prepared query would execute with at
+// the given k (0 = complete evaluation) against the current snapshot.
+func (pq *PreparedQuery) Plan(k int) (*QueryPlan, error) {
+	return pq.ix.planFor(pq.keywords, k, pq.opt)
+}
+
+// PlanCost is one engine's cost estimate inside a QueryPlan.
+type PlanCost struct {
+	Engine string  `json:"engine"`
+	Cost   float64 `json:"cost"`
+}
+
+// QueryPlan is the public view of a planned query: the workload shape
+// read from the lexicon, the chosen engine, and — for cost-based plans —
+// every capable engine's estimate.
+type QueryPlan struct {
+	Keywords  []string   `json:"keywords"`
+	Lists     []ListInfo `json:"lists"`
+	Semantics Semantics  `json:"semantics"`
+	// K is the k-bucket the plan was costed for (0 = complete); nearby k
+	// values share one cached plan.
+	K      int    `json:"k"`
+	Engine string `json:"engine"`
+	Reason string `json:"reason"`
+	// Costs holds every candidate engine's estimate, cheapest chosen;
+	// empty for an explicitly selected engine (nothing was costed).
+	Costs []PlanCost `json:"costs,omitempty"`
+	// Auto reports a cost-based choice; CacheHit whether this plan came
+	// from the plan cache rather than being built.
+	Auto     bool `json:"auto"`
+	CacheHit bool `json:"cache_hit"`
+	// Generation is the snapshot generation the plan was built against.
+	Generation int64 `json:"generation"`
+}
+
+// String renders the plan in a compact human-readable form.
+func (p *QueryPlan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan: engine=%s auto=%v cached=%v gen=%d k=%d %v\n", p.Engine, p.Auto, p.CacheHit, p.Generation, p.K, p.Semantics)
+	fmt.Fprintf(&b, "  reason: %s\n", p.Reason)
+	b.WriteString("  lists:")
+	for _, l := range p.Lists {
+		fmt.Fprintf(&b, " %s=%d", l.Keyword, l.Rows)
+	}
+	b.WriteByte('\n')
+	if len(p.Costs) > 0 {
+		b.WriteString("  costs:")
+		for _, c := range p.Costs {
+			fmt.Fprintf(&b, " %s=%.4g", c.Engine, c.Cost)
+		}
+		b.WriteByte('\n')
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// Plan returns the plan a query would execute with: the trivially
+// resolved engine for an explicit opt.Algorithm, the cost-based (and
+// cached) choice for AlgoAuto. k = 0 plans the complete evaluation.
+// Planning a query never runs it.
+func (ix *Index) Plan(query string, k int, opt SearchOptions) (*QueryPlan, error) {
+	keywords := Keywords(query)
+	if len(keywords) == 0 {
+		return nil, ErrNoKeywords
+	}
+	return ix.planFor(keywords, k, opt)
+}
+
+// planFor builds the public QueryPlan for resolved keywords.
+func (ix *Index) planFor(keywords []string, k int, opt SearchOptions) (*QueryPlan, error) {
+	s := ix.view()
+	q := exec.Query{Keywords: keywords, Semantics: int(opt.Semantics), K: k, Decay: effectiveDecay(opt.Decay)}
+	if opt.Algorithm != AlgoAuto {
+		e, _, err := ix.resolveEngine(s, q, opt.Algorithm, k > 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		ix.metrics.Planner.RecordPlan(false)
+		out := &QueryPlan{
+			Keywords:   keywords,
+			Semantics:  opt.Semantics,
+			K:          exec.KBucket(k),
+			Engine:     e.Name,
+			Reason:     "explicitly selected: " + opt.Algorithm.String(),
+			Generation: s.gen,
+		}
+		out.Lists = listInfos(s, keywords)
+		return out, nil
+	}
+	p, hit, err := ix.planAuto(s, q, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := &QueryPlan{
+		Keywords:   p.Keywords,
+		Semantics:  Semantics(p.Semantics),
+		K:          p.K,
+		Engine:     p.Engine,
+		Reason:     p.Reason,
+		Auto:       p.Auto,
+		CacheHit:   hit,
+		Generation: p.Generation,
+	}
+	for _, l := range p.Lists {
+		out.Lists = append(out.Lists, ListInfo{Keyword: l.Keyword, Rows: l.Rows})
+	}
+	for _, c := range p.Costs {
+		out.Costs = append(out.Costs, PlanCost{Engine: c.Engine, Cost: c.Cost})
+	}
+	return out, nil
+}
+
+// listInfos reads the per-keyword row counts off the snapshot's lexicon.
+func listInfos(s *snapshot, keywords []string) []ListInfo {
+	out := make([]ListInfo, len(keywords))
+	for i, w := range keywords {
+		out[i] = ListInfo{Keyword: w, Rows: s.store.DocFreq(w)}
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package xmlsearch
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// BenchmarkPlanCold measures building an AlgoAuto plan from lexicon
+// statistics with the plan cache emptied every iteration; BenchmarkPlanCached
+// is the same query answered from the cache. The repeated-query speedup the
+// prepared-query layer claims is the ratio of the two.
+func BenchmarkPlanCold(b *testing.B) {
+	idx, query := planBenchFixture(b)
+	opt := SearchOptions{Algorithm: AlgoAuto}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.plans.Reset()
+		if _, err := idx.Plan(query, 10, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanCached re-plans the identical query against a warm cache.
+func BenchmarkPlanCached(b *testing.B) {
+	idx, query := planBenchFixture(b)
+	opt := SearchOptions{Algorithm: AlgoAuto}
+	if _, err := idx.Plan(query, 10, opt); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.Plan(query, 10, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func planBenchFixture(b *testing.B) (*Index, string) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	params := testutil.MediumParams()
+	idx, err := FromDocument(testutil.RandomDoc(rng, params))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return idx, strings.Join(testutil.RandomQuery(rng, params.Vocab, 3), " ")
+}

@@ -47,25 +47,36 @@ func newQueryStats(query string, engine obs.Engine, k, results int, tr *obs.Trac
 	}
 }
 
+// spanName names the root span of a traced query. Explicit algorithms
+// name their engine's metrics slot; AlgoAuto names the planner — the
+// engine it chose is recorded on the plan-switch event and in the
+// returned QueryStats.Engine.
+func spanName(a Algorithm, topK bool) string {
+	if a == AlgoAuto {
+		return "auto"
+	}
+	return engines.ObsFor(int(a), topK, obs.EngineJoin).String()
+}
+
 // SearchTraced is SearchContext with per-query tracing enabled: it returns
 // the results plus the execution profile. Tracing allocates a bounded
 // event log per query; untraced queries pay only a nil check per
 // instrumentation site.
 func (ix *Index) SearchTraced(ctx context.Context, query string, opt SearchOptions) ([]Result, *QueryStats, error) {
 	tr := obs.NewTrace()
-	sp := tr.Start("search/" + searchEngine(opt.Algorithm).String())
-	rs, err := ix.searchObs(ctx, query, opt, tr)
+	sp := tr.Start("search/" + spanName(opt.Algorithm, false))
+	rs, eng, err := ix.searchObs(ctx, query, nil, opt, tr)
 	tr.End(sp)
-	return rs, newQueryStats(query, searchEngine(opt.Algorithm), 0, len(rs), tr), err
+	return rs, newQueryStats(query, eng, 0, len(rs), tr), err
 }
 
 // TopKTraced is TopKContext with per-query tracing enabled.
 func (ix *Index) TopKTraced(ctx context.Context, query string, k int, opt SearchOptions) ([]Result, *QueryStats, error) {
 	tr := obs.NewTrace()
-	sp := tr.Start("topk/" + topKEngine(opt.Algorithm).String())
-	rs, err := ix.topKObs(ctx, query, k, opt, tr)
+	sp := tr.Start("topk/" + spanName(opt.Algorithm, true))
+	rs, eng, err := ix.topKObs(ctx, query, nil, k, opt, tr)
 	tr.End(sp)
-	return rs, newQueryStats(query, topKEngine(opt.Algorithm), k, len(rs), tr), err
+	return rs, newQueryStats(query, eng, k, len(rs), tr), err
 }
 
 // TopKStreamTraced is TopKStreamContext with per-query tracing enabled:
@@ -75,7 +86,7 @@ func (ix *Index) TopKTraced(ctx context.Context, query string, k int, opt Search
 func (ix *Index) TopKStreamTraced(ctx context.Context, query string, k int, opt SearchOptions, fn func(Result) bool) (*QueryStats, error) {
 	tr := obs.NewTrace()
 	sp := tr.Start("topk-stream/" + obs.EngineTopK.String())
-	delivered, err := ix.topKStreamObs(ctx, query, k, opt, fn, tr)
+	delivered, err := ix.topKStreamObs(ctx, query, nil, k, opt, fn, tr)
 	tr.End(sp)
 	return newQueryStats(query, obs.EngineTopK, k, delivered, tr), err
 }

@@ -90,8 +90,7 @@ func (ix *Index) InsertElement(parentDewey string, pos int, tag, text string) (n
 		collectTerms(moved, dirty)
 	}
 	dirtyN = ix.applyDirty(next, dirty)
-	ix.snap.Store(next)
-	ix.gen.Add(1)
+	ix.publish(next)
 	return child.Dewey.String(), nil
 }
 
@@ -125,9 +124,20 @@ func (ix *Index) RemoveElement(deweyStr string) (err error) {
 	collectTerms(n, dirty)
 	next.enc.Remove(n)
 	dirtyN = ix.applyDirty(next, dirty)
+	ix.publish(next)
+	return nil
+}
+
+// publish stamps the next snapshot's generation, swaps it in atomically,
+// and drops every cached query plan built against earlier generations.
+// The plan cache is keyed on the generation too, so even without the
+// eager invalidation a stale plan could never be served — invalidation
+// just reclaims the dead entries immediately.
+func (ix *Index) publish(next *snapshot) {
+	next.gen = ix.gen.Load() + 1
 	ix.snap.Store(next)
 	ix.gen.Add(1)
-	return nil
+	ix.plans.Invalidate(next.gen)
 }
 
 // clone duplicates a snapshot copy-on-write: the document tree is deep-

@@ -67,6 +67,7 @@ import (
 
 	"repro/internal/colstore"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/faultinject"
 	"repro/internal/invindex"
 	"repro/internal/jdewey"
@@ -114,7 +115,35 @@ const (
 	// star join (large result sets, i.e. correlated keywords) and the
 	// complete join-based evaluation (small result sets).
 	AlgoHybrid
+	// AlgoAuto selects the engine per query with the cost-based planner:
+	// per-keyword row counts are read from the lexicon (no list is
+	// decoded), every capable engine is costed with the paper's
+	// frequency-skew heuristics, and the cheapest runs. The plan is cached
+	// in a bounded LRU keyed on (keywords, semantics, k-bucket, snapshot
+	// generation), so hot repeated queries skip planning entirely; see
+	// Prepare for skipping tokenization too.
+	AlgoAuto
 )
+
+// String names the algorithm for display and error messages.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoJoin:
+		return "join"
+	case AlgoStack:
+		return "stack"
+	case AlgoIndexLookup:
+		return "ixlookup"
+	case AlgoRDIL:
+		return "rdil"
+	case AlgoHybrid:
+		return "hybrid"
+	case AlgoAuto:
+		return "auto"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
 
 // SearchOptions configures a query. The zero value is ready to use.
 type SearchOptions struct {
@@ -162,6 +191,9 @@ type Index struct {
 	// cache is the decoded-list cache shared by every snapshot of this
 	// index (see colstore.Cache for why sharing across snapshots is safe).
 	cache *colstore.Cache
+	// plans caches cost-based query plans keyed on (keywords, semantics,
+	// k-bucket, snapshot generation); mutations invalidate by generation.
+	plans *exec.PlanCache
 	// traces, when set, tail-samples completed traced queries (see
 	// SetTraceStore); nil disables capture with one pointer check.
 	traces atomic.Pointer[obs.TraceStore]
@@ -185,6 +217,10 @@ type snapshot struct {
 	m     *occur.Map
 	store *colstore.Store
 	enc   *jdewey.Encoding
+	// gen is the generation this snapshot was published as; the planner
+	// keys cached plans on it so a plan built from one snapshot's
+	// statistics is never reused against another's.
+	gen int64
 
 	// Lazily-built document-order baselines, built at most once per
 	// snapshot on first use by the stack/index-lookup/RDIL engines.
@@ -198,22 +234,28 @@ type snapshot struct {
 // are counted from the first query on. Disk-backed stores additionally get
 // the shared size-bounded decode cache.
 func newIndex(doc *xmltree.Document, m *occur.Map, store *colstore.Store, enc *jdewey.Encoding, cfg config) *Index {
-	ix := &Index{cfg: cfg, metrics: obs.NewMetrics(), cache: colstore.NewCache(0)}
+	ix := &Index{cfg: cfg, metrics: obs.NewMetrics(), cache: colstore.NewCache(0), plans: exec.NewPlanCache(0)}
 	ix.cache.SetObs(&ix.metrics.Store)
+	ix.plans.SetObs(&ix.metrics.Planner)
 	store.SetObs(&ix.metrics.Store)
 	store.SetCache(ix.cache)
 	ix.gen.Store(1)
 	ix.metrics.SetGaugeSource(func() obs.Gauges {
 		return obs.Gauges{
-			SnapshotGen:   ix.gen.Load(),
-			PinnedQueries: ix.pinned.Load(),
-			CacheLists:    int64(ix.cache.Len()),
-			CacheBytes:    ix.cache.Bytes(),
+			SnapshotGen:      ix.gen.Load(),
+			PinnedQueries:    ix.pinned.Load(),
+			CacheLists:       int64(ix.cache.Len()),
+			CacheBytes:       ix.cache.Bytes(),
+			PlanCacheEntries: int64(ix.plans.Len()),
 		}
 	})
-	ix.snap.Store(&snapshot{doc: doc, m: m, store: store, enc: enc})
+	ix.snap.Store(&snapshot{doc: doc, m: m, store: store, enc: enc, gen: 1})
 	return ix
 }
+
+// SetPlanCacheCapacity rebounds the plan cache (entries, not bytes);
+// n <= 0 restores the default bound. Shrinking evicts immediately.
+func (ix *Index) SetPlanCacheCapacity(n int) { ix.plans.SetCapacity(n) }
 
 // view returns the currently published snapshot. Callers use every part of
 // the returned snapshot together; mixing parts of different snapshots is
