@@ -15,12 +15,18 @@
 //
 //	xkwbench -exp smoke -json BENCH_smoke.json
 //	xkwbench -exp smoke -json BENCH_smoke.json -baseline results/BENCH_smoke.json -tol 3.0
+//	xkwbench -exp overload -json BENCH_overload.json
 //
 // -exp smoke measures every engine on the mid-band workload against a
 // disk-backed store and writes per-engine p50/p95/p99, throughput, and
 // decode volume (plus the machine fingerprint) to -json. With -baseline,
 // the run exits nonzero when any point's p50 regresses beyond -tol
 // (fractional; 3.0 = 4x slower) against the committed baseline.
+//
+// -exp overload hammers the HTTP serving stack (admission control
+// included) at twice its in-flight capacity and reports the shed rate,
+// certified-partial rate, and admitted-query latency — the degradation
+// behavior rather than raw engine speed.
 package main
 
 import (
@@ -41,9 +47,9 @@ func main() {
 		queries  = flag.Int("queries", 0, "override queries per sweep point")
 		reps     = flag.Int("reps", 0, "override repetitions per query")
 		topK     = flag.Int("k", 10, "K for the top-K experiments")
-		exp      = flag.String("exp", "all", "experiment: all, table1, fig9, fig10, ablations, smoke")
+		exp      = flag.String("exp", "all", "experiment: all, table1, fig9, fig10, ablations, smoke, overload")
 		out      = flag.String("o", "", "also write output to this file")
-		jsonOut  = flag.String("json", "", "with -exp smoke, write the telemetry report to this file")
+		jsonOut  = flag.String("json", "", "with -exp smoke or overload, write the telemetry report to this file")
 		baseline = flag.String("baseline", "", "with -exp smoke, gate the run against this baseline report")
 		tol      = flag.Float64("tol", 0.25, "fractional p50 regression tolerance for -baseline (0.25 = 25%)")
 		metrics  = flag.Bool("metrics", false, "append per-engine metrics (Prometheus text + JSON) after the sweep")
@@ -92,6 +98,13 @@ func main() {
 
 	if *exp == "smoke" {
 		if err := runSmoke(w, cfg, *jsonOut, *baseline, *tol); err != nil {
+			fmt.Fprintln(os.Stderr, "xkwbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "overload" {
+		if err := runOverload(w, cfg, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "xkwbench:", err)
 			os.Exit(1)
 		}
@@ -177,6 +190,32 @@ func runSmoke(w io.Writer, cfg bench.Config, jsonOut, baseline string, tol float
 			return fmt.Errorf("%d point(s) regressed beyond %.0f%% vs %s", len(v), tol*100, baseline)
 		}
 		fmt.Fprintf(w, "perf gate passed: no p50 regression beyond %.0f%% vs %s\n", tol*100, baseline)
+	}
+	return nil
+}
+
+// runOverload measures the serving stack's degradation behavior at 2x
+// admission capacity and writes the JSON report.
+func runOverload(w io.Writer, cfg bench.Config, jsonOut string) error {
+	report, err := bench.Overload(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== overload: scale=%.2f queries/pt=%d reps=%d K=%d (%s/%s, %d CPU, %s) ==\n",
+		cfg.Scale, cfg.QueriesPerPt, cfg.RepsPerQuery, cfg.TopK,
+		report.Env.GOOS, report.Env.GOARCH, report.Env.NumCPU, report.Env.GoVersion)
+	fmt.Fprintf(w, "%-14s %12s %12s %12s %10s\n", "phase", "p50", "p95", "p99", "qps")
+	for _, p := range report.Points {
+		fmt.Fprintf(w, "%-14s %12v %12v %12v %10.0f\n",
+			p.Label, time.Duration(p.P50Ns), time.Duration(p.P95Ns), time.Duration(p.P99Ns), p.QPS)
+	}
+	fmt.Fprintf(w, "shed rate: %.2f  partial rate: %.2f  admission rejected: %d\n",
+		report.ShedRate, report.PartialRate, report.AdmissionRejected)
+	if jsonOut != "" {
+		if err := bench.WriteReport(jsonOut, report); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "report written to %s\n", jsonOut)
 	}
 	return nil
 }

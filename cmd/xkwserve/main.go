@@ -9,12 +9,21 @@
 //	xkwserve (-index DIR | -xml FILE) [-addr :8080]
 //	         [-slow 50ms] [-trace-keep 256] [-trace-sample 64] [-trace-seed 1]
 //	         [-mutexfrac N] [-blockrate N]
+//	         [-max-inflight 256] [-queue 64] [-default-timeout 0] [-drain 5s]
 //
 // Trace capture policy: every query through /search is traced; traces of
 // queries that erred, were cancelled, or ran at or above -slow are always
 // retained (up to -trace-keep, oldest evicted), the rest pass through a
 // -trace-sample sized reservoir. -slow 0 retains every trace — useful in
 // development, unbounded only by -trace-keep.
+//
+// Overload policy: at most -max-inflight queries execute concurrently,
+// up to -queue more wait for a slot, and the rest are shed with 503 and
+// Retry-After. -default-timeout caps every query that does not carry its
+// own ?timeout=. On SIGTERM/SIGINT the server drains: /readyz flips to
+// 503 immediately, new queries shed, and in-flight queries get -drain to
+// finish (or settle as certified-partial with ?partial=1) before the
+// listener closes.
 package main
 
 import (
@@ -45,9 +54,13 @@ func main() {
 	mutexFrac := fs.Int("mutexfrac", 0, "mutex profile fraction (0 = off)")
 	blockRate := fs.Int("blockrate", 0, "block profile rate in ns (0 = off)")
 	planCache := fs.Int("plancache", 0, "query-plan cache capacity for engine=auto (0 = default)")
+	maxInflight := fs.Int("max-inflight", 256, "maximum concurrently executing queries (0 = unlimited)")
+	queueLen := fs.Int("queue", 64, "admission wait-queue length beyond max-inflight")
+	defaultTimeout := fs.Duration("default-timeout", 0, "deadline applied to queries without an explicit ?timeout= (0 = none)")
+	drainGrace := fs.Duration("drain", 5*time.Second, "grace period for in-flight queries during shutdown")
 	fs.Parse(os.Args[1:])
 	if (*indexDir == "") == (*xmlPath == "") {
-		fmt.Fprintln(os.Stderr, "usage: xkwserve (-index DIR | -xml FILE) [-addr :8080] [-slow DUR] [-trace-keep N] [-trace-sample N] [-trace-seed N] [-mutexfrac N] [-blockrate N] [-plancache N]")
+		fmt.Fprintln(os.Stderr, "usage: xkwserve (-index DIR | -xml FILE) [-addr :8080] [-slow DUR] [-trace-keep N] [-trace-sample N] [-trace-seed N] [-mutexfrac N] [-blockrate N] [-plancache N] [-max-inflight N] [-queue N] [-default-timeout DUR] [-drain DUR]")
 		os.Exit(2)
 	}
 
@@ -75,10 +88,14 @@ func main() {
 		ix.SetPlanCacheCapacity(*planCache)
 	}
 
-	srv := &http.Server{
-		Addr:    *addr,
-		Handler: obshttp.NewHandler(ix, obshttp.Options{MutexProfileFraction: *mutexFrac, BlockProfileRate: *blockRate}),
-	}
+	h := obshttp.NewHandler(ix, obshttp.Options{
+		MutexProfileFraction: *mutexFrac,
+		BlockProfileRate:     *blockRate,
+		MaxInflight:          *maxInflight,
+		QueueLen:             *queueLen,
+		DefaultTimeout:       *defaultTimeout,
+	})
+	srv := &http.Server{Addr: *addr, Handler: h}
 	go func() {
 		fmt.Printf("xkwserve: listening on %s\n", *addr)
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -89,12 +106,17 @@ func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	fmt.Println("\nxkwserve: shutting down")
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	fmt.Println("\nxkwserve: draining")
+	// Drain order matters: flip readiness and start shedding first, so load
+	// balancers stop routing here, then close the listener while in-flight
+	// queries run out the grace period (plus slack for response writes).
+	h.StartDrain(*drainGrace)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainGrace+2*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		fatal(err)
 	}
+	fmt.Println("xkwserve: drained, exiting")
 }
 
 func fatal(err error) {

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
+	"repro/internal/budget"
 	"repro/internal/exec"
 	"repro/internal/obs"
 )
@@ -34,6 +36,100 @@ import (
 // ErrInternal is wrapped by errors reporting a contained engine panic.
 // Results accompanying such an error must be discarded.
 var ErrInternal = errors.New("xmlsearch: internal error")
+
+// ErrDeadlineExceeded classifies a query aborted because its deadline —
+// SearchOptions.Timeout or a deadline already on the caller's context —
+// expired. Errors wrapping it also wrap context.DeadlineExceeded.
+var ErrDeadlineExceeded = errors.New("xmlsearch: query deadline exceeded")
+
+// ErrCancelled classifies a query aborted because the caller's context
+// was cancelled (not by deadline expiry). Errors wrapping it also wrap
+// context.Canceled.
+var ErrCancelled = errors.New("xmlsearch: query cancelled")
+
+// ErrBudgetExceeded classifies a query aborted because it exhausted a
+// resource budget (SearchOptions.MaxDecodedBytes or MaxCandidates). It is
+// the budget package's sentinel; the returned error is a *budget.Error
+// carrying which dimension tripped and by how much.
+var ErrBudgetExceeded = budget.ErrExceeded
+
+// classifyErr maps the raw abort cause coming out of an engine to the
+// public taxonomy: deadline expiry and cancellation get distinct
+// sentinels (both still matching their context sentinel, so existing
+// errors.Is checks keep working); budget errors already carry theirs.
+func classifyErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrDeadlineExceeded), errors.Is(err, ErrCancelled):
+		return err
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %w", ErrDeadlineExceeded, err)
+	case errors.Is(err, context.Canceled):
+		return fmt.Errorf("%w: %w", ErrCancelled, err)
+	}
+	return err
+}
+
+// isAbort reports whether a classified error is a deadline, cancellation,
+// or budget abort — the causes a certified-partial answer may settle.
+func isAbort(err error) bool {
+	return errors.Is(err, ErrDeadlineExceeded) || errors.Is(err, ErrCancelled) || errors.Is(err, ErrBudgetExceeded)
+}
+
+// withTimeout derives the evaluation context from the caller's: the
+// option timeout is layered on (never replacing an earlier caller
+// deadline — context.WithTimeout keeps the tighter of the two).
+func withTimeout(ctx context.Context, opt SearchOptions) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opt.Timeout > 0 {
+		return context.WithTimeout(ctx, opt.Timeout)
+	}
+	return ctx, func() {}
+}
+
+// queryBudget builds the per-query resource budget (nil = unlimited).
+func queryBudget(opt SearchOptions) *budget.B {
+	return budget.New(opt.MaxDecodedBytes, opt.MaxCandidates)
+}
+
+// settle is the shared abort epilogue: it classifies the error, counts
+// budget trips, and — when the caller opted into partial answers and the
+// engine can bound its unseen results — converts the abort into a
+// successful certified-partial answer. It returns the results and error
+// for the caller plus the original trip error for the metrics/trace path
+// (nil when the query genuinely completed), so a settled partial query is
+// still recorded as aborted by the observability layer.
+func (ix *Index) settle(rs []Result, meta exec.RunMeta, caps exec.Capability, opt SearchOptions, err error) ([]Result, exec.RunMeta, error, error) {
+	if err == nil {
+		return rs, meta, nil, nil
+	}
+	err = classifyErr(err)
+	var berr *budget.Error
+	if errors.As(err, &berr) {
+		switch berr.Resource {
+		case budget.DecodedBytes:
+			ix.metrics.Serving.BudgetDecodedTrips.Add(1)
+		case budget.Candidates:
+			ix.metrics.Serving.BudgetCandidateTrips.Add(1)
+		}
+	}
+	if !opt.AllowPartial || caps&exec.CapPartial == 0 || !isAbort(err) {
+		return nil, meta, err, err
+	}
+	if !meta.Partial {
+		// Aborted before the engine reported a bound (e.g. while opening
+		// lists): nothing is certified.
+		meta = exec.RunMeta{Partial: true, UnseenBound: math.Inf(1)}
+	}
+	for i := range rs {
+		rs[i].Exact = rs[i].Score >= meta.UnseenBound
+	}
+	ix.metrics.Serving.PartialQueries.Add(1)
+	return rs, meta, nil, err
+}
 
 // guard converts a panic escaping an engine into an ErrInternal error.
 func guard(err *error) {
@@ -121,9 +217,11 @@ func (s *snapshot) planStats(keywords []string) exec.Stats {
 }
 
 // SearchContext is Search honoring a context: cancellation or deadline
-// expiry aborts the evaluation with ctx.Err().
+// expiry aborts the evaluation with an error matching ErrCancelled or
+// ErrDeadlineExceeded — unless opt.AllowPartial settles the abort into a
+// certified-partial answer.
 func (ix *Index) SearchContext(ctx context.Context, query string, opt SearchOptions) ([]Result, error) {
-	rs, _, err := ix.searchObs(ctx, query, nil, opt, nil)
+	rs, _, _, err := ix.searchObs(ctx, query, nil, opt, nil)
 	return rs, err
 }
 
@@ -150,16 +248,29 @@ func (ix *Index) finishQuery(e obs.Engine, query string, k int, elapsed time.Dur
 // are the query's pre-tokenized keywords (the prepared-query path); nil
 // tokenizes query. The resolved metrics slot is returned for the traced
 // entry points.
-func (ix *Index) searchObs(ctx context.Context, query string, kws []string, opt SearchOptions, tr *obs.Trace) (rs []Result, eng obs.Engine, err error) {
+func (ix *Index) searchObs(ctx context.Context, query string, kws []string, opt SearchOptions, tr *obs.Trace) (rs []Result, meta exec.RunMeta, eng obs.Engine, err error) {
 	start := time.Now()
 	ix.pinned.Add(1)
 	eng = searchEngineSlot(opt.Algorithm)
+	var trip error
 	defer func() {
 		ix.pinned.Add(-1)
-		ix.finishQuery(eng, query, 0, time.Since(start), len(rs), err, tr)
+		// A settled partial query returns nil to the caller but is recorded
+		// under its original abort cause, so the cancellation counters and
+		// the trace store's always-retain rule still see it.
+		ferr := err
+		if ferr == nil && trip != nil {
+			ferr = trip
+		}
+		ix.finishQuery(eng, query, 0, time.Since(start), len(rs), ferr, tr)
 	}()
 	defer guard(&err)
-	return ix.searchEval(ctx, query, kws, opt, tr)
+	ctx, cancel := withTimeout(ctx, opt)
+	defer cancel()
+	var caps exec.Capability
+	rs, meta, caps, eng, err = ix.searchEval(ctx, query, kws, opt, tr)
+	rs, meta, err, trip = ix.settle(rs, meta, caps, opt, err)
+	return rs, meta, eng, err
 }
 
 // searchEval pins the current snapshot, resolves the engine through the
@@ -167,7 +278,7 @@ func (ix *Index) searchObs(ctx context.Context, query string, kws []string, opt 
 // evaluation. Every list, node lookup, and materialization of the query
 // comes from the one pinned snapshot, so a concurrently published
 // mutation cannot tear the evaluation.
-func (ix *Index) searchEval(ctx context.Context, query string, kws []string, opt SearchOptions, tr *obs.Trace) (rs []Result, eng obs.Engine, err error) {
+func (ix *Index) searchEval(ctx context.Context, query string, kws []string, opt SearchOptions, tr *obs.Trace) (rs []Result, meta exec.RunMeta, caps exec.Capability, eng obs.Engine, err error) {
 	eng = searchEngineSlot(opt.Algorithm)
 	if ctx == nil {
 		ctx = context.Background()
@@ -177,116 +288,143 @@ func (ix *Index) searchEval(ctx context.Context, query string, kws []string, opt
 		keywords = Keywords(query)
 	}
 	if len(keywords) == 0 {
-		return nil, eng, ErrNoKeywords
+		return nil, meta, caps, eng, ErrNoKeywords
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, eng, err
+		return nil, meta, caps, eng, err
 	}
 	s := ix.view()
-	q := exec.Query{Keywords: keywords, Semantics: int(opt.Semantics), Decay: effectiveDecay(opt.Decay)}
+	q := exec.Query{Keywords: keywords, Semantics: int(opt.Semantics), Decay: effectiveDecay(opt.Decay),
+		Budget: queryBudget(opt), AllowPartial: opt.AllowPartial}
 	e, _, err := ix.resolveEngine(s, q, opt.Algorithm, false, tr)
 	if err != nil {
-		return nil, eng, err
+		return nil, meta, caps, eng, err
 	}
-	eng = e.Obs
-	rs, err = e.Run(ctx, s, q, tr)
-	return rs, eng, err
+	eng, caps = e.Obs, e.Caps
+	rs, meta, err = e.Run(ctx, s, q, tr)
+	return rs, meta, caps, eng, err
 }
 
 // TopKContext is TopK honoring a context: cancellation or deadline expiry
-// aborts the evaluation with ctx.Err() without completing the scan.
+// aborts the evaluation with an error matching ErrCancelled or
+// ErrDeadlineExceeded without completing the scan — unless
+// opt.AllowPartial settles the abort into a certified-partial answer.
 func (ix *Index) TopKContext(ctx context.Context, query string, k int, opt SearchOptions) ([]Result, error) {
-	rs, _, err := ix.topKObs(ctx, query, nil, k, opt, nil)
+	rs, _, _, err := ix.topKObs(ctx, query, nil, k, opt, nil)
 	return rs, err
 }
 
 // topKObs wraps topKEval with the panic guard and per-query metrics
 // accounting.
-func (ix *Index) topKObs(ctx context.Context, query string, kws []string, k int, opt SearchOptions, tr *obs.Trace) (rs []Result, eng obs.Engine, err error) {
+func (ix *Index) topKObs(ctx context.Context, query string, kws []string, k int, opt SearchOptions, tr *obs.Trace) (rs []Result, meta exec.RunMeta, eng obs.Engine, err error) {
 	start := time.Now()
 	ix.pinned.Add(1)
 	eng = topKEngineSlot(opt.Algorithm)
+	var trip error
 	defer func() {
 		ix.pinned.Add(-1)
-		ix.finishQuery(eng, query, k, time.Since(start), len(rs), err, tr)
+		ferr := err
+		if ferr == nil && trip != nil {
+			ferr = trip
+		}
+		ix.finishQuery(eng, query, k, time.Since(start), len(rs), ferr, tr)
 	}()
 	defer guard(&err)
-	return ix.topKEval(ctx, query, kws, k, opt, tr)
+	ctx, cancel := withTimeout(ctx, opt)
+	defer cancel()
+	var caps exec.Capability
+	rs, meta, caps, eng, err = ix.topKEval(ctx, query, kws, k, opt, tr)
+	rs, meta, err, trip = ix.settle(rs, meta, caps, opt, err)
+	return rs, meta, eng, err
 }
 
 // topKEval resolves the engine through the registry and runs the top-K
 // evaluation against the pinned snapshot.
-func (ix *Index) topKEval(ctx context.Context, query string, kws []string, k int, opt SearchOptions, tr *obs.Trace) (rs []Result, eng obs.Engine, err error) {
+func (ix *Index) topKEval(ctx context.Context, query string, kws []string, k int, opt SearchOptions, tr *obs.Trace) (rs []Result, meta exec.RunMeta, caps exec.Capability, eng obs.Engine, err error) {
 	eng = topKEngineSlot(opt.Algorithm)
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if k <= 0 {
-		return nil, eng, fmt.Errorf("xmlsearch: k must be positive")
+		return nil, meta, caps, eng, fmt.Errorf("xmlsearch: k must be positive")
 	}
 	keywords := kws
 	if keywords == nil {
 		keywords = Keywords(query)
 	}
 	if len(keywords) == 0 {
-		return nil, eng, ErrNoKeywords
+		return nil, meta, caps, eng, ErrNoKeywords
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, eng, err
+		return nil, meta, caps, eng, err
 	}
 	s := ix.view()
-	q := exec.Query{Keywords: keywords, Semantics: int(opt.Semantics), K: k, Decay: effectiveDecay(opt.Decay)}
+	q := exec.Query{Keywords: keywords, Semantics: int(opt.Semantics), K: k, Decay: effectiveDecay(opt.Decay),
+		Budget: queryBudget(opt), AllowPartial: opt.AllowPartial}
 	e, _, err := ix.resolveEngine(s, q, opt.Algorithm, true, tr)
 	if err != nil {
-		return nil, eng, err
+		return nil, meta, caps, eng, err
 	}
-	eng = e.Obs
-	rs, err = e.Run(ctx, s, q, tr)
-	return rs, eng, err
+	eng, caps = e.Obs, e.Caps
+	rs, meta, err = e.Run(ctx, s, q, tr)
+	return rs, meta, caps, eng, err
 }
 
 // TopKStreamContext is TopKStream honoring a context: results already
 // proven safe are delivered to fn before cancellation is observed; the
 // remaining evaluation then aborts with ctx.Err().
 func (ix *Index) TopKStreamContext(ctx context.Context, query string, k int, opt SearchOptions, fn func(Result) bool) error {
-	_, err := ix.topKStreamObs(ctx, query, nil, k, opt, fn, nil)
+	_, _, err := ix.topKStreamObs(ctx, query, nil, k, opt, fn, nil)
 	return err
 }
 
 // topKStreamObs runs the streaming top-K star join (the registry's one
 // streaming-capable engine, regardless of opt.Algorithm), guarded and
 // metered like the other entry points. It returns the number of results
-// delivered.
-func (ix *Index) topKStreamObs(ctx context.Context, query string, kws []string, k int, opt SearchOptions, fn func(Result) bool, tr *obs.Trace) (delivered int, err error) {
+// delivered. Every streamed result was threshold-proven before delivery,
+// so with opt.AllowPartial an abort simply ends the stream cleanly (nil
+// error); the returned RunMeta reports that the answer is partial.
+func (ix *Index) topKStreamObs(ctx context.Context, query string, kws []string, k int, opt SearchOptions, fn func(Result) bool, tr *obs.Trace) (delivered int, meta exec.RunMeta, err error) {
 	start := time.Now()
 	ix.pinned.Add(1)
+	var trip error
 	defer func() {
 		ix.pinned.Add(-1)
-		ix.finishQuery(obs.EngineTopK, query, k, time.Since(start), delivered, err, tr)
+		ferr := err
+		if ferr == nil && trip != nil {
+			ferr = trip
+		}
+		ix.finishQuery(obs.EngineTopK, query, k, time.Since(start), delivered, ferr, tr)
 	}()
 	defer guard(&err)
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if k <= 0 {
-		return 0, fmt.Errorf("xmlsearch: k must be positive")
+		return 0, meta, fmt.Errorf("xmlsearch: k must be positive")
 	}
 	if fn == nil {
-		return 0, fmt.Errorf("xmlsearch: nil callback")
+		return 0, meta, fmt.Errorf("xmlsearch: nil callback")
 	}
 	keywords := kws
 	if keywords == nil {
 		keywords = Keywords(query)
 	}
 	if len(keywords) == 0 {
-		return 0, ErrNoKeywords
+		return 0, meta, ErrNoKeywords
 	}
+	ctx, cancel := withTimeout(ctx, opt)
+	defer cancel()
 	if err := ctx.Err(); err != nil {
-		return 0, err
+		return 0, meta, classifyErr(err)
 	}
 	s := ix.view()
-	q := exec.Query{Keywords: keywords, Semantics: int(opt.Semantics), K: k, Decay: effectiveDecay(opt.Decay)}
-	return engines.ForStream().Stream(ctx, s, q, tr, fn)
+	q := exec.Query{Keywords: keywords, Semantics: int(opt.Semantics), K: k, Decay: effectiveDecay(opt.Decay),
+		Budget: queryBudget(opt), AllowPartial: opt.AllowPartial}
+	e := engines.ForStream()
+	delivered, meta, err = e.Stream(ctx, s, q, tr, fn)
+	_, meta, err, trip = ix.settle(nil, meta, e.Caps, opt, err)
+	return delivered, meta, err
 }
 
 // SearchContext is Corpus.Search honoring a context.

@@ -2,6 +2,7 @@ package xmlsearch
 
 import (
 	"context"
+	"math"
 	"sort"
 
 	"repro/internal/core"
@@ -32,17 +33,17 @@ type queryEngine = exec.Engine[*snapshot, Result]
 var engines = exec.NewRegistry(
 	&queryEngine{
 		Name: "topk", Algo: int(AlgoJoin),
-		Caps: exec.CapTopK | exec.CapStream, Obs: obs.EngineTopK,
+		Caps: exec.CapTopK | exec.CapStream | exec.CapPartial, Obs: obs.EngineTopK,
 		Cost: exec.CostTopKJoin, Run: runTopKJoin, Stream: streamTopKJoin,
 	},
 	&queryEngine{
 		Name: "join", Algo: int(AlgoJoin),
-		Caps: exec.CapComplete | exec.CapTopK, Obs: obs.EngineJoin,
+		Caps: exec.CapComplete | exec.CapTopK | exec.CapPartial, Obs: obs.EngineJoin,
 		Cost: exec.CostJoin, Run: runJoin,
 	},
 	&queryEngine{
 		Name: "stack", Algo: int(AlgoStack),
-		Caps: exec.CapComplete | exec.CapTopK, Obs: obs.EngineStack,
+		Caps: exec.CapComplete | exec.CapTopK | exec.CapPartial, Obs: obs.EngineStack,
 		Cost: exec.CostStack, Run: runStack,
 	},
 	&queryEngine{
@@ -62,37 +63,64 @@ var engines = exec.NewRegistry(
 	},
 )
 
+// abortedMeta is the RunMeta of an evaluation cut short without a
+// certification bound: nothing about the unseen results is known, so the
+// bound is +Inf and no returned result can be marked exact.
+func abortedMeta() exec.RunMeta {
+	return exec.RunMeta{Partial: true, UnseenBound: math.Inf(1)}
+}
+
 // runJoin is the complete join-based evaluation (Section III). With
 // K > 0 — reachable only through the planner choosing sort-after-complete
-// for a small expected result set — it truncates the ranked set.
-func runJoin(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trace) ([]Result, error) {
-	lists := s.store.Lists(q.Keywords, tr)
+// for a small expected result set — it truncates the ranked set. On a
+// deadline/budget abort the results accumulated so far come back ranked,
+// but with an infinite unseen bound: the bottom-up merge visits results in
+// document order, not score order, so nothing can be certified.
+func runJoin(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trace) ([]Result, exec.RunMeta, error) {
+	lists, lerr := s.store.ListsBudget(q.Keywords, tr, q.Budget)
+	if lerr != nil {
+		return nil, abortedMeta(), lerr
+	}
 	rs, _, err := core.EvaluateCtx(ctx, lists, core.Options{Semantics: coreSem(Semantics(q.Semantics)), Decay: q.Decay, Trace: tr})
 	if err != nil {
-		return nil, err
+		core.SortByScore(rs)
+		return truncate(s.materializeJoin(rs), q.K), abortedMeta(), err
 	}
 	core.SortByScore(rs)
-	return truncate(s.materializeJoin(rs), q.K), nil
+	return truncate(s.materializeJoin(rs), q.K), exec.RunMeta{}, nil
 }
 
 // runTopKJoin is the top-K star join (Section IV): score-ordered cursors
-// with threshold-proven early termination.
-func runTopKJoin(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trace) ([]Result, error) {
-	lists := s.store.TopKLists(q.Keywords, tr)
-	rs, _, err := topk.EvaluateCtx(ctx, lists, topk.Options{Semantics: coreSem(Semantics(q.Semantics)), Decay: q.Decay, K: q.K, Trace: tr})
-	if err != nil {
-		return nil, err
+// with threshold-proven early termination. On abort the engine reports the
+// Section IV-B/IV-C threshold as the unseen bound, so the results already
+// proven (score ≥ bound) can be certified exact by the facade.
+func runTopKJoin(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trace) ([]Result, exec.RunMeta, error) {
+	lists, lerr := s.store.TopKListsBudget(q.Keywords, tr, q.Budget)
+	if lerr != nil {
+		return nil, abortedMeta(), lerr
 	}
-	return s.materializeJoin(rs), nil
+	rs, st, err := topk.EvaluateCtx(ctx, lists, topk.Options{
+		Semantics: coreSem(Semantics(q.Semantics)), Decay: q.Decay, K: q.K, Trace: tr,
+		Budget: q.Budget, Partial: q.AllowPartial,
+	})
+	return s.materializeJoin(rs), exec.RunMeta{Partial: st.Partial, UnseenBound: st.UnseenBound}, err
 }
 
 // streamTopKJoin delivers each star-join result the moment the threshold
 // proves it safe. Results whose node vanished from the snapshot's tree
-// are skipped without counting against delivery.
-func streamTopKJoin(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trace, emit func(Result) bool) (int, error) {
-	lists := s.store.TopKLists(q.Keywords, tr)
+// are skipped without counting against delivery. A deadline/budget abort
+// simply ends the stream early: every delivered result was already
+// threshold-proven, so nothing unproven ever reaches the consumer.
+func streamTopKJoin(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trace, emit func(Result) bool) (int, exec.RunMeta, error) {
+	lists, lerr := s.store.TopKListsBudget(q.Keywords, tr, q.Budget)
+	if lerr != nil {
+		return 0, abortedMeta(), lerr
+	}
 	delivered := 0
-	_, _, err := topk.EvaluateFuncCtx(ctx, lists, topk.Options{Semantics: coreSem(Semantics(q.Semantics)), Decay: q.Decay, K: q.K, Trace: tr},
+	_, st, err := topk.EvaluateFuncCtx(ctx, lists, topk.Options{
+		Semantics: coreSem(Semantics(q.Semantics)), Decay: q.Decay, K: q.K, Trace: tr,
+		Budget: q.Budget,
+	},
 		func(r core.Result) bool {
 			n := s.doc.NodeByJDewey(r.Level, r.Value)
 			if n == nil {
@@ -101,30 +129,33 @@ func streamTopKJoin(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trac
 			delivered++
 			return emit(materializeNode(n, r.Score))
 		})
-	return delivered, err
+	return delivered, exec.RunMeta{Partial: st.Partial, UnseenBound: st.UnseenBound}, err
 }
 
 // runStack is the stack-based baseline: full document-order merge, then
-// rank (and truncate, for top-K).
-func runStack(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trace) ([]Result, error) {
+// rank (and truncate, for top-K). Like the complete join, its abort-time
+// results carry no certification bound. The in-memory baseline lists are
+// not budget-charged: the decoded-bytes budget bounds the column store's
+// read path, which this engine does not use.
+func runStack(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trace) ([]Result, exec.RunMeta, error) {
 	rs, _, err := stack.EvaluateObsCtx(ctx, s.invListsObs(q.Keywords, tr), stackSem(Semantics(q.Semantics)), q.Decay, tr)
-	if err != nil {
-		return nil, err
-	}
 	stack.SortByScore(rs)
 	out := make([]Result, 0, len(rs))
 	for _, r := range rs {
 		out = append(out, s.materializeDewey(r.ID, r.Score))
 	}
-	return truncate(out, q.K), nil
+	if err != nil {
+		return truncate(out, q.K), abortedMeta(), err
+	}
+	return truncate(out, q.K), exec.RunMeta{}, nil
 }
 
 // runIxLookup is the index-lookup baseline: shortest-list-driven probes,
 // then rank by the canonical ordering (and truncate, for top-K).
-func runIxLookup(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trace) ([]Result, error) {
+func runIxLookup(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trace) ([]Result, exec.RunMeta, error) {
 	rs, _, err := ixlookup.EvaluateObsCtx(ctx, s.invListsObs(q.Keywords, tr), ixlookupSem(Semantics(q.Semantics)), q.Decay, tr)
 	if err != nil {
-		return nil, err
+		return nil, abortedMeta(), err
 	}
 	sort.SliceStable(rs, func(i, j int) bool {
 		if c := exec.Compare(rs[i].Score, rs[j].Score, len(rs[i].ID), len(rs[j].ID)); c != 0 {
@@ -136,38 +167,46 @@ func runIxLookup(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trace) 
 	for _, r := range rs {
 		out = append(out, s.materializeDewey(r.ID, r.Score))
 	}
-	return truncate(out, q.K), nil
+	return truncate(out, q.K), exec.RunMeta{}, nil
 }
 
 // runRDIL is the RDIL top-K baseline (classic TA over score-ordered
 // lists with random-access lookups).
-func runRDIL(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trace) ([]Result, error) {
+func runRDIL(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trace) ([]Result, exec.RunMeta, error) {
 	s.ensureInv()
 	if tr != nil {
 		s.invListsObs(q.Keywords, tr)
 	}
 	rs, _, err := s.rdilIdx.TopKObsCtx(ctx, q.Keywords, rdilSem(Semantics(q.Semantics)), q.Decay, q.K, tr)
 	if err != nil {
-		return nil, err
+		return nil, abortedMeta(), err
 	}
 	out := make([]Result, 0, len(rs))
 	for _, r := range rs {
 		out = append(out, s.materializeDewey(r.ID, r.Score))
 	}
-	return out, nil
+	return out, exec.RunMeta{}, nil
 }
 
 // runHybrid is the Section V-D strategy: a cardinality estimate decides
-// between the star join and the complete evaluation.
-func runHybrid(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trace) ([]Result, error) {
-	colLists := s.store.Lists(q.Keywords, tr)
-	tkLists := s.store.TopKLists(q.Keywords, tr)
-	rs, _, err := topk.EvaluateHybridCtx(ctx, colLists, tkLists,
-		topk.HybridOptions{Semantics: coreSem(Semantics(q.Semantics)), Decay: q.Decay, K: q.K, Trace: tr})
-	if err != nil {
-		return nil, err
+// between the star join and the complete evaluation. Its abort-time
+// results are discarded rather than certified: which branch ran (and so
+// whether a bound exists) is a planning detail the facade cannot see.
+func runHybrid(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trace) ([]Result, exec.RunMeta, error) {
+	colLists, lerr := s.store.ListsBudget(q.Keywords, tr, q.Budget)
+	if lerr != nil {
+		return nil, abortedMeta(), lerr
 	}
-	return s.materializeJoin(rs), nil
+	tkLists, lerr := s.store.TopKListsBudget(q.Keywords, tr, q.Budget)
+	if lerr != nil {
+		return nil, abortedMeta(), lerr
+	}
+	rs, _, err := topk.EvaluateHybridCtx(ctx, colLists, tkLists,
+		topk.HybridOptions{Semantics: coreSem(Semantics(q.Semantics)), Decay: q.Decay, K: q.K, Trace: tr, Budget: q.Budget})
+	if err != nil {
+		return nil, abortedMeta(), err
+	}
+	return s.materializeJoin(rs), exec.RunMeta{}, nil
 }
 
 // truncate caps a ranked result slice at k (0 = no cap).

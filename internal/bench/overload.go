@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	xmlsearch "repro"
+	"repro/internal/gen"
+	"repro/internal/obshttp"
+)
+
+// The overload experiment measures the serving stack's degradation
+// behavior rather than raw engine speed: it drives the full HTTP stack
+// (admission control included, over a real loopback listener so requests
+// genuinely overlap) at twice its in-flight capacity and reports what
+// the resilience layer did — how much load was shed, how many admitted
+// queries settled as certified-partial answers, and the latency the
+// admitted queries saw. CI stores the report next to the smoke gate so a
+// regression in degradation behavior (shedding stops working, partial
+// settlement breaks, admitted-latency blows up under contention) is
+// machine-visible.
+
+// overloadInflight and overloadQueue size the admission policy under
+// test. Small on purpose: the hammer needs to exceed capacity with a
+// modest number of goroutines on any CI machine.
+const (
+	overloadInflight = 8
+	overloadQueue    = 4
+)
+
+// overloadRequest is one pre-built hammer request.
+type overloadRequest struct {
+	url string
+	// budgeted requests carry a tight candidate budget plus partial=1, so
+	// they settle as certified-partial 200s instead of erroring.
+	budgeted bool
+}
+
+// overloadWorkload builds the request mix: the mid-band k=2 queries as
+// plain top-K requests, every third one duplicated with a candidate
+// budget low enough to trip mid-evaluation and partial=1 to opt into
+// the certified-partial settlement.
+func overloadWorkload(ds *gen.Dataset, seed int64, queriesPerPt, topK int) []overloadRequest {
+	mid := ds.BandValues[len(ds.BandValues)/2]
+	qs := (&Env{DS: ds}).BandQueries(seed, 2, mid, queriesPerPt)
+	out := make([]overloadRequest, 0, len(qs)*4/3)
+	for i, q := range qs {
+		base := fmt.Sprintf("/search?q=%s&k=%d", strings.Join(q, "+"), topK)
+		out = append(out, overloadRequest{url: base})
+		if i%3 == 0 {
+			out = append(out, overloadRequest{url: base + "&maxcand=2&partial=1", budgeted: true})
+		}
+	}
+	return out
+}
+
+// overloadOutcome tallies one phase of the hammer.
+type overloadOutcome struct {
+	mu                             sync.Mutex
+	total, admitted, shed, partial int
+	durs                           []time.Duration // admitted requests only
+}
+
+func (o *overloadOutcome) point(exp, label string, queries, reps int) Point {
+	sort.Slice(o.durs, func(i, j int) bool { return o.durs[i] < o.durs[j] })
+	var total time.Duration
+	for _, d := range o.durs {
+		total += d
+	}
+	var mean time.Duration
+	var qps float64
+	if len(o.durs) > 0 {
+		mean = total / time.Duration(len(o.durs))
+		if total > 0 {
+			qps = float64(len(o.durs)) / total.Seconds()
+		}
+	}
+	return Point{
+		Exp: exp, Engine: "http", Label: label, K: 0,
+		Queries: queries, Reps: reps,
+		P50Ns: int64(quantile(o.durs, 50)), P95Ns: int64(quantile(o.durs, 95)),
+		P99Ns: int64(quantile(o.durs, 99)), MeanNs: int64(mean), QPS: qps,
+	}
+}
+
+// run fires every request once over the wire, accounting status and
+// latency. Safe for concurrent use.
+func (o *overloadOutcome) run(client *http.Client, base string, reqs []overloadRequest) error {
+	for _, req := range reqs {
+		start := time.Now()
+		resp, err := client.Get(base + req.url)
+		if err != nil {
+			return err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		d := time.Since(start)
+		o.mu.Lock()
+		o.total++
+		switch resp.StatusCode {
+		case http.StatusOK:
+			o.admitted++
+			o.durs = append(o.durs, d)
+			if strings.Contains(string(body), `"partial": true`) {
+				o.partial++
+			}
+		case http.StatusServiceUnavailable:
+			o.shed++
+		}
+		o.mu.Unlock()
+	}
+	return nil
+}
+
+// Overload runs the degradation benchmark: an uncontended pass for the
+// baseline latency, then 2x overloadInflight workers hammering the
+// server in closed loops. The report's ShedRate/PartialRate/
+// AdmissionRejected fields summarize the overload phase.
+func Overload(cfg Config) (*Report, error) {
+	ds := gen.DBLP(cfg.Scale, cfg.Seed)
+	ix, err := xmlsearch.FromDocument(ds.Doc)
+	if err != nil {
+		return nil, fmt.Errorf("bench: index for overload: %w", err)
+	}
+	// The hammer needs handlers to genuinely overlap: on a machine with
+	// fewer cores than workers, CPU-bound handlers would otherwise run to
+	// completion one at a time and the in-flight semaphore would never
+	// fill. Extra Ps let the OS timeslice mid-handler, so offered
+	// concurrency reaches the admission layer like it does on big servers.
+	workers := 2 * overloadInflight
+	if prev := runtime.GOMAXPROCS(0); prev < workers {
+		runtime.GOMAXPROCS(workers)
+		defer runtime.GOMAXPROCS(prev)
+	}
+
+	h := obshttp.NewHandler(ix, obshttp.Options{MaxInflight: overloadInflight, QueueLen: overloadQueue})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	client := srv.Client()
+	reqs := overloadWorkload(ds, cfg.Seed, cfg.QueriesPerPt, cfg.TopK)
+
+	// Uncontended baseline: one closed loop, nothing ever queues or sheds.
+	if err := (&overloadOutcome{}).run(client, srv.URL, reqs); err != nil { // warm-up pass
+		return nil, fmt.Errorf("bench: overload warm-up: %w", err)
+	}
+	uncontended := &overloadOutcome{}
+	for r := 0; r < cfg.RepsPerQuery; r++ {
+		if err := uncontended.run(client, srv.URL, reqs); err != nil {
+			return nil, fmt.Errorf("bench: overload baseline: %w", err)
+		}
+	}
+
+	// Overload phase: twice the in-flight capacity in concurrent closed
+	// loops, so at any instant about half the offered load must be shed
+	// or queued.
+	contended := &overloadOutcome{}
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < cfg.RepsPerQuery; r++ {
+				if err := contended.run(client, srv.URL, reqs); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, fmt.Errorf("bench: overload hammer: %w", err)
+	}
+
+	r := &Report{Exp: "overload", Env: CurrentFingerprint(), Config: cfg}
+	r.Points = append(r.Points,
+		uncontended.point("overload", "uncontended", len(reqs), cfg.RepsPerQuery),
+		contended.point("overload", "2x-inflight", len(reqs), cfg.RepsPerQuery),
+	)
+	if contended.total > 0 {
+		r.ShedRate = float64(contended.shed) / float64(contended.total)
+	}
+	if contended.admitted > 0 {
+		r.PartialRate = float64(contended.partial) / float64(contended.admitted)
+	}
+	r.AdmissionRejected = ix.Metrics().Snapshot().Serving.AdmissionRejected
+	return r, nil
+}

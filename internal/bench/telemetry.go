@@ -60,6 +60,16 @@ type Report struct {
 	// AlgoAuto — first pass misses, later passes hit, so a healthy cache
 	// reads about 2/3). Informational: CompareReports does not gate on it.
 	PlanCacheHitRatio float64 `json:"plan_cache_hit_ratio,omitempty"`
+	// Degradation-behavior summary, populated by the overload experiment
+	// (and recorded — as zero — by the smoke, whose workload never sheds):
+	// ShedRate is the fraction of offered requests shed by admission
+	// control, PartialRate the fraction of admitted queries settled as
+	// certified-partial answers, AdmissionRejected the raw shed counter.
+	// Deliberately not omitempty: a zero is a recorded measurement, and
+	// future regressions in degradation behavior stay machine-visible.
+	ShedRate          float64 `json:"shed_rate"`
+	PartialRate       float64 `json:"partial_rate"`
+	AdmissionRejected int64   `json:"admission_rejected"`
 }
 
 // quantile returns the q-th percentile (nearest-rank on the sorted slice).

@@ -1,0 +1,107 @@
+package budget
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestNilBudgetIsUnlimited(t *testing.T) {
+	var b *B
+	if err := b.ChargeDecoded(1 << 40); err != nil {
+		t.Fatalf("nil budget charged decoded: %v", err)
+	}
+	if err := b.ChargeCandidates(1 << 40); err != nil {
+		t.Fatalf("nil budget charged candidates: %v", err)
+	}
+	if b.Decoded() != 0 || b.Candidates() != 0 {
+		t.Fatalf("nil budget reports consumption")
+	}
+}
+
+func TestNewUnlimitedReturnsNil(t *testing.T) {
+	if New(0, 0) != nil {
+		t.Fatalf("New(0,0) should be the nil (unlimited) budget")
+	}
+	if New(-1, -5) != nil {
+		t.Fatalf("negative limits should be the nil (unlimited) budget")
+	}
+	if New(1, 0) == nil || New(0, 1) == nil {
+		t.Fatalf("a single positive limit must allocate a budget")
+	}
+}
+
+func TestChargeDecodedTrips(t *testing.T) {
+	b := New(100, 0)
+	if err := b.ChargeDecoded(100); err != nil {
+		t.Fatalf("charge at limit must pass: %v", err)
+	}
+	err := b.ChargeDecoded(1)
+	if err == nil {
+		t.Fatalf("charge past limit must trip")
+	}
+	if !errors.Is(err, ErrExceeded) {
+		t.Fatalf("trip must match ErrExceeded, got %v", err)
+	}
+	var be *Error
+	if !errors.As(err, &be) {
+		t.Fatalf("trip must be a *Error, got %T", err)
+	}
+	if be.Resource != DecodedBytes || be.Limit != 100 || be.Used != 101 {
+		t.Fatalf("bad trip detail: %+v", be)
+	}
+	// Candidates dimension is unlimited on this budget.
+	if err := b.ChargeCandidates(1 << 30); err != nil {
+		t.Fatalf("unlimited candidates dimension tripped: %v", err)
+	}
+}
+
+func TestChargeCandidatesTrips(t *testing.T) {
+	b := New(0, 3)
+	for i := 0; i < 3; i++ {
+		if err := b.ChargeCandidates(1); err != nil {
+			t.Fatalf("charge %d within limit tripped: %v", i, err)
+		}
+	}
+	err := b.ChargeCandidates(1)
+	if !errors.Is(err, ErrExceeded) {
+		t.Fatalf("want ErrExceeded, got %v", err)
+	}
+	var be *Error
+	if !errors.As(err, &be) || be.Resource != Candidates {
+		t.Fatalf("want candidates trip, got %v", err)
+	}
+	if b.Candidates() != 4 {
+		t.Fatalf("consumption = %d, want 4 (including the tripping charge)", b.Candidates())
+	}
+}
+
+func TestConcurrentChargesTripExactlyPastLimit(t *testing.T) {
+	const (
+		workers = 8
+		each    = 1000
+		limit   = workers*each - 500
+	)
+	b := New(0, limit)
+	var wg sync.WaitGroup
+	trips := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := b.ChargeCandidates(1); err != nil {
+					trips[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range trips {
+		total += n
+	}
+	if total != workers*each-limit {
+		t.Fatalf("trips = %d, want %d (every charge past the limit)", total, workers*each-limit)
+	}
+}

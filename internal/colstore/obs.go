@@ -39,6 +39,29 @@ func tkDecodeStats(l *TKList) (blocks int, decodedBytes int64) {
 	return
 }
 
+// DecodedSize is the in-memory size of the list, the unit the per-query
+// decoded-bytes budget is charged in. It matches what the decode counters
+// record for a fresh decode, and is equally defined for memoized,
+// cached, and purely in-memory lists — a budget bounds what a query
+// touches, not what it happened to decode first.
+func (l *List) DecodedSize() int64 {
+	if l == nil {
+		return 0
+	}
+	_, decoded, _ := listDecodeStats(l)
+	return decoded
+}
+
+// DecodedSize is the in-memory size of the score-sorted list (see
+// List.DecodedSize).
+func (l *TKList) DecodedSize() int64 {
+	if l == nil {
+		return 0
+	}
+	_, decoded := tkDecodeStats(l)
+	return decoded
+}
+
 // ListObs is List with per-query trace attribution: the open (and, on
 // first disk access, the decode with block/byte accounting) is recorded
 // on tr, and quarantine hits surface as trace events. The store-wide

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/budget"
 	"repro/internal/obs"
 )
 
@@ -26,26 +27,53 @@ const openWorkers = 8
 // exactly what a loop over ListObs would produce, minus the serial decode
 // latency. Trace events are emitted from the calling goroutine only.
 func (s *Store) Lists(terms []string, tr *obs.Trace) []*List {
-	vals := s.openMany(terms, false, tr)
+	out, _ := s.ListsBudget(terms, tr, nil)
+	return out
+}
+
+// ListsBudget is Lists charging every opened list's in-memory size
+// against the query budget (nil = unlimited). A budget trip returns the
+// budget error; lists decoded before the trip stay published to the
+// cache — the work is done and reusable — but the query must not use the
+// partially resolved slice.
+func (s *Store) ListsBudget(terms []string, tr *obs.Trace, bdg *budget.B) ([]*List, error) {
+	vals, err := s.openMany(terms, false, tr, bdg)
 	out := make([]*List, len(vals))
 	for i, v := range vals {
 		if v != nil {
 			out[i] = v.(*List)
 		}
 	}
-	return out
+	return out, err
 }
 
 // TopKLists is Lists for the score-sorted top-K lists.
 func (s *Store) TopKLists(terms []string, tr *obs.Trace) []*TKList {
-	vals := s.openMany(terms, true, tr)
+	out, _ := s.TopKListsBudget(terms, tr, nil)
+	return out
+}
+
+// TopKListsBudget is ListsBudget for the score-sorted top-K lists.
+func (s *Store) TopKListsBudget(terms []string, tr *obs.Trace, bdg *budget.B) ([]*TKList, error) {
+	vals, err := s.openMany(terms, true, tr, bdg)
 	out := make([]*TKList, len(vals))
 	for i, v := range vals {
 		if v != nil {
 			out[i] = v.(*TKList)
 		}
 	}
-	return out
+	return out, err
+}
+
+// decodedSizeAny sizes either list kind for budget charging.
+func decodedSizeAny(v any) int64 {
+	switch l := v.(type) {
+	case *List:
+		return l.DecodedSize()
+	case *TKList:
+		return l.DecodedSize()
+	}
+	return 0
 }
 
 // listDims reports the row count and deepest level of either list kind,
@@ -67,7 +95,13 @@ func listDims(v any) (rows, maxLen int) {
 // after Open, so reading them unlocked is safe); under the lock again, the
 // decodes are published (cache or memo), failures quarantined, and
 // counters and trace events recorded.
-func (s *Store) openMany(terms []string, tk bool, tr *obs.Trace) []any {
+//
+// Every resolved list — memo hit, cache hit, or fresh decode — is charged
+// against bdg; the first trip aborts resolution with the budget error
+// (decodes already completed are still published, so the work is not
+// thrown away, but the caller must fail the query rather than run on the
+// partial slice).
+func (s *Store) openMany(terms []string, tk bool, tr *obs.Trace, bdg *budget.B) ([]any, error) {
 	out := make([]any, len(terms))
 	type job struct {
 		idxs    []int // positions in terms resolving to this decode
@@ -112,6 +146,10 @@ func (s *Store) openMany(terms []string, tk bool, tr *obs.Trace) []any {
 				rows, maxLen := listDims(memo)
 				tr.ListOpen(term, rows, maxLen, encLen)
 			}
+			if err := bdg.ChargeDecoded(decodedSizeAny(memo)); err != nil {
+				s.mu.Unlock()
+				return out, err
+			}
 			continue
 		}
 		if qerr, bad := s.quarantined[term]; bad {
@@ -130,6 +168,10 @@ func (s *Store) openMany(terms []string, tk bool, tr *obs.Trace) []any {
 				if tr != nil {
 					rows, maxLen := listDims(v)
 					tr.ListOpen(term, rows, maxLen, encLen)
+				}
+				if err := bdg.ChargeDecoded(decodedSizeAny(v)); err != nil {
+					s.mu.Unlock()
+					return out, err
 				}
 				continue
 			}
@@ -157,7 +199,7 @@ func (s *Store) openMany(terms []string, tk bool, tr *obs.Trace) []any {
 	}
 	s.mu.Unlock()
 	if len(jobs) == 0 {
-		return out
+		return out, nil
 	}
 
 	decode := func(j *job) {
@@ -220,6 +262,7 @@ func (s *Store) openMany(terms []string, tk bool, tr *obs.Trace) []any {
 		wg.Wait()
 	}
 
+	var budgetErr error
 	s.mu.Lock()
 	for _, j := range jobs {
 		if j.err != nil {
@@ -255,7 +298,12 @@ func (s *Store) openMany(terms []string, tk bool, tr *obs.Trace) []any {
 		if tr != nil {
 			tr.Decode(j.term, j.blocks, int64(len(j.blob)), j.decoded)
 		}
+		// Charge after publication: the decode is cached and reusable even
+		// when this query's budget trips on it.
+		if budgetErr == nil {
+			budgetErr = bdg.ChargeDecoded(j.decoded)
+		}
 	}
 	s.mu.Unlock()
-	return out
+	return out, budgetErr
 }

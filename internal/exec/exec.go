@@ -15,6 +15,7 @@ package exec
 import (
 	"context"
 
+	"repro/internal/budget"
 	"repro/internal/obs"
 )
 
@@ -30,6 +31,12 @@ const (
 	// CapStream: the engine delivers top-K results incrementally as each
 	// is proven safe ("output without blocking").
 	CapStream
+	// CapPartial: when a deadline or budget aborts the evaluation, the
+	// engine returns the results accumulated so far together with an
+	// upper bound on the score of any result it has not produced
+	// (RunMeta.UnseenBound), letting the facade certify which partial
+	// results are guaranteed members of the true answer.
+	CapPartial
 )
 
 // Query is the resolved query the planner and the Run closures work
@@ -39,6 +46,29 @@ type Query struct {
 	Semantics int     // the facade's Semantics value (0 = ELCA, 1 = SLCA)
 	K         int     // 0 for a complete evaluation
 	Decay     float64 // resolved damping factor (never 0)
+	// Budget, when non-nil, bounds the query's resource consumption: the
+	// storage layer charges decoded list bytes, the score-ordered engines
+	// charge pulled candidate rows. A trip aborts the evaluation with an
+	// error matching budget.ErrExceeded.
+	Budget *budget.B
+	// AllowPartial asks a CapPartial engine to include its uncertified
+	// buffered candidates in the returned results when a deadline or
+	// budget aborts the run, rather than returning only the proven ones.
+	AllowPartial bool
+}
+
+// RunMeta is the per-execution metadata a Run closure reports alongside
+// its results.
+type RunMeta struct {
+	// Partial is set when the evaluation was aborted (deadline,
+	// cancellation, or budget trip) before the answer was complete.
+	Partial bool
+	// UnseenBound, valid when Partial is set, is an upper bound on the
+	// score of any result the engine did not return: a returned result
+	// with Score >= UnseenBound is guaranteed to belong to the true
+	// answer in its returned rank position. Engines that cannot bound
+	// their unseen results report +Inf (nothing is certified).
+	UnseenBound float64
 }
 
 // ListStat is one keyword's lexicon statistics, read without decoding
@@ -69,9 +99,11 @@ type Engine[S, R any] struct {
 	Caps Capability
 	Obs  obs.Engine
 	Cost func(q Query, st Stats) float64
-	Run  func(ctx context.Context, snap S, q Query, tr *obs.Trace) ([]R, error)
-	// Stream is set only on CapStream engines.
-	Stream func(ctx context.Context, snap S, q Query, tr *obs.Trace, emit func(R) bool) (int, error)
+	Run  func(ctx context.Context, snap S, q Query, tr *obs.Trace) ([]R, RunMeta, error)
+	// Stream is set only on CapStream engines. Streamed results are
+	// always proven safe before delivery; a partial abort ends the stream
+	// early and reports itself through the returned RunMeta.
+	Stream func(ctx context.Context, snap S, q Query, tr *obs.Trace, emit func(R) bool) (int, RunMeta, error)
 }
 
 // Registry holds the registered engines in registration order (which

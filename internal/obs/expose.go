@@ -155,11 +155,28 @@ func (s Snapshot) WritePrometheus(w io.Writer) {
 		header(w, c.name, c.help, "counter")
 		fmt.Fprintf(w, "%s %d\n", c.name, c.v)
 	}
+	sv := s.Serving
+	servingCounters := []struct {
+		name, help string
+		v          int64
+	}{
+		{"xkw_admission_rejected_total", "Queries shed (503) by admission control.", sv.AdmissionRejected},
+		{"xkw_admission_enqueued_total", "Queries that waited in the admission queue.", sv.AdmissionEnqueued},
+		{"xkw_queries_partial_total", "Aborted queries settled as certified-partial answers.", sv.PartialQueries},
+		{"xkw_budget_decoded_trips_total", "Queries aborted by the decoded-bytes budget.", sv.BudgetDecodedTrips},
+		{"xkw_budget_candidate_trips_total", "Queries aborted by the candidate budget.", sv.BudgetCandidateTrips},
+	}
+	for _, c := range servingCounters {
+		header(w, c.name, c.help, "counter")
+		fmt.Fprintf(w, "%s %d\n", c.name, c.v)
+	}
 	g := s.Gauges
 	gauges := []struct {
 		name, help string
 		v          float64
 	}{
+		{"xkw_inflight", "Queries currently admitted and executing.", float64(sv.Inflight)},
+		{"xkw_draining", "1 while the server is draining, else 0.", float64(sv.Draining)},
 		{"xkw_snapshot_generation", "Generation of the currently published index snapshot.", float64(g.SnapshotGen)},
 		{"xkw_pinned_queries", "In-flight queries currently holding a snapshot pin.", float64(g.PinnedQueries)},
 		{"xkw_store_cache_lists", "Decoded lists currently held by the cache.", float64(g.CacheLists)},

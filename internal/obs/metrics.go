@@ -135,6 +135,47 @@ func (s *StoreCounters) Snapshot() StoreSnapshot {
 	return out
 }
 
+// ServingCounters accumulates the serving plane's overload-protection
+// counters: admission-control decisions, the in-flight gauge, and the
+// deadline/budget degradation outcomes. The facade increments the partial
+// and budget counters; the HTTP layer increments the admission ones.
+type ServingCounters struct {
+	AdmissionRejected    Counter // queries shed (503) by admission control
+	AdmissionEnqueued    Counter // queries that waited in the admission queue
+	InflightGauge        Counter // currently admitted queries (up/down)
+	Draining             Counter // 1 while the server is draining, else 0
+	PartialQueries       Counter // aborted queries settled as certified-partial answers
+	BudgetDecodedTrips   Counter // queries aborted by the decoded-bytes budget
+	BudgetCandidateTrips Counter // queries aborted by the candidate budget
+}
+
+// ServingSnapshot is a point-in-time copy of ServingCounters.
+type ServingSnapshot struct {
+	AdmissionRejected    int64 `json:"admission_rejected"`
+	AdmissionEnqueued    int64 `json:"admission_enqueued"`
+	Inflight             int64 `json:"inflight"`
+	Draining             int64 `json:"draining"`
+	PartialQueries       int64 `json:"partial_queries"`
+	BudgetDecodedTrips   int64 `json:"budget_decoded_trips"`
+	BudgetCandidateTrips int64 `json:"budget_candidate_trips"`
+}
+
+// Snapshot copies the serving counters (zero snapshot for nil).
+func (s *ServingCounters) Snapshot() ServingSnapshot {
+	if s == nil {
+		return ServingSnapshot{}
+	}
+	return ServingSnapshot{
+		AdmissionRejected:    s.AdmissionRejected.Load(),
+		AdmissionEnqueued:    s.AdmissionEnqueued.Load(),
+		Inflight:             s.InflightGauge.Load(),
+		Draining:             s.Draining.Load(),
+		PartialQueries:       s.PartialQueries.Load(),
+		BudgetDecodedTrips:   s.BudgetDecodedTrips.Load(),
+		BudgetCandidateTrips: s.BudgetCandidateTrips.Load(),
+	}
+}
+
 // PlannerCounters accumulates planner and plan-cache counters. A
 // *PlannerCounters is installed on an exec.PlanCache with SetObs; a nil
 // receiver disables recording with a single pointer check.
@@ -349,6 +390,7 @@ type Metrics struct {
 	Store   StoreCounters
 	Writer  WriterMetrics
 	Planner PlannerCounters
+	Serving ServingCounters
 	gauges  atomic.Pointer[gaugeSource]
 
 	slowThresholdNs Counter // configured slow-query latency threshold (0 = disabled)
@@ -474,6 +516,7 @@ type Snapshot struct {
 	Store       StoreSnapshot    `json:"store"`
 	Writer      WriterSnapshot   `json:"writer"`
 	Planner     PlannerSnapshot  `json:"planner"`
+	Serving     ServingSnapshot  `json:"serving"`
 	Gauges      Gauges           `json:"gauges"`
 	SlowQueries []SlowQuery      `json:"slow_queries,omitempty"`
 }
@@ -484,7 +527,7 @@ func (m *Metrics) Snapshot() Snapshot {
 	if m == nil {
 		return Snapshot{}
 	}
-	s := Snapshot{Store: m.Store.Snapshot(), Writer: m.Writer.Snapshot(), Planner: m.Planner.Snapshot(), SlowQueries: m.SlowQueries()}
+	s := Snapshot{Store: m.Store.Snapshot(), Writer: m.Writer.Snapshot(), Planner: m.Planner.Snapshot(), Serving: m.Serving.Snapshot(), SlowQueries: m.SlowQueries()}
 	if src := m.gauges.Load(); src != nil {
 		s.Gauges = (*src)()
 	}

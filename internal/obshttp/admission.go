@@ -1,0 +1,139 @@
+package obshttp
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Admission control and graceful drain for the /search endpoint. The
+// policy is a bounded in-flight semaphore plus a short wait queue: up to
+// MaxInflight queries execute concurrently, up to QueueLen more wait for
+// a slot, and everything beyond that is shed immediately with 503 and
+// Retry-After — a full queue means the server is already a queue-length
+// behind, so making the client wait longer only converts overload into
+// latency for everyone. Draining flips the policy to shed-everything-new
+// while in-flight queries run out their grace period, after which the
+// drain context hard-cancels them (CapPartial engines then return their
+// certified partial answers).
+
+// admitResult is the outcome of one admission attempt.
+type admitResult int
+
+const (
+	admitOK   admitResult = iota
+	admitShed             // no capacity, or draining: 503 + Retry-After
+	admitGone             // the client disconnected while queued
+)
+
+type admission struct {
+	serving *obs.ServingCounters
+
+	sem   chan struct{} // in-flight slots; nil = no admission control
+	queue chan struct{} // wait-queue slots; nil = shed on a full sem
+
+	draining     atomic.Bool
+	drainOnce    sync.Once
+	drainStarted chan struct{} // closed when draining begins
+	// drainCtx is cancelled at the drain hard deadline; every admitted
+	// query's context is derived from it, so queries still running when
+	// the grace period ends abort (and, with partial=1, settle).
+	drainCtx    context.Context
+	drainCancel context.CancelFunc
+}
+
+func newAdmission(maxInflight, queueLen int, sc *obs.ServingCounters) *admission {
+	a := &admission{serving: sc, drainStarted: make(chan struct{})}
+	a.drainCtx, a.drainCancel = context.WithCancel(context.Background())
+	if maxInflight > 0 {
+		a.sem = make(chan struct{}, maxInflight)
+		if queueLen > 0 {
+			a.queue = make(chan struct{}, queueLen)
+		}
+	}
+	return a
+}
+
+// admit runs the policy for one request. An admitOK result must be paired
+// with exactly one release call.
+func (a *admission) admit(ctx context.Context) admitResult {
+	if a.draining.Load() {
+		a.serving.AdmissionRejected.Inc()
+		return admitShed
+	}
+	if a.sem == nil {
+		a.serving.InflightGauge.Add(1)
+		return admitOK
+	}
+	select {
+	case a.sem <- struct{}{}:
+		a.serving.InflightGauge.Add(1)
+		return admitOK
+	default:
+	}
+	if a.queue == nil {
+		a.serving.AdmissionRejected.Inc()
+		return admitShed
+	}
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		a.serving.AdmissionRejected.Inc()
+		return admitShed
+	}
+	a.serving.AdmissionEnqueued.Inc()
+	defer func() { <-a.queue }()
+	select {
+	case a.sem <- struct{}{}:
+		if a.draining.Load() {
+			// Draining began while this request was queued; hand the slot
+			// back rather than start new work on a stopping server.
+			<-a.sem
+			a.serving.AdmissionRejected.Inc()
+			return admitShed
+		}
+		a.serving.InflightGauge.Add(1)
+		return admitOK
+	case <-ctx.Done():
+		return admitGone
+	case <-a.drainStarted:
+		a.serving.AdmissionRejected.Inc()
+		return admitShed
+	}
+}
+
+// release returns an admitted query's in-flight slot.
+func (a *admission) release() {
+	a.serving.InflightGauge.Add(-1)
+	if a.sem != nil {
+		<-a.sem
+	}
+}
+
+// startDrain flips the server into draining (idempotent): new queries
+// shed, queued waiters wake and shed, and after grace the drain context
+// cancels whatever is still running. grace <= 0 cancels immediately.
+func (a *admission) startDrain(grace time.Duration) {
+	a.drainOnce.Do(func() {
+		a.draining.Store(true)
+		a.serving.Draining.Add(1)
+		close(a.drainStarted)
+		if grace > 0 {
+			time.AfterFunc(grace, a.drainCancel)
+		} else {
+			a.drainCancel()
+		}
+	})
+}
+
+// queryContext derives the context an admitted query runs under: the
+// request's own (client disconnect cancels), additionally cancelled when
+// the drain hard deadline fires.
+func (a *admission) queryContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	qctx, cancel := context.WithCancel(ctx)
+	stop := context.AfterFunc(a.drainCtx, cancel)
+	return qctx, func() { stop(); cancel() }
+}

@@ -13,6 +13,7 @@
 package obshttp
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -26,10 +27,28 @@ import (
 	"repro/internal/obs"
 )
 
-// Options configures the process-global profiling knobs the handler
-// applies when constructed. Both default to off (0): mutex and block
-// profiling cost on every contended lock operation, so they are opt-in.
+// StatusClientClosedRequest is the nginx-convention status for a query
+// aborted because the client disconnected (there is no standard code;
+// 499 is the de-facto one).
+const StatusClientClosedRequest = 499
+
+// Options configures the handler: admission control and default query
+// limits for /search, plus the process-global profiling knobs applied at
+// construction. The zero value serves without admission control or
+// default deadline (every query runs to completion unless the request
+// asks otherwise).
 type Options struct {
+	// MaxInflight bounds the number of /search queries executing
+	// concurrently; 0 disables admission control entirely.
+	MaxInflight int
+	// QueueLen bounds how many queries may wait for an in-flight slot
+	// before new arrivals are shed with 503 + Retry-After; 0 sheds as soon
+	// as MaxInflight is reached. Ignored when MaxInflight is 0.
+	QueueLen int
+	// DefaultTimeout is the per-query deadline applied when the request
+	// carries no timeout parameter; 0 means no default deadline.
+	DefaultTimeout time.Duration
+
 	// MutexProfileFraction samples 1/n of mutex contention events
 	// (runtime.SetMutexProfileFraction). 0 leaves the current setting.
 	MutexProfileFraction int
@@ -39,10 +58,35 @@ type Options struct {
 	BlockProfileRate int
 }
 
-// handler serves the operational routes over one index.
-type handler struct {
-	ix *xmlsearch.Index
+// Handler serves the operational routes over one index. Beyond
+// http.Handler it exposes the drain lifecycle: StartDrain flips /readyz
+// to 503 and sheds new queries while in-flight ones run out the grace
+// period.
+type Handler struct {
+	ix             *xmlsearch.Index
+	adm            *admission
+	defaultTimeout time.Duration
+	mux            *http.ServeMux
 }
+
+// ServeHTTP dispatches to the handler's routes.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// StartDrain begins a graceful drain (idempotent): /readyz flips to 503
+// so load balancers stop routing here, new /search queries are shed with
+// 503, queued ones wake and shed, and queries still running when grace
+// elapses are cancelled — with partial=1 they settle into certified
+// partial answers instead of errors. The caller then stops the listener
+// (http.Server.Shutdown) to wait the drain out.
+func (h *Handler) StartDrain(grace time.Duration) { h.adm.startDrain(grace) }
+
+// Draining reports whether StartDrain has been called.
+func (h *Handler) Draining() bool { return h.adm.draining.Load() }
+
+// testHookQueryStart, when non-nil, runs inside /search after admission
+// with the query's derived context — the drain and overload tests use it
+// to hold a query in flight deterministically.
+var testHookQueryStart func(ctx context.Context)
 
 // NewHandler builds the operational-plane handler for ix. Routes:
 //
@@ -54,20 +98,27 @@ type handler struct {
 //	GET /slow              slow-query log, NDJSON, oldest first
 //	GET /traces            tail-sampled trace summaries, newest first
 //	GET /traces/{id}       one retained trace: full span tree + events
-//	GET /search            run a query (q, k, engine, sem) traced
+//	GET /search            run a query (q, k, engine, sem, timeout,
+//	                       partial, maxbytes, maxcand) traced
 //	GET /debug/pprof/...   Go runtime profiles
 //
 // Queries through /search honor the request context, so a disconnected
 // client cancels the evaluation, and the cancellation itself is a
-// tail-sampling "keep" signal.
-func NewHandler(ix *xmlsearch.Index, opt Options) http.Handler {
+// tail-sampling "keep" signal. With Options.MaxInflight set, /search is
+// behind admission control: queries beyond the in-flight bound wait in a
+// short queue, and beyond that are shed with 503 + Retry-After.
+func NewHandler(ix *xmlsearch.Index, opt Options) *Handler {
 	if opt.MutexProfileFraction > 0 {
 		runtime.SetMutexProfileFraction(opt.MutexProfileFraction)
 	}
 	if opt.BlockProfileRate > 0 {
 		runtime.SetBlockProfileRate(opt.BlockProfileRate)
 	}
-	h := &handler{ix: ix}
+	h := &Handler{
+		ix:             ix,
+		adm:            newAdmission(opt.MaxInflight, opt.QueueLen, &ix.Metrics().Serving),
+		defaultTimeout: opt.DefaultTimeout,
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /{$}", h.root)
 	mux.HandleFunc("GET /metrics", h.metrics)
@@ -83,10 +134,11 @@ func NewHandler(ix *xmlsearch.Index, opt Options) http.Handler {
 	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
-	return mux
+	h.mux = mux
+	return h
 }
 
-func (h *handler) root(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) root(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, `xkwserve operational plane
   /metrics          Prometheus exposition
@@ -96,12 +148,12 @@ func (h *handler) root(w http.ResponseWriter, r *http.Request) {
   /slow             slow-query log (NDJSON)
   /traces           tail-sampled traces
   /traces/{id}      one trace (span tree + events)
-  /search?q=&k=&engine=&sem=
+  /search?q=&k=&engine=&sem=&timeout=&partial=&maxbytes=&maxcand=
   /debug/pprof/     Go runtime profiles
 `)
 }
 
-func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	h.ix.Stats().WritePrometheus(w)
 }
@@ -114,11 +166,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
 }
 
-func (h *handler) metricsJSON(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) metricsJSON(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, h.ix.Stats())
 }
 
-func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
@@ -136,7 +188,13 @@ type readyzResponse struct {
 	FileDamage  []string              `json:"file_damage,omitempty"`
 }
 
-func (h *handler) readyz(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) readyz(w http.ResponseWriter, r *http.Request) {
+	if h.adm.draining.Load() {
+		// Draining flips readiness first, so load balancers stop routing
+		// here before the listener goes away.
+		writeJSON(w, http.StatusServiceUnavailable, readyzResponse{Status: "draining"})
+		return
+	}
 	hl := h.ix.Health()
 	resp := readyzResponse{
 		Status:      "ready",
@@ -157,7 +215,7 @@ func (h *handler) readyz(w http.ResponseWriter, r *http.Request) {
 
 // slow streams the slow-query log as NDJSON, one obs.SlowQuery per line,
 // oldest first — the shape `jq` and log shippers want.
-func (h *handler) slow(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) slow(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	for _, sq := range h.ix.SlowQueries() {
@@ -167,7 +225,7 @@ func (h *handler) slow(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (h *handler) store(w http.ResponseWriter) *obs.TraceStore {
+func (h *Handler) store(w http.ResponseWriter) *obs.TraceStore {
 	ts := h.ix.TraceStore()
 	if ts == nil {
 		http.Error(w, "trace capture disabled (no trace store installed)", http.StatusNotFound)
@@ -175,7 +233,7 @@ func (h *handler) store(w http.ResponseWriter) *obs.TraceStore {
 	return ts
 }
 
-func (h *handler) traces(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) traces(w http.ResponseWriter, r *http.Request) {
 	ts := h.store(w)
 	if ts == nil {
 		return
@@ -187,7 +245,7 @@ func (h *handler) traces(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, sums)
 }
 
-func (h *handler) traceByID(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) traceByID(w http.ResponseWriter, r *http.Request) {
 	ts := h.store(w)
 	if ts == nil {
 		return
@@ -237,16 +295,97 @@ type searchResponse struct {
 	Elapsed time.Duration      `json:"elapsed_ns"`
 	Results []xmlsearch.Result `json:"results"`
 	TraceID uint64             `json:"trace_id,omitempty"`
+	// Partial marks a certified-partial answer (the query was aborted by
+	// its deadline or budget with partial=1 set); each result's exact
+	// field says whether it is proven to belong to the true answer.
+	// UnseenBound is the engine's bound on any unreturned result's score.
+	Partial     bool    `json:"partial,omitempty"`
+	UnseenBound float64 `json:"unseen_bound,omitempty"`
 	// Plan is the query plan the evaluation resolved through (always the
 	// trivially planned engine for explicit ?engine= values; the cached
 	// cost-based choice for engine=auto).
 	Plan *xmlsearch.QueryPlan `json:"plan,omitempty"`
 }
 
+// parseSearchOptions parses the option parameters shared by every /search
+// query. It writes the 400 itself and returns ok=false on a bad value.
+func (h *Handler) parseSearchOptions(w http.ResponseWriter, r *http.Request) (opt xmlsearch.SearchOptions, ok bool) {
+	algo, err := engineByName(r.URL.Query().Get("engine"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return opt, false
+	}
+	opt.Algorithm = algo
+	switch sem := r.URL.Query().Get("sem"); sem {
+	case "", "elca":
+		opt.Semantics = xmlsearch.ELCA
+	case "slca":
+		opt.Semantics = xmlsearch.SLCA
+	default:
+		http.Error(w, "bad sem parameter (want elca or slca)", http.StatusBadRequest)
+		return opt, false
+	}
+	opt.Timeout = h.defaultTimeout
+	if ts := r.URL.Query().Get("timeout"); ts != "" {
+		d, err := time.ParseDuration(ts)
+		if err != nil || d < 0 {
+			http.Error(w, "bad timeout parameter (want a Go duration, e.g. 250ms)", http.StatusBadRequest)
+			return opt, false
+		}
+		opt.Timeout = d
+	}
+	if bs := r.URL.Query().Get("maxbytes"); bs != "" {
+		n, err := strconv.ParseInt(bs, 10, 64)
+		if err != nil || n < 0 {
+			http.Error(w, "bad maxbytes parameter", http.StatusBadRequest)
+			return opt, false
+		}
+		opt.MaxDecodedBytes = n
+	}
+	if cs := r.URL.Query().Get("maxcand"); cs != "" {
+		n, err := strconv.ParseInt(cs, 10, 64)
+		if err != nil || n < 0 {
+			http.Error(w, "bad maxcand parameter", http.StatusBadRequest)
+			return opt, false
+		}
+		opt.MaxCandidates = n
+	}
+	if ps := r.URL.Query().Get("partial"); ps != "" {
+		b, err := strconv.ParseBool(ps)
+		if err != nil {
+			http.Error(w, "bad partial parameter", http.StatusBadRequest)
+			return opt, false
+		}
+		opt.AllowPartial = b
+	}
+	return opt, true
+}
+
+// searchStatus maps a query error to its HTTP status: the full error
+// taxonomy of the overload-protection surface.
+func searchStatus(err error) int {
+	switch {
+	case errors.Is(err, xmlsearch.ErrNoKeywords):
+		return http.StatusBadRequest
+	case errors.Is(err, xmlsearch.ErrDeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, xmlsearch.ErrCancelled):
+		return StatusClientClosedRequest
+	case errors.Is(err, xmlsearch.ErrBudgetExceeded):
+		// The query as posed cannot be answered within its own limits (and
+		// the caller did not opt into a partial answer); retrying without
+		// backoff would trip again, so this is a 422, not a 503.
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusInternalServerError
+}
+
 // search runs one traced query. q is required; k defaults to 10 and
 // k=0 requests a complete (non-top-K) evaluation; engine and sem select
-// the evaluation engine and LCA semantics.
-func (h *handler) search(w http.ResponseWriter, r *http.Request) {
+// the evaluation engine and LCA semantics; timeout, maxbytes, and
+// maxcand bound the query's resources; partial=1 turns a deadline or
+// budget abort into a certified-partial 200 instead of an error status.
+func (h *Handler) search(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
 		http.Error(w, "missing q parameter", http.StatusBadRequest)
@@ -261,20 +400,24 @@ func (h *handler) search(w http.ResponseWriter, r *http.Request) {
 		}
 		k = n
 	}
-	algo, err := engineByName(r.URL.Query().Get("engine"))
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	opt, ok := h.parseSearchOptions(w, r)
+	if !ok {
 		return
 	}
-	opt := xmlsearch.SearchOptions{Algorithm: algo}
-	switch sem := r.URL.Query().Get("sem"); sem {
-	case "", "elca":
-		opt.Semantics = xmlsearch.ELCA
-	case "slca":
-		opt.Semantics = xmlsearch.SLCA
-	default:
-		http.Error(w, "bad sem parameter (want elca or slca)", http.StatusBadRequest)
+
+	switch h.adm.admit(r.Context()) {
+	case admitShed:
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "overloaded: query shed by admission control", http.StatusServiceUnavailable)
 		return
+	case admitGone:
+		return // client disconnected while queued; nobody is listening
+	}
+	defer h.adm.release()
+	ctx, cancel := h.adm.queryContext(r.Context())
+	defer cancel()
+	if hook := testHookQueryStart; hook != nil {
+		hook(ctx)
 	}
 
 	var (
@@ -283,16 +426,12 @@ func (h *handler) search(w http.ResponseWriter, r *http.Request) {
 		qerr error
 	)
 	if k == 0 {
-		rs, qs, qerr = h.ix.SearchTraced(r.Context(), q, opt)
+		rs, qs, qerr = h.ix.SearchTraced(ctx, q, opt)
 	} else {
-		rs, qs, qerr = h.ix.TopKTraced(r.Context(), q, k, opt)
+		rs, qs, qerr = h.ix.TopKTraced(ctx, q, k, opt)
 	}
 	if qerr != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(qerr, xmlsearch.ErrNoKeywords) {
-			status = http.StatusBadRequest
-		}
-		writeJSON(w, status, map[string]any{"error": qerr.Error(), "trace_id": qs.TraceID})
+		writeJSON(w, searchStatus(qerr), map[string]any{"error": qerr.Error(), "trace_id": qs.TraceID})
 		return
 	}
 	if rs == nil {
@@ -301,13 +440,18 @@ func (h *handler) search(w http.ResponseWriter, r *http.Request) {
 	// Best-effort: the plan is diagnostic context, a planning error must
 	// not fail a query that already succeeded.
 	plan, _ := h.ix.Plan(q, k, opt)
-	writeJSON(w, http.StatusOK, searchResponse{
+	resp := searchResponse{
 		Query:   q,
 		Engine:  qs.Engine,
 		K:       k,
 		Elapsed: qs.Elapsed,
 		Results: rs,
 		TraceID: qs.TraceID,
+		Partial: qs.Partial,
 		Plan:    plan,
-	})
+	}
+	if qs.Partial {
+		resp.UnseenBound = qs.UnseenBound
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,512 @@
+package obshttp
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	xmlsearch "repro"
+	"repro/internal/obs"
+)
+
+// Overload-protection tests: the error-taxonomy status mapping, the
+// admission policy, the -race overload hammer, and the graceful-drain
+// end-to-end flow.
+
+// resetHook installs a testHookQueryStart for one test.
+func resetHook(t *testing.T, hook func(ctx context.Context)) {
+	t.Helper()
+	testHookQueryStart = hook
+	t.Cleanup(func() { testHookQueryStart = nil })
+}
+
+func getResp(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestSearchStatusMapping drives each abort class through /search and
+// asserts the taxonomy: deadline→504, budget-without-partial→422,
+// budget-with-partial→200 (certified partial), bad parameters→400.
+func TestSearchStatusMapping(t *testing.T) {
+	_, srv := newServer(t)
+	get(t, srv.URL+"/search?q=keyword+search&timeout=1ns", http.StatusGatewayTimeout)
+	get(t, srv.URL+"/search?q=keyword+search&maxcand=1", http.StatusUnprocessableEntity)
+	get(t, srv.URL+"/search?q=keyword+search&maxbytes=1", http.StatusUnprocessableEntity)
+
+	var out struct {
+		Partial     bool               `json:"partial"`
+		UnseenBound float64            `json:"unseen_bound"`
+		Results     []xmlsearch.Result `json:"results"`
+		TraceID     uint64             `json:"trace_id"`
+	}
+	if err := json.Unmarshal(get(t, srv.URL+"/search?q=keyword+search&maxcand=1&partial=1", http.StatusOK), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Partial {
+		t.Error("budget trip with partial=1 not reported as partial")
+	}
+	for _, r := range out.Results {
+		if r.Exact && r.Score < out.UnseenBound {
+			t.Errorf("result %s exact below the unseen bound %v", r.Dewey, out.UnseenBound)
+		}
+	}
+	if out.TraceID == 0 {
+		t.Error("partial query not retained by the trace store")
+	}
+
+	// A complete answer must not be marked partial. (Fresh struct: the
+	// field is omitempty, so unmarshal would keep the stale true.)
+	out.Partial = false
+	if err := json.Unmarshal(get(t, srv.URL+"/search?q=keyword+search&partial=1", http.StatusOK), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Partial {
+		t.Error("complete answer reported partial")
+	}
+
+	get(t, srv.URL+"/search?q=xml&timeout=frog", http.StatusBadRequest)
+	get(t, srv.URL+"/search?q=xml&timeout=-1s", http.StatusBadRequest)
+	get(t, srv.URL+"/search?q=xml&maxbytes=-1", http.StatusBadRequest)
+	get(t, srv.URL+"/search?q=xml&maxcand=frog", http.StatusBadRequest)
+	get(t, srv.URL+"/search?q=xml&partial=frog", http.StatusBadRequest)
+}
+
+// TestSearchStatusFunc pins the error→status map, including the
+// cancellation class that is impractical to provoke over a real socket.
+func TestSearchStatusFunc(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{xmlsearch.ErrNoKeywords, http.StatusBadRequest},
+		{fmt.Errorf("wrap: %w", xmlsearch.ErrDeadlineExceeded), http.StatusGatewayTimeout},
+		{fmt.Errorf("wrap: %w", xmlsearch.ErrCancelled), StatusClientClosedRequest},
+		{fmt.Errorf("wrap: %w", xmlsearch.ErrBudgetExceeded), http.StatusUnprocessableEntity},
+		{fmt.Errorf("anything else"), http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		if got := searchStatus(c.err); got != c.want {
+			t.Errorf("searchStatus(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+func newTestAdmission(maxInflight, queueLen int) *admission {
+	return newAdmission(maxInflight, queueLen, &obs.NewMetrics().Serving)
+}
+
+// TestAdmissionPolicy exercises the semaphore+queue state machine
+// directly: capacity, shedding, queue handoff, and release accounting.
+func TestAdmissionPolicy(t *testing.T) {
+	ctx := context.Background()
+
+	// No limit configured: everything admits.
+	a := newTestAdmission(0, 0)
+	for i := 0; i < 100; i++ {
+		if got := a.admit(ctx); got != admitOK {
+			t.Fatalf("unlimited admission refused: %v", got)
+		}
+	}
+
+	// Limit 1, no queue: second concurrent request sheds.
+	a = newTestAdmission(1, 0)
+	if a.admit(ctx) != admitOK {
+		t.Fatal("first admit refused")
+	}
+	if a.admit(ctx) != admitShed {
+		t.Fatal("over-capacity admit not shed")
+	}
+	a.release()
+	if a.admit(ctx) != admitOK {
+		t.Fatal("admit after release refused")
+	}
+	a.release()
+
+	// Limit 1 + queue 1: one waits, the next sheds, release hands over.
+	a = newTestAdmission(1, 1)
+	if a.admit(ctx) != admitOK {
+		t.Fatal("first admit refused")
+	}
+	queued := make(chan admitResult, 1)
+	go func() { queued <- a.admit(ctx) }()
+	waitForEnqueue(t, a)
+	if got := a.admit(ctx); got != admitShed {
+		t.Fatalf("third request = %v, want shed (queue full)", got)
+	}
+	a.release()
+	if got := <-queued; got != admitOK {
+		t.Fatalf("queued request = %v, want OK after release", got)
+	}
+	a.release()
+
+	// A queued waiter whose client disconnects reports gone.
+	a = newTestAdmission(1, 1)
+	a.admit(ctx)
+	cctx, cancel := context.WithCancel(ctx)
+	go func() { queued <- a.admit(cctx) }()
+	waitForEnqueue(t, a)
+	cancel()
+	if got := <-queued; got != admitGone {
+		t.Fatalf("cancelled queued request = %v, want gone", got)
+	}
+	a.release()
+}
+
+// waitForEnqueue blocks until the admission queue holds one waiter.
+func waitForEnqueue(t *testing.T, a *admission) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(a.queue) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never enqueued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAdmissionDrain: draining sheds new arrivals, wakes queued waiters
+// with a shed, and cancels the drain context at the grace deadline.
+func TestAdmissionDrain(t *testing.T) {
+	ctx := context.Background()
+	a := newTestAdmission(1, 4)
+	if a.admit(ctx) != admitOK {
+		t.Fatal("first admit refused")
+	}
+	queued := make(chan admitResult, 1)
+	go func() { queued <- a.admit(ctx) }()
+	waitForEnqueue(t, a)
+
+	a.startDrain(50 * time.Millisecond)
+	a.startDrain(time.Hour) // idempotent: the first grace stands
+	if got := <-queued; got != admitShed {
+		t.Fatalf("queued waiter at drain = %v, want shed", got)
+	}
+	if a.admit(ctx) != admitShed {
+		t.Fatal("post-drain admit not shed")
+	}
+	qctx, cancel := a.queryContext(ctx)
+	defer cancel()
+	select {
+	case <-qctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain grace deadline never cancelled the query context")
+	}
+	a.release()
+}
+
+// hammerRequest builds one randomized hammer query: tight or absent
+// deadlines and budgets, sometimes opting into partial answers.
+func hammerRequest(rng *rand.Rand, base string) string {
+	url := base + "/search?q=keyword+search&k=3"
+	switch rng.Intn(4) {
+	case 0:
+		url += fmt.Sprintf("&timeout=%dus", 1+rng.Intn(500))
+	case 1:
+		url += fmt.Sprintf("&maxcand=%d", 1+rng.Intn(8))
+	case 2:
+		url += fmt.Sprintf("&maxbytes=%d", 1+rng.Intn(256))
+	}
+	if rng.Intn(2) == 0 {
+		url += "&partial=1"
+	}
+	return url
+}
+
+// TestOverloadHammer is the -race overload test: 2x max-inflight workers
+// firing randomized tight-deadline/budget queries against a concurrently
+// mutating index. Asserts every response is from the expected taxonomy,
+// every shed carries Retry-After, and afterwards: no leaked goroutines,
+// no stuck snapshot pins, and decoded-cache occupancy at steady state.
+func TestOverloadHammer(t *testing.T) {
+	ix, err := xmlsearch.Open(strings.NewReader(testXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.SetTraceStore(obs.NewTraceStore(64, 8, 0, 1))
+	const maxInflight, queueLen = 4, 2
+	h := NewHandler(ix, Options{MaxInflight: maxInflight, QueueLen: queueLen})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	// Uncontended baseline for the admitted-latency comparison.
+	client := srv.Client()
+	warm := func() time.Duration {
+		start := time.Now()
+		resp, err := client.Get(srv.URL + "/search?q=keyword+search&k=3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return time.Since(start)
+	}
+	warm()
+	var base []time.Duration
+	for i := 0; i < 50; i++ {
+		base = append(base, warm())
+	}
+	sort.Slice(base, func(i, j int) bool { return base[i] < base[j] })
+	uncontendedP99 := base[len(base)-1]
+
+	steadyCache := ix.Metrics().Snapshot().Gauges.CacheBytes
+	before := runtime.NumGoroutine()
+
+	// Writer goroutine: mutate the index for the hammer's whole duration.
+	stopWriter := make(chan struct{})
+	var writerDone sync.WaitGroup
+	writerDone.Add(1)
+	go func() {
+		defer writerDone.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stopWriter:
+				return
+			default:
+			}
+			d, err := ix.InsertElement("1.1", 0, "note", "keyword churn")
+			if err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+			if err := ix.RemoveElement(d); err != nil {
+				t.Errorf("remove %s: %v", d, err)
+				return
+			}
+		}
+	}()
+
+	const workers = 2 * maxInflight
+	var (
+		mu        sync.Mutex
+		admitted  []time.Duration
+		shed      int
+		badStatus []string
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 40; i++ {
+				url := hammerRequest(rng, srv.URL)
+				start := time.Now()
+				resp, err := client.Get(url)
+				if err != nil {
+					t.Errorf("GET %s: %v", url, err)
+					return
+				}
+				d := time.Since(start)
+				retryAfter := resp.Header.Get("Retry-After")
+				resp.Body.Close()
+				mu.Lock()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					admitted = append(admitted, d)
+				case http.StatusServiceUnavailable:
+					shed++
+					if retryAfter == "" {
+						badStatus = append(badStatus, "503 without Retry-After")
+					}
+				case http.StatusGatewayTimeout, http.StatusUnprocessableEntity, StatusClientClosedRequest:
+					// Deadline, budget, or drain-cancel classes: expected.
+				default:
+					badStatus = append(badStatus, fmt.Sprintf("%s -> %d", url, resp.StatusCode))
+				}
+				mu.Unlock()
+			}
+		}(int64(w) + 1)
+	}
+	wg.Wait()
+	close(stopWriter)
+	writerDone.Wait()
+
+	if len(badStatus) > 0 {
+		t.Fatalf("unexpected responses: %v", badStatus)
+	}
+	if len(admitted) == 0 {
+		t.Fatal("hammer admitted nothing")
+	}
+	t.Logf("hammer: %d admitted, %d shed, rejected counter %d",
+		len(admitted), shed, ix.Metrics().Snapshot().Serving.AdmissionRejected)
+
+	// Admitted-latency check. The 2x criterion assumes the admitted
+	// queries get real CPU; a single-core -race runner serializes them, so
+	// a floor keeps the check meaningful without false alarms.
+	sort.Slice(admitted, func(i, j int) bool { return admitted[i] < admitted[j] })
+	p99 := admitted[(len(admitted)-1)*99/100]
+	limit := 2 * uncontendedP99
+	if floor := 250 * time.Millisecond; limit < floor {
+		limit = floor
+	}
+	if p99 > limit {
+		t.Errorf("admitted p99 %v exceeds %v (uncontended p99 %v)", p99, limit, uncontendedP99)
+	}
+
+	// Steady state: no stuck pins, goroutines settle, cache bytes return
+	// to their warmed value.
+	client.CloseIdleConnections()
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines did not settle: %d before hammer, %d after", before, n)
+	}
+	if pins := ix.Metrics().Snapshot().Gauges.PinnedQueries; pins != 0 {
+		t.Errorf("snapshot pins stuck at %d", pins)
+	}
+	if inflight := ix.Metrics().Snapshot().Serving.Inflight; inflight != 0 {
+		t.Errorf("inflight gauge stuck at %d", inflight)
+	}
+	warm() // one clean query repopulates anything the mutations dirtied
+	if got := ix.Metrics().Snapshot().Gauges.CacheBytes; got > steadyCache*2+4096 {
+		t.Errorf("cache bytes %d far above steady state %d", got, steadyCache)
+	}
+}
+
+// TestDrainE2E is the graceful-shutdown flow: with a query in flight,
+// StartDrain must flip /readyz to 503 and shed new queries immediately,
+// while the in-flight query runs to completion within the grace period.
+func TestDrainE2E(t *testing.T) {
+	ix, err := xmlsearch.Open(strings.NewReader(testXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHandler(ix, Options{MaxInflight: 2, QueueLen: 1})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	var gate atomic.Bool
+	gate.Store(true)
+	resetHook(t, func(ctx context.Context) {
+		if !gate.Load() {
+			return
+		}
+		started <- struct{}{}
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+	})
+
+	// Open the slow in-flight query.
+	slow := make(chan *http.Response, 1)
+	go func() {
+		resp, err := http.Get(srv.URL + "/search?q=keyword+search&k=3")
+		if err != nil {
+			t.Errorf("slow query: %v", err)
+			slow <- nil
+			return
+		}
+		slow <- resp
+	}()
+	<-started
+	gate.Store(false) // later queries run unhooked
+
+	h.StartDrain(5 * time.Second)
+	if !h.Draining() {
+		t.Fatal("Draining() false after StartDrain")
+	}
+
+	// Readiness flips before anything else: load balancers must stop
+	// routing here while in-flight work finishes.
+	if resp := getResp(t, srv.URL+"/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during drain = %d, want 503", resp.StatusCode)
+	}
+	// New queries shed with Retry-After.
+	resp := getResp(t, srv.URL+"/search?q=xml")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("new query during drain = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+	// Liveness and metrics stay up throughout the drain.
+	if resp := getResp(t, srv.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz during drain = %d", resp.StatusCode)
+	}
+
+	// The in-flight query completes normally within the grace period.
+	close(release)
+	r := <-slow
+	if r == nil {
+		t.Fatal("slow query failed")
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("in-flight query during drain = %d, want 200", r.StatusCode)
+	}
+	if ix.Metrics().Snapshot().Serving.Draining != 1 {
+		t.Error("draining gauge not set")
+	}
+}
+
+// TestDrainDeadlineCancelsInflight: when the grace period ends before an
+// in-flight query finishes, the drain context aborts it — the client gets
+// a prompt classified response instead of a hang.
+func TestDrainDeadlineCancelsInflight(t *testing.T) {
+	ix, err := xmlsearch.Open(strings.NewReader(testXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHandler(ix, Options{MaxInflight: 2, QueueLen: 1})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	started := make(chan struct{}, 1)
+	resetHook(t, func(ctx context.Context) {
+		select {
+		case started <- struct{}{}:
+		default:
+			return // only the first query blocks
+		}
+		<-ctx.Done() // woken only by the drain hard deadline (or disconnect)
+	})
+
+	slow := make(chan *http.Response, 1)
+	go func() {
+		resp, err := http.Get(srv.URL + "/search?q=keyword+search&k=3&partial=1")
+		if err != nil {
+			t.Errorf("slow query: %v", err)
+			slow <- nil
+			return
+		}
+		slow <- resp
+	}()
+	<-started
+
+	h.StartDrain(30 * time.Millisecond)
+	select {
+	case r := <-slow:
+		if r == nil {
+			t.Fatal("slow query transport error")
+		}
+		defer r.Body.Close()
+		// The drain kill lands as a cancellation: either before evaluation
+		// (classified 499) or mid-evaluation with partial=1 settling into a
+		// certified-partial 200. Both are prompt, clean exits.
+		if r.StatusCode != StatusClientClosedRequest && r.StatusCode != http.StatusOK {
+			t.Fatalf("drain-killed query = %d, want 499 or certified-partial 200", r.StatusCode)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain deadline did not abort the in-flight query")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sort"
 
+	"repro/internal/budget"
 	"repro/internal/colstore"
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -87,6 +88,11 @@ type HybridOptions struct {
 	// cardinality and the ratio*K cutoff that triggered it) and is passed
 	// down to whichever engine runs.
 	Trace *obs.Trace
+
+	// Budget, when non-nil, is passed to the star join (which charges a
+	// candidate per pulled row); the complete-evaluation branch observes
+	// only the decoded-bytes dimension, charged by the storage layer.
+	Budget *budget.B
 }
 
 // DefaultHybridRatio requires the estimated result count to exceed 4K
@@ -122,7 +128,7 @@ func EvaluateHybridCtx(ctx context.Context, colLists []*colstore.List, tkLists [
 		if opt.Trace != nil {
 			opt.Trace.PlanSwitch("topk-join", 0, est, ratio*opt.K)
 		}
-		rs, _, err := EvaluateCtx(ctx, tkLists, Options{Semantics: opt.Semantics, Decay: opt.Decay, K: opt.K, Trace: opt.Trace})
+		rs, _, err := EvaluateCtx(ctx, tkLists, Options{Semantics: opt.Semantics, Decay: opt.Decay, K: opt.K, Trace: opt.Trace, Budget: opt.Budget})
 		return rs, true, err
 	}
 	if opt.Trace != nil {

@@ -1,0 +1,146 @@
+package topk
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/budget"
+	"repro/internal/core"
+	"repro/internal/naive"
+	"repro/internal/testutil"
+	"repro/internal/xmltree"
+)
+
+// Partial-abort certification tests: when a budget or cancellation stops
+// the evaluation early, the returned results plus Stats.UnseenBound must
+// form a sound partial answer — every result scoring at or above the
+// bound belongs to the true top-K at exactly its returned rank.
+
+// assertCertifiedPrefix checks the §IV-C bound argument against the
+// oracle: the results at ranks whose score clears UnseenBound must match
+// the oracle's ranking prefix score-for-score and be true results.
+// Returns how many results were certified.
+func assertCertifiedPrefix(t *testing.T, e *env, q []string, rs []core.Result, bound float64) int {
+	t.Helper()
+	all := naive.Evaluate(e.doc, e.m, q, naive.ELCA, 0)
+	naive.SortByScore(all)
+	truth := map[*xmltree.Node]float64{}
+	for _, r := range all {
+		truth[r.Node] = r.Score
+	}
+	certified := 0
+	for i, r := range rs {
+		if i > 0 && rs[i-1].Score < r.Score {
+			t.Fatalf("%v: results not score-sorted at rank %d", q, i)
+		}
+		if !(r.Score >= bound) { // the facade's Exact predicate, verbatim
+			continue
+		}
+		if i > certified {
+			t.Fatalf("%v: certified result at rank %d below an uncertified one", q, i)
+		}
+		certified++
+		if i >= len(all) {
+			t.Fatalf("%v: certified rank %d beyond the %d true results", q, i, len(all))
+		}
+		if math.Abs(r.Score-all[i].Score) > 1e-6*(1+math.Abs(all[i].Score)) {
+			t.Fatalf("%v: certified rank %d score %v, oracle %v (bound %v)", q, i, r.Score, all[i].Score, bound)
+		}
+		n := e.doc.NodeByJDewey(r.Level, r.Value)
+		if n == nil {
+			t.Fatalf("%v: certified result (%d,%d) resolves to no node", q, r.Level, r.Value)
+		}
+		ts, ok := truth[n]
+		if !ok {
+			t.Fatalf("%v: certified non-result %v", q, n.Dewey)
+		}
+		if math.Abs(r.Score-ts) > 1e-6*(1+math.Abs(ts)) {
+			t.Fatalf("%v: certified %v score %v, truth %v", q, n.Dewey, r.Score, ts)
+		}
+	}
+	return certified
+}
+
+// TestPartialBudgetCertifiesPrefix sweeps every candidate-budget size on
+// random documents: wherever the budget trips mid-evaluation, the
+// certified prefix must be oracle-exact.
+func TestPartialBudgetCertifiesPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	aborted, certifiedTotal := 0, 0
+	for trial := 0; trial < 25; trial++ {
+		e := newEnv(testutil.RandomDoc(rng, testutil.MediumParams()))
+		q := testutil.RandomQuery(rng, testutil.Vocab(12), 2)
+		const k = 5
+		_, full := Evaluate(e.lists(q), Options{Semantics: core.ELCA, K: k})
+		for n := int64(1); n <= int64(full.RowsPulled); n++ {
+			rs, st, err := EvaluateCtx(context.Background(), e.lists(q), Options{
+				Semantics: core.ELCA, K: k,
+				Budget: budget.New(0, n), Partial: true,
+			})
+			if err == nil {
+				continue // budget sufficed; completeness is covered elsewhere
+			}
+			if !errors.Is(err, budget.ErrExceeded) {
+				t.Fatalf("%v budget=%d: err = %v, want ErrExceeded", q, n, err)
+			}
+			if !st.Partial {
+				t.Fatalf("%v budget=%d: abort without Stats.Partial", q, n)
+			}
+			aborted++
+			certifiedTotal += assertCertifiedPrefix(t, e, q, rs, st.UnseenBound)
+		}
+	}
+	if aborted == 0 {
+		t.Fatal("no budget ever tripped; the sweep tested nothing")
+	}
+	if certifiedTotal == 0 {
+		t.Error("no partial run ever certified a result; bound is uselessly loose")
+	}
+}
+
+// TestPartialCancelledContext: a pre-cancelled context with Partial set
+// returns an empty-but-sound partial answer — nothing was seen, so the
+// unseen bound is +Inf and nothing may be certified.
+func TestPartialCancelledContext(t *testing.T) {
+	e := newEnv(sampleDoc())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rs, st, err := EvaluateCtx(ctx, e.lists([]string{"xml", "data"}), Options{
+		Semantics: core.ELCA, K: 2, Partial: true,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !st.Partial {
+		t.Fatal("abort without Stats.Partial")
+	}
+	for _, r := range rs {
+		if r.Score >= st.UnseenBound {
+			t.Fatalf("result %+v certified against bound %v with zero rows pulled", r, st.UnseenBound)
+		}
+	}
+}
+
+// TestPartialBudgetWithoutOptStillBounds: without opt.Partial the abort
+// returns only the already-emitted (proven) results; they too must clear
+// the reported bound.
+func TestPartialBudgetWithoutOptStillBounds(t *testing.T) {
+	e := newEnv(sampleDoc())
+	q := []string{"xml", "data"}
+	_, full := Evaluate(e.lists(q), Options{Semantics: core.ELCA, K: 2})
+	for n := int64(1); n <= int64(full.RowsPulled); n++ {
+		rs, st, err := EvaluateCtx(context.Background(), e.lists(q), Options{
+			Semantics: core.ELCA, K: 2, Budget: budget.New(0, n),
+		})
+		if err == nil {
+			continue
+		}
+		if !st.Partial {
+			t.Fatalf("budget=%d: abort without Stats.Partial", n)
+		}
+		assertCertifiedPrefix(t, e, q, rs, st.UnseenBound)
+	}
+}

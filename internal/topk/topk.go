@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/budget"
 	"repro/internal/colstore"
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -48,6 +49,18 @@ type Options struct {
 	// termination, cancellation strides). Nil disables tracing at the cost
 	// of one pointer check per instrumentation site.
 	Trace *obs.Trace
+
+	// Budget, when non-nil, is charged one candidate per pulled row; a
+	// trip aborts the evaluation exactly like a cancelled context, with
+	// the budget error in place of ctx.Err().
+	Budget *budget.B
+	// Partial asks an aborted evaluation (context or budget) to append
+	// its buffered — not yet proven — candidates after the proven prefix
+	// of the returned results, in score order. Stats.UnseenBound then
+	// certifies the safe prefix: every result with Score >= UnseenBound
+	// is a true member of the top-K at its returned rank. The emit
+	// callback never sees unproven results regardless of this option.
+	Partial bool
 }
 
 // Stats reports execution counters.
@@ -58,6 +71,14 @@ type Stats struct {
 	EarlyEmits      int  // results emitted before their column was drained
 	TerminatedEarly bool // stopped before the root column completed
 	ThresholdChecks int
+
+	// Partial is set when the evaluation was aborted by cancellation,
+	// deadline, or budget before the answer was complete. UnseenBound is
+	// then the star join's upper bound on the score of any result not
+	// produced (Sections IV-B/IV-C): the certification boundary of the
+	// returned results.
+	Partial     bool
+	UnseenBound float64
 }
 
 // Evaluate returns the top-K results (score-descending) of the keyword
@@ -182,18 +203,42 @@ func evaluate(ctx context.Context, lists []colstore.TKSource, opt Options, emit 
 		defer func() { tr.CancelChecks(int64(st.RowsPulled/ctxCheckStride), ctxCheckStride) }()
 	}
 
+	e.colBound = math.Inf(1)
 	for lev := lmin; lev >= 1 && !e.done(); lev-- {
+		// The bound over all columns not yet completed (lev and above it in
+		// sweep order), should the evaluation abort before or inside this
+		// column's sweep.
+		e.colBound = e.crossColumnBound(lev + 1)
 		if err := ctx.Err(); err != nil {
-			e.ctxErr = err
+			e.abortErr = err
 			break
 		}
 		st.Levels++
 		e.runColumn(lev)
 	}
-	if e.ctxErr != nil {
-		// Cancelled: whatever was emitted before the abort is returned, but
-		// the buffer is not drained — those results were never proven safe.
-		return e.emitted, st, e.ctxErr
+	if e.abortErr != nil {
+		// Aborted (cancellation, deadline, or budget): whatever was emitted
+		// before the abort is returned — those results are proven — and the
+		// unseen-result bound at the abort point certifies them. With
+		// opt.Partial the buffered, not-yet-proven candidates follow the
+		// proven prefix in score order; they are never handed to the emit
+		// callback.
+		st.Partial = true
+		st.UnseenBound = e.abortBound()
+		if opt.Partial && e.buffer.Len() > 0 {
+			rest := make(resultHeap, len(e.buffer))
+			copy(rest, e.buffer)
+			sort.Sort(rest)
+			e.emitted = append(e.emitted, rest...)
+			if len(e.emitted) > opt.K {
+				e.emitted = e.emitted[:opt.K]
+			}
+		}
+		if e.tr != nil {
+			e.tr.Note(fmt.Sprintf("partial-abort: %v", e.abortErr),
+				int64(len(e.emitted)), int64(e.buffer.Len()), int64(st.RowsPulled))
+		}
+		return e.emitted, st, e.abortErr
 	}
 	// All columns processed (or terminated): everything buffered is a true
 	// result; drain by score.
@@ -226,36 +271,64 @@ const ctxCheckStride = 256
 
 // engine carries one evaluation's state.
 type engine struct {
-	ctx    context.Context
-	ctxErr error // sticky ctx.Err() once cancellation is observed
-	opt    Options
-	decay  float64
-	st     *Stats
-	states []*listState
-	maxCol [][]float64 // per list: max damped column score per level
+	ctx      context.Context
+	abortErr error // sticky abort cause: ctx.Err() or a budget trip
+	opt      Options
+	decay    float64
+	st       *Stats
+	states   []*listState
+	maxCol   [][]float64 // per list: max damped column score per level
 
 	emitted []core.Result
 	buffer  resultHeap // completed results awaiting the threshold
 	emit    func(core.Result) bool
 	stopped bool       // consumer cancelled via the emit callback
 	tr      *obs.Trace // nil = tracing disabled
+
+	// Partial-abort bound bookkeeping. colBound bounds every result in
+	// the columns not yet completed (set at each column start from the
+	// Section IV-C cross-column bound); liveThreshold, non-nil while a
+	// column sweep is active, is that column's current unseen-result
+	// threshold (the tighter mid-column bound); slcaFullMax tracks the
+	// best fully-witnessed SLCA value of the active column, which sits in
+	// neither the partial groups nor the buffer mid-column and so is
+	// invisible to the star threshold.
+	colBound      float64
+	liveThreshold func() float64
+	slcaFullMax   float64
 }
 
-func (e *engine) done() bool { return e.stopped || e.ctxErr != nil || len(e.emitted) >= e.opt.K }
+func (e *engine) done() bool { return e.stopped || e.abortErr != nil || len(e.emitted) >= e.opt.K }
 
 // tick observes the context every ctxCheckStride pulls; true means abort.
 func (e *engine) tick() bool {
-	if e.ctxErr != nil {
+	if e.abortErr != nil {
 		return true
 	}
 	if e.st.RowsPulled%ctxCheckStride != 0 {
 		return false
 	}
 	if err := e.ctx.Err(); err != nil {
-		e.ctxErr = err
+		e.abortErr = err
 		return true
 	}
 	return false
+}
+
+// abortBound is the unseen-result upper bound at the abort point: the
+// active column's live threshold (which already folds in the
+// cross-column bound) when a sweep was running, the cross-column bound
+// over the unfinished columns otherwise, capped from below by the best
+// fully-witnessed-but-unbuffered SLCA value of the active column.
+func (e *engine) abortBound() float64 {
+	b := e.colBound
+	if e.liveThreshold != nil {
+		b = e.liveThreshold()
+	}
+	if e.slcaFullMax > b {
+		b = e.slcaFullMax
+	}
+	return b
 }
 
 func (e *engine) k() int { return len(e.states) }
@@ -397,6 +470,13 @@ func (e *engine) runColumn(lev int) {
 		}
 		return t
 	}
+	// While this sweep is live, a partial abort certifies against the
+	// column's current threshold rather than the looser cross-column
+	// bound. Abort returns leave liveThreshold installed on purpose —
+	// evaluate reads the bound after runColumn returns; only a completed
+	// sweep (which drained the column) tears it down at the bottom.
+	e.slcaFullMax = math.Inf(-1)
+	e.liveThreshold = threshold
 
 	pullFrom := func() int {
 		// Round-robin until K results have been generated, then the list
@@ -433,6 +513,14 @@ func (e *engine) runColumn(lev int) {
 		if i < 0 {
 			break // column drained
 		}
+		// Charge before pulling: a trip must abort with the candidate still
+		// in its list, where the threshold's peek covers it. Charging after
+		// the pull would consume a row that is in neither the bucket nor any
+		// peek, and the abort bound could certify below its true score.
+		if err := e.opt.Budget.ChargeCandidates(1); err != nil {
+			e.abortErr = err
+			return
+		}
 		p, ok := e.states[i].pull()
 		if !ok {
 			continue
@@ -461,6 +549,11 @@ func (e *engine) runColumn(lev int) {
 				heap.Push(&e.buffer, core.Result{Level: lev, Value: p.value, Score: partial})
 			} else if vs.witMask != full {
 				pushPartial(vs, p.value, partial)
+			} else if e.opt.Semantics == core.SLCA && partial > e.slcaFullMax {
+				// A fully-witnessed SLCA value is neither buffered nor in a
+				// partial group mid-column, so the star threshold does not
+				// see it; its known score must cap the partial-abort bound.
+				e.slcaFullMax = partial
 			}
 		}
 		// Mid-column emission is only sound for ELCA: an ELCA completion is
@@ -504,6 +597,8 @@ func (e *engine) runColumn(lev int) {
 	}
 	// The column holds no more unseen results; only higher columns bound
 	// the buffer now.
+	e.liveThreshold = nil
+	e.slcaFullMax = math.Inf(-1)
 	if e.tr != nil && !math.IsInf(higher, 0) {
 		e.tr.Threshold(lev, higher, e.buffer.Len(), len(e.emitted))
 	}

@@ -50,20 +50,20 @@ func (pq *PreparedQuery) Keywords() []string { return pq.keywords }
 
 // Search evaluates the complete ranked result set.
 func (pq *PreparedQuery) Search(ctx context.Context) ([]Result, error) {
-	rs, _, err := pq.ix.searchObs(ctx, pq.query, pq.keywords, pq.opt, nil)
+	rs, _, _, err := pq.ix.searchObs(ctx, pq.query, pq.keywords, pq.opt, nil)
 	return rs, err
 }
 
 // TopK returns the k best results in descending score order.
 func (pq *PreparedQuery) TopK(ctx context.Context, k int) ([]Result, error) {
-	rs, _, err := pq.ix.topKObs(ctx, pq.query, pq.keywords, k, pq.opt, nil)
+	rs, _, _, err := pq.ix.topKObs(ctx, pq.query, pq.keywords, k, pq.opt, nil)
 	return rs, err
 }
 
 // TopKStream delivers each of the k best results to fn the moment it is
 // proven safe; fn returning false cancels the remaining evaluation.
 func (pq *PreparedQuery) TopKStream(ctx context.Context, k int, fn func(Result) bool) error {
-	_, err := pq.ix.topKStreamObs(ctx, pq.query, pq.keywords, k, pq.opt, fn, nil)
+	_, _, err := pq.ix.topKStreamObs(ctx, pq.query, pq.keywords, k, pq.opt, fn, nil)
 	return err
 }
 

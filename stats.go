@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/obs"
 )
 
@@ -24,6 +25,13 @@ type QueryStats struct {
 	// when a store is installed (SetTraceStore) and tail sampling retained
 	// this query's trace; /traces/{id} then serves it back.
 	TraceID uint64 `json:"trace_id,omitempty"`
+	// Partial reports that the evaluation was aborted (deadline,
+	// cancellation, or budget) before completing; with AllowPartial the
+	// results are the certified-partial answer. UnseenBound is the
+	// engine's abort-time upper bound on any unreturned result's score
+	// (+Inf when the engine could not bound them).
+	Partial     bool    `json:"partial,omitempty"`
+	UnseenBound float64 `json:"unseen_bound,omitempty"`
 }
 
 // RenderTrace writes the human-readable span-and-event timeline.
@@ -34,16 +42,18 @@ func (qs *QueryStats) RenderTrace(w io.Writer) {
 // newQueryStats assembles the profile after the traced evaluation ended.
 // By this point the *Obs path has already offered the trace to the trace
 // store (if one is installed), so a retained trace carries its ID.
-func newQueryStats(query string, engine obs.Engine, k, results int, tr *obs.Trace) *QueryStats {
+func newQueryStats(query string, engine obs.Engine, k, results int, meta exec.RunMeta, tr *obs.Trace) *QueryStats {
 	return &QueryStats{
-		Query:    query,
-		Keywords: Keywords(query),
-		Engine:   engine.String(),
-		K:        k,
-		Results:  results,
-		Elapsed:  tr.Duration(),
-		Trace:    tr,
-		TraceID:  tr.ID(),
+		Query:       query,
+		Keywords:    Keywords(query),
+		Engine:      engine.String(),
+		K:           k,
+		Results:     results,
+		Elapsed:     tr.Duration(),
+		Trace:       tr,
+		TraceID:     tr.ID(),
+		Partial:     meta.Partial,
+		UnseenBound: meta.UnseenBound,
 	}
 }
 
@@ -65,18 +75,18 @@ func spanName(a Algorithm, topK bool) string {
 func (ix *Index) SearchTraced(ctx context.Context, query string, opt SearchOptions) ([]Result, *QueryStats, error) {
 	tr := obs.NewTrace()
 	sp := tr.Start("search/" + spanName(opt.Algorithm, false))
-	rs, eng, err := ix.searchObs(ctx, query, nil, opt, tr)
+	rs, meta, eng, err := ix.searchObs(ctx, query, nil, opt, tr)
 	tr.End(sp)
-	return rs, newQueryStats(query, eng, 0, len(rs), tr), err
+	return rs, newQueryStats(query, eng, 0, len(rs), meta, tr), err
 }
 
 // TopKTraced is TopKContext with per-query tracing enabled.
 func (ix *Index) TopKTraced(ctx context.Context, query string, k int, opt SearchOptions) ([]Result, *QueryStats, error) {
 	tr := obs.NewTrace()
 	sp := tr.Start("topk/" + spanName(opt.Algorithm, true))
-	rs, eng, err := ix.topKObs(ctx, query, nil, k, opt, tr)
+	rs, meta, eng, err := ix.topKObs(ctx, query, nil, k, opt, tr)
 	tr.End(sp)
-	return rs, newQueryStats(query, eng, k, len(rs), tr), err
+	return rs, newQueryStats(query, eng, k, len(rs), meta, tr), err
 }
 
 // TopKStreamTraced is TopKStreamContext with per-query tracing enabled:
@@ -86,9 +96,9 @@ func (ix *Index) TopKTraced(ctx context.Context, query string, k int, opt Search
 func (ix *Index) TopKStreamTraced(ctx context.Context, query string, k int, opt SearchOptions, fn func(Result) bool) (*QueryStats, error) {
 	tr := obs.NewTrace()
 	sp := tr.Start("topk-stream/" + obs.EngineTopK.String())
-	delivered, err := ix.topKStreamObs(ctx, query, nil, k, opt, fn, tr)
+	delivered, meta, err := ix.topKStreamObs(ctx, query, nil, k, opt, fn, tr)
 	tr.End(sp)
-	return newQueryStats(query, obs.EngineTopK, k, delivered, tr), err
+	return newQueryStats(query, obs.EngineTopK, k, delivered, meta, tr), err
 }
 
 // Metrics returns the index's live metrics registry: cumulative per-engine

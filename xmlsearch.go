@@ -63,6 +63,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 	"unicode/utf8"
 
 	"repro/internal/colstore"
@@ -153,6 +154,28 @@ type SearchOptions struct {
 	// occurrence at distance Δl below its result node; 0 selects the
 	// default 0.9.
 	Decay float64
+
+	// Timeout, when positive, bounds the query's wall-clock time: the
+	// evaluation is run under a context.WithTimeout derived from the
+	// caller's context, and expiry aborts with an error matching
+	// ErrDeadlineExceeded (or, with AllowPartial, returns the certified
+	// partial answer produced so far).
+	Timeout time.Duration
+	// MaxDecodedBytes, when positive, bounds the total in-memory size of
+	// the inverted lists the query may touch through the column store.
+	// Exceeding it aborts with an error matching ErrBudgetExceeded.
+	MaxDecodedBytes int64
+	// MaxCandidates, when positive, bounds the number of candidate rows
+	// the score-ordered top-K engines may pull. Exceeding it aborts with
+	// an error matching ErrBudgetExceeded.
+	MaxCandidates int64
+	// AllowPartial converts a deadline/cancellation/budget abort into a
+	// successful partial answer: the results produced before the abort are
+	// returned with a nil error, each carrying Exact — true when the
+	// engine's unseen-result bound proves the result belongs to the true
+	// answer at its rank (see DESIGN.md §12). Without AllowPartial an
+	// abort returns no results and the classified error.
+	AllowPartial bool
 }
 
 // Result is one search hit.
@@ -168,6 +191,12 @@ type Result struct {
 	Score float64
 	// Snippet is the node's direct text, truncated for display.
 	Snippet string
+	// Exact reports whether this result is certified to belong to the true
+	// answer at its rank position. Always true for a completed query; on a
+	// certified-partial answer (SearchOptions.AllowPartial) it is true
+	// exactly when Score is at or above the engine's bound on every unseen
+	// result, the Section IV-B/IV-C threshold at the abort point.
+	Exact bool
 }
 
 // Index is a searchable in-memory index over one XML document. It is safe
@@ -652,7 +681,7 @@ func (s *snapshot) materializeJoin(rs []core.Result) []Result {
 func (s *snapshot) materializeDewey(id []uint32, score float64) Result {
 	n := s.doc.NodeByDewey(id)
 	if n == nil {
-		return Result{Dewey: "?", Score: score}
+		return Result{Dewey: "?", Score: score, Exact: true}
 	}
 	return materializeNode(n, score)
 }
@@ -672,6 +701,9 @@ func materializeNode(n *xmltree.Node, s float64) Result {
 		Level:   n.Level,
 		Score:   s,
 		Snippet: snippet,
+		// Materialized results default to exact; a certified-partial settle
+		// recomputes Exact against the abort-time unseen bound.
+		Exact: true,
 	}
 }
 
