@@ -17,6 +17,21 @@
 //	xkwbench -exp smoke -json BENCH_smoke.json -baseline results/BENCH_smoke.json -tol 3.0
 //	xkwbench -exp overload -json BENCH_overload.json
 //
+// Workload capture and replay (the flight-recorder pipeline):
+//
+//	xkwbench -exp capture -workload w.ndjson [-qlog-dir dir]
+//	xkwbench -exp replay  -workload w.ndjson -json BENCH_replay.json [-paced]
+//
+// -exp capture drives a deterministic mixed workload (complete, top-K,
+// streaming, budget-tripped, partial, and deadline-expired queries)
+// through the public facade with the flight recorder installed and
+// writes the captured records to -workload. -exp replay re-executes a
+// workload file — this capture, a /qlog scrape, or a rotated production
+// sink — against a freshly built index of the same -scale/-seed and
+// exits nonzero unless every recorded-ok query reproduces its result-set
+// fingerprint exactly. -paced replays on the captured arrival schedule
+// instead of closed-loop.
+//
 // -exp smoke measures every engine on the mid-band workload against a
 // disk-backed store and writes per-engine p50/p95/p99, throughput, and
 // decode volume (plus the machine fingerprint) to -json. With -baseline,
@@ -47,7 +62,10 @@ func main() {
 		queries  = flag.Int("queries", 0, "override queries per sweep point")
 		reps     = flag.Int("reps", 0, "override repetitions per query")
 		topK     = flag.Int("k", 10, "K for the top-K experiments")
-		exp      = flag.String("exp", "all", "experiment: all, table1, fig9, fig10, ablations, smoke, overload")
+		exp      = flag.String("exp", "all", "experiment: all, table1, fig9, fig10, ablations, smoke, overload, capture, replay")
+		workload = flag.String("workload", "", "with -exp capture/replay, the NDJSON workload file to write/read")
+		paced    = flag.Bool("paced", false, "with -exp replay, pace the replay by the recorded inter-arrival offsets")
+		qlogDir  = flag.String("qlog-dir", "", "with -exp capture, also sink the capture through a rotating on-disk qlog in this directory")
 		out      = flag.String("o", "", "also write output to this file")
 		jsonOut  = flag.String("json", "", "with -exp smoke or overload, write the telemetry report to this file")
 		baseline = flag.String("baseline", "", "with -exp smoke, gate the run against this baseline report")
@@ -105,6 +123,20 @@ func main() {
 	}
 	if *exp == "overload" {
 		if err := runOverload(w, cfg, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "xkwbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "capture" {
+		if err := runCapture(w, cfg, *workload, *qlogDir); err != nil {
+			fmt.Fprintln(os.Stderr, "xkwbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "replay" {
+		if err := runReplay(w, cfg, *workload, *paced, *jsonOut, *baseline, *tol); err != nil {
 			fmt.Fprintln(os.Stderr, "xkwbench:", err)
 			os.Exit(1)
 		}
@@ -217,6 +249,78 @@ func runOverload(w io.Writer, cfg bench.Config, jsonOut string) error {
 		}
 		fmt.Fprintf(w, "report written to %s\n", jsonOut)
 	}
+	return nil
+}
+
+// runCapture drives the deterministic mixed workload through the facade
+// with the flight recorder on and writes the capture as an NDJSON
+// workload file.
+func runCapture(w io.Writer, cfg bench.Config, workload, qlogDir string) error {
+	if workload == "" {
+		return fmt.Errorf("-exp capture requires -workload <file.ndjson>")
+	}
+	n, err := bench.CaptureWorkload(cfg, workload, qlogDir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== capture: scale=%.2f seed=%d queries/pt=%d K=%d ==\n",
+		cfg.Scale, cfg.Seed, cfg.QueriesPerPt, cfg.TopK)
+	fmt.Fprintf(w, "%d records captured to %s\n", n, workload)
+	if qlogDir != "" {
+		fmt.Fprintf(w, "rotating qlog sink written under %s\n", qlogDir)
+	}
+	return nil
+}
+
+// runReplay re-executes a captured workload, prints the per-recorded-
+// outcome latency table and the fingerprint verdict, writes the JSON
+// report, optionally gates against a baseline, and fails on any
+// fingerprint mismatch — the replay determinism gate.
+func runReplay(w io.Writer, cfg bench.Config, workload string, paced bool, jsonOut, baseline string, tol float64) error {
+	if workload == "" {
+		return fmt.Errorf("-exp replay requires -workload <file.ndjson>")
+	}
+	report, err := bench.Replay(cfg, workload, bench.ReplayOptions{Paced: paced})
+	if err != nil {
+		return err
+	}
+	sum := report.Replay
+	fmt.Fprintf(w, "== replay: %s scale=%.2f seed=%d paced=%v (%s/%s, %d CPU, %s) ==\n",
+		workload, cfg.Scale, cfg.Seed, paced,
+		report.Env.GOOS, report.Env.GOARCH, report.Env.NumCPU, report.Env.GoVersion)
+	fmt.Fprintf(w, "%-20s %8s %12s %12s %12s %10s\n", "recorded outcome", "queries", "p50", "p95", "p99", "qps")
+	for _, p := range report.Points {
+		fmt.Fprintf(w, "%-20s %8d %12v %12v %12v %10.0f\n",
+			p.Label, p.Queries, time.Duration(p.P50Ns), time.Duration(p.P95Ns), time.Duration(p.P99Ns), p.QPS)
+	}
+	fmt.Fprintf(w, "replayed %d/%d records; fingerprints checked %d, mismatches %d\n",
+		sum.Replayed, sum.Records, sum.Checked, sum.Mismatches)
+	if jsonOut != "" {
+		if err := bench.WriteReport(jsonOut, report); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "report written to %s\n", jsonOut)
+	}
+	if baseline != "" {
+		base, err := bench.ReadReport(baseline)
+		if err != nil {
+			return err
+		}
+		if v := bench.CompareReports(base, report, tol); len(v) > 0 {
+			for _, line := range v {
+				fmt.Fprintln(os.Stderr, "REGRESSION:", line)
+			}
+			return fmt.Errorf("%d point(s) regressed beyond %.0f%% vs %s", len(v), tol*100, baseline)
+		}
+		fmt.Fprintf(w, "perf gate passed: no p50 regression beyond %.0f%% vs %s\n", tol*100, baseline)
+	}
+	if sum.Mismatches > 0 {
+		for _, m := range sum.MismatchExamples {
+			fmt.Fprintln(os.Stderr, "MISMATCH:", m)
+		}
+		return fmt.Errorf("%d fingerprint mismatch(es): replay did not reproduce the capture", sum.Mismatches)
+	}
+	fmt.Fprintln(w, "replay deterministic: every recorded-ok fingerprint reproduced")
 	return nil
 }
 

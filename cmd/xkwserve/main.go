@@ -10,6 +10,15 @@
 //	         [-slow 50ms] [-trace-keep 256] [-trace-sample 64] [-trace-seed 1]
 //	         [-mutexfrac N] [-blockrate N]
 //	         [-max-inflight 256] [-queue 64] [-default-timeout 0] [-drain 5s]
+//	         [-qlog DIR] [-qlog-max-bytes N] [-qlog-max-files N]
+//
+// Flight recorder: with -qlog DIR every query — completed, partial,
+// aborted, shed — appends one NDJSON record (keywords, plan, outcome,
+// latency, resource profile, result-set fingerprint) to DIR/qlog.ndjson,
+// rotating past -qlog-max-bytes and keeping -qlog-max-files rotations.
+// The recent ring serves at GET /qlog; captured files replay through
+// `xkwbench -exp replay`. Recording is lossy-bounded: it never blocks a
+// query, and drops (if any) are counted in xkw_qlog_dropped_total.
 //
 // Trace capture policy: every query through /search is traced; traces of
 // queries that erred, were cancelled, or ran at or above -slow are always
@@ -40,6 +49,7 @@ import (
 	xmlsearch "repro"
 	"repro/internal/obs"
 	"repro/internal/obshttp"
+	"repro/internal/qlog"
 )
 
 func main() {
@@ -58,9 +68,12 @@ func main() {
 	queueLen := fs.Int("queue", 64, "admission wait-queue length beyond max-inflight")
 	defaultTimeout := fs.Duration("default-timeout", 0, "deadline applied to queries without an explicit ?timeout= (0 = none)")
 	drainGrace := fs.Duration("drain", 5*time.Second, "grace period for in-flight queries during shutdown")
+	qlogDir := fs.String("qlog", "", "enable the query flight recorder, sinking NDJSON records under this directory (empty = off)")
+	qlogMaxBytes := fs.Int64("qlog-max-bytes", qlog.DefaultMaxFileBytes, "rotate the qlog sink past this size")
+	qlogMaxFiles := fs.Int("qlog-max-files", qlog.DefaultMaxFiles, "rotated qlog files kept before pruning")
 	fs.Parse(os.Args[1:])
 	if (*indexDir == "") == (*xmlPath == "") {
-		fmt.Fprintln(os.Stderr, "usage: xkwserve (-index DIR | -xml FILE) [-addr :8080] [-slow DUR] [-trace-keep N] [-trace-sample N] [-trace-seed N] [-mutexfrac N] [-blockrate N] [-plancache N] [-max-inflight N] [-queue N] [-default-timeout DUR] [-drain DUR]")
+		fmt.Fprintln(os.Stderr, "usage: xkwserve (-index DIR | -xml FILE) [-addr :8080] [-slow DUR] [-trace-keep N] [-trace-sample N] [-trace-seed N] [-mutexfrac N] [-blockrate N] [-plancache N] [-max-inflight N] [-queue N] [-default-timeout DUR] [-drain DUR] [-qlog DIR]")
 		os.Exit(2)
 	}
 
@@ -86,6 +99,15 @@ func main() {
 	ix.SetTraceStore(obs.NewTraceStore(*traceKeep, *traceSample, *slow, *traceSeed))
 	if *planCache > 0 {
 		ix.SetPlanCacheCapacity(*planCache)
+	}
+	var recorder *qlog.Recorder
+	if *qlogDir != "" {
+		recorder, err = qlog.New(qlog.Options{Dir: *qlogDir, MaxFileBytes: *qlogMaxBytes, MaxFiles: *qlogMaxFiles})
+		if err != nil {
+			fatal(err)
+		}
+		ix.SetQueryLog(recorder)
+		fmt.Printf("xkwserve: query flight recorder on, sinking to %s\n", *qlogDir)
 	}
 
 	h := obshttp.NewHandler(ix, obshttp.Options{
@@ -115,6 +137,11 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		fatal(err)
+	}
+	// Close the recorder last: every drained query has offered its record
+	// by now, and Close flushes the queue into the sink before exiting.
+	if err := recorder.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "xkwserve: qlog close:", err)
 	}
 	fmt.Println("xkwserve: drained, exiting")
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/budget"
 	"repro/internal/exec"
 	"repro/internal/obs"
+	"repro/internal/qlog"
 )
 
 // Context-honoring entry points. Each engine checks the context
@@ -91,8 +92,16 @@ func withTimeout(ctx context.Context, opt SearchOptions) (context.Context, conte
 }
 
 // queryBudget builds the per-query resource budget (nil = unlimited).
-func queryBudget(opt SearchOptions) *budget.B {
-	return budget.New(opt.MaxDecodedBytes, opt.MaxCandidates)
+// With the flight recorder on, an otherwise-unbudgeted query gets an
+// enforcement-free metering budget instead of nil, so its record still
+// carries the resource profile (decoded bytes, cache hits, candidates);
+// with the recorder off, unbudgeted queries keep the nil no-op budget.
+func (ix *Index) queryBudget(opt SearchOptions) *budget.B {
+	b := budget.New(opt.MaxDecodedBytes, opt.MaxCandidates)
+	if b == nil && ix.qlog.Load().Enabled() {
+		b = budget.Meter()
+	}
+	return b
 }
 
 // settle is the shared abort epilogue: it classifies the error, counts
@@ -225,21 +234,104 @@ func (ix *Index) SearchContext(ctx context.Context, query string, opt SearchOpti
 	return rs, err
 }
 
-// finishQuery is the shared tail of every query path: engine metrics and
-// slow-query log, then — when a trace store is installed and the query
-// was traced — the tail-sampling offer, linking the retained trace ID
-// into the engine's latency histogram as an exemplar.
-func (ix *Index) finishQuery(e obs.Engine, query string, k int, elapsed time.Duration, results int, err error, tr *obs.Trace) {
-	ix.metrics.RecordQuery(e, query, k, elapsed, results, err, tr)
-	ts := ix.traces.Load()
-	if ts == nil || tr == nil {
-		return
+// qinfo carries what the flight recorder needs beyond the metrics path's
+// arguments: the entry point, the query's budget (doubling as its
+// resource profile), the result-set fingerprint, and the error the
+// caller actually saw (nil for a settled partial answer, unlike the trip
+// error the metrics path records).
+type qinfo struct {
+	op      string
+	opt     SearchOptions
+	bdg     *budget.B
+	fp      qlog.Hash
+	hasFP   bool
+	visible error
+}
+
+// outcomeClass maps a finished query to its flight-recorder outcome:
+// ferr is the trip-or-error the metrics path saw, visible the error the
+// caller saw. A settled certified-partial answer has ferr non-nil but
+// visible nil.
+func outcomeClass(visible, ferr error) string {
+	switch {
+	case ferr == nil:
+		return qlog.OutcomeOK
+	case visible == nil:
+		return qlog.OutcomePartial
+	case errors.Is(ferr, ErrDeadlineExceeded):
+		return qlog.OutcomeDeadline
+	case errors.Is(ferr, ErrCancelled):
+		return qlog.OutcomeCancelled
+	case errors.Is(ferr, ErrBudgetExceeded):
+		return qlog.OutcomeBudget
+	default:
+		return qlog.OutcomeError
 	}
-	if id := ts.Add(e, query, k, elapsed, results, err, tr); id != 0 {
-		if em := ix.metrics.Engine(e); em != nil {
-			em.Latency.SetExemplar(elapsed, int64(id))
+}
+
+// resultsHash folds a result slice into the deterministic fingerprint.
+func resultsHash(rs []Result) qlog.Hash {
+	h := qlog.NewHash()
+	for _, r := range rs {
+		h = h.Result(r.Dewey, r.Score)
+	}
+	return h
+}
+
+// finishQuery is the shared tail of every query path: engine metrics and
+// slow-query log; then — when a trace store is installed and the query
+// was traced — the tail-sampling offer, linking the retained trace ID
+// into the engine's latency histogram as an exemplar; then — when the
+// flight recorder is on — the query's record, offered without blocking.
+func (ix *Index) finishQuery(e obs.Engine, query string, k int, elapsed time.Duration, results int, err error, tr *obs.Trace, qi qinfo) {
+	ix.metrics.RecordQuery(e, query, k, elapsed, results, err, tr)
+	var traceID uint64
+	if ts := ix.traces.Load(); ts != nil && tr != nil {
+		if id := ts.Add(e, query, k, elapsed, results, err, tr); id != 0 {
+			traceID = id
+			if em := ix.metrics.Engine(e); em != nil {
+				em.Latency.SetExemplar(elapsed, int64(id))
+			}
 		}
 	}
+	r := ix.qlog.Load()
+	if !r.Enabled() {
+		return
+	}
+	rec := qlog.Record{
+		Op:           qi.op,
+		Keywords:     Keywords(query),
+		Semantics:    semLabel(qi.opt.Semantics),
+		K:            k,
+		Algo:         qi.opt.Algorithm.String(),
+		Engine:       e.String(),
+		Outcome:      outcomeClass(qi.visible, err),
+		DurationNs:   elapsed.Nanoseconds(),
+		Results:      results,
+		DecodedBytes: qi.bdg.Decoded(),
+		CacheHits:    qi.bdg.CacheHits(),
+		Candidates:   qi.bdg.Candidates(),
+		TraceID:      traceID,
+	}
+	if qi.hasFP {
+		rec.Fingerprint = qi.fp.String()
+	}
+	switch {
+	case qi.visible != nil:
+		rec.Err = qi.visible.Error()
+	case err != nil:
+		// Settled partial: record the abort that was converted.
+		rec.Err = err.Error()
+	}
+	r.Offer(rec)
+}
+
+// semLabel renders the semantics in the flight-recorder's lowercase form.
+func semLabel(s Semantics) string {
+	if s == SLCA {
+		return "slca"
+	}
+	return "elca"
 }
 
 // searchObs wraps searchEval with the panic guard and per-query metrics
@@ -252,6 +344,7 @@ func (ix *Index) searchObs(ctx context.Context, query string, kws []string, opt 
 	start := time.Now()
 	ix.pinned.Add(1)
 	eng = searchEngineSlot(opt.Algorithm)
+	bdg := ix.queryBudget(opt)
 	var trip error
 	defer func() {
 		ix.pinned.Add(-1)
@@ -262,13 +355,17 @@ func (ix *Index) searchObs(ctx context.Context, query string, kws []string, opt 
 		if ferr == nil && trip != nil {
 			ferr = trip
 		}
-		ix.finishQuery(eng, query, 0, time.Since(start), len(rs), ferr, tr)
+		qi := qinfo{op: "search", opt: opt, bdg: bdg, visible: err}
+		if err == nil {
+			qi.fp, qi.hasFP = resultsHash(rs), true
+		}
+		ix.finishQuery(eng, query, 0, time.Since(start), len(rs), ferr, tr, qi)
 	}()
 	defer guard(&err)
 	ctx, cancel := withTimeout(ctx, opt)
 	defer cancel()
 	var caps exec.Capability
-	rs, meta, caps, eng, err = ix.searchEval(ctx, query, kws, opt, tr)
+	rs, meta, caps, eng, err = ix.searchEval(ctx, query, kws, opt, bdg, tr)
 	rs, meta, err, trip = ix.settle(rs, meta, caps, opt, err)
 	return rs, meta, eng, err
 }
@@ -278,7 +375,7 @@ func (ix *Index) searchObs(ctx context.Context, query string, kws []string, opt 
 // evaluation. Every list, node lookup, and materialization of the query
 // comes from the one pinned snapshot, so a concurrently published
 // mutation cannot tear the evaluation.
-func (ix *Index) searchEval(ctx context.Context, query string, kws []string, opt SearchOptions, tr *obs.Trace) (rs []Result, meta exec.RunMeta, caps exec.Capability, eng obs.Engine, err error) {
+func (ix *Index) searchEval(ctx context.Context, query string, kws []string, opt SearchOptions, bdg *budget.B, tr *obs.Trace) (rs []Result, meta exec.RunMeta, caps exec.Capability, eng obs.Engine, err error) {
 	eng = searchEngineSlot(opt.Algorithm)
 	if ctx == nil {
 		ctx = context.Background()
@@ -295,7 +392,7 @@ func (ix *Index) searchEval(ctx context.Context, query string, kws []string, opt
 	}
 	s := ix.view()
 	q := exec.Query{Keywords: keywords, Semantics: int(opt.Semantics), Decay: effectiveDecay(opt.Decay),
-		Budget: queryBudget(opt), AllowPartial: opt.AllowPartial}
+		Budget: bdg, AllowPartial: opt.AllowPartial}
 	e, _, err := ix.resolveEngine(s, q, opt.Algorithm, false, tr)
 	if err != nil {
 		return nil, meta, caps, eng, err
@@ -320,6 +417,7 @@ func (ix *Index) topKObs(ctx context.Context, query string, kws []string, k int,
 	start := time.Now()
 	ix.pinned.Add(1)
 	eng = topKEngineSlot(opt.Algorithm)
+	bdg := ix.queryBudget(opt)
 	var trip error
 	defer func() {
 		ix.pinned.Add(-1)
@@ -327,20 +425,24 @@ func (ix *Index) topKObs(ctx context.Context, query string, kws []string, k int,
 		if ferr == nil && trip != nil {
 			ferr = trip
 		}
-		ix.finishQuery(eng, query, k, time.Since(start), len(rs), ferr, tr)
+		qi := qinfo{op: "topk", opt: opt, bdg: bdg, visible: err}
+		if err == nil {
+			qi.fp, qi.hasFP = resultsHash(rs), true
+		}
+		ix.finishQuery(eng, query, k, time.Since(start), len(rs), ferr, tr, qi)
 	}()
 	defer guard(&err)
 	ctx, cancel := withTimeout(ctx, opt)
 	defer cancel()
 	var caps exec.Capability
-	rs, meta, caps, eng, err = ix.topKEval(ctx, query, kws, k, opt, tr)
+	rs, meta, caps, eng, err = ix.topKEval(ctx, query, kws, k, opt, bdg, tr)
 	rs, meta, err, trip = ix.settle(rs, meta, caps, opt, err)
 	return rs, meta, eng, err
 }
 
 // topKEval resolves the engine through the registry and runs the top-K
 // evaluation against the pinned snapshot.
-func (ix *Index) topKEval(ctx context.Context, query string, kws []string, k int, opt SearchOptions, tr *obs.Trace) (rs []Result, meta exec.RunMeta, caps exec.Capability, eng obs.Engine, err error) {
+func (ix *Index) topKEval(ctx context.Context, query string, kws []string, k int, opt SearchOptions, bdg *budget.B, tr *obs.Trace) (rs []Result, meta exec.RunMeta, caps exec.Capability, eng obs.Engine, err error) {
 	eng = topKEngineSlot(opt.Algorithm)
 	if ctx == nil {
 		ctx = context.Background()
@@ -360,7 +462,7 @@ func (ix *Index) topKEval(ctx context.Context, query string, kws []string, k int
 	}
 	s := ix.view()
 	q := exec.Query{Keywords: keywords, Semantics: int(opt.Semantics), K: k, Decay: effectiveDecay(opt.Decay),
-		Budget: queryBudget(opt), AllowPartial: opt.AllowPartial}
+		Budget: bdg, AllowPartial: opt.AllowPartial}
 	e, _, err := ix.resolveEngine(s, q, opt.Algorithm, true, tr)
 	if err != nil {
 		return nil, meta, caps, eng, err
@@ -387,6 +489,19 @@ func (ix *Index) TopKStreamContext(ctx context.Context, query string, k int, opt
 func (ix *Index) topKStreamObs(ctx context.Context, query string, kws []string, k int, opt SearchOptions, fn func(Result) bool, tr *obs.Trace) (delivered int, meta exec.RunMeta, err error) {
 	start := time.Now()
 	ix.pinned.Add(1)
+	bdg := ix.queryBudget(opt)
+	// With the recorder on, wrap the callback to fold each streamed result
+	// into the fingerprint as it is delivered — streamed results are never
+	// re-materialized, so the hash must accumulate in flight.
+	streamFP := qlog.NewHash()
+	logOn := ix.qlog.Load().Enabled()
+	if logOn && fn != nil {
+		inner := fn
+		fn = func(r Result) bool {
+			streamFP = streamFP.Result(r.Dewey, r.Score)
+			return inner(r)
+		}
+	}
 	var trip error
 	defer func() {
 		ix.pinned.Add(-1)
@@ -394,7 +509,11 @@ func (ix *Index) topKStreamObs(ctx context.Context, query string, kws []string, 
 		if ferr == nil && trip != nil {
 			ferr = trip
 		}
-		ix.finishQuery(obs.EngineTopK, query, k, time.Since(start), delivered, ferr, tr)
+		qi := qinfo{op: "topk_stream", opt: opt, bdg: bdg, visible: err}
+		if logOn && err == nil {
+			qi.fp, qi.hasFP = streamFP, true
+		}
+		ix.finishQuery(obs.EngineTopK, query, k, time.Since(start), delivered, ferr, tr, qi)
 	}()
 	defer guard(&err)
 	if ctx == nil {
@@ -420,7 +539,7 @@ func (ix *Index) topKStreamObs(ctx context.Context, query string, kws []string, 
 	}
 	s := ix.view()
 	q := exec.Query{Keywords: keywords, Semantics: int(opt.Semantics), K: k, Decay: effectiveDecay(opt.Decay),
-		Budget: queryBudget(opt), AllowPartial: opt.AllowPartial}
+		Budget: bdg, AllowPartial: opt.AllowPartial}
 	e := engines.ForStream()
 	delivered, meta, err = e.Stream(ctx, s, q, tr, fn)
 	_, meta, err, trip = ix.settle(nil, meta, e.Caps, opt, err)

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	xmlsearch "repro"
+	"repro/internal/gen"
+	"repro/internal/qlog"
+)
+
+func replayTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.QueriesPerPt = 3
+	cfg.TopK = 5
+	return cfg
+}
+
+// TestCaptureReplayRoundTrip: capture the mixed workload, replay it on a
+// freshly built index of the same (scale, seed), and require zero
+// fingerprint mismatches — the end-to-end property the CI smoke gates.
+func TestCaptureReplayRoundTrip(t *testing.T) {
+	cfg := replayTestConfig()
+	dir := t.TempDir()
+	workload := filepath.Join(dir, "w.ndjson")
+	n, err := CaptureWorkload(cfg, workload, filepath.Join(dir, "qlog"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 records per workload query (2 search + 3 topk + 1 stream + budget
+	// + partial) plus the one deadline query.
+	if want := cfg.QueriesPerPt*8 + 1; n != want {
+		t.Fatalf("captured %d records, want %d", n, want)
+	}
+	// The on-disk sink carries the same capture as the workload file.
+	sunk, err := qlog.ReadFile(filepath.Join(dir, "qlog", "qlog.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sunk) != n {
+		t.Fatalf("sink has %d records, workload %d", len(sunk), n)
+	}
+
+	rep, err := Replay(cfg, workload, ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := rep.Replay
+	if sum.Replayed != n || sum.Skipped != 0 {
+		t.Fatalf("replayed %d skipped %d, want %d/0", sum.Replayed, sum.Skipped, n)
+	}
+	if sum.Checked == 0 || sum.Mismatches != 0 {
+		t.Fatalf("checked %d mismatches %d (examples %v), want >0 and 0",
+			sum.Checked, sum.Mismatches, sum.MismatchExamples)
+	}
+	// The capture must exercise the whole outcome taxonomy reachable
+	// without admission control.
+	for _, o := range []string{qlog.OutcomeOK, qlog.OutcomeBudget, qlog.OutcomePartial, qlog.OutcomeDeadline} {
+		if sum.Outcomes[o] == 0 {
+			t.Errorf("no %q records in capture: %v", o, sum.Outcomes)
+		}
+	}
+	// Per-outcome latency points, labeled for the CI gate.
+	if len(rep.Points) != len(sum.Outcomes) {
+		t.Errorf("%d points for %d outcomes", len(rep.Points), len(sum.Outcomes))
+	}
+	for _, p := range rep.Points {
+		if p.Exp != "replay" || p.Engine != "facade" || p.P50Ns <= 0 {
+			t.Errorf("implausible point: %+v", p)
+		}
+	}
+}
+
+// TestReplayPaced: paced replay honors the recorded schedule (and still
+// verifies fingerprints). The sample offsets are microseconds apart, so
+// the test only checks it completes correctly, not wall-clock pacing.
+func TestReplayPaced(t *testing.T) {
+	cfg := replayTestConfig()
+	workload := filepath.Join(t.TempDir(), "w.ndjson")
+	if _, err := CaptureWorkload(cfg, workload, ""); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(cfg, workload, ReplayOptions{Paced: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Replay.Paced || rep.Replay.Mismatches != 0 {
+		t.Fatalf("paced replay summary: %+v", rep.Replay)
+	}
+}
+
+// TestReplayDeterminismAcrossEngines replays every recorded-ok top-K
+// record twice under each of the five top-K engines on one snapshot:
+// each engine must reproduce its own fingerprint exactly across runs.
+// (Engines may disagree with each other on tie order; each must at
+// least agree with itself, or captured fingerprints would be useless as
+// regression baselines.)
+func TestReplayDeterminismAcrossEngines(t *testing.T) {
+	cfg := replayTestConfig()
+	workload := filepath.Join(t.TempDir(), "w.ndjson")
+	if _, err := CaptureWorkload(cfg, workload, ""); err != nil {
+		t.Fatal(err)
+	}
+	records, err := qlog.ReadFile(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := gen.DBLP(cfg.Scale, cfg.Seed)
+	ix, err := xmlsearch.FromDocument(ds.Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	engines := []string{"join", "stack", "ixlookup", "rdil", "hybrid"}
+	checked := 0
+	for _, eng := range engines {
+		for _, r := range records {
+			if r.Op != "topk" || r.Outcome != qlog.OutcomeOK {
+				continue
+			}
+			first, err := replayOne(ctx, ix, r, eng)
+			if err != nil {
+				t.Fatalf("%s: replay %v: %v", eng, r.Keywords, err)
+			}
+			second, err := replayOne(ctx, ix, r, eng)
+			if err != nil {
+				t.Fatalf("%s: second replay %v: %v", eng, r.Keywords, err)
+			}
+			if first != second {
+				t.Errorf("%s: %v k=%d: fingerprint %s then %s — engine not deterministic",
+					eng, r.Keywords, r.K, first, second)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no recorded-ok topk records to check")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/colstore"
 	"repro/internal/core"
 	"repro/internal/ixlookup"
+	"repro/internal/qlog"
 	"repro/internal/stack"
 	"repro/internal/topk"
 )
@@ -70,6 +71,10 @@ type Report struct {
 	ShedRate          float64 `json:"shed_rate"`
 	PartialRate       float64 `json:"partial_rate"`
 	AdmissionRejected int64   `json:"admission_rejected"`
+	// Replay is the capture→replay verdict, populated only by the replay
+	// experiment (see replay.go); omitted from every other report so the
+	// committed smoke/overload baselines are untouched.
+	Replay *ReplaySummary `json:"replay,omitempty"`
 }
 
 // quantile returns the q-th percentile (nearest-rank on the sorted slice).
@@ -178,6 +183,15 @@ func planCacheRatio(e *Env, qs [][]string, k int) (float64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("bench: index for plan-cache phase: %w", err)
 	}
+	// Run the phase with the flight recorder on (memory-only), so the CI
+	// smoke exercises the recording path — metered budgets, fingerprints,
+	// the lossy queue — on every run, not just in unit tests.
+	rec, err := qlog.New(qlog.Options{})
+	if err != nil {
+		return 0, fmt.Errorf("bench: smoke recorder: %w", err)
+	}
+	defer rec.Close()
+	ix.SetQueryLog(rec)
 	opt := xmlsearch.SearchOptions{Algorithm: xmlsearch.AlgoAuto}
 	prepared := make([]*xmlsearch.PreparedQuery, 0, len(qs))
 	for _, q := range qs {

@@ -50,12 +50,16 @@ func (e *Error) Error() string {
 func (e *Error) Is(target error) bool { return target == ErrExceeded }
 
 // B is one query's budget: limits fixed at construction, consumption
-// accumulated atomically. The zero limit disables that dimension.
+// accumulated atomically. The zero limit disables enforcement of that
+// dimension; consumption is still metered, so a B doubles as the query's
+// resource profile (decoded bytes, candidate pulls, cache hits) for the
+// query flight recorder.
 type B struct {
 	maxDecoded    int64
 	maxCandidates int64
 	decoded       atomic.Int64
 	candidates    atomic.Int64
+	cacheHits     atomic.Int64
 }
 
 // New builds a budget; a non-positive limit leaves that dimension
@@ -69,28 +73,55 @@ func New(maxDecodedBytes, maxCandidates int64) *B {
 	return &B{maxDecoded: maxDecodedBytes, maxCandidates: maxCandidates}
 }
 
+// Meter builds an enforcement-free budget: every charge accumulates,
+// nothing ever trips. The facade hands one to otherwise-unbudgeted
+// queries when the flight recorder is on, so their records still carry
+// the resource profile.
+func Meter() *B { return &B{} }
+
 // ChargeDecoded accounts n decoded bytes against the budget, returning a
-// *Error once the running total exceeds the limit. Nil-safe.
+// *Error once the running total exceeds the limit (never with no limit).
+// Nil-safe.
 func (b *B) ChargeDecoded(n int64) error {
-	if b == nil || b.maxDecoded <= 0 {
+	if b == nil {
 		return nil
 	}
-	if used := b.decoded.Add(n); used > b.maxDecoded {
+	used := b.decoded.Add(n)
+	if b.maxDecoded > 0 && used > b.maxDecoded {
 		return &Error{Resource: DecodedBytes, Limit: b.maxDecoded, Used: used}
 	}
 	return nil
 }
 
 // ChargeCandidates accounts n pulled candidate rows against the budget,
-// returning a *Error once the running total exceeds the limit. Nil-safe.
+// returning a *Error once the running total exceeds the limit (never
+// with no limit). Nil-safe.
 func (b *B) ChargeCandidates(n int64) error {
-	if b == nil || b.maxCandidates <= 0 {
+	if b == nil {
 		return nil
 	}
-	if used := b.candidates.Add(n); used > b.maxCandidates {
+	used := b.candidates.Add(n)
+	if b.maxCandidates > 0 && used > b.maxCandidates {
 		return &Error{Resource: Candidates, Limit: b.maxCandidates, Used: used}
 	}
 	return nil
+}
+
+// NoteCacheHit counts one decoded-list cache hit for this query. Cache
+// hits are metered, never limited. Nil-safe.
+func (b *B) NoteCacheHit() {
+	if b == nil {
+		return
+	}
+	b.cacheHits.Add(1)
+}
+
+// CacheHits returns the decoded-list cache hits noted so far. Nil-safe.
+func (b *B) CacheHits() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.cacheHits.Load()
 }
 
 // Decoded returns the decoded bytes charged so far. Nil-safe.

@@ -164,6 +164,7 @@ func (s *Store) openMany(terms []string, tk bool, tr *obs.Trace, bdg *budget.B) 
 		if s.cache != nil {
 			if v, hit := s.cache.get(cacheKey{term: term, tk: tk}); hit {
 				out[i] = v
+				bdg.NoteCacheHit()
 				s.obsC.RecordOpen()
 				if tr != nil {
 					rows, maxLen := listDims(v)

@@ -155,6 +155,20 @@ func (s Snapshot) WritePrometheus(w io.Writer) {
 		header(w, c.name, c.help, "counter")
 		fmt.Fprintf(w, "%s %d\n", c.name, c.v)
 	}
+	ql := s.QLog
+	qlogCounters := []struct {
+		name, help string
+		v          int64
+	}{
+		{"xkw_qlog_records_total", "Query flight-recorder records accepted.", ql.Records},
+		{"xkw_qlog_dropped_total", "Query flight-recorder records dropped on a full queue.", ql.Dropped},
+		{"xkw_qlog_rotations_total", "Query flight-recorder sink rotations.", ql.Rotations},
+		{"xkw_qlog_sink_errors_total", "Query flight-recorder sink write/rotate errors.", ql.SinkErrors},
+	}
+	for _, c := range qlogCounters {
+		header(w, c.name, c.help, "counter")
+		fmt.Fprintf(w, "%s %d\n", c.name, c.v)
+	}
 	sv := s.Serving
 	servingCounters := []struct {
 		name, help string
@@ -189,6 +203,13 @@ func (s Snapshot) WritePrometheus(w io.Writer) {
 		header(w, c.name, c.help, "gauge")
 		fmt.Fprintf(w, "%s %g\n", c.name, c.v)
 	}
+	p := s.Process
+	header(w, "xkw_build_info", "Build identity; value is always 1, the labels carry the information.", "gauge")
+	fmt.Fprintf(w, "xkw_build_info{version=\"%s\",goversion=\"%s\"} 1\n", escapeLabel(p.Version), escapeLabel(p.GoVersion))
+	header(w, "xkw_goroutines", "Live goroutines at scrape time.", "gauge")
+	fmt.Fprintf(w, "xkw_goroutines %d\n", p.Goroutines)
+	header(w, "xkw_heap_bytes", "Live heap bytes (runtime HeapAlloc) at scrape time.", "gauge")
+	fmt.Fprintf(w, "xkw_heap_bytes %d\n", p.HeapBytes)
 }
 
 // expvarSlots maps each published expvar name to the Metrics registry the

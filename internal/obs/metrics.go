@@ -176,6 +176,69 @@ func (s *ServingCounters) Snapshot() ServingSnapshot {
 	}
 }
 
+// QLogCounters accumulates query-flight-recorder counters. A
+// *QLogCounters is installed on a qlog.Recorder with SetObs; a nil
+// receiver disables recording with a single pointer check.
+type QLogCounters struct {
+	Records    Counter // records accepted into the recorder queue
+	Dropped    Counter // records dropped because the queue was full
+	Rotations  Counter // sink file rotations
+	SinkErrors Counter // sink write/rotate errors (records stayed in the ring)
+}
+
+// RecordAccepted notes one record accepted by the recorder. Nil-safe.
+func (q *QLogCounters) RecordAccepted() {
+	if q == nil {
+		return
+	}
+	q.Records.Inc()
+}
+
+// RecordDropped notes one record dropped on a full queue. Nil-safe.
+func (q *QLogCounters) RecordDropped() {
+	if q == nil {
+		return
+	}
+	q.Dropped.Inc()
+}
+
+// RecordRotation notes one sink rotation. Nil-safe.
+func (q *QLogCounters) RecordRotation() {
+	if q == nil {
+		return
+	}
+	q.Rotations.Inc()
+}
+
+// RecordSinkError notes one sink write/rotate error. Nil-safe.
+func (q *QLogCounters) RecordSinkError() {
+	if q == nil {
+		return
+	}
+	q.SinkErrors.Inc()
+}
+
+// QLogSnapshot is a point-in-time copy of QLogCounters.
+type QLogSnapshot struct {
+	Records    int64 `json:"records"`
+	Dropped    int64 `json:"dropped"`
+	Rotations  int64 `json:"rotations"`
+	SinkErrors int64 `json:"sink_errors"`
+}
+
+// Snapshot copies the recorder counters (zero snapshot for nil).
+func (q *QLogCounters) Snapshot() QLogSnapshot {
+	if q == nil {
+		return QLogSnapshot{}
+	}
+	return QLogSnapshot{
+		Records:    q.Records.Load(),
+		Dropped:    q.Dropped.Load(),
+		Rotations:  q.Rotations.Load(),
+		SinkErrors: q.SinkErrors.Load(),
+	}
+}
+
 // PlannerCounters accumulates planner and plan-cache counters. A
 // *PlannerCounters is installed on an exec.PlanCache with SetObs; a nil
 // receiver disables recording with a single pointer check.
@@ -391,6 +454,7 @@ type Metrics struct {
 	Writer  WriterMetrics
 	Planner PlannerCounters
 	Serving ServingCounters
+	QLog    QLogCounters
 	gauges  atomic.Pointer[gaugeSource]
 
 	slowThresholdNs Counter // configured slow-query latency threshold (0 = disabled)
@@ -517,6 +581,8 @@ type Snapshot struct {
 	Writer      WriterSnapshot   `json:"writer"`
 	Planner     PlannerSnapshot  `json:"planner"`
 	Serving     ServingSnapshot  `json:"serving"`
+	QLog        QLogSnapshot     `json:"qlog"`
+	Process     ProcessSnapshot  `json:"process"`
 	Gauges      Gauges           `json:"gauges"`
 	SlowQueries []SlowQuery      `json:"slow_queries,omitempty"`
 }
@@ -527,7 +593,7 @@ func (m *Metrics) Snapshot() Snapshot {
 	if m == nil {
 		return Snapshot{}
 	}
-	s := Snapshot{Store: m.Store.Snapshot(), Writer: m.Writer.Snapshot(), Planner: m.Planner.Snapshot(), Serving: m.Serving.Snapshot(), SlowQueries: m.SlowQueries()}
+	s := Snapshot{Store: m.Store.Snapshot(), Writer: m.Writer.Snapshot(), Planner: m.Planner.Snapshot(), Serving: m.Serving.Snapshot(), QLog: m.QLog.Snapshot(), Process: CurrentProcess(), SlowQueries: m.SlowQueries()}
 	if src := m.gauges.Load(); src != nil {
 		s.Gauges = (*src)()
 	}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// ProcessSnapshot is the process-level identity and runtime state sampled
+// into every metrics Snapshot: who this binary is (the xkw_build_info
+// labels and the /version route) and the two cheapest liveness signals a
+// dashboard wants next to the query metrics (goroutine count, live heap).
+type ProcessSnapshot struct {
+	// Version is the main module's version from the embedded build info
+	// ("(devel)" for a plain `go build` of the working tree).
+	Version string `json:"version"`
+	// Revision is the VCS revision stamped into the build, if any.
+	Revision string `json:"revision,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// Goroutines is the live goroutine count at snapshot time.
+	Goroutines int `json:"goroutines"`
+	// HeapBytes is the live heap (runtime.MemStats.HeapAlloc) at snapshot
+	// time.
+	HeapBytes uint64 `json:"heap_bytes"`
+}
+
+// buildVersion and buildRevision are read once at init: build info never
+// changes while the process runs, and debug.ReadBuildInfo walks the
+// embedded module data on every call.
+var buildVersion, buildRevision = func() (version, revision string) {
+	version = "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return version, ""
+	}
+	if bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			revision = s.Value
+		}
+	}
+	return version, revision
+}()
+
+// CurrentProcess samples the process state. ReadMemStats is a
+// stop-the-world-free read in modern Go but still costs microseconds;
+// it runs per Snapshot (i.e. per scrape), never on the query path.
+func CurrentProcess() ProcessSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ProcessSnapshot{
+		Version:    buildVersion,
+		Revision:   buildRevision,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Goroutines: runtime.NumGoroutine(),
+		HeapBytes:  ms.HeapAlloc,
+	}
+}

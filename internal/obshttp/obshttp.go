@@ -25,6 +25,7 @@ import (
 
 	xmlsearch "repro"
 	"repro/internal/obs"
+	"repro/internal/qlog"
 )
 
 // StatusClientClosedRequest is the nginx-convention status for a query
@@ -96,6 +97,8 @@ var testHookQueryStart func(ctx context.Context)
 //	GET /healthz           liveness: 200 once the process serves
 //	GET /readyz            readiness: storage Health(); 503 on file damage
 //	GET /slow              slow-query log, NDJSON, oldest first
+//	GET /qlog              flight-recorder recent ring, NDJSON, oldest first
+//	GET /version           build identity + process runtime state (JSON)
 //	GET /traces            tail-sampled trace summaries, newest first
 //	GET /traces/{id}       one retained trace: full span tree + events
 //	GET /search            run a query (q, k, engine, sem, timeout,
@@ -126,6 +129,8 @@ func NewHandler(ix *xmlsearch.Index, opt Options) *Handler {
 	mux.HandleFunc("GET /healthz", h.healthz)
 	mux.HandleFunc("GET /readyz", h.readyz)
 	mux.HandleFunc("GET /slow", h.slow)
+	mux.HandleFunc("GET /qlog", h.qlog)
+	mux.HandleFunc("GET /version", h.version)
 	mux.HandleFunc("GET /traces", h.traces)
 	mux.HandleFunc("GET /traces/{id}", h.traceByID)
 	mux.HandleFunc("GET /search", h.search)
@@ -146,6 +151,8 @@ func (h *Handler) root(w http.ResponseWriter, r *http.Request) {
   /healthz          liveness
   /readyz           readiness (storage self-verification)
   /slow             slow-query log (NDJSON)
+  /qlog             query flight recorder, recent records (NDJSON)
+  /version          build identity + process state (JSON)
   /traces           tail-sampled traces
   /traces/{id}      one trace (span tree + events)
   /search?q=&k=&engine=&sem=&timeout=&partial=&maxbytes=&maxcand=
@@ -223,6 +230,31 @@ func (h *Handler) slow(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// qlog streams the flight recorder's recent ring as NDJSON, oldest
+// first — the same line format the disk sink writes, so a captured ring
+// is directly replayable by `xkwbench -exp replay`.
+func (h *Handler) qlog(w http.ResponseWriter, r *http.Request) {
+	rec := h.ix.QueryLog()
+	if rec == nil {
+		http.Error(w, "query log disabled (no recorder installed)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, q := range rec.Recent() {
+		if enc.Encode(q) != nil {
+			return
+		}
+	}
+}
+
+// version serves the build identity and live process state — what
+// xkw_build_info and the process gauges expose to Prometheus, in JSON
+// form for humans and deploy tooling.
+func (h *Handler) version(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, obs.CurrentProcess())
 }
 
 func (h *Handler) store(w http.ResponseWriter) *obs.TraceStore {
@@ -380,6 +412,32 @@ func searchStatus(err error) int {
 	return http.StatusInternalServerError
 }
 
+// offerShed records an admission-control rejection into the flight
+// recorder (no-op when none is installed). Shed records carry the query
+// shape but no engine, duration, or fingerprint — nothing ran.
+func (h *Handler) offerShed(q string, k int, opt xmlsearch.SearchOptions) {
+	rec := h.ix.QueryLog()
+	if !rec.Enabled() {
+		return
+	}
+	op := "topk"
+	if k == 0 {
+		op = "search"
+	}
+	sem := "elca"
+	if opt.Semantics == xmlsearch.SLCA {
+		sem = "slca"
+	}
+	rec.Offer(qlog.Record{
+		Op:        op,
+		Keywords:  xmlsearch.Keywords(q),
+		Semantics: sem,
+		K:         k,
+		Algo:      opt.Algorithm.String(),
+		Outcome:   qlog.OutcomeShed,
+	})
+}
+
 // search runs one traced query. q is required; k defaults to 10 and
 // k=0 requests a complete (non-top-K) evaluation; engine and sem select
 // the evaluation engine and LCA semantics; timeout, maxbytes, and
@@ -407,6 +465,11 @@ func (h *Handler) search(w http.ResponseWriter, r *http.Request) {
 
 	switch h.adm.admit(r.Context()) {
 	case admitShed:
+		// A shed query never reaches an engine, so the facade's flight-
+		// recorder hook never sees it; record the rejection here so the
+		// capture is a complete picture of offered load, not just served
+		// load.
+		h.offerShed(q, k, opt)
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "overloaded: query shed by admission control", http.StatusServiceUnavailable)
 		return

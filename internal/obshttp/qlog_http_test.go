@@ -1,0 +1,206 @@
+package obshttp
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	xmlsearch "repro"
+	"repro/internal/qlog"
+)
+
+// TestRouteContentTypes audits every non-pprof route: each must declare
+// an explicit Content-Type so scrapers, log shippers, and browsers never
+// fall back to sniffing.
+func TestRouteContentTypes(t *testing.T) {
+	ix, srv := newServer(t)
+	rec, err := qlog.New(qlog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rec.Close() })
+	ix.SetQueryLog(rec)
+	if _, err := ix.TopK("keyword search", 3, xmlsearch.SearchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		path        string
+		wantStatus  int
+		contentType string
+	}{
+		{"/", http.StatusOK, "text/plain; charset=utf-8"},
+		{"/metrics", http.StatusOK, "text/plain; version=0.0.4; charset=utf-8"},
+		{"/metrics.json", http.StatusOK, "application/json"},
+		{"/healthz", http.StatusOK, "application/json"},
+		{"/readyz", http.StatusOK, "application/json"},
+		{"/slow", http.StatusOK, "application/x-ndjson"},
+		{"/qlog", http.StatusOK, "application/x-ndjson"},
+		{"/version", http.StatusOK, "application/json"},
+		{"/traces", http.StatusOK, "application/json"},
+		{"/traces/999999", http.StatusNotFound, "text/plain; charset=utf-8"},
+		{"/search?q=keyword+search&k=3", http.StatusOK, "application/json"},
+		{"/search", http.StatusBadRequest, "text/plain; charset=utf-8"},
+	}
+	for _, tc := range cases {
+		resp, err := http.Get(srv.URL + tc.path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", tc.path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("GET %s: status %d, want %d", tc.path, resp.StatusCode, tc.wantStatus)
+		}
+		if got := resp.Header.Get("Content-Type"); got != tc.contentType {
+			t.Errorf("GET %s: Content-Type %q, want %q", tc.path, got, tc.contentType)
+		}
+	}
+}
+
+// TestQLogRoute: disabled → 404; enabled → the recent ring as NDJSON,
+// one parseable record per query, oldest first.
+func TestQLogRoute(t *testing.T) {
+	ix, srv := newServer(t)
+	get(t, srv.URL+"/qlog", http.StatusNotFound)
+
+	rec, err := qlog.New(qlog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rec.Close() })
+	ix.SetQueryLog(rec)
+
+	queries := []string{"keyword search", "xml storage", "adaptive query"}
+	for _, q := range queries {
+		if _, err := ix.TopK(q, 5, xmlsearch.SearchOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitForRecords(t, rec, len(queries))
+
+	body := get(t, srv.URL+"/qlog", http.StatusOK)
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) != len(queries) {
+		t.Fatalf("/qlog returned %d lines, want %d:\n%s", len(lines), len(queries), body)
+	}
+	for i, line := range lines {
+		r, err := qlog.Parse([]byte(line))
+		if err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if r.Outcome != qlog.OutcomeOK || r.Op != "topk" || r.Fingerprint == "" {
+			t.Errorf("line %d: outcome=%q op=%q fp=%q, want ok/topk/nonempty", i, r.Outcome, r.Op, r.Fingerprint)
+		}
+		if got, want := strings.Join(r.Keywords, " "), queries[i]; got != want {
+			t.Errorf("line %d: keywords %q, want %q (oldest first)", i, got, want)
+		}
+	}
+}
+
+// TestVersionRoute: /version serves the build identity with live
+// process state.
+func TestVersionRoute(t *testing.T) {
+	_, srv := newServer(t)
+	body := get(t, srv.URL+"/version", http.StatusOK)
+	var v struct {
+		Version    string `json:"version"`
+		GoVersion  string `json:"go_version"`
+		Goroutines int    `json:"goroutines"`
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Version == "" || v.GoVersion == "" || v.Goroutines <= 0 {
+		t.Fatalf("implausible /version payload: %s", body)
+	}
+}
+
+// TestShedRecorded: a query rejected by admission control still lands in
+// the flight recorder, outcome "shed", with the query shape but no
+// engine or fingerprint.
+func TestShedRecorded(t *testing.T) {
+	ix, err := xmlsearch.Open(strings.NewReader(testXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := qlog.New(qlog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rec.Close() })
+	ix.SetQueryLog(rec)
+
+	release := make(chan struct{})
+	var once sync.Once
+	started := make(chan struct{})
+	resetHook(t, func(ctx context.Context) {
+		once.Do(func() { close(started) })
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+	})
+	defer close(release)
+
+	srv := httptest.NewServer(NewHandler(ix, Options{MaxInflight: 1}))
+	t.Cleanup(srv.Close)
+
+	// Hold one query in flight, then shed the next.
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(srv.URL + "/search?q=keyword+search&k=3")
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	<-started
+	resp, err := http.Get(srv.URL + "/search?q=xml+storage&k=7&sem=slca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("second query status %d, want 503", resp.StatusCode)
+	}
+	release <- struct{}{}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+
+	waitForRecords(t, rec, 1)
+	var shed *qlog.Record
+	for _, r := range rec.Recent() {
+		if r.Outcome == qlog.OutcomeShed {
+			r := r
+			shed = &r
+		}
+	}
+	if shed == nil {
+		t.Fatalf("no shed record in ring: %+v", rec.Recent())
+	}
+	if shed.Op != "topk" || shed.K != 7 || shed.Semantics != "slca" {
+		t.Errorf("shed record shape: %+v", shed)
+	}
+	if shed.Engine != "" || shed.Fingerprint != "" || shed.DurationNs != 0 {
+		t.Errorf("shed record carries execution fields it should not: %+v", shed)
+	}
+}
+
+// waitForRecords polls until the recorder's drain goroutine has consumed
+// at least n records into the ring (Offer is asynchronous by design).
+func waitForRecords(t *testing.T, rec *qlog.Recorder, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(rec.Recent()) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("recorder ring has %d records, want >= %d", len(rec.Recent()), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,77 @@
+package qlog
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzQLogRecord: any record built from fuzzer-controlled fields must
+// survive the Encode→Parse round trip exactly — the property the replay
+// harness (and any external log consumer) relies on. Fields omitted when
+// zero must also reappear as their zero values.
+func FuzzQLogRecord(f *testing.F) {
+	f.Add(uint64(1), int64(5), "topk", "alpha beta", "elca", 10, "auto", "topk",
+		OutcomeOK, int64(123), 3, int64(4096), int64(1), int64(33), "00000000deadbeef", uint64(7), "")
+	f.Add(uint64(0), int64(0), "search", "", "slca", 0, "join", "",
+		OutcomeShed, int64(0), 0, int64(0), int64(0), int64(0), "", uint64(0), "shed")
+	f.Add(uint64(9), int64(-3), "topk_stream", "xéß �", "elca", -1, "rdil", "rdil",
+		OutcomePartial, int64(-1), -2, int64(-5), int64(-6), int64(-7), "zzz", uint64(1<<63), "err \"quoted\" \n newline")
+	f.Fuzz(func(t *testing.T, seq uint64, offset int64, op, kws, sem string, k int,
+		algo, engine, outcome string, dur int64, results int,
+		decoded, hits, cands int64, fp string, traceID uint64, errText string) {
+		in := Record{
+			Seq: seq, OffsetNs: offset, Op: op,
+			Semantics: sem, K: k, Algo: algo, Engine: engine, Outcome: outcome,
+			DurationNs: dur, Results: results, DecodedBytes: decoded,
+			CacheHits: hits, Candidates: cands, Fingerprint: fp,
+			TraceID: traceID, Err: errText,
+		}
+		if kws != "" {
+			in.Keywords = splitKeywords(kws)
+		}
+		line, err := in.Encode()
+		if err != nil {
+			// Encoding only fails on invalid UTF-8 sequences json.Marshal
+			// replaces rather than rejects — Marshal of this struct cannot
+			// actually error, so any error is a bug.
+			t.Fatalf("Encode(%+v): %v", in, err)
+		}
+		out, err := Parse(line)
+		if err != nil {
+			t.Fatalf("Parse(Encode(%+v)) = %v\nline: %s", in, err, line)
+		}
+		// json.Marshal coerces invalid UTF-8 to U+FFFD, so compare through
+		// a second round trip: once coerced, the form must be stable.
+		line2, err := out.Encode()
+		if err != nil {
+			t.Fatalf("re-Encode: %v", err)
+		}
+		out2, err := Parse(line2)
+		if err != nil {
+			t.Fatalf("re-Parse: %v", err)
+		}
+		if !reflect.DeepEqual(out, out2) {
+			t.Fatalf("round trip not stable:\nfirst:  %+v\nsecond: %+v", out, out2)
+		}
+	})
+}
+
+// splitKeywords is a tiny deterministic splitter for the fuzz input.
+func splitKeywords(s string) []string {
+	var out []string
+	word := ""
+	for _, r := range s {
+		if r == ' ' {
+			if word != "" {
+				out = append(out, word)
+				word = ""
+			}
+			continue
+		}
+		word += string(r)
+	}
+	if word != "" {
+		out = append(out, word)
+	}
+	return out
+}

@@ -1,0 +1,224 @@
+// Package qlog is the query flight recorder: an always-on, bounded,
+// low-overhead log of every query the index served — traced or not,
+// including the ones that were shed, timed out, tripped a budget, or
+// settled as certified-partial answers. Each query produces one compact
+// Record (keywords, semantics, K, requested algorithm and resolved
+// engine, outcome class, duration, decoded bytes, cache hits, candidate
+// pulls, a deterministic result-set fingerprint, and the exemplar trace
+// ID when tail sampling retained the trace), pushed through a lossy
+// bounded queue into an NDJSON sink with size-based rotation.
+//
+// The recorder never blocks the query path: the Offer fast path is a
+// non-blocking channel send, and when the drain goroutine falls behind
+// the record is dropped and counted instead of making the query wait.
+// Fingerprints contain no wall-clock input — two runs of the same query
+// against the same snapshot produce the same fingerprint — which is what
+// turns a captured log into a deterministic replay workload (see
+// internal/bench's capture→replay harness).
+package qlog
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+)
+
+// Outcome classes. Every record carries exactly one; together they
+// partition the serving plane's typed error taxonomy (DESIGN.md §12)
+// plus the admission layer's shed decision, which never reaches an
+// engine at all.
+const (
+	// OutcomeOK is a query that ran to completion.
+	OutcomeOK = "ok"
+	// OutcomePartial is an aborted query settled as a certified-partial
+	// answer (SearchOptions.AllowPartial): the caller saw a nil error.
+	OutcomePartial = "partial"
+	// OutcomeDeadline is a query aborted by its deadline.
+	OutcomeDeadline = "deadline"
+	// OutcomeCancelled is a query aborted by caller cancellation.
+	OutcomeCancelled = "cancelled"
+	// OutcomeBudget is a query aborted by a resource budget
+	// (decoded bytes or candidate pulls).
+	OutcomeBudget = "budget"
+	// OutcomeShed is a query rejected by admission control before any
+	// engine ran; it carries no engine, duration, or fingerprint.
+	OutcomeShed = "shed"
+	// OutcomeError is any other failure (bad algorithm, internal error).
+	OutcomeError = "error"
+)
+
+// Record is one query's flight-recorder entry, one NDJSON line in the
+// sink. Fields that are zero for a given outcome (fingerprint on errors,
+// trace ID on untraced queries) are omitted from the encoding.
+type Record struct {
+	// Seq is the recorder-assigned monotonic sequence number (1-based).
+	Seq uint64 `json:"seq,omitempty"`
+	// OffsetNs is the query's arrival offset, in nanoseconds since the
+	// recorder started — the replay harness paces a captured workload by
+	// the differences between consecutive offsets. It is timing metadata,
+	// never part of the fingerprint.
+	OffsetNs int64 `json:"offset_ns,omitempty"`
+	// Op is the entry point: "search", "topk", or "topk_stream".
+	Op string `json:"op"`
+	// Keywords are the tokenized, deduplicated query keywords.
+	Keywords []string `json:"keywords"`
+	// Semantics is the LCA variant, "elca" or "slca".
+	Semantics string `json:"sem"`
+	// K is the requested result bound (0 = complete evaluation).
+	K int `json:"k,omitempty"`
+	// Algo is the requested algorithm ("auto", "join", "stack", ...).
+	Algo string `json:"algo"`
+	// Engine is the engine that actually ran (the planner's choice for
+	// algo=auto). Empty for shed queries.
+	Engine string `json:"engine,omitempty"`
+	// Outcome is the outcome class (see the Outcome constants).
+	Outcome string `json:"outcome"`
+	// DurationNs is the query's wall time in nanoseconds.
+	DurationNs int64 `json:"duration_ns,omitempty"`
+	// Results is the number of results returned (or streamed).
+	Results int `json:"results"`
+	// DecodedBytes, CacheHits, and Candidates are the query's resource
+	// profile: in-memory bytes of every inverted list it touched, decoded-
+	// list cache hits among those, and candidate rows pulled by the
+	// score-ordered engines.
+	DecodedBytes int64 `json:"decoded_bytes,omitempty"`
+	CacheHits    int64 `json:"cache_hits,omitempty"`
+	Candidates   int64 `json:"candidates,omitempty"`
+	// Fingerprint is the deterministic result-set hash (16 hex digits,
+	// see Hash). Present for ok and partial outcomes only.
+	Fingerprint string `json:"fp,omitempty"`
+	// TraceID links to the tail-sampled trace store when the query was
+	// traced and retained — the /traces/{id} exemplar.
+	TraceID uint64 `json:"trace_id,omitempty"`
+	// Err is the classified error text for non-ok outcomes.
+	Err string `json:"err,omitempty"`
+}
+
+// Encode renders the record as one NDJSON line (no trailing newline).
+func (r Record) Encode() ([]byte, error) {
+	return json.Marshal(r)
+}
+
+// Parse decodes one NDJSON line into a Record. Unknown fields are
+// rejected so a corrupted or foreign line fails loudly instead of
+// half-loading.
+func Parse(line []byte) (Record, error) {
+	var r Record
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return Record{}, err
+	}
+	return r, nil
+}
+
+// Hash is an accumulating FNV-1a result-set fingerprint. It folds in
+// each result's identity (Dewey) and score in rank order, so two result
+// sets fingerprint equal exactly when they agree element-for-element in
+// order — no wall-clock, no map iteration, no pointer values.
+type Hash uint64
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// NewHash returns the fingerprint of the empty result set.
+func NewHash() Hash { return fnvOffset }
+
+func (h Hash) bytes(s string) Hash {
+	x := uint64(h)
+	for i := 0; i < len(s); i++ {
+		x ^= uint64(s[i])
+		x *= fnvPrime
+	}
+	return Hash(x)
+}
+
+func (h Hash) u64(v uint64) Hash {
+	x := uint64(h)
+	for i := 0; i < 8; i++ {
+		x ^= (v >> (8 * i)) & 0xff
+		x *= fnvPrime
+	}
+	return Hash(x)
+}
+
+// Result folds one result into the fingerprint: its Dewey identity and
+// its raw score bits, in rank order. Folding the fixed-width score bits
+// after the variable-width Dewey keeps adjacent results from colliding
+// across their boundary.
+func (h Hash) Result(dewey string, score float64) Hash {
+	return h.bytes(dewey).u64(math.Float64bits(score))
+}
+
+// String renders the fingerprint as 16 lowercase hex digits, the form
+// stored in Record.Fingerprint.
+func (h Hash) String() string {
+	return fmt.Sprintf("%016x", uint64(h))
+}
+
+// ParseHash decodes a Record.Fingerprint back into a Hash.
+func ParseHash(s string) (Hash, error) {
+	v, err := strconv.ParseUint(s, 16, 64)
+	return Hash(v), err
+}
+
+// WriteFile writes records as an NDJSON workload file, one line each —
+// the format ReadFile, the replay harness, and GET /qlog share.
+func WriteFile(path string, recs []Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, r := range recs {
+		line, err := r.Encode()
+		if err != nil {
+			f.Close()
+			return err
+		}
+		w.Write(line)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads an NDJSON workload file written by WriteFile (or
+// captured by a Recorder sink). Blank lines are skipped; a malformed
+// line fails with its line number.
+func ReadFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		r, err := Parse(line)
+		if err != nil {
+			return nil, fmt.Errorf("qlog: %s:%d: %w", path, lineNo, err)
+		}
+		out = append(out, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("qlog: %s: %w", path, err)
+	}
+	return out, nil
+}

@@ -1,0 +1,274 @@
+package qlog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testRecord(i int) Record {
+	return Record{
+		Op:        "topk",
+		Keywords:  []string{"alpha", fmt.Sprintf("beta%d", i)},
+		Semantics: "elca",
+		K:         10,
+		Algo:      "auto",
+		Engine:    "topk",
+		Outcome:   OutcomeOK,
+		Results:   3,
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	in := Record{
+		Seq: 7, OffsetNs: 12345, Op: "search",
+		Keywords: []string{"xml", "keyword"}, Semantics: "slca",
+		K: 5, Algo: "auto", Engine: "join", Outcome: OutcomePartial,
+		DurationNs: 98765, Results: 2, DecodedBytes: 4096, CacheHits: 1,
+		Candidates: 33, Fingerprint: NewHash().Result("1.2.3", 0.5).String(),
+		TraceID: 42, Err: "budget exceeded: decoded_bytes 9 > limit 1",
+	}
+	line, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Parse(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	if _, err := Parse([]byte(`{"op":"topk","keywords":["a"],"sem":"elca","algo":"auto","outcome":"ok","results":0,"bogus":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+// TestHashDeterministic: the fingerprint depends only on the
+// (dewey, score) sequence — order-sensitive, boundary-safe, stable.
+func TestHashDeterministic(t *testing.T) {
+	a := NewHash().Result("1.2", 0.5).Result("1.3", 0.25)
+	b := NewHash().Result("1.2", 0.5).Result("1.3", 0.25)
+	if a != b {
+		t.Fatal("same sequence, different hash")
+	}
+	if NewHash().Result("1.3", 0.25).Result("1.2", 0.5) == a {
+		t.Fatal("order-insensitive hash")
+	}
+	if NewHash().Result("1.2", 0.25) == NewHash().Result("1.2", 0.5) {
+		t.Fatal("score ignored")
+	}
+	// The boundary between dewey and score must not shift content: the
+	// dewey "1.2" with one score is distinct from dewey "1.22" cases.
+	if NewHash().Result("1.2", 0) == NewHash().Result("1.20", 0) {
+		t.Fatal("dewey boundary collision")
+	}
+	rt, err := ParseHash(a.String())
+	if err != nil || rt != a {
+		t.Fatalf("ParseHash(%q) = %v, %v", a.String(), rt, err)
+	}
+}
+
+func TestWorkloadFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.ndjson")
+	recs := []Record{testRecord(1), testRecord(2), testRecord(3)}
+	if err := WriteFile(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recs, got) {
+		t.Fatalf("file round trip mismatch: %+v", got)
+	}
+	// A malformed line fails with its line number.
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	f.WriteString("{not json\n")
+	f.Close()
+	if _, err := ReadFile(path); err == nil || !strings.Contains(err.Error(), ":4:") {
+		t.Fatalf("malformed line error missing line number: %v", err)
+	}
+}
+
+// TestRecorderRingAndSink: records flow through the queue into both the
+// bounded ring and the NDJSON sink; sequence numbers are monotonic.
+func TestRecorderRingAndSink(t *testing.T) {
+	dir := t.TempDir()
+	r, err := New(Options{Dir: dir, RingCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		r.Offer(testRecord(i))
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Ring keeps only the newest RingCap records, oldest first.
+	recent := r.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("ring holds %d records, want 4", len(recent))
+	}
+	for i, rec := range recent {
+		if want := uint64(7 + i); rec.Seq != want {
+			t.Errorf("ring[%d].Seq = %d, want %d", i, rec.Seq, want)
+		}
+	}
+	// The sink holds all ten.
+	sunk, err := ReadFile(filepath.Join(dir, "qlog.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sunk) != 10 {
+		t.Fatalf("sink holds %d records, want 10", len(sunk))
+	}
+	for i, rec := range sunk {
+		if rec.Seq != uint64(i+1) {
+			t.Errorf("sink[%d].Seq = %d, want %d", i, rec.Seq, i+1)
+		}
+		if rec.OffsetNs <= 0 {
+			t.Errorf("sink[%d].OffsetNs = %d, want > 0", i, rec.OffsetNs)
+		}
+	}
+	if r.Records() != 10 || r.Dropped() != 0 {
+		t.Fatalf("records=%d dropped=%d, want 10/0", r.Records(), r.Dropped())
+	}
+}
+
+// TestRecorderNeverBlocks: with the drain goroutine unable to keep up
+// (tiny queue, many concurrent offerers), Offer returns promptly and the
+// overflow is dropped and counted — never blocked.
+func TestRecorderNeverBlocks(t *testing.T) {
+	r, err := New(Options{QueueCap: 1, RingCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const offers = 5000
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < offers/8; i++ {
+					r.Offer(testRecord(i))
+				}
+			}(g)
+		}
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Offer blocked under a saturated queue")
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Records() + r.Dropped(); got != offers {
+		t.Fatalf("records+dropped = %d, want %d", got, offers)
+	}
+	// Offers after Close are silently ignored, as is a nil recorder.
+	r.Offer(testRecord(0))
+	var nilRec *Recorder
+	nilRec.Offer(testRecord(0))
+	if nilRec.Enabled() || r.Enabled() {
+		t.Fatal("closed or nil recorder reports enabled")
+	}
+}
+
+// TestRecorderRotation: the sink rotates past MaxFileBytes, numbering
+// continues across restarts, and pruning bounds the rotation count.
+func TestRecorderRotation(t *testing.T) {
+	dir := t.TempDir()
+	r, err := New(Options{Dir: dir, MaxFileBytes: 256, MaxFiles: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		r.Offer(testRecord(i))
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Rotations() == 0 {
+		t.Fatal("no rotation despite 50 records against a 256-byte threshold")
+	}
+	idxs := rotIndexes(dir)
+	if len(idxs) > 2 {
+		t.Fatalf("%d rotated files kept, want <= 2", len(idxs))
+	}
+	highWater := idxs[len(idxs)-1]
+
+	// Restart in the same dir: numbering continues, nothing overwritten.
+	r2, err := New(Options{Dir: dir, MaxFileBytes: 256, MaxFiles: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		r2.Offer(testRecord(i))
+	}
+	if err := r2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	idxs2 := rotIndexes(dir)
+	if idxs2[len(idxs2)-1] <= highWater {
+		t.Fatalf("rotation numbering did not continue: %v then %v", idxs, idxs2)
+	}
+	if r2.SinkErrors() != 0 {
+		t.Fatalf("%d sink errors on restart", r2.SinkErrors())
+	}
+}
+
+// TestCloseFlushes: everything offered before Close is durable in the
+// sink afterwards, and Close is idempotent.
+func TestCloseFlushes(t *testing.T) {
+	dir := t.TempDir()
+	r, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	for i := 0; i < n; i++ {
+		r.Offer(testRecord(i))
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sunk, err := ReadFile(filepath.Join(dir, "qlog.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sunk) != n {
+		t.Fatalf("sink holds %d records after Close, want %d (accepted %d)", len(sunk), n, r.Records())
+	}
+}
+
+// TestMemoryOnlyRecorder: the zero-Options recorder never touches disk.
+func TestMemoryOnlyRecorder(t *testing.T) {
+	r, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Offer(testRecord(1))
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Recent(); len(got) != 1 {
+		t.Fatalf("ring holds %d, want 1", len(got))
+	}
+}

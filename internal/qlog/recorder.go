@@ -1,0 +1,357 @@
+package qlog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Defaults for Options fields left zero.
+const (
+	DefaultMaxFileBytes = 8 << 20 // rotate the sink past 8 MiB
+	DefaultMaxFiles     = 4       // rotated files kept beside the live one
+	DefaultRingCap      = 512     // records served by Recent / GET /qlog
+	DefaultQueueCap     = 1024    // records in flight to the drain goroutine
+)
+
+// Options configures a Recorder. The zero value is a memory-only
+// recorder: records land in the bounded recent ring (for Recent and the
+// /qlog route) and nothing touches disk.
+type Options struct {
+	// Dir, when non-empty, enables the NDJSON sink: records append to
+	// Dir/qlog.ndjson, which rotates to qlog.NNNNNN.ndjson once it
+	// exceeds MaxFileBytes, keeping at most MaxFiles rotated files.
+	Dir string
+	// MaxFileBytes is the rotation threshold (default 8 MiB).
+	MaxFileBytes int64
+	// MaxFiles bounds how many rotated files are kept (default 4);
+	// older rotations are deleted.
+	MaxFiles int
+	// RingCap bounds the in-memory recent-record ring (default 512).
+	RingCap int
+	// QueueCap bounds the queue between Offer and the drain goroutine
+	// (default 1024). A full queue drops the record and counts the drop —
+	// Offer never waits.
+	QueueCap int
+}
+
+// Recorder is the query flight recorder. Offer is safe for concurrent
+// use from any number of query goroutines and never blocks: records
+// pass through a bounded channel to a single drain goroutine that owns
+// the recent ring and the NDJSON sink. All bookkeeping is atomic; a nil
+// *Recorder is a no-op on every method.
+type Recorder struct {
+	opt   Options
+	start time.Time
+
+	seq     atomic.Uint64
+	records atomic.Int64 // records accepted into the queue
+	dropped atomic.Int64 // records dropped on a full queue
+	rotates atomic.Int64 // sink rotations performed
+	sinkErr atomic.Int64 // sink write/rotate errors (records still ring-buffered)
+	obsC    atomic.Pointer[obs.QLogCounters]
+
+	ch     chan Record
+	quit   chan struct{}
+	done   chan struct{}
+	closed atomic.Bool
+
+	// ringMu guards the recent ring only; it is taken by the drain
+	// goroutine and Recent readers, never by Offer.
+	ringMu   sync.Mutex
+	ring     []Record
+	ringLen  int
+	ringNext int
+
+	f        *os.File
+	fileSize int64
+	rotIndex int
+	closeErr error
+}
+
+// New builds a recorder and starts its drain goroutine. With Options.Dir
+// set, the sink file is created (the directory too, if needed) and an
+// existing qlog.ndjson is appended to; rotation numbering continues from
+// the highest rotated file already present, so restarts never overwrite
+// a previous run's capture.
+func New(opt Options) (*Recorder, error) {
+	if opt.MaxFileBytes <= 0 {
+		opt.MaxFileBytes = DefaultMaxFileBytes
+	}
+	if opt.MaxFiles <= 0 {
+		opt.MaxFiles = DefaultMaxFiles
+	}
+	if opt.RingCap <= 0 {
+		opt.RingCap = DefaultRingCap
+	}
+	if opt.QueueCap <= 0 {
+		opt.QueueCap = DefaultQueueCap
+	}
+	r := &Recorder{
+		opt:   opt,
+		start: time.Now(),
+		ch:    make(chan Record, opt.QueueCap),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+		ring:  make([]Record, opt.RingCap),
+	}
+	if opt.Dir != "" {
+		if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("qlog: %w", err)
+		}
+		f, err := os.OpenFile(r.livePath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("qlog: %w", err)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("qlog: %w", err)
+		}
+		r.f = f
+		r.fileSize = st.Size()
+		r.rotIndex = maxRotIndex(opt.Dir)
+	}
+	go r.drain()
+	return r, nil
+}
+
+// SetObs installs the metrics counters the recorder increments (records,
+// drops, rotations, sink errors). Nil-safe on both sides.
+func (r *Recorder) SetObs(c *obs.QLogCounters) {
+	if r == nil {
+		return
+	}
+	r.obsC.Store(c)
+}
+
+// Offer submits one record. It stamps the sequence number and — when the
+// caller did not — the arrival offset, then hands the record to the
+// drain goroutine without ever waiting: if the queue is full the record
+// is dropped and the drop counted. Safe on a nil or closed recorder.
+func (r *Recorder) Offer(rec Record) {
+	if r == nil || r.closed.Load() {
+		return
+	}
+	rec.Seq = r.seq.Add(1)
+	if rec.OffsetNs == 0 {
+		// The query arrived (roughly) DurationNs before it finished.
+		off := time.Since(r.start).Nanoseconds() - rec.DurationNs
+		if off < 1 {
+			off = 1
+		}
+		rec.OffsetNs = off
+	}
+	select {
+	case r.ch <- rec:
+		r.records.Add(1)
+		r.obsC.Load().RecordAccepted()
+	default:
+		r.dropped.Add(1)
+		r.obsC.Load().RecordDropped()
+	}
+}
+
+// Recent returns the retained recent records, oldest first. The slice is
+// a copy; mutating it does not affect the ring.
+func (r *Recorder) Recent() []Record {
+	if r == nil {
+		return nil
+	}
+	r.ringMu.Lock()
+	defer r.ringMu.Unlock()
+	out := make([]Record, 0, r.ringLen)
+	start := r.ringNext - r.ringLen
+	if start < 0 {
+		start += len(r.ring)
+	}
+	for i := 0; i < r.ringLen; i++ {
+		out = append(out, r.ring[(start+i)%len(r.ring)])
+	}
+	return out
+}
+
+// Records returns how many records were accepted (dropped ones excluded).
+func (r *Recorder) Records() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.records.Load()
+}
+
+// Dropped returns how many records were dropped on a full queue.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped.Load()
+}
+
+// Rotations returns how many sink rotations have happened.
+func (r *Recorder) Rotations() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.rotates.Load()
+}
+
+// SinkErrors returns how many sink write/rotate errors occurred; the
+// affected records stayed in the recent ring.
+func (r *Recorder) SinkErrors() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.sinkErr.Load()
+}
+
+// Enabled reports whether the recorder accepts records (non-nil and not
+// closed) — the facade's single cheap check before building a record.
+func (r *Recorder) Enabled() bool {
+	return r != nil && !r.closed.Load()
+}
+
+// Close stops accepting records, drains everything already queued into
+// the ring and sink, flushes, and closes the sink file. Idempotent;
+// concurrent callers all wait for the drain to finish.
+func (r *Recorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	if !r.closed.Swap(true) {
+		close(r.quit)
+	}
+	<-r.done
+	return r.closeErr
+}
+
+// drain is the single consumer: it owns the ring and the sink.
+func (r *Recorder) drain() {
+	defer close(r.done)
+	for {
+		select {
+		case rec := <-r.ch:
+			r.consume(rec)
+		case <-r.quit:
+			for {
+				select {
+				case rec := <-r.ch:
+					r.consume(rec)
+				default:
+					if r.f != nil {
+						r.closeErr = r.f.Close()
+						r.f = nil
+					}
+					return
+				}
+			}
+		}
+	}
+}
+
+// consume appends one record to the ring and the sink.
+func (r *Recorder) consume(rec Record) {
+	r.ringMu.Lock()
+	r.ring[r.ringNext] = rec
+	r.ringNext = (r.ringNext + 1) % len(r.ring)
+	if r.ringLen < len(r.ring) {
+		r.ringLen++
+	}
+	r.ringMu.Unlock()
+	if r.f == nil {
+		return
+	}
+	line, err := rec.Encode()
+	if err != nil {
+		r.noteSinkErr()
+		return
+	}
+	line = append(line, '\n')
+	if _, err := r.f.Write(line); err != nil {
+		r.noteSinkErr()
+		return
+	}
+	r.fileSize += int64(len(line))
+	if r.fileSize >= r.opt.MaxFileBytes {
+		r.rotate()
+	}
+}
+
+// rotate closes the live file, renames it to the next numbered rotation,
+// prunes rotations beyond MaxFiles, and reopens a fresh live file.
+func (r *Recorder) rotate() {
+	if err := r.f.Close(); err != nil {
+		r.noteSinkErr()
+	}
+	r.f = nil
+	r.rotIndex++
+	rotated := filepath.Join(r.opt.Dir, fmt.Sprintf("qlog.%06d.ndjson", r.rotIndex))
+	if err := os.Rename(r.livePath(), rotated); err != nil {
+		r.noteSinkErr()
+	}
+	r.pruneRotations()
+	f, err := os.OpenFile(r.livePath(), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		r.noteSinkErr()
+		return
+	}
+	r.f = f
+	r.fileSize = 0
+	r.rotates.Add(1)
+	r.obsC.Load().RecordRotation()
+}
+
+// pruneRotations deletes the oldest rotated files beyond MaxFiles.
+func (r *Recorder) pruneRotations() {
+	idxs := rotIndexes(r.opt.Dir)
+	for len(idxs) > r.opt.MaxFiles {
+		os.Remove(filepath.Join(r.opt.Dir, fmt.Sprintf("qlog.%06d.ndjson", idxs[0])))
+		idxs = idxs[1:]
+	}
+}
+
+func (r *Recorder) noteSinkErr() {
+	r.sinkErr.Add(1)
+	r.obsC.Load().RecordSinkError()
+}
+
+func (r *Recorder) livePath() string {
+	return filepath.Join(r.opt.Dir, "qlog.ndjson")
+}
+
+// rotIndexes lists the rotation indexes present in dir, ascending.
+func rotIndexes(dir string) []int {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var out []int
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "qlog.") || !strings.HasSuffix(name, ".ndjson") || name == "qlog.ndjson" {
+			continue
+		}
+		num := strings.TrimSuffix(strings.TrimPrefix(name, "qlog."), ".ndjson")
+		if n, err := strconv.Atoi(num); err == nil {
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// maxRotIndex returns the highest rotation index in dir (0 when none).
+func maxRotIndex(dir string) int {
+	idxs := rotIndexes(dir)
+	if len(idxs) == 0 {
+		return 0
+	}
+	return idxs[len(idxs)-1]
+}

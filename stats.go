@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/obs"
+	"repro/internal/qlog"
 )
 
 // QueryStats is the per-query execution profile returned by the *Traced
@@ -133,6 +134,25 @@ func (ix *Index) SetTraceStore(ts *obs.TraceStore) { ix.traces.Store(ts) }
 
 // TraceStore returns the installed trace store (nil when capture is off).
 func (ix *Index) TraceStore() *obs.TraceStore { return ix.traces.Load() }
+
+// SetQueryLog installs (or, with nil, removes) the query flight recorder:
+// every query that finishes — complete, partial, aborted, or failed — is
+// offered to it as one compact structured record (keywords, plan, outcome
+// class, latency, resource profile, result-set fingerprint). The offer is
+// a non-blocking enqueue: a full recorder queue drops the record and
+// counts the drop rather than ever stalling the query path. Untraced,
+// unlogged queries cost one pointer check. The recorder's drop/rotation
+// counters are wired into this index's metrics registry.
+func (ix *Index) SetQueryLog(r *qlog.Recorder) {
+	if r != nil {
+		r.SetObs(&ix.metrics.QLog)
+	}
+	ix.qlog.Store(r)
+}
+
+// QueryLog returns the installed query flight recorder (nil when capture
+// is off).
+func (ix *Index) QueryLog() *qlog.Recorder { return ix.qlog.Load() }
 
 // PublishExpvar publishes the metrics snapshot under the given expvar
 // name. Publishing is idempotent and rebindable: the name is registered

@@ -74,6 +74,7 @@ import (
 	"repro/internal/jdewey"
 	"repro/internal/obs"
 	"repro/internal/occur"
+	"repro/internal/qlog"
 	"repro/internal/rdil"
 	"repro/internal/score"
 	"repro/internal/stack"
@@ -226,6 +227,10 @@ type Index struct {
 	// traces, when set, tail-samples completed traced queries (see
 	// SetTraceStore); nil disables capture with one pointer check.
 	traces atomic.Pointer[obs.TraceStore]
+	// qlog, when set, records every finished query into the flight
+	// recorder (see SetQueryLog); nil disables capture with one pointer
+	// check.
+	qlog atomic.Pointer[qlog.Recorder]
 	// gen is the generation of the published snapshot: 1 at construction,
 	// +1 per published mutation. pinned counts in-flight queries holding a
 	// snapshot pin. Both feed the obs gauges.
