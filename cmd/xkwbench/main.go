@@ -16,6 +16,7 @@
 //	xkwbench -exp smoke -json BENCH_smoke.json
 //	xkwbench -exp smoke -json BENCH_smoke.json -baseline results/BENCH_smoke.json -tol 3.0
 //	xkwbench -exp overload -json BENCH_overload.json
+//	xkwbench -exp shard -json BENCH_shard.json -baseline results/BENCH_shard.json -tol 3.0
 //
 // Workload capture and replay (the flight-recorder pipeline):
 //
@@ -62,7 +63,7 @@ func main() {
 		queries  = flag.Int("queries", 0, "override queries per sweep point")
 		reps     = flag.Int("reps", 0, "override repetitions per query")
 		topK     = flag.Int("k", 10, "K for the top-K experiments")
-		exp      = flag.String("exp", "all", "experiment: all, table1, fig9, fig10, ablations, smoke, overload, capture, replay")
+		exp      = flag.String("exp", "all", "experiment: all, table1, fig9, fig10, ablations, smoke, overload, shard, capture, replay")
 		workload = flag.String("workload", "", "with -exp capture/replay, the NDJSON workload file to write/read")
 		paced    = flag.Bool("paced", false, "with -exp replay, pace the replay by the recorded inter-arrival offsets")
 		qlogDir  = flag.String("qlog-dir", "", "with -exp capture, also sink the capture through a rotating on-disk qlog in this directory")
@@ -123,6 +124,13 @@ func main() {
 	}
 	if *exp == "overload" {
 		if err := runOverload(w, cfg, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "xkwbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "shard" {
+		if err := runShard(w, cfg, *jsonOut, *baseline, *tol); err != nil {
 			fmt.Fprintln(os.Stderr, "xkwbench:", err)
 			os.Exit(1)
 		}
@@ -248,6 +256,45 @@ func runOverload(w io.Writer, cfg bench.Config, jsonOut string) error {
 			return err
 		}
 		fmt.Fprintf(w, "report written to %s\n", jsonOut)
+	}
+	return nil
+}
+
+// runShard measures the multi-core shard scaling sweep — scatter-gather
+// top-K latency and aggregate writer throughput at shards=1 vs
+// shards=4 — writes the JSON report, and optionally gates against a
+// committed baseline.
+func runShard(w io.Writer, cfg bench.Config, jsonOut, baseline string, tol float64) error {
+	report, err := bench.ShardScaling(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== shard scaling: scale=%.2f queries/pt=%d reps=%d K=%d (%s/%s, %d CPU, %s) ==\n",
+		cfg.Scale, cfg.QueriesPerPt, cfg.RepsPerQuery, cfg.TopK,
+		report.Env.GOOS, report.Env.GOARCH, report.Env.NumCPU, report.Env.GoVersion)
+	fmt.Fprintf(w, "%-10s %-12s %12s %12s %12s %10s\n", "engine", "workload", "p50", "p95", "p99", "qps")
+	for _, p := range report.Points {
+		fmt.Fprintf(w, "%-10s %-12s %12v %12v %12v %10.0f\n",
+			p.Engine, p.Label, time.Duration(p.P50Ns), time.Duration(p.P95Ns), time.Duration(p.P99Ns), p.QPS)
+	}
+	if jsonOut != "" {
+		if err := bench.WriteReport(jsonOut, report); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "report written to %s\n", jsonOut)
+	}
+	if baseline != "" {
+		base, err := bench.ReadReport(baseline)
+		if err != nil {
+			return err
+		}
+		if v := bench.CompareReports(base, report, tol); len(v) > 0 {
+			for _, line := range v {
+				fmt.Fprintln(os.Stderr, "REGRESSION:", line)
+			}
+			return fmt.Errorf("%d point(s) regressed beyond %.0f%% vs %s", len(v), tol*100, baseline)
+		}
+		fmt.Fprintf(w, "perf gate passed: no p50 regression beyond %.0f%% vs %s\n", tol*100, baseline)
 	}
 	return nil
 }

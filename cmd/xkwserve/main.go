@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	xkwserve (-index DIR | -xml FILE) [-addr :8080]
+//	xkwserve (-index DIR | -xml FILE) [-shards N] [-addr :8080]
 //	         [-slow 50ms] [-trace-keep 256] [-trace-sample 64] [-trace-seed 1]
 //	         [-mutexfrac N] [-blockrate N]
 //	         [-max-inflight 256] [-queue 64] [-default-timeout 0] [-drain 5s]
@@ -56,6 +56,7 @@ func main() {
 	fs := flag.NewFlagSet("xkwserve", flag.ExitOnError)
 	indexDir := fs.String("index", "", "saved index directory")
 	xmlPath := fs.String("xml", "", "XML document to index on the fly")
+	shards := fs.Int("shards", 1, "partition the corpus into N shards with scatter-gather top-K (with -xml; saved sharded indexes are auto-detected)")
 	addr := fs.String("addr", ":8080", "listen address")
 	slow := fs.Duration("slow", 50*time.Millisecond, "slow-query threshold for the slow log and trace retention (0 retains every trace)")
 	traceKeep := fs.Int("trace-keep", obs.DefaultKeepTraces, "capacity of the slow/error/cancelled trace ring")
@@ -73,24 +74,34 @@ func main() {
 	qlogMaxFiles := fs.Int("qlog-max-files", qlog.DefaultMaxFiles, "rotated qlog files kept before pruning")
 	fs.Parse(os.Args[1:])
 	if (*indexDir == "") == (*xmlPath == "") {
-		fmt.Fprintln(os.Stderr, "usage: xkwserve (-index DIR | -xml FILE) [-addr :8080] [-slow DUR] [-trace-keep N] [-trace-sample N] [-trace-seed N] [-mutexfrac N] [-blockrate N] [-plancache N] [-max-inflight N] [-queue N] [-default-timeout DUR] [-drain DUR] [-qlog DIR]")
+		fmt.Fprintln(os.Stderr, "usage: xkwserve (-index DIR | -xml FILE) [-shards N] [-addr :8080] [-slow DUR] [-trace-keep N] [-trace-sample N] [-trace-seed N] [-mutexfrac N] [-blockrate N] [-plancache N] [-max-inflight N] [-queue N] [-default-timeout DUR] [-drain DUR] [-qlog DIR]")
 		os.Exit(2)
 	}
 
 	start := time.Now()
 	var (
-		ix  *xmlsearch.Index
+		ix  server
 		err error
 	)
-	if *indexDir != "" {
+	switch {
+	case *indexDir != "" && xmlsearch.IsShardedDir(*indexDir):
+		ix, err = xmlsearch.LoadSharded(*indexDir)
+	case *indexDir != "":
 		ix, err = xmlsearch.Load(*indexDir)
-	} else {
+	case *shards > 1:
+		ix, err = xmlsearch.OpenShardedFile(*xmlPath, *shards)
+	default:
 		ix, err = xmlsearch.OpenFile(*xmlPath)
 	}
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("xkwserve: loaded %d nodes (depth %d) in %v\n", ix.Len(), ix.Depth(), time.Since(start).Round(time.Millisecond))
+	if sh, ok := ix.(*xmlsearch.Sharded); ok {
+		fmt.Printf("xkwserve: loaded %d nodes (depth %d) across %d shards in %v\n",
+			sh.Len(), sh.Depth(), sh.Shards(), time.Since(start).Round(time.Millisecond))
+	} else {
+		fmt.Printf("xkwserve: loaded %d nodes (depth %d) in %v\n", ix.Len(), ix.Depth(), time.Since(start).Round(time.Millisecond))
+	}
 	if h := ix.Health(); h.Degraded() {
 		fmt.Printf("xkwserve: WARNING: degraded index: %d quarantined term(s), %d damaged file(s)\n", len(h.Quarantined), len(h.FileDamage))
 	}
@@ -144,6 +155,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "xkwserve: qlog close:", err)
 	}
 	fmt.Println("xkwserve: drained, exiting")
+}
+
+// server is the facade slice xkwserve needs beyond obshttp.Server —
+// load-time reporting and the observability setters — satisfied by both
+// *xmlsearch.Index and *xmlsearch.Sharded.
+type server interface {
+	obshttp.Server
+	Len() int
+	Depth() int
+	SetSlowQueryThreshold(time.Duration)
+	SetTraceStore(*obs.TraceStore)
+	SetPlanCacheCapacity(int)
+	SetQueryLog(*qlog.Recorder)
 }
 
 func fatal(err error) {

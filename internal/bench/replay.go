@@ -177,9 +177,18 @@ func foldResults(rs []xmlsearch.Result) qlog.Hash {
 	return h
 }
 
+// replayTarget is the slice of the facade the replay loop needs — both
+// *xmlsearch.Index and *xmlsearch.Sharded satisfy it, so a captured
+// workload replays identically against either layout.
+type replayTarget interface {
+	SearchContext(ctx context.Context, query string, opt xmlsearch.SearchOptions) ([]xmlsearch.Result, error)
+	TopKContext(ctx context.Context, query string, k int, opt xmlsearch.SearchOptions) ([]xmlsearch.Result, error)
+	TopKStreamContext(ctx context.Context, query string, k int, opt xmlsearch.SearchOptions, fn func(xmlsearch.Result) bool) error
+}
+
 // replayOne re-executes one record unconstrained and returns the
 // replayed fingerprint (valid only when err is nil).
-func replayOne(ctx context.Context, ix *xmlsearch.Index, r qlog.Record, force string) (qlog.Hash, error) {
+func replayOne(ctx context.Context, ix replayTarget, r qlog.Record, force string) (qlog.Hash, error) {
 	algoName := r.Algo
 	if force != "" && r.Op == "topk" {
 		algoName = force
@@ -304,6 +313,42 @@ func Replay(cfg Config, workload string, opt ReplayOptions) (*Report, error) {
 		rep.Points = append(rep.Points, p)
 	}
 	return rep, nil
+}
+
+// ShardedFingerprints re-executes a captured workload's recorded-ok
+// queries against a fresh sharded index built at cfg's (scale, seed)
+// with the given shard count, and returns the replayed fingerprint per
+// record sequence number. Fingerprints fold only the final merged rank
+// order (Dewey, score) — never shard identity or fan-out — so the same
+// workload replayed at different shard counts must fingerprint
+// identically record-for-record (the shard-count-invariance check in
+// the determinism tests).
+func ShardedFingerprints(cfg Config, workload string, shards int) (map[uint64]qlog.Hash, error) {
+	records, err := qlog.ReadFile(workload)
+	if err != nil {
+		return nil, err
+	}
+	ds := gen.DBLP(cfg.Scale, cfg.Seed)
+	sh, err := xmlsearch.NewSharded(ds.Doc, shards)
+	if err != nil {
+		return nil, fmt.Errorf("bench: sharded replay index: %w", err)
+	}
+	out := make(map[uint64]qlog.Hash, len(records))
+	ctx := context.Background()
+	for _, r := range records {
+		if r.Outcome != qlog.OutcomeOK || r.Fingerprint == "" {
+			continue
+		}
+		fp, rerr := replayOne(ctx, sh, r, "")
+		if rerr != nil {
+			if strings.Contains(rerr.Error(), "unknown recorded op") {
+				continue
+			}
+			return nil, fmt.Errorf("bench: sharded replay seq %d %v: %w", r.Seq, r.Keywords, rerr)
+		}
+		out[r.Seq] = fp
+	}
+	return out, nil
 }
 
 // noteMismatch retains the first few mismatch descriptions for the log.

@@ -138,3 +138,48 @@ func TestReplayDeterminismAcrossEngines(t *testing.T) {
 		t.Fatal("no recorded-ok topk records to check")
 	}
 }
+
+// TestReplayShardCountInvariance replays the committed workload capture
+// on sharded indexes at shards=1 and shards=4: the fingerprint folds
+// only the final merged rank order, so the two shard counts must agree
+// on every record with zero mismatches. (Recorded unsharded
+// fingerprints are not the baseline here — sharding drops root-level
+// results by construction — the invariant is across shard counts.)
+func TestReplayShardCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays the committed scale-0.25 workload")
+	}
+	cfg := DefaultConfig()
+	workload := filepath.Join("..", "..", "results", "workload_sample.ndjson")
+	one, err := ShardedFingerprints(cfg, workload, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := ShardedFingerprints(cfg, workload, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) == 0 {
+		t.Fatal("no replayable records in the committed workload")
+	}
+	if len(one) != len(four) {
+		t.Fatalf("replayed %d records at shards=1 but %d at shards=4", len(one), len(four))
+	}
+	mismatches := 0
+	for seq, fp1 := range one {
+		fp4, ok := four[seq]
+		if !ok {
+			t.Errorf("seq %d replayed at shards=1 only", seq)
+			continue
+		}
+		if fp1 != fp4 {
+			mismatches++
+			if mismatches <= 3 {
+				t.Errorf("seq %d: fingerprint %s at shards=1, %s at shards=4", seq, fp1, fp4)
+			}
+		}
+	}
+	if mismatches > 0 {
+		t.Fatalf("%d fingerprint mismatches across shard counts, want 0", mismatches)
+	}
+}

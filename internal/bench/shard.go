@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	xmlsearch "repro"
+	"repro/internal/gen"
+)
+
+// Multi-core shard scaling experiment. Builds the same DBLP corpus as a
+// single-shard index and as a 4-way sharded index, then measures two
+// things on each: scatter-gather top-K latency over the smoke's mid-band
+// workload (Engine "scatter"), and aggregate writer throughput under a
+// fixed pool of concurrent deep-insert workers spread round-robin over
+// the shards (Engine "writer"). With one shard all writers contend one
+// writer lock; with four they run on distinct shards. On a multi-core
+// machine the shards=4 points should show lower top-K p50 and higher
+// writer QPS; CI gates the committed BENCH_shard.json with
+// CompareReports like every other experiment.
+
+// shardCounts are the sweep's shard counts: the unsharded baseline and
+// the 4-way partition the issue's acceptance criteria compare.
+var shardCounts = [...]int{1, 4}
+
+// shardWriterWorkers is the fixed concurrent-writer pool size, chosen
+// to saturate the 4-way partition (one writer per shard).
+const shardWriterWorkers = 4
+
+// shardWriterOps is the deep-insert count per writer worker.
+const shardWriterOps = 40
+
+// ShardScaling runs the shard sweep and assembles the "shard" report.
+func ShardScaling(cfg Config) (*Report, error) {
+	rep := &Report{Exp: "shard", Env: CurrentFingerprint(), Config: cfg}
+	for _, n := range shardCounts {
+		ds := gen.DBLP(cfg.Scale, cfg.Seed)
+		qs := bandQueriesFromDataset(ds, cfg)
+		sh, err := xmlsearch.NewSharded(ds.Doc, n)
+		if err != nil {
+			return nil, fmt.Errorf("bench: shard sweep n=%d: %w", n, err)
+		}
+		label := fmt.Sprintf("shards=%d", n)
+		p, err := measureScatter(sh, qs, cfg.TopK, cfg.RepsPerQuery, label)
+		if err != nil {
+			return nil, err
+		}
+		rep.Points = append(rep.Points, p)
+		w, err := measureShardWriters(sh, label)
+		if err != nil {
+			return nil, err
+		}
+		rep.Points = append(rep.Points, w)
+	}
+	return rep, nil
+}
+
+// measureScatter times scatter-gather top-K over the workload — one
+// warm-up pass per query, then reps timed executions, matching
+// Env.measure's protocol.
+func measureScatter(sh *xmlsearch.Sharded, qs [][]string, k, reps int, label string) (Point, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	ctx := context.Background()
+	durs := make([]time.Duration, 0, len(qs)*reps)
+	var total time.Duration
+	for _, q := range qs {
+		query := strings.Join(q, " ")
+		run := func() error {
+			_, err := sh.TopKContext(ctx, query, k, xmlsearch.SearchOptions{})
+			return err
+		}
+		if err := run(); err != nil { // warm up caches and plans
+			return Point{}, fmt.Errorf("bench: shard top-K %q: %w", query, err)
+		}
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			if err := run(); err != nil {
+				return Point{}, fmt.Errorf("bench: shard top-K %q: %w", query, err)
+			}
+			d := time.Since(start)
+			durs = append(durs, d)
+			total += d
+		}
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	p := Point{
+		Exp: "shard", Engine: "scatter", Label: label, K: k,
+		Queries: len(qs), Reps: reps,
+		P50Ns: int64(quantile(durs, 50)), P95Ns: int64(quantile(durs, 95)),
+		P99Ns: int64(quantile(durs, 99)),
+	}
+	if len(durs) > 0 {
+		p.MeanNs = int64(total / time.Duration(len(durs)))
+		if total > 0 {
+			p.QPS = float64(len(durs)) / total.Seconds()
+		}
+	}
+	return p, nil
+}
+
+// measureShardWriters runs shardWriterWorkers concurrent deep-insert
+// workers, worker i targeting the first top-level subtree of shard
+// i mod Shards(), and reports aggregate mutation throughput (QPS) plus
+// per-mutation latency quantiles under that contention.
+func measureShardWriters(sh *xmlsearch.Sharded, label string) (Point, error) {
+	infos := sh.ShardInfo()
+	parents := make([]string, 0, len(infos))
+	off := 0
+	for _, inf := range infos {
+		if inf.Docs > 0 {
+			parents = append(parents, fmt.Sprintf("1.%d", off+1))
+		}
+		off += inf.Docs
+	}
+	if len(parents) == 0 {
+		return Point{}, fmt.Errorf("bench: shard writer sweep: no populated shards")
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		durs []time.Duration
+		errs = make([]error, shardWriterWorkers)
+	)
+	start := time.Now()
+	for w := 0; w < shardWriterWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			parent := parents[w%len(parents)]
+			local := make([]time.Duration, 0, shardWriterOps)
+			for op := 0; op < shardWriterOps; op++ {
+				t0 := time.Now()
+				if _, err := sh.InsertElement(parent, 0, "benchnote", "shard bench payload"); err != nil {
+					errs[w] = fmt.Errorf("bench: shard writer %d: %w", w, err)
+					return
+				}
+				local = append(local, time.Since(t0))
+			}
+			mu.Lock()
+			durs = append(durs, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return Point{}, err
+		}
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	var total time.Duration
+	for _, d := range durs {
+		total += d
+	}
+	p := Point{
+		Exp: "shard", Engine: "writer", Label: label,
+		Queries: shardWriterWorkers, Reps: shardWriterOps,
+		P50Ns: int64(quantile(durs, 50)), P95Ns: int64(quantile(durs, 95)),
+		P99Ns: int64(quantile(durs, 99)),
+	}
+	if len(durs) > 0 {
+		p.MeanNs = int64(total / time.Duration(len(durs)))
+	}
+	if wall > 0 {
+		p.QPS = float64(len(durs)) / wall.Seconds()
+	}
+	return p, nil
+}

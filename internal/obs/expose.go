@@ -184,11 +184,24 @@ func (s Snapshot) WritePrometheus(w io.Writer) {
 		header(w, c.name, c.help, "counter")
 		fmt.Fprintf(w, "%s %d\n", c.name, c.v)
 	}
+	sd := s.Shard
+	shardCounters := []struct {
+		name, help string
+		v          int64
+	}{
+		{"xkw_shard_fanouts_total", "Queries scattered across every shard of a sharded index.", sd.FanOuts},
+		{"xkw_shard_early_cancels_total", "Shard evaluations stopped early by threshold exchange.", sd.EarlyCancels},
+	}
+	for _, c := range shardCounters {
+		header(w, c.name, c.help, "counter")
+		fmt.Fprintf(w, "%s %d\n", c.name, c.v)
+	}
 	g := s.Gauges
 	gauges := []struct {
 		name, help string
 		v          float64
 	}{
+		{"xkw_shards", "Shard count of a sharded index (0 when unsharded).", float64(g.Shards)},
 		{"xkw_inflight", "Queries currently admitted and executing.", float64(sv.Inflight)},
 		{"xkw_draining", "1 while the server is draining, else 0.", float64(sv.Draining)},
 		{"xkw_snapshot_generation", "Generation of the currently published index snapshot.", float64(g.SnapshotGen)},
@@ -202,6 +215,20 @@ func (s Snapshot) WritePrometheus(w io.Writer) {
 	for _, c := range gauges {
 		header(w, c.name, c.help, "gauge")
 		fmt.Fprintf(w, "%s %g\n", c.name, c.v)
+	}
+	if len(s.ShardGauges) > 0 {
+		header(w, "xkw_shard_snapshot_generation", "Per-shard published snapshot generation.", "gauge")
+		for _, sg := range s.ShardGauges {
+			fmt.Fprintf(w, "xkw_shard_snapshot_generation{shard=\"%d\"} %d\n", sg.ID, sg.SnapshotGen)
+		}
+		header(w, "xkw_shard_pinned_queries", "Per-shard in-flight queries holding a snapshot pin.", "gauge")
+		for _, sg := range s.ShardGauges {
+			fmt.Fprintf(w, "xkw_shard_pinned_queries{shard=\"%d\"} %d\n", sg.ID, sg.PinnedQueries)
+		}
+		header(w, "xkw_shard_plan_cache_entries", "Per-shard plan-cache occupancy.", "gauge")
+		for _, sg := range s.ShardGauges {
+			fmt.Fprintf(w, "xkw_shard_plan_cache_entries{shard=\"%d\"} %d\n", sg.ID, sg.PlanCacheEntries)
+		}
 	}
 	p := s.Process
 	header(w, "xkw_build_info", "Build identity; value is always 1, the labels carry the information.", "gauge")

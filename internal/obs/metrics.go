@@ -344,10 +344,67 @@ type Gauges struct {
 	CacheBytes int64 `json:"cache_bytes"`
 	// PlanCacheEntries is the plan cache's current occupancy.
 	PlanCacheEntries int64 `json:"plan_cache_entries"`
+	// Shards is the shard count of a sharded index (0 for an unsharded
+	// one); when set, the other gauges are coordinator-level aggregates
+	// across every shard.
+	Shards int64 `json:"shards,omitempty"`
 }
 
 // gaugeSource supplies live gauge values at snapshot time.
 type gaugeSource func() Gauges
+
+// ShardCounters accumulates coordinator-side counters of a sharded
+// index's scatter-gather query path.
+type ShardCounters struct {
+	// FanOuts counts queries scattered across every shard.
+	FanOuts Counter
+	// EarlyCancels counts shard evaluations the coordinator stopped
+	// early because the global K-th score exceeded the shard's next
+	// possible result (threshold exchange).
+	EarlyCancels Counter
+}
+
+// ShardSnapshot is a point-in-time copy of ShardCounters.
+type ShardSnapshot struct {
+	FanOuts      int64 `json:"fanouts"`
+	EarlyCancels int64 `json:"early_cancels"`
+}
+
+// Snapshot copies the shard counters (zero snapshot for nil).
+func (s *ShardCounters) Snapshot() ShardSnapshot {
+	if s == nil {
+		return ShardSnapshot{}
+	}
+	return ShardSnapshot{FanOuts: s.FanOuts.Load(), EarlyCancels: s.EarlyCancels.Load()}
+}
+
+// ShardGauge is the per-shard gauge row of a sharded index: each shard's
+// published snapshot generation, in-flight pins, and plan-cache
+// occupancy, sampled at snapshot time from a source installed with
+// SetShardSource.
+type ShardGauge struct {
+	ID               int   `json:"id"`
+	SnapshotGen      int64 `json:"snapshot_gen"`
+	PinnedQueries    int64 `json:"pinned_queries"`
+	PlanCacheEntries int64 `json:"plan_cache_entries"`
+}
+
+// shardSource supplies live per-shard gauge rows at snapshot time.
+type shardSource func() []ShardGauge
+
+// SetShardSource installs the function Snapshot calls to sample
+// per-shard gauges (nil uninstalls it). Nil-safe.
+func (m *Metrics) SetShardSource(fn func() []ShardGauge) {
+	if m == nil {
+		return
+	}
+	if fn == nil {
+		m.shardGauges.Store(nil)
+		return
+	}
+	src := shardSource(fn)
+	m.shardGauges.Store(&src)
+}
 
 // SetGaugeSource installs the function Snapshot calls to sample the live
 // gauges (nil uninstalls it). Nil-safe.
@@ -455,7 +512,11 @@ type Metrics struct {
 	Planner PlannerCounters
 	Serving ServingCounters
 	QLog    QLogCounters
+	Shard   ShardCounters
 	gauges  atomic.Pointer[gaugeSource]
+	// shardGauges, when set, samples per-shard gauge rows of a sharded
+	// index (see SetShardSource).
+	shardGauges atomic.Pointer[shardSource]
 
 	slowThresholdNs Counter // configured slow-query latency threshold (0 = disabled)
 
@@ -582,8 +643,10 @@ type Snapshot struct {
 	Planner     PlannerSnapshot  `json:"planner"`
 	Serving     ServingSnapshot  `json:"serving"`
 	QLog        QLogSnapshot     `json:"qlog"`
+	Shard       ShardSnapshot    `json:"shard"`
 	Process     ProcessSnapshot  `json:"process"`
 	Gauges      Gauges           `json:"gauges"`
+	ShardGauges []ShardGauge     `json:"shard_gauges,omitempty"`
 	SlowQueries []SlowQuery      `json:"slow_queries,omitempty"`
 }
 
@@ -593,9 +656,12 @@ func (m *Metrics) Snapshot() Snapshot {
 	if m == nil {
 		return Snapshot{}
 	}
-	s := Snapshot{Store: m.Store.Snapshot(), Writer: m.Writer.Snapshot(), Planner: m.Planner.Snapshot(), Serving: m.Serving.Snapshot(), QLog: m.QLog.Snapshot(), Process: CurrentProcess(), SlowQueries: m.SlowQueries()}
+	s := Snapshot{Store: m.Store.Snapshot(), Writer: m.Writer.Snapshot(), Planner: m.Planner.Snapshot(), Serving: m.Serving.Snapshot(), QLog: m.QLog.Snapshot(), Shard: m.Shard.Snapshot(), Process: CurrentProcess(), SlowQueries: m.SlowQueries()}
 	if src := m.gauges.Load(); src != nil {
 		s.Gauges = (*src)()
+	}
+	if src := m.shardGauges.Load(); src != nil {
+		s.ShardGauges = (*src)()
 	}
 	for e := Engine(0); e < numEngines; e++ {
 		em := &m.engines[e]

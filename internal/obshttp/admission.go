@@ -2,6 +2,7 @@ package obshttp
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,6 +36,13 @@ type admission struct {
 	sem   chan struct{} // in-flight slots; nil = no admission control
 	queue chan struct{} // wait-queue slots; nil = shed on a full sem
 
+	// Completed-query latency ring, feeding the shed path's Retry-After
+	// estimate: the median over the last latRingSize completions
+	// approximates how long one queued slot takes to drain.
+	latMu   sync.Mutex
+	latRing [latRingSize]int64 // nanoseconds; zero = unfilled slot
+	latN    int                // completions recorded (caps the ring scan)
+
 	draining     atomic.Bool
 	drainOnce    sync.Once
 	drainStarted chan struct{} // closed when draining begins
@@ -55,6 +63,71 @@ func newAdmission(maxInflight, queueLen int, sc *obs.ServingCounters) *admission
 		}
 	}
 	return a
+}
+
+const (
+	// latRingSize bounds the completed-query latency window.
+	latRingSize = 64
+	// defaultLatency stands in for the observed p50 until enough queries
+	// have completed to estimate one.
+	defaultLatency = 100 * time.Millisecond
+	// maxRetryAfter caps the advertised backoff; a drain also advertises
+	// this, since a draining server will never serve the retry itself.
+	maxRetryAfter = 60
+)
+
+// noteLatency records one completed query's wall time into the ring.
+func (a *admission) noteLatency(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	a.latMu.Lock()
+	a.latRing[a.latN%latRingSize] = int64(d)
+	a.latN++
+	a.latMu.Unlock()
+}
+
+// latencyP50 is the median over the recorded window (defaultLatency
+// until anything has been recorded).
+func (a *admission) latencyP50() time.Duration {
+	a.latMu.Lock()
+	defer a.latMu.Unlock()
+	n := a.latN
+	if n > latRingSize {
+		n = latRingSize
+	}
+	if n == 0 {
+		return defaultLatency
+	}
+	vals := make([]int64, n)
+	copy(vals, a.latRing[:n])
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return time.Duration(vals[(n-1)/2])
+}
+
+// retryAfterSeconds derives the Retry-After a shed response advertises:
+// the time for the current queue plus one slot to drain at the observed
+// median query latency, in whole seconds, clamped to [1, maxRetryAfter].
+// A longer queue or slower queries push the advertised backoff out, so
+// clients spread their retries instead of stampeding back while the
+// server is still behind; draining advertises the cap outright.
+func (a *admission) retryAfterSeconds() int {
+	if a.draining.Load() {
+		return maxRetryAfter
+	}
+	queued := 0
+	if a.queue != nil {
+		queued = len(a.queue)
+	}
+	drain := time.Duration(queued+1) * a.latencyP50()
+	secs := int((drain + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > maxRetryAfter {
+		secs = maxRetryAfter
+	}
+	return secs
 }
 
 // admit runs the policy for one request. An admitOK result must be paired

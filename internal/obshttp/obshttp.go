@@ -6,10 +6,12 @@
 // trace store — so an operator can go from "p99 spiked" to the span
 // tree of an actual slow query without redeploying.
 //
-// The handler holds only an *xmlsearch.Index; all state it serves is the
-// index's own observability surface (Metrics, Health, SlowQueries,
-// TraceStore). It is safe for concurrent use and adds no locks of its
-// own beyond what those surfaces already guarantee.
+// The handler holds only a Server — the observability-and-query slice
+// of the facade that both *xmlsearch.Index and *xmlsearch.Sharded
+// implement; all state it serves is the index's own observability
+// surface (Metrics, Health, SlowQueries, TraceStore). It is safe for
+// concurrent use and adds no locks of its own beyond what those
+// surfaces already guarantee.
 package obshttp
 
 import (
@@ -59,12 +61,35 @@ type Options struct {
 	BlockProfileRate int
 }
 
+// Server is the slice of the search facade the handler serves: the
+// observability surface plus the traced query entry points. Both
+// *xmlsearch.Index and *xmlsearch.Sharded satisfy it, so one
+// operational plane fronts either layout.
+type Server interface {
+	Metrics() *obs.Metrics
+	Stats() obs.Snapshot
+	Health() xmlsearch.Health
+	SlowQueries() []obs.SlowQuery
+	TraceStore() *obs.TraceStore
+	QueryLog() *qlog.Recorder
+	SearchTraced(ctx context.Context, query string, opt xmlsearch.SearchOptions) ([]xmlsearch.Result, *xmlsearch.QueryStats, error)
+	TopKTraced(ctx context.Context, query string, k int, opt xmlsearch.SearchOptions) ([]xmlsearch.Result, *xmlsearch.QueryStats, error)
+	Plan(query string, k int, opt xmlsearch.SearchOptions) (*xmlsearch.QueryPlan, error)
+}
+
+// shardIntrospector is the optional extension a sharded index adds on
+// top of Server: the per-shard routing table GET /shards serves.
+type shardIntrospector interface {
+	Shards() int
+	ShardInfo() []xmlsearch.ShardInfo
+}
+
 // Handler serves the operational routes over one index. Beyond
 // http.Handler it exposes the drain lifecycle: StartDrain flips /readyz
 // to 503 and sheds new queries while in-flight ones run out the grace
 // period.
 type Handler struct {
-	ix             *xmlsearch.Index
+	ix             Server
 	adm            *admission
 	defaultTimeout time.Duration
 	mux            *http.ServeMux
@@ -103,14 +128,16 @@ var testHookQueryStart func(ctx context.Context)
 //	GET /traces/{id}       one retained trace: full span tree + events
 //	GET /search            run a query (q, k, engine, sem, timeout,
 //	                       partial, maxbytes, maxcand) traced
+//	GET /shards            per-shard routing table (404 when unsharded)
 //	GET /debug/pprof/...   Go runtime profiles
 //
 // Queries through /search honor the request context, so a disconnected
 // client cancels the evaluation, and the cancellation itself is a
 // tail-sampling "keep" signal. With Options.MaxInflight set, /search is
 // behind admission control: queries beyond the in-flight bound wait in a
-// short queue, and beyond that are shed with 503 + Retry-After.
-func NewHandler(ix *xmlsearch.Index, opt Options) *Handler {
+// short queue, and beyond that are shed with 503 + Retry-After derived
+// from the live queue depth and observed query latency.
+func NewHandler(ix Server, opt Options) *Handler {
 	if opt.MutexProfileFraction > 0 {
 		runtime.SetMutexProfileFraction(opt.MutexProfileFraction)
 	}
@@ -134,6 +161,7 @@ func NewHandler(ix *xmlsearch.Index, opt Options) *Handler {
 	mux.HandleFunc("GET /traces", h.traces)
 	mux.HandleFunc("GET /traces/{id}", h.traceByID)
 	mux.HandleFunc("GET /search", h.search)
+	mux.HandleFunc("GET /shards", h.shards)
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
@@ -156,6 +184,7 @@ func (h *Handler) root(w http.ResponseWriter, r *http.Request) {
   /traces           tail-sampled traces
   /traces/{id}      one trace (span tree + events)
   /search?q=&k=&engine=&sem=&timeout=&partial=&maxbytes=&maxcand=
+  /shards           per-shard routing table (sharded indexes only)
   /debug/pprof/     Go runtime profiles
 `)
 }
@@ -295,6 +324,24 @@ func (h *Handler) traceByID(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// shardsResponse is the GET /shards reply: the fan-out width and the
+// per-shard routing table.
+type shardsResponse struct {
+	Shards int                   `json:"shards"`
+	Table  []xmlsearch.ShardInfo `json:"table"`
+}
+
+// shards serves the sharded index's routing table; a plain index has no
+// shards to introspect and answers 404.
+func (h *Handler) shards(w http.ResponseWriter, r *http.Request) {
+	si, ok := h.ix.(shardIntrospector)
+	if !ok {
+		http.Error(w, "not a sharded index", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, shardsResponse{Shards: si.Shards(), Table: si.ShardInfo()})
+}
+
 // engineByName maps the ?engine= parameter to an Algorithm. The names
 // match obs.Engine labels; "topk" selects the default join-based top-K
 // engine explicitly, "auto" the cost-based planner.
@@ -327,6 +374,9 @@ type searchResponse struct {
 	Elapsed time.Duration      `json:"elapsed_ns"`
 	Results []xmlsearch.Result `json:"results"`
 	TraceID uint64             `json:"trace_id,omitempty"`
+	// Shards is the scatter-gather fan-out when the serving index is
+	// sharded; omitted for a plain index.
+	Shards int `json:"shards,omitempty"`
 	// Partial marks a certified-partial answer (the query was aborted by
 	// its deadline or budget with partial=1 set); each result's exact
 	// field says whether it is proven to belong to the true answer.
@@ -470,7 +520,7 @@ func (h *Handler) search(w http.ResponseWriter, r *http.Request) {
 		// capture is a complete picture of offered load, not just served
 		// load.
 		h.offerShed(q, k, opt)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(h.adm.retryAfterSeconds()))
 		http.Error(w, "overloaded: query shed by admission control", http.StatusServiceUnavailable)
 		return
 	case admitGone:
@@ -497,6 +547,8 @@ func (h *Handler) search(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, searchStatus(qerr), map[string]any{"error": qerr.Error(), "trace_id": qs.TraceID})
 		return
 	}
+	// Completed-query latency feeds the shed path's Retry-After estimate.
+	h.adm.noteLatency(qs.Elapsed)
 	if rs == nil {
 		rs = []xmlsearch.Result{}
 	}
@@ -512,6 +564,9 @@ func (h *Handler) search(w http.ResponseWriter, r *http.Request) {
 		TraceID: qs.TraceID,
 		Partial: qs.Partial,
 		Plan:    plan,
+	}
+	if si, ok := h.ix.(shardIntrospector); ok {
+		resp.Shards = si.Shards()
 	}
 	if qs.Partial {
 		resp.UnseenBound = qs.UnseenBound

@@ -1,0 +1,147 @@
+package obshttp
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	xmlsearch "repro"
+	"repro/internal/obs"
+)
+
+func newTestServer(t *testing.T, ix Server) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(NewHandler(ix, Options{}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func testAdmission(maxInflight, queueLen int) *admission {
+	var m obs.Metrics
+	return newAdmission(maxInflight, queueLen, &m.Serving)
+}
+
+// fill records n completions of d each — enough to dominate the ring's
+// median when n > latRingSize/2.
+func fill(a *admission, n int, d time.Duration) {
+	for i := 0; i < n; i++ {
+		a.noteLatency(d)
+	}
+}
+
+// TestRetryAfterScaling pins the derived Retry-After: it grows with both
+// the observed median latency and the wait-queue depth, never drops
+// below 1s, caps at maxRetryAfter, and a draining server always
+// advertises the cap.
+func TestRetryAfterScaling(t *testing.T) {
+	// Before any completion the estimate runs on the default latency:
+	// one slot at 100ms rounds up to the 1s floor.
+	a := testAdmission(1, 8)
+	if got := a.retryAfterSeconds(); got != 1 {
+		t.Fatalf("empty ring: Retry-After %d, want 1", got)
+	}
+
+	// Slower observed queries push the advertised backoff out.
+	fill(a, latRingSize, 2*time.Second)
+	if got := a.retryAfterSeconds(); got != 2 {
+		t.Fatalf("2s median, empty queue: Retry-After %d, want 2", got)
+	}
+
+	// A deeper wait queue pushes it out further: each queued request is
+	// one more median-latency drain ahead of the retrying client.
+	prev := a.retryAfterSeconds()
+	for i := 0; i < 3; i++ {
+		a.queue <- struct{}{}
+		got := a.retryAfterSeconds()
+		if got <= prev {
+			t.Fatalf("queue depth %d: Retry-After %d, want > %d", i+1, got, prev)
+		}
+		prev = got
+	}
+	// Depth 3 at a 2s median: (3+1)*2s = 8s exactly.
+	if prev != 8 {
+		t.Fatalf("queue depth 3 at 2s median: Retry-After %d, want 8", prev)
+	}
+
+	// The median is robust to a burst of outliers: 64 fast completions
+	// after the slow window bring the estimate back down.
+	fill(a, latRingSize, 10*time.Millisecond)
+	for i := 0; i < 3; i++ {
+		<-a.queue
+	}
+	if got := a.retryAfterSeconds(); got != 1 {
+		t.Fatalf("after recovery: Retry-After %d, want 1", got)
+	}
+
+	// Pathological latency clamps at the cap instead of telling clients
+	// to go away for minutes.
+	b := testAdmission(1, 8)
+	fill(b, latRingSize, 5*time.Minute)
+	if got := b.retryAfterSeconds(); got != maxRetryAfter {
+		t.Fatalf("5m median: Retry-After %d, want cap %d", got, maxRetryAfter)
+	}
+
+	// Draining advertises the cap outright — this server will not serve
+	// the retry, however fast its queries were.
+	c := testAdmission(1, 8)
+	fill(c, latRingSize, time.Millisecond)
+	c.startDrain(time.Minute)
+	if got := c.retryAfterSeconds(); got != maxRetryAfter {
+		t.Fatalf("draining: Retry-After %d, want %d", got, maxRetryAfter)
+	}
+}
+
+// TestShardsRoute: a sharded server exposes its routing table at
+// /shards and stamps the fan-out on search responses; a plain index
+// 404s the route and omits the field.
+func TestShardsRoute(t *testing.T) {
+	sh, err := xmlsearch.OpenSharded(strings.NewReader(testXML), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newTestServer(t, sh)
+
+	var sr struct {
+		Shards int `json:"shards"`
+		Table  []struct {
+			ID   int `json:"id"`
+			Docs int `json:"docs"`
+		} `json:"table"`
+	}
+	if err := json.Unmarshal(get(t, srv.URL+"/shards", 200), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Shards != 2 || len(sr.Table) != 2 {
+		t.Fatalf("shards response %+v, want 2 shards with 2 table rows", sr)
+	}
+	if sr.Table[0].Docs+sr.Table[1].Docs != 2 {
+		t.Fatalf("table docs %+v, want 2 total", sr.Table)
+	}
+
+	var qr struct {
+		Shards int `json:"shards"`
+	}
+	if err := json.Unmarshal(get(t, srv.URL+"/search?q=keyword", 200), &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Shards != 2 {
+		t.Fatalf("search response shards = %d, want 2", qr.Shards)
+	}
+
+	// A plain (unsharded) index has no routing table to introspect.
+	ix, err := xmlsearch.Open(strings.NewReader(testXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := newTestServer(t, ix)
+	get(t, plain.URL+"/shards", 404)
+	qr.Shards = 0
+	if err := json.Unmarshal(get(t, plain.URL+"/search?q=keyword", 200), &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Shards != 0 {
+		t.Fatalf("unsharded search response shards = %d, want omitted", qr.Shards)
+	}
+}

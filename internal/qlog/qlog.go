@@ -81,6 +81,12 @@ type Record struct {
 	DurationNs int64 `json:"duration_ns,omitempty"`
 	// Results is the number of results returned (or streamed).
 	Results int `json:"results"`
+	// Shards is the scatter-gather fan-out: the number of shards the
+	// query was dispatched to by a sharded index's coordinator. Zero for
+	// queries served by an unsharded index (the field is then omitted,
+	// keeping workload files from older recorders parseable and
+	// vice versa for readers that tolerate its absence).
+	Shards int `json:"shards,omitempty"`
 	// DecodedBytes, CacheHits, and Candidates are the query's resource
 	// profile: in-memory bytes of every inverted list it touched, decoded-
 	// list cache hits among those, and candidate rows pulled by the

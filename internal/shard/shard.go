@@ -1,0 +1,146 @@
+// Package shard holds the coordinator-side primitives of the sharded
+// index: a bounded worker pool that caps how many per-shard evaluations
+// run at once (across every concurrent scatter-gather query sharing the
+// pool), and the threshold-exchange accumulator — a concurrent top-K
+// score heap whose K-th best value is the coordinator's cancel signal
+// to shards whose remaining results provably cannot place (the §IV-C
+// unseen-result bound turned inside out: instead of each shard bounding
+// its own unseen results, the coordinator bounds what a shard would
+// still need to beat).
+package shard
+
+import (
+	"math"
+	"sync"
+)
+
+// Pool bounds concurrent shard evaluations. One pool is shared by every
+// query of a sharded index, so total engine parallelism stays capped at
+// the worker count no matter how many queries scatter at once; excess
+// tasks queue on the semaphore. Tasks never block on one another, so the
+// shared semaphore cannot deadlock — a scatter just proceeds with less
+// parallelism under load.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool returns a pool running at most workers tasks concurrently
+// (minimum 1).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{sem: make(chan struct{}, workers)}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return cap(p.sem) }
+
+// Each runs fn(0) … fn(n-1) concurrently, bounded by the pool's worker
+// count, and returns when every call has finished. fn must handle its
+// own panics; the indices partition the work, so calls share nothing
+// unless fn makes them.
+func (p *Pool) Each(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 {
+		p.sem <- struct{}{}
+		fn(0)
+		<-p.sem
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		p.sem <- struct{}{}
+		go func(i int) {
+			defer func() {
+				<-p.sem
+				wg.Done()
+			}()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Threshold is the coordinator's running bound for one scatter-gather
+// query: the K-th best score offered so far across every shard. Kth is
+// monotone nondecreasing (results only ever raise it), so once a shard's
+// next result scores strictly below Kth, every later result from that
+// shard — shards emit in descending score order — scores strictly below
+// the final global K-th as well and the shard can be cancelled without
+// affecting the answer. It is safe for concurrent Offer/Kth from every
+// shard's emit callback.
+type Threshold struct {
+	mu   sync.Mutex
+	k    int
+	heap []float64 // min-heap of the best k scores offered
+}
+
+// NewThreshold returns a threshold for a top-k merge (k >= 1).
+func NewThreshold(k int) *Threshold {
+	if k < 1 {
+		k = 1
+	}
+	return &Threshold{k: k, heap: make([]float64, 0, k)}
+}
+
+// Offer folds one candidate score into the running top-k.
+func (t *Threshold) Offer(score float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.heap) < t.k {
+		t.heap = append(t.heap, score)
+		t.up(len(t.heap) - 1)
+		return
+	}
+	if score <= t.heap[0] {
+		return
+	}
+	t.heap[0] = score
+	t.down(0)
+}
+
+// Kth returns the K-th best score offered so far, or -Inf while fewer
+// than k scores have been offered (no shard can be cancelled before the
+// global top-k is even populated).
+func (t *Threshold) Kth() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.heap) < t.k {
+		return math.Inf(-1)
+	}
+	return t.heap[0]
+}
+
+func (t *Threshold) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.heap[parent] <= t.heap[i] {
+			return
+		}
+		t.heap[parent], t.heap[i] = t.heap[i], t.heap[parent]
+		i = parent
+	}
+}
+
+func (t *Threshold) down(i int) {
+	n := len(t.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && t.heap[l] < t.heap[least] {
+			least = l
+		}
+		if r < n && t.heap[r] < t.heap[least] {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		t.heap[i], t.heap[least] = t.heap[least], t.heap[i]
+		i = least
+	}
+}

@@ -1,0 +1,134 @@
+package shard
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsAll(t *testing.T) {
+	p := NewPool(3)
+	if p.Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", p.Workers())
+	}
+	var hits [17]int32
+	p.Each(len(hits), func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d ran %d times, want 1", i, h)
+		}
+	}
+	// n = 0 and n = 1 paths.
+	p.Each(0, func(int) { t.Fatal("fn called for n=0") })
+	ran := false
+	p.Each(1, func(i int) { ran = i == 0 })
+	if !ran {
+		t.Fatal("fn(0) not called for n=1")
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 2
+	p := NewPool(workers)
+	var cur, peak int32
+	var mu sync.Mutex
+	p.Each(16, func(int) {
+		n := atomic.AddInt32(&cur, 1)
+		mu.Lock()
+		if n > peak {
+			peak = n
+		}
+		mu.Unlock()
+		// Busy-wait a moment so overlaps are observable.
+		for i := 0; i < 1000; i++ {
+			_ = atomic.LoadInt32(&cur)
+		}
+		atomic.AddInt32(&cur, -1)
+	})
+	if peak > workers {
+		t.Fatalf("observed %d concurrent tasks, pool bound is %d", peak, workers)
+	}
+}
+
+func TestPoolSharedAcrossQueries(t *testing.T) {
+	// Two concurrent "queries" share one pool; both must complete.
+	p := NewPool(1)
+	var wg sync.WaitGroup
+	var total int32
+	for q := 0; q < 2; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Each(4, func(int) { atomic.AddInt32(&total, 1) })
+		}()
+	}
+	wg.Wait()
+	if total != 8 {
+		t.Fatalf("ran %d tasks, want 8", total)
+	}
+}
+
+func TestThresholdKth(t *testing.T) {
+	th := NewThreshold(3)
+	if !math.IsInf(th.Kth(), -1) {
+		t.Fatalf("empty threshold Kth = %v, want -Inf", th.Kth())
+	}
+	th.Offer(5)
+	th.Offer(1)
+	if !math.IsInf(th.Kth(), -1) {
+		t.Fatalf("underfull threshold Kth = %v, want -Inf", th.Kth())
+	}
+	th.Offer(3)
+	if got := th.Kth(); got != 1 {
+		t.Fatalf("Kth = %v, want 1", got)
+	}
+	th.Offer(4) // top-3 becomes {5,4,3}
+	if got := th.Kth(); got != 3 {
+		t.Fatalf("Kth = %v, want 3", got)
+	}
+	th.Offer(2) // below current Kth: no change
+	if got := th.Kth(); got != 3 {
+		t.Fatalf("Kth after low offer = %v, want 3", got)
+	}
+	th.Offer(10) // top-3 becomes {10,5,4}
+	if got := th.Kth(); got != 4 {
+		t.Fatalf("Kth = %v, want 4", got)
+	}
+}
+
+func TestThresholdMonotone(t *testing.T) {
+	th := NewThreshold(2)
+	prev := math.Inf(-1)
+	for _, s := range []float64{3, 7, 1, 9, 2, 8, 8, 0.5} {
+		th.Offer(s)
+		k := th.Kth()
+		if k < prev {
+			t.Fatalf("Kth decreased: %v after %v", k, prev)
+		}
+		prev = k
+	}
+	if prev != 8 {
+		t.Fatalf("final Kth = %v, want 8", prev)
+	}
+}
+
+func TestThresholdConcurrent(t *testing.T) {
+	th := NewThreshold(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				th.Offer(float64(g*100 + i))
+				_ = th.Kth()
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Best four scores overall are 799, 798, 797, 796.
+	if got := th.Kth(); got != 796 {
+		t.Fatalf("final Kth = %v, want 796", got)
+	}
+}

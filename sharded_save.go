@@ -1,0 +1,122 @@
+package xmlsearch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/colstore"
+	"repro/internal/faultinject"
+)
+
+// Sharded persistence layout: one root directory holding a shards.meta
+// manifest committed under the root's own CURRENT (the PR-1 generation
+// scheme), plus one complete per-shard index directory per shard —
+// "shard-000", "shard-001", … — each with its own generations and
+// CURRENT. A crash mid-save leaves every piece either at its previous
+// generation or its new one, never torn.
+
+const fileShardsMeta = "shards.meta"
+
+const shardsMetaMagic = "XKWSHRD1\n"
+
+// shardDirName is the fixed per-shard subdirectory name.
+func shardDirName(i int) string { return fmt.Sprintf("shard-%03d", i) }
+
+// encodeShardsMeta serializes the manifest: magic plus the shard count.
+func encodeShardsMeta(n int) []byte {
+	buf := []byte(shardsMetaMagic)
+	return binary.AppendUvarint(buf, uint64(n))
+}
+
+// parseShardsMeta decodes a shards.meta payload, rejecting truncation,
+// trailing bytes, and implausible counts before anything is allocated.
+func parseShardsMeta(meta []byte) (int, error) {
+	if len(meta) < len(shardsMetaMagic) || string(meta[:len(shardsMetaMagic)]) != shardsMetaMagic {
+		return 0, fmt.Errorf("xmlsearch: load: not a shards.meta file")
+	}
+	n, sz := binary.Uvarint(meta[len(shardsMetaMagic):])
+	if sz <= 0 || n == 0 || n > 1<<20 {
+		return 0, fmt.Errorf("xmlsearch: load: bad shard count")
+	}
+	if len(shardsMetaMagic)+sz != len(meta) {
+		return 0, fmt.Errorf("xmlsearch: load: trailing bytes after shard count")
+	}
+	return int(n), nil
+}
+
+// Save persists the sharded index under dir: every shard as a complete
+// index directory of its own, then the manifest, committed atomically.
+// The routing table is write-locked for the duration, so the saved
+// shards form one consistent partition of the corpus.
+func (sh *Sharded) Save(dir string) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fsys := faultinject.OS()
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("xmlsearch: save: %w", err)
+	}
+	for i, ix := range sh.shards {
+		if err := ix.Save(filepath.Join(dir, shardDirName(i))); err != nil {
+			return err
+		}
+	}
+	gen, err := colstore.NextGen(dir)
+	if err != nil {
+		return fmt.Errorf("xmlsearch: save: %w", err)
+	}
+	path := filepath.Join(dir, colstore.GenName(fileShardsMeta, gen))
+	if err := fsys.WriteFile(path, colstore.AppendFooter(encodeShardsMeta(len(sh.shards))), 0o644); err != nil {
+		return fmt.Errorf("xmlsearch: save %s: %w", fileShardsMeta, err)
+	}
+	if err := colstore.CommitGen(dir, gen, fsys); err != nil {
+		return err
+	}
+	colstore.RemoveStaleGens(dir, gen, fsys, fileShardsMeta)
+	return nil
+}
+
+// IsShardedDir reports whether dir looks like a sharded index directory
+// (used by xkwserve to auto-detect the layout).
+func IsShardedDir(dir string) bool {
+	fi, err := os.Stat(filepath.Join(dir, shardDirName(0)))
+	return err == nil && fi.IsDir()
+}
+
+// LoadSharded opens a sharded index directory written by Save. Each
+// shard loads with Index.Load's degradation contract (quarantined terms
+// read as absent; see Health for the merged report).
+func LoadSharded(dir string) (*Sharded, error) {
+	gen, v2, err := colstore.CurrentGen(dir)
+	if err != nil {
+		return nil, fmt.Errorf("xmlsearch: load: %w", err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, genFileName(fileShardsMeta, gen, v2)))
+	if err != nil {
+		return nil, fmt.Errorf("xmlsearch: load: %w", err)
+	}
+	if v2 {
+		if raw, err = colstore.StripFooter(raw); err != nil {
+			return nil, fmt.Errorf("xmlsearch: load %s: %w", fileShardsMeta, err)
+		}
+	}
+	n, err := parseShardsMeta(raw)
+	if err != nil {
+		return nil, err
+	}
+	shards := make([]*Index, n)
+	counts := make([]int, n)
+	for i := 0; i < n; i++ {
+		ix, err := Load(filepath.Join(dir, shardDirName(i)))
+		if err != nil {
+			return nil, fmt.Errorf("xmlsearch: load %s: %w", shardDirName(i), err)
+		}
+		if ix.cfg.elemRank {
+			return nil, fmt.Errorf("xmlsearch: load %s: sharding does not support ElemRank", shardDirName(i))
+		}
+		shards[i] = ix
+		counts[i] = len(ix.view().doc.Root.Children)
+	}
+	return assembleSharded(shards, counts), nil
+}

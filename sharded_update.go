@@ -1,0 +1,159 @@
+package xmlsearch
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dewey"
+)
+
+// Mutation routing. A global Dewey identifier "1.j.rest" belongs to the
+// shard owning top-level child j; the shard sees the local identifier
+// "1.(j-off).rest" where off is the shard's child offset. Mutations
+// inside a subtree only read the routing table (RLock) and then run
+// under the owning shard's writer lock — writers on distinct shards
+// proceed concurrently. Mutations that change the top-level child count
+// (inserting under the root, removing a whole top-level subtree) take
+// the routing table's write lock, so the offsets every concurrent query
+// remaps with stay consistent with the counts.
+//
+// Consistency note: a query scatter reads the routing offsets once and
+// each shard pins its own snapshot; a top-level structural mutation
+// committing between those reads can shift the global numbering of
+// results from later-read shards (the same snapshot-per-shard relaxation
+// any federated store exhibits; see DESIGN.md §14). Subtree-interior
+// mutations never shift cross-shard numbering.
+
+// route locates the shard owning global top-level child index j
+// (1-based, as in a Dewey's second component) and returns its shard
+// index and child offset. Callers hold sh.mu.
+func (sh *Sharded) routeLocked(j int) (si, off int, ok bool) {
+	offs, total := sh.offsetsLocked()
+	if j < 1 || j > total {
+		return 0, 0, false
+	}
+	for i := len(offs) - 1; i >= 0; i-- {
+		if j > offs[i] {
+			return i, offs[i], true
+		}
+	}
+	return 0, 0, false
+}
+
+// localID rewrites a global Dewey identifier into shard-local
+// coordinates by shifting the top-level component down by off.
+func localID(id dewey.ID, off int) dewey.ID {
+	l := id.Clone()
+	l[1] -= uint32(off)
+	return l
+}
+
+// InsertElement adds a new leaf element under the element identified by
+// its global Dewey identifier, routing to the owning shard's writer (see
+// Index.InsertElement for the mutation contract). Inserting directly
+// under the root creates a brand-new top-level subtree: the insertion
+// position picks the shard (a boundary position joins the preceding
+// shard), and the new subtree's fresh Dewey identifiers are assigned by
+// that shard.
+func (sh *Sharded) InsertElement(parentDewey string, pos int, tag, text string) (newDewey string, err error) {
+	start := time.Now()
+	defer func() {
+		sh.metrics.Writer.RecordMutation(true, 0, false, time.Since(start), err)
+	}()
+	id, err := dewey.Parse(parentDewey)
+	if err != nil {
+		return "", fmt.Errorf("xmlsearch: bad parent id: %w", err)
+	}
+	if id[0] != 1 {
+		return "", fmt.Errorf("xmlsearch: no element at %s", parentDewey)
+	}
+	if len(id) == 1 {
+		// New top-level subtree under the (virtual) global root.
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		offs, total := sh.offsetsLocked()
+		if pos < 0 || pos > total {
+			return "", fmt.Errorf("xmlsearch: position %d out of range [0,%d]", pos, total)
+		}
+		si := 0
+		for i := range sh.counts {
+			si = i
+			if pos <= offs[i]+sh.counts[i] {
+				break
+			}
+		}
+		local, lerr := sh.shards[si].InsertElement("1", pos-offs[si], tag, text)
+		if lerr != nil {
+			return "", lerr
+		}
+		sh.counts[si]++
+		lid, lerr := dewey.Parse(local)
+		if lerr != nil {
+			return "", lerr
+		}
+		lid[1] += uint32(offs[si])
+		return lid.String(), nil
+	}
+	sh.mu.RLock()
+	si, off, ok := sh.routeLocked(int(id[1]))
+	sh.mu.RUnlock()
+	if !ok {
+		return "", fmt.Errorf("xmlsearch: no element at %s", parentDewey)
+	}
+	local, err := sh.shards[si].InsertElement(localID(id, off).String(), pos, tag, text)
+	if err != nil {
+		return "", err
+	}
+	lid, err := dewey.Parse(local)
+	if err != nil {
+		return "", err
+	}
+	lid[1] += uint32(off)
+	return lid.String(), nil
+}
+
+// RemoveElement detaches the element (and subtree) identified by its
+// global Dewey identifier, routing to the owning shard's writer. The
+// root cannot be removed; removing a whole top-level subtree is allowed
+// down to a shard's last one (the shard then stays up, empty, and keeps
+// accepting insertions).
+func (sh *Sharded) RemoveElement(deweyStr string) (err error) {
+	start := time.Now()
+	defer func() {
+		sh.metrics.Writer.RecordMutation(false, 0, false, time.Since(start), err)
+	}()
+	id, err := dewey.Parse(deweyStr)
+	if err != nil {
+		return fmt.Errorf("xmlsearch: bad id: %w", err)
+	}
+	if len(id) == 1 {
+		if id[0] == 1 {
+			return fmt.Errorf("xmlsearch: cannot remove the document root")
+		}
+		return fmt.Errorf("xmlsearch: no element at %s", deweyStr)
+	}
+	if id[0] != 1 {
+		return fmt.Errorf("xmlsearch: no element at %s", deweyStr)
+	}
+	if len(id) == 2 {
+		// Removing a whole top-level subtree changes the routing table.
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		si, off, ok := sh.routeLocked(int(id[1]))
+		if !ok {
+			return fmt.Errorf("xmlsearch: no element at %s", deweyStr)
+		}
+		if err := sh.shards[si].RemoveElement(localID(id, off).String()); err != nil {
+			return err
+		}
+		sh.counts[si]--
+		return nil
+	}
+	sh.mu.RLock()
+	si, off, ok := sh.routeLocked(int(id[1]))
+	sh.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("xmlsearch: no element at %s", deweyStr)
+	}
+	return sh.shards[si].RemoveElement(localID(id, off).String())
+}

@@ -1,0 +1,192 @@
+package xmlsearch
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestShardedMutationEdgeCases covers the routing-table boundaries: a
+// shard drained of its last top-level document keeps serving and
+// accepting inserts, a root-level insert grows a brand-new subtree with
+// valid global Dewey numbering, and malformed targets are refused with
+// the facade's error contract.
+func TestShardedMutationEdgeCases(t *testing.T) {
+	sh := mustSharded(t, shardedTestXML, 2)
+
+	// Shard 1 owns global children 3 and 4. Remove both: the second
+	// removal takes the shard's document count to zero.
+	if err := sh.RemoveElement("1.4"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.RemoveElement("1.3"); err != nil {
+		t.Fatalf("removing a shard's last document: %v", err)
+	}
+	info := sh.ShardInfo()
+	if info[1].Docs != 0 {
+		t.Fatalf("shard 1 docs = %d after draining, want 0", info[1].Docs)
+	}
+
+	// The empty shard participates in scatter without results or errors;
+	// "omega" lived only in the removed subtrees.
+	rs, err := sh.Search("omega", SearchOptions{})
+	if err != nil {
+		t.Fatalf("search with an empty shard: %v", err)
+	}
+	if len(rs) != 0 {
+		t.Fatalf("removed subtree still searchable: %d results", len(rs))
+	}
+	if rs, err = sh.TopK("sensor", 5, SearchOptions{}); err != nil {
+		t.Fatalf("top-K with an empty shard: %v", err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("surviving shard's documents vanished")
+	}
+
+	// A root-level insert grows a brand-new top-level subtree with a
+	// fresh global Dewey. A boundary position joins the preceding shard,
+	// so the tail insert lands in shard 0 (the empty trailing shard
+	// still serves, it just is not eligible for boundary inserts).
+	nd, err := sh.InsertElement("1", 2, "thesis", "zebra omega treatise")
+	if err != nil {
+		t.Fatalf("insert creating a new top-level subtree: %v", err)
+	}
+	if nd != "1.3" {
+		t.Fatalf("new top-level subtree at %s, want 1.3", nd)
+	}
+	info = sh.ShardInfo()
+	if info[0].Docs != 3 || info[1].Docs != 0 {
+		t.Fatalf("docs after root insert = %d/%d, want 3/0", info[0].Docs, info[1].Docs)
+	}
+	rs, err = sh.Search("zebra", SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Dewey != "1.3" {
+		t.Fatalf("new subtree search = %+v, want one result at 1.3", rs)
+	}
+
+	// Deeper mutation inside the fresh subtree routes through the same
+	// global numbering.
+	if _, err := sh.InsertElement("1.3", 0, "note", "zebra appendix"); err != nil {
+		t.Fatalf("mutating the fresh subtree: %v", err)
+	}
+	if rs, err = sh.Search("zebra", SearchOptions{Semantics: SLCA}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("fresh subtree not searchable after interior insert")
+	}
+
+	// Error contract parity with the unsharded facade.
+	if err := sh.RemoveElement("1"); err == nil || !strings.Contains(err.Error(), "cannot remove the document root") {
+		t.Fatalf("root removal: %v", err)
+	}
+	if err := sh.RemoveElement("1.99"); err == nil || !strings.Contains(err.Error(), "no element at") {
+		t.Fatalf("out-of-range removal: %v", err)
+	}
+	if err := sh.RemoveElement("bogus"); err == nil || !strings.Contains(err.Error(), "bad id") {
+		t.Fatalf("malformed removal: %v", err)
+	}
+	if _, err := sh.InsertElement("2.1", 0, "x", "y"); err == nil || !strings.Contains(err.Error(), "no element at") {
+		t.Fatalf("insert under wrong root: %v", err)
+	}
+	if _, err := sh.InsertElement("1", 99, "x", "y"); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("insert at bad position: %v", err)
+	}
+}
+
+// TestShardScatterGatherHammer exercises the concurrency contract under
+// the race detector: one writer per shard mutating its own subtree
+// (distinct-shard writers proceed in parallel) while readers scatter
+// Search, TopK, and TopKStream across all shards.
+func TestShardScatterGatherHammer(t *testing.T) {
+	const xml = `<corpus>
+  <a><t>sensor alpha network</t></a>
+  <a><t>sensor alpha ranking</t></a>
+  <b><t>sensor beta keyword</t></b>
+  <b><t>sensor beta xml</t></b>
+  <c><t>sensor gamma search</t></c>
+  <c><t>sensor gamma index</t></c>
+  <d><t>sensor delta query</t></d>
+  <d><t>sensor delta store</t></d>
+</corpus>`
+	sh := mustSharded(t, xml, 4)
+	baseline, err := sh.Search("sensor", SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	iters := 30
+	if testing.Short() {
+		iters = 8
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+	report := func(err error) {
+		select {
+		case errc <- err:
+		default:
+		}
+	}
+
+	// One mutator per shard, each working strictly inside its own pair
+	// of top-level subtrees (globals 2w+1 and 2w+2).
+	for w := 0; w < sh.Shards(); w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			parent := fmt.Sprintf("1.%d", 2*w+1)
+			for i := 0; i < iters; i++ {
+				nd, err := sh.InsertElement(parent, 0, "note", fmt.Sprintf("hammer w%d i%d", w, i))
+				if err != nil {
+					report(fmt.Errorf("writer %d insert: %w", w, err))
+					return
+				}
+				if err := sh.RemoveElement(nd); err != nil {
+					report(fmt.Errorf("writer %d remove %s: %w", w, nd, err))
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Readers scatter across every shard while the writers churn.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if _, err := sh.Search("sensor", SearchOptions{}); err != nil {
+					report(fmt.Errorf("reader %d search: %w", r, err))
+					return
+				}
+				if _, err := sh.TopK("sensor", 3, SearchOptions{Algorithm: AlgoJoin}); err != nil {
+					report(fmt.Errorf("reader %d topk: %w", r, err))
+					return
+				}
+				err := sh.TopKStream("sensor", 2, SearchOptions{}, func(Result) bool { return true })
+				if err != nil {
+					report(fmt.Errorf("reader %d stream: %w", r, err))
+					return
+				}
+			}
+		}(r)
+	}
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// All mutators net to zero: the corpus is back to its initial shape
+	// and every shard still answers.
+	rs, err := sh.Search("sensor", SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "hammer", "sensor", baseline, rs)
+}
