@@ -17,6 +17,7 @@
 //	xkwbench -exp smoke -json BENCH_smoke.json -baseline results/BENCH_smoke.json -tol 3.0
 //	xkwbench -exp overload -json BENCH_overload.json
 //	xkwbench -exp shard -json BENCH_shard.json -baseline results/BENCH_shard.json -tol 3.0
+//	xkwbench -exp attribution -json BENCH_attribution.json -baseline results/BENCH_attribution.json -tol 0.5
 //
 // Workload capture and replay (the flight-recorder pipeline):
 //
@@ -46,10 +47,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -63,7 +66,7 @@ func main() {
 		queries  = flag.Int("queries", 0, "override queries per sweep point")
 		reps     = flag.Int("reps", 0, "override repetitions per query")
 		topK     = flag.Int("k", 10, "K for the top-K experiments")
-		exp      = flag.String("exp", "all", "experiment: all, table1, fig9, fig10, ablations, smoke, overload, shard, capture, replay")
+		exp      = flag.String("exp", "all", "experiment: all, table1, fig9, fig10, ablations, smoke, overload, shard, attribution, capture, replay")
 		workload = flag.String("workload", "", "with -exp capture/replay, the NDJSON workload file to write/read")
 		paced    = flag.Bool("paced", false, "with -exp replay, pace the replay by the recorded inter-arrival offsets")
 		qlogDir  = flag.String("qlog-dir", "", "with -exp capture, also sink the capture through a rotating on-disk qlog in this directory")
@@ -131,6 +134,13 @@ func main() {
 	}
 	if *exp == "shard" {
 		if err := runShard(w, cfg, *jsonOut, *baseline, *tol); err != nil {
+			fmt.Fprintln(os.Stderr, "xkwbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "attribution" {
+		if err := runAttribution(w, cfg, *jsonOut, *baseline, *tol); err != nil {
 			fmt.Fprintln(os.Stderr, "xkwbench:", err)
 			os.Exit(1)
 		}
@@ -295,6 +305,57 @@ func runShard(w io.Writer, cfg bench.Config, jsonOut, baseline string, tol float
 			return fmt.Errorf("%d point(s) regressed beyond %.0f%% vs %s", len(v), tol*100, baseline)
 		}
 		fmt.Fprintf(w, "perf gate passed: no p50 regression beyond %.0f%% vs %s\n", tol*100, baseline)
+	}
+	return nil
+}
+
+// runAttribution measures the per-stage latency-attribution sweep —
+// each stage's share of scatter-gather wall time at shards=1 vs
+// shards=4 — writes the JSON report plus a sample stitched trace
+// (<json>_trace.json), and optionally gates stage-share drift against a
+// committed baseline (the shares ride the p50 slot under a fixed floor;
+// see internal/bench's attribution encoding).
+func runAttribution(w io.Writer, cfg bench.Config, jsonOut, baseline string, tol float64) error {
+	report, sample, err := bench.Attribution(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== attribution: scale=%.2f queries/pt=%d reps=%d K=%d (%s/%s, %d CPU, %s) ==\n",
+		cfg.Scale, cfg.QueriesPerPt, cfg.RepsPerQuery, cfg.TopK,
+		report.Env.GOOS, report.Env.GOARCH, report.Env.NumCPU, report.Env.GoVersion)
+	fmt.Fprintf(w, "%-10s %-28s %8s\n", "engine", "stage", "share")
+	for _, p := range report.Points {
+		fmt.Fprintf(w, "%-10s %-28s %7.1f%%\n", p.Engine, p.Label, 100*bench.DecodeShare(p.P50Ns))
+	}
+	if jsonOut != "" {
+		if err := bench.WriteReport(jsonOut, report); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "report written to %s\n", jsonOut)
+		if sample != nil {
+			tracePath := strings.TrimSuffix(jsonOut, ".json") + "_trace.json"
+			data, err := json.MarshalIndent(sample, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(tracePath, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "sample stitched trace written to %s\n", tracePath)
+		}
+	}
+	if baseline != "" {
+		base, err := bench.ReadReport(baseline)
+		if err != nil {
+			return err
+		}
+		if v := bench.CompareReports(base, report, tol); len(v) > 0 {
+			for _, line := range v {
+				fmt.Fprintln(os.Stderr, "REGRESSION:", line)
+			}
+			return fmt.Errorf("%d stage share(s) drifted beyond tolerance vs %s", len(v), baseline)
+		}
+		fmt.Fprintf(w, "attribution gate passed: no stage-share drift beyond tolerance vs %s\n", baseline)
 	}
 	return nil
 }

@@ -8,6 +8,7 @@
 //
 //	xkwserve (-index DIR | -xml FILE) [-shards N] [-addr :8080]
 //	         [-slow 50ms] [-trace-keep 256] [-trace-sample 64] [-trace-seed 1]
+//	         [-trace-max-spans 4096]
 //	         [-mutexfrac N] [-blockrate N]
 //	         [-max-inflight 256] [-queue 64] [-default-timeout 0] [-drain 5s]
 //	         [-qlog DIR] [-qlog-max-bytes N] [-qlog-max-files N]
@@ -62,6 +63,7 @@ func main() {
 	traceKeep := fs.Int("trace-keep", obs.DefaultKeepTraces, "capacity of the slow/error/cancelled trace ring")
 	traceSample := fs.Int("trace-sample", obs.DefaultSampleTraces, "reservoir capacity for ordinary traces")
 	traceSeed := fs.Int64("trace-seed", 1, "reservoir sampling seed")
+	traceMaxSpans := fs.Int("trace-max-spans", obs.DefaultMaxSpans, "per-trace span retention cap; a stitched scatter past it tail-truncates and counts drops (0 = library default)")
 	mutexFrac := fs.Int("mutexfrac", 0, "mutex profile fraction (0 = off)")
 	blockRate := fs.Int("blockrate", 0, "block profile rate in ns (0 = off)")
 	planCache := fs.Int("plancache", 0, "query-plan cache capacity for engine=auto (0 = default)")
@@ -107,7 +109,9 @@ func main() {
 	}
 
 	ix.SetSlowQueryThreshold(*slow)
-	ix.SetTraceStore(obs.NewTraceStore(*traceKeep, *traceSample, *slow, *traceSeed))
+	ts := obs.NewTraceStore(*traceKeep, *traceSample, *slow, *traceSeed)
+	ts.SetMaxSpans(*traceMaxSpans)
+	ix.SetTraceStore(ts)
 	if *planCache > 0 {
 		ix.SetPlanCacheCapacity(*planCache)
 	}

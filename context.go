@@ -166,6 +166,8 @@ func topKEngineSlot(a Algorithm) obs.Engine {
 // for an explicit algorithm (plan == nil), the cost-based planner —
 // through the plan cache — for AlgoAuto.
 func (ix *Index) resolveEngine(s *snapshot, q exec.Query, algo Algorithm, topK bool, tr *obs.Trace) (*queryEngine, *exec.Plan, error) {
+	sp := tr.Stage(obs.StagePlan)
+	defer tr.End(sp)
 	if algo != AlgoAuto {
 		if e := engines.ForAlgo(int(algo), topK); e != nil {
 			return e, nil, nil
@@ -285,6 +287,7 @@ func resultsHash(rs []Result) qlog.Hash {
 // flight recorder is on — the query's record, offered without blocking.
 func (ix *Index) finishQuery(e obs.Engine, query string, k int, elapsed time.Duration, results int, err error, tr *obs.Trace, qi qinfo) {
 	ix.metrics.RecordQuery(e, query, k, elapsed, results, err, tr)
+	bd := recordBreakdown(ix.metrics, e, elapsed, tr)
 	var traceID uint64
 	if ts := ix.traces.Load(); ts != nil && tr != nil {
 		if id := ts.Add(e, query, k, elapsed, results, err, tr); id != 0 {
@@ -316,6 +319,7 @@ func (ix *Index) finishQuery(e obs.Engine, query string, k int, elapsed time.Dur
 	if qi.hasFP {
 		rec.Fingerprint = qi.fp.String()
 	}
+	annotateStages(&rec, bd)
 	switch {
 	case qi.visible != nil:
 		rec.Err = qi.visible.Error()
@@ -324,6 +328,34 @@ func (ix *Index) finishQuery(e obs.Engine, query string, k int, elapsed time.Dur
 		rec.Err = err.Error()
 	}
 	r.Offer(rec)
+}
+
+// recordBreakdown reduces a traced query's timeline to its stage
+// breakdown and folds it into the attribution counters. Untraced queries
+// return nil: attribution exists only where a timeline exists.
+func recordBreakdown(m *obs.Metrics, e obs.Engine, elapsed time.Duration, tr *obs.Trace) *obs.StageBreakdown {
+	if tr == nil || len(tr.Spans()) == 0 {
+		return nil
+	}
+	bd := obs.BreakdownOf(tr.Spans(), elapsed)
+	m.Stage.RecordBreakdown(e, &bd)
+	return &bd
+}
+
+// annotateStages copies a breakdown's per-stage nanos and straggler shard
+// onto a flight-recorder record. StragglerShard is stored 1-based so that
+// omitempty elides it for unscattered (and untraced) queries.
+func annotateStages(rec *qlog.Record, bd *obs.StageBreakdown) {
+	if bd == nil || len(bd.Stages) == 0 {
+		return
+	}
+	rec.StageNs = make(map[string]int64, len(bd.Stages))
+	for _, s := range bd.Stages {
+		rec.StageNs[s.Stage] = s.Nanos
+	}
+	if bd.Straggler >= 0 {
+		rec.StragglerShard = bd.Straggler + 1
+	}
 }
 
 // semLabel renders the semantics in the flight-recorder's lowercase form.
@@ -366,7 +398,9 @@ func (ix *Index) searchObs(ctx context.Context, query string, kws []string, opt 
 	defer cancel()
 	var caps exec.Capability
 	rs, meta, caps, eng, err = ix.searchEval(ctx, query, kws, opt, bdg, tr)
+	ssp := tr.Stage(obs.StageSettle)
 	rs, meta, err, trip = ix.settle(rs, meta, caps, opt, err)
+	tr.End(ssp)
 	return rs, meta, eng, err
 }
 
@@ -436,7 +470,9 @@ func (ix *Index) topKObs(ctx context.Context, query string, kws []string, k int,
 	defer cancel()
 	var caps exec.Capability
 	rs, meta, caps, eng, err = ix.topKEval(ctx, query, kws, k, opt, bdg, tr)
+	ssp := tr.Stage(obs.StageSettle)
 	rs, meta, err, trip = ix.settle(rs, meta, caps, opt, err)
+	tr.End(ssp)
 	return rs, meta, eng, err
 }
 
@@ -542,7 +578,9 @@ func (ix *Index) topKStreamObs(ctx context.Context, query string, kws []string, 
 		Budget: bdg, AllowPartial: opt.AllowPartial}
 	e := engines.ForStream()
 	delivered, meta, err = e.Stream(ctx, s, q, tr, fn)
+	ssp := tr.Stage(obs.StageSettle)
 	_, meta, err, trip = ix.settle(nil, meta, e.Caps, opt, err)
+	tr.End(ssp)
 	return delivered, meta, err
 }
 

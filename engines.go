@@ -77,10 +77,14 @@ func abortedMeta() exec.RunMeta {
 // but with an infinite unseen bound: the bottom-up merge visits results in
 // document order, not score order, so nothing can be certified.
 func runJoin(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trace) ([]Result, exec.RunMeta, error) {
+	osp := tr.Stage(obs.StageOpen)
 	lists, lerr := s.store.ListsBudget(q.Keywords, tr, q.Budget)
+	tr.End(osp)
 	if lerr != nil {
 		return nil, abortedMeta(), lerr
 	}
+	jsp := tr.Stage(obs.StageJoin)
+	defer tr.End(jsp)
 	rs, _, err := core.EvaluateCtx(ctx, lists, core.Options{Semantics: coreSem(Semantics(q.Semantics)), Decay: q.Decay, Trace: tr})
 	if err != nil {
 		core.SortByScore(rs)
@@ -95,10 +99,14 @@ func runJoin(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trace) ([]R
 // Section IV-B/IV-C threshold as the unseen bound, so the results already
 // proven (score ≥ bound) can be certified exact by the facade.
 func runTopKJoin(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trace) ([]Result, exec.RunMeta, error) {
+	osp := tr.Stage(obs.StageOpen)
 	lists, lerr := s.store.TopKListsBudget(q.Keywords, tr, q.Budget)
+	tr.End(osp)
 	if lerr != nil {
 		return nil, abortedMeta(), lerr
 	}
+	jsp := tr.Stage(obs.StageJoin)
+	defer tr.End(jsp)
 	rs, st, err := topk.EvaluateCtx(ctx, lists, topk.Options{
 		Semantics: coreSem(Semantics(q.Semantics)), Decay: q.Decay, K: q.K, Trace: tr,
 		Budget: q.Budget, Partial: q.AllowPartial,
@@ -112,10 +120,14 @@ func runTopKJoin(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trace) 
 // simply ends the stream early: every delivered result was already
 // threshold-proven, so nothing unproven ever reaches the consumer.
 func streamTopKJoin(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trace, emit func(Result) bool) (int, exec.RunMeta, error) {
+	osp := tr.Stage(obs.StageOpen)
 	lists, lerr := s.store.TopKListsBudget(q.Keywords, tr, q.Budget)
+	tr.End(osp)
 	if lerr != nil {
 		return 0, abortedMeta(), lerr
 	}
+	jsp := tr.Stage(obs.StageJoin)
+	defer tr.End(jsp)
 	delivered := 0
 	_, st, err := topk.EvaluateFuncCtx(ctx, lists, topk.Options{
 		Semantics: coreSem(Semantics(q.Semantics)), Decay: q.Decay, K: q.K, Trace: tr,
@@ -138,7 +150,12 @@ func streamTopKJoin(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trac
 // not budget-charged: the decoded-bytes budget bounds the column store's
 // read path, which this engine does not use.
 func runStack(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trace) ([]Result, exec.RunMeta, error) {
-	rs, _, err := stack.EvaluateObsCtx(ctx, s.invListsObs(q.Keywords, tr), stackSem(Semantics(q.Semantics)), q.Decay, tr)
+	osp := tr.Stage(obs.StageOpen)
+	lists := s.invListsObs(q.Keywords, tr)
+	tr.End(osp)
+	jsp := tr.Stage(obs.StageJoin)
+	defer tr.End(jsp)
+	rs, _, err := stack.EvaluateObsCtx(ctx, lists, stackSem(Semantics(q.Semantics)), q.Decay, tr)
 	stack.SortByScore(rs)
 	out := make([]Result, 0, len(rs))
 	for _, r := range rs {
@@ -153,7 +170,12 @@ func runStack(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trace) ([]
 // runIxLookup is the index-lookup baseline: shortest-list-driven probes,
 // then rank by the canonical ordering (and truncate, for top-K).
 func runIxLookup(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trace) ([]Result, exec.RunMeta, error) {
-	rs, _, err := ixlookup.EvaluateObsCtx(ctx, s.invListsObs(q.Keywords, tr), ixlookupSem(Semantics(q.Semantics)), q.Decay, tr)
+	osp := tr.Stage(obs.StageOpen)
+	lists := s.invListsObs(q.Keywords, tr)
+	tr.End(osp)
+	jsp := tr.Stage(obs.StageJoin)
+	defer tr.End(jsp)
+	rs, _, err := ixlookup.EvaluateObsCtx(ctx, lists, ixlookupSem(Semantics(q.Semantics)), q.Decay, tr)
 	if err != nil {
 		return nil, abortedMeta(), err
 	}
@@ -173,10 +195,14 @@ func runIxLookup(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trace) 
 // runRDIL is the RDIL top-K baseline (classic TA over score-ordered
 // lists with random-access lookups).
 func runRDIL(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trace) ([]Result, exec.RunMeta, error) {
+	osp := tr.Stage(obs.StageOpen)
 	s.ensureInv()
 	if tr != nil {
 		s.invListsObs(q.Keywords, tr)
 	}
+	tr.End(osp)
+	jsp := tr.Stage(obs.StageJoin)
+	defer tr.End(jsp)
 	rs, _, err := s.rdilIdx.TopKObsCtx(ctx, q.Keywords, rdilSem(Semantics(q.Semantics)), q.Decay, q.K, tr)
 	if err != nil {
 		return nil, abortedMeta(), err
@@ -193,14 +219,19 @@ func runRDIL(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trace) ([]R
 // results are discarded rather than certified: which branch ran (and so
 // whether a bound exists) is a planning detail the facade cannot see.
 func runHybrid(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trace) ([]Result, exec.RunMeta, error) {
+	osp := tr.Stage(obs.StageOpen)
 	colLists, lerr := s.store.ListsBudget(q.Keywords, tr, q.Budget)
 	if lerr != nil {
+		tr.End(osp)
 		return nil, abortedMeta(), lerr
 	}
 	tkLists, lerr := s.store.TopKListsBudget(q.Keywords, tr, q.Budget)
+	tr.End(osp)
 	if lerr != nil {
 		return nil, abortedMeta(), lerr
 	}
+	jsp := tr.Stage(obs.StageJoin)
+	defer tr.End(jsp)
 	rs, _, err := topk.EvaluateHybridCtx(ctx, colLists, tkLists,
 		topk.HybridOptions{Semantics: coreSem(Semantics(q.Semantics)), Decay: q.Decay, K: q.K, Trace: tr, Budget: q.Budget})
 	if err != nil {

@@ -95,10 +95,18 @@ func (ix *Index) Explain(query string, k int, opt SearchOptions) (*Explanation, 
 		ex.Lists = append(ex.Lists, ListInfo{Keyword: w, Rows: df})
 	}
 	start := time.Now()
+	// Explained runs carry the same stage taxonomy as the *Traced entry
+	// points, so obs.BreakdownOf reduces an explanation's trace too.
 	if k <= 0 {
+		root := ex.Trace.Start("explain/" + obs.EngineJoin.String())
+		osp := ex.Trace.Stage(obs.StageOpen)
 		lists := s.store.Lists(keywords, ex.Trace)
+		ex.Trace.End(osp)
+		jsp := ex.Trace.Stage(obs.StageJoin)
 		rs, st, _ := core.EvaluateCtx(context.Background(), lists,
 			core.Options{Semantics: coreSem(opt.Semantics), Decay: decay, Trace: ex.Trace})
+		ex.Trace.End(jsp)
+		ex.Trace.End(root)
 		ex.Elapsed = time.Since(start)
 		ex.Results = len(rs)
 		ex.Levels = st.Levels
@@ -111,9 +119,15 @@ func (ix *Index) Explain(query string, k int, opt SearchOptions) (*Explanation, 
 		}
 		return ex, nil
 	}
+	root := ex.Trace.Start("explain/" + obs.EngineTopK.String())
+	osp := ex.Trace.Stage(obs.StageOpen)
 	lists := s.store.TopKLists(keywords, ex.Trace)
+	ex.Trace.End(osp)
+	jsp := ex.Trace.Stage(obs.StageJoin)
 	rs, st, _ := topk.EvaluateCtx(context.Background(), lists,
 		topk.Options{Semantics: coreSem(opt.Semantics), Decay: decay, K: k, Trace: ex.Trace})
+	ex.Trace.End(jsp)
+	ex.Trace.End(root)
 	ex.Elapsed = time.Since(start)
 	ex.Results = len(rs)
 	ex.Levels = st.Levels

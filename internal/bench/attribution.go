@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	xmlsearch "repro"
+	"repro/internal/gen"
+	"repro/internal/obs"
+)
+
+// Latency-attribution experiment: where does scatter-gather wall time
+// go, stage by stage, as the shard count changes? The sweep builds the
+// same DBLP corpus at shards=1 and shards=4, runs the mid-band workload
+// through the traced top-K entry point, reduces every stitched trace
+// with the critical-path analyzer, and reports each stage's share of
+// the total wall time.
+//
+// Shares are ratios, not latencies, so they cannot ride the usual
+// CompareReports p50 gate directly: a share of zero would make any
+// nonzero future share an unbounded regression. Each point therefore
+// encodes its share as P50Ns = (share + attributionShareFloor) seconds —
+// a fixed floor added to both baseline and candidate — so the one-sided
+// p50 tolerance becomes a bounded stage-share drift gate. With -tol t,
+// a stage at baseline share s may drift up to (1+t)*(s+floor)-floor.
+// Every canonical stage plus "other" is emitted for every shard count
+// (zero shares included), so a vanished or new stage surfaces as a
+// missing-point violation rather than silently passing.
+
+// attributionShareFloor is the share offset baked into every encoded
+// point (see above).
+const attributionShareFloor = 0.10
+
+// attributionShardCounts mirrors the shard experiment's sweep.
+var attributionShardCounts = [...]int{1, 4}
+
+// Attribution runs the attribution sweep and assembles the
+// "attribution" report, plus one sample stitched trace (the last traced
+// query of the widest sweep) for artifact upload.
+func Attribution(cfg Config) (*Report, *obs.TraceExport, error) {
+	rep := &Report{Exp: "attribution", Env: CurrentFingerprint(), Config: cfg}
+	var sample *obs.TraceExport
+	for _, n := range attributionShardCounts {
+		ds := gen.DBLP(cfg.Scale, cfg.Seed)
+		qs := bandQueriesFromDataset(ds, cfg)
+		sh, err := xmlsearch.NewSharded(ds.Doc, n)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: attribution sweep n=%d: %w", n, err)
+		}
+		shares, trace, err := measureAttribution(sh, qs, cfg.TopK, cfg.RepsPerQuery)
+		if err != nil {
+			return nil, nil, err
+		}
+		if trace != nil {
+			sample = trace
+		}
+		for _, st := range append(obs.Stages(), "other") {
+			rep.Points = append(rep.Points, Point{
+				Exp: "attribution", Engine: "scatter",
+				Label:   fmt.Sprintf("stage=%s/shards=%d", st, n),
+				K:       cfg.TopK,
+				Queries: len(qs), Reps: cfg.RepsPerQuery,
+				P50Ns: encodeShare(shares[st]),
+			})
+		}
+	}
+	return rep, sample, nil
+}
+
+// encodeShare maps a stage share into the Point's P50Ns slot under the
+// floor convention documented above.
+func encodeShare(share float64) int64 {
+	return int64((share + attributionShareFloor) * 1e9)
+}
+
+// DecodeShare recovers a stage share from an encoded point — the
+// inverse of the encoding Attribution applies.
+func DecodeShare(p50ns int64) float64 {
+	return float64(p50ns)/1e9 - attributionShareFloor
+}
+
+// measureAttribution runs every workload query reps times through the
+// traced scatter path, reduces each stitched trace with the
+// critical-path analyzer, and returns each stage's share of the total
+// wall time (key "other" holds the unattributed remainder) plus the
+// last query's full trace export.
+func measureAttribution(sh *xmlsearch.Sharded, qs [][]string, k, reps int) (map[string]float64, *obs.TraceExport, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	ctx := context.Background()
+	stageNs := map[string]int64{}
+	var wallNs int64
+	var sample *obs.TraceExport
+	for _, q := range qs {
+		query := strings.Join(q, " ")
+		for r := 0; r < reps; r++ {
+			_, stats, err := sh.TopKTraced(ctx, query, k, xmlsearch.SearchOptions{})
+			if err != nil {
+				return nil, nil, fmt.Errorf("bench: attribution top-K %q: %w", query, err)
+			}
+			bd := stats.Stages
+			if bd == nil {
+				return nil, nil, fmt.Errorf("bench: attribution top-K %q: traced query produced no stage breakdown", query)
+			}
+			wallNs += bd.WallNs
+			for _, s := range bd.Stages {
+				stageNs[s.Stage] += s.Nanos
+			}
+			stageNs["other"] += bd.OtherNs
+			ex := stats.Trace.Export()
+			sample = &ex
+		}
+	}
+	shares := make(map[string]float64, len(stageNs))
+	if wallNs > 0 {
+		for st, ns := range stageNs {
+			shares[st] = float64(ns) / float64(wallNs)
+		}
+	}
+	return shares, sample, nil
+}

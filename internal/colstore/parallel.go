@@ -202,6 +202,10 @@ func (s *Store) openMany(terms []string, tk bool, tr *obs.Trace, bdg *budget.B) 
 	if len(jobs) == 0 {
 		return out, nil
 	}
+	// The stage span brackets only the decode fan-out (the part the cache
+	// saves); it opens and closes on the calling goroutine, keeping the
+	// trace single-goroutine while the workers run.
+	dsp := tr.Stage(obs.StageDecode)
 
 	decode := func(j *job) {
 		if j.err != nil {
@@ -262,6 +266,7 @@ func (s *Store) openMany(terms []string, tk bool, tr *obs.Trace, bdg *budget.B) 
 		}
 		wg.Wait()
 	}
+	tr.End(dsp)
 
 	var budgetErr error
 	s.mu.Lock()

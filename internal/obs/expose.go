@@ -191,10 +191,16 @@ func (s Snapshot) WritePrometheus(w io.Writer) {
 	}{
 		{"xkw_shard_fanouts_total", "Queries scattered across every shard of a sharded index.", sd.FanOuts},
 		{"xkw_shard_early_cancels_total", "Shard evaluations stopped early by threshold exchange.", sd.EarlyCancels},
+		{"xkw_shard_straggler_total", "Scattered queries whose critical path waited on a straggler shard.", sd.Stragglers},
 	}
 	for _, c := range shardCounters {
 		header(w, c.name, c.help, "counter")
 		fmt.Fprintf(w, "%s %d\n", c.name, c.v)
+	}
+	header(w, "xkw_stage_seconds_total", "Critical-path query time attributed per stage and engine.", "counter")
+	for _, r := range s.Attribution.Stages {
+		fmt.Fprintf(w, "xkw_stage_seconds_total{stage=\"%s\",engine=\"%s\"} %g\n",
+			escapeLabel(r.Stage), escapeLabel(r.Engine), time.Duration(r.Nanos).Seconds())
 	}
 	g := s.Gauges
 	gauges := []struct {

@@ -362,12 +362,17 @@ type ShardCounters struct {
 	// early because the global K-th score exceeded the shard's next
 	// possible result (threshold exchange).
 	EarlyCancels Counter
+	// Stragglers counts scattered queries whose critical path named a
+	// straggler shard — a fan-out where the gather genuinely waited on one
+	// shard (fan-outs of one contacted shard never count).
+	Stragglers Counter
 }
 
 // ShardSnapshot is a point-in-time copy of ShardCounters.
 type ShardSnapshot struct {
 	FanOuts      int64 `json:"fanouts"`
 	EarlyCancels int64 `json:"early_cancels"`
+	Stragglers   int64 `json:"stragglers"`
 }
 
 // Snapshot copies the shard counters (zero snapshot for nil).
@@ -375,7 +380,110 @@ func (s *ShardCounters) Snapshot() ShardSnapshot {
 	if s == nil {
 		return ShardSnapshot{}
 	}
-	return ShardSnapshot{FanOuts: s.FanOuts.Load(), EarlyCancels: s.EarlyCancels.Load()}
+	return ShardSnapshot{FanOuts: s.FanOuts.Load(), EarlyCancels: s.EarlyCancels.Load(), Stragglers: s.Stragglers.Load()}
+}
+
+// StageCounters accumulates critical-path attribution across every traced
+// query: per-stage × per-engine critical-path nanos, and per-shard
+// queue/run time plus straggler counts of scattered queries. It is the
+// data source of the /attribution endpoint and the xkw_stage_seconds_total
+// metric family. Stage recording is lock-free; the per-shard rows take a
+// mutex, but only on traced scatter-gather queries.
+type StageCounters struct {
+	nanos [numStages][numEngines]Counter
+
+	mu         sync.Mutex
+	shardQueue []int64
+	shardRun   []int64
+	shardStrag []int64
+}
+
+// RecordBreakdown folds one query's stage breakdown into the aggregates.
+// Nil-safe on both receiver and breakdown.
+func (c *StageCounters) RecordBreakdown(e Engine, bd *StageBreakdown) {
+	if c == nil || bd == nil || int(e) >= int(numEngines) {
+		return
+	}
+	for _, st := range bd.Stages {
+		if i := stageIndex(st.Stage); i >= 0 && st.Nanos > 0 {
+			c.nanos[i][e].Add(st.Nanos)
+		}
+	}
+	if len(bd.Shards) == 0 && bd.Straggler < 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	grow := func(n int) {
+		for len(c.shardQueue) < n {
+			c.shardQueue = append(c.shardQueue, 0)
+			c.shardRun = append(c.shardRun, 0)
+			c.shardStrag = append(c.shardStrag, 0)
+		}
+	}
+	for _, s := range bd.Shards {
+		if s.Shard < 0 {
+			continue
+		}
+		grow(s.Shard + 1)
+		c.shardQueue[s.Shard] += s.QueueNs
+		c.shardRun[s.Shard] += s.RunNs
+	}
+	if bd.Straggler >= 0 && len(bd.Shards) > 1 {
+		grow(bd.Straggler + 1)
+		c.shardStrag[bd.Straggler]++
+	}
+}
+
+// StageEngineNanos is one (stage, engine) cell of the cumulative
+// critical-path attribution.
+type StageEngineNanos struct {
+	Stage  string `json:"stage"`
+	Engine string `json:"engine"`
+	Nanos  int64  `json:"nanos"`
+}
+
+// ShardTimeRow is the cumulative stitched timing of one shard: total
+// queue wait, total run time, and how often it was the straggler.
+type ShardTimeRow struct {
+	Shard      int   `json:"shard"`
+	QueueNs    int64 `json:"queue_ns"`
+	RunNs      int64 `json:"run_ns"`
+	Stragglers int64 `json:"stragglers"`
+}
+
+// AttributionSnapshot is a point-in-time copy of StageCounters: the
+// non-zero (stage, engine) cells in canonical stage then engine order,
+// and the per-shard rows in shard order.
+type AttributionSnapshot struct {
+	Stages []StageEngineNanos `json:"stages,omitempty"`
+	Shards []ShardTimeRow     `json:"shards,omitempty"`
+}
+
+// Snapshot copies the stage counters (zero snapshot for nil).
+func (c *StageCounters) Snapshot() AttributionSnapshot {
+	if c == nil {
+		return AttributionSnapshot{}
+	}
+	var out AttributionSnapshot
+	for i, st := range stageOrder {
+		for e := Engine(0); e < numEngines; e++ {
+			if v := c.nanos[i][e].Load(); v > 0 {
+				out.Stages = append(out.Stages, StageEngineNanos{Stage: st, Engine: e.String(), Nanos: v})
+			}
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.shardQueue {
+		out.Shards = append(out.Shards, ShardTimeRow{
+			Shard:      i,
+			QueueNs:    c.shardQueue[i],
+			RunNs:      c.shardRun[i],
+			Stragglers: c.shardStrag[i],
+		})
+	}
+	return out
 }
 
 // ShardGauge is the per-shard gauge row of a sharded index: each shard's
@@ -513,6 +621,7 @@ type Metrics struct {
 	Serving ServingCounters
 	QLog    QLogCounters
 	Shard   ShardCounters
+	Stage   StageCounters
 	gauges  atomic.Pointer[gaugeSource]
 	// shardGauges, when set, samples per-shard gauge rows of a sharded
 	// index (see SetShardSource).
@@ -637,17 +746,18 @@ type EngineSnapshot struct {
 
 // Snapshot is a point-in-time copy of a Metrics registry.
 type Snapshot struct {
-	Engines     []EngineSnapshot `json:"engines"`
-	Store       StoreSnapshot    `json:"store"`
-	Writer      WriterSnapshot   `json:"writer"`
-	Planner     PlannerSnapshot  `json:"planner"`
-	Serving     ServingSnapshot  `json:"serving"`
-	QLog        QLogSnapshot     `json:"qlog"`
-	Shard       ShardSnapshot    `json:"shard"`
-	Process     ProcessSnapshot  `json:"process"`
-	Gauges      Gauges           `json:"gauges"`
-	ShardGauges []ShardGauge     `json:"shard_gauges,omitempty"`
-	SlowQueries []SlowQuery      `json:"slow_queries,omitempty"`
+	Engines     []EngineSnapshot    `json:"engines"`
+	Store       StoreSnapshot       `json:"store"`
+	Writer      WriterSnapshot      `json:"writer"`
+	Planner     PlannerSnapshot     `json:"planner"`
+	Serving     ServingSnapshot     `json:"serving"`
+	QLog        QLogSnapshot        `json:"qlog"`
+	Shard       ShardSnapshot       `json:"shard"`
+	Attribution AttributionSnapshot `json:"attribution"`
+	Process     ProcessSnapshot     `json:"process"`
+	Gauges      Gauges              `json:"gauges"`
+	ShardGauges []ShardGauge        `json:"shard_gauges,omitempty"`
+	SlowQueries []SlowQuery         `json:"slow_queries,omitempty"`
 }
 
 // Snapshot copies every counter in the registry and samples the installed
@@ -656,7 +766,7 @@ func (m *Metrics) Snapshot() Snapshot {
 	if m == nil {
 		return Snapshot{}
 	}
-	s := Snapshot{Store: m.Store.Snapshot(), Writer: m.Writer.Snapshot(), Planner: m.Planner.Snapshot(), Serving: m.Serving.Snapshot(), QLog: m.QLog.Snapshot(), Shard: m.Shard.Snapshot(), Process: CurrentProcess(), SlowQueries: m.SlowQueries()}
+	s := Snapshot{Store: m.Store.Snapshot(), Writer: m.Writer.Snapshot(), Planner: m.Planner.Snapshot(), Serving: m.Serving.Snapshot(), QLog: m.QLog.Snapshot(), Shard: m.Shard.Snapshot(), Attribution: m.Stage.Snapshot(), Process: CurrentProcess(), SlowQueries: m.SlowQueries()}
 	if src := m.gauges.Load(); src != nil {
 		s.Gauges = (*src)()
 	}

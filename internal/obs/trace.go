@@ -112,18 +112,25 @@ type Span struct {
 // memory problem.
 const DefaultMaxEvents = 4096
 
+// DefaultMaxSpans bounds a trace's span tree the same way. Wide scatters
+// matter here: stitching folds every shard's spans into the coordinator
+// trace (AdoptChild), so without a cap a 64-shard fan-out would multiply
+// the span tree by the shard count.
+const DefaultMaxSpans = 4096
+
 // Trace is a per-query execution trace: spans plus typed events on a
 // monotonic clock starting at NewTrace. A nil *Trace is the disabled
 // state — every method is a nil-check no-op, which is the entire hot-path
 // cost of disabled tracing. A Trace is NOT safe for concurrent use; it
 // belongs to exactly one query evaluation.
 type Trace struct {
-	start  time.Time
-	max    int
-	spans  []Span
-	events []Event
-	cur    int32 // innermost open span, -1 at root
-	id     uint64
+	start    time.Time
+	max      int
+	maxSpans int
+	spans    []Span
+	events   []Event
+	cur      int32 // innermost open span, -1 at root
+	id       uint64
 
 	dropped int
 	lastThL int64   // dedup state for EvThreshold
@@ -131,9 +138,32 @@ type Trace struct {
 }
 
 // NewTrace starts a trace on the monotonic clock with the default event
-// bound.
+// and span bounds.
 func NewTrace() *Trace {
-	return &Trace{start: time.Now(), max: DefaultMaxEvents, cur: -1, lastThL: -1}
+	return &Trace{start: time.Now(), max: DefaultMaxEvents, maxSpans: DefaultMaxSpans, cur: -1, lastThL: -1}
+}
+
+// SetMaxSpans caps the span tree at n spans (n <= 0 removes the cap).
+// Spans past the cap — including spans grafted in by AdoptChild — are
+// discarded and counted in Dropped.
+func (t *Trace) SetMaxSpans(n int) {
+	if t == nil {
+		return
+	}
+	t.maxSpans = n
+}
+
+// NewChild starts a trace for one shard of a scattered query, sharing
+// the parent's clock and bounds so its timestamps need no rebasing when
+// AdoptChild stitches it back in. The child is independent until then:
+// it is used by exactly one shard goroutine while the parent waits, which
+// is what keeps the not-concurrency-safe Trace contract intact. Nil
+// parent returns nil (tracing stays disabled shard-side).
+func (t *Trace) NewChild() *Trace {
+	if t == nil {
+		return nil
+	}
+	return &Trace{start: t.start, max: t.max, maxSpans: t.maxSpans, cur: -1, lastThL: -1}
 }
 
 // Enabled reports whether the trace is collecting (false for nil).
@@ -211,10 +241,105 @@ func (t *Trace) Start(name string) int32 {
 	if t == nil {
 		return -1
 	}
+	if t.maxSpans > 0 && len(t.spans) >= t.maxSpans {
+		t.dropped++
+		return -1
+	}
 	id := int32(len(t.spans))
 	t.spans = append(t.spans, Span{Name: name, Parent: t.cur, Start: time.Since(t.start), End: -1})
 	t.cur = id
 	return id
+}
+
+// Interval appends an already-measured closed span with explicit times on
+// t's clock, without touching the open-span nesting. It records intervals
+// measured outside the Start/End discipline — e.g. the worker-pool queue
+// wait that elapsed before a shard goroutine could even touch its trace.
+func (t *Trace) Interval(name string, start, end time.Duration) int32 {
+	if t == nil {
+		return -1
+	}
+	if t.maxSpans > 0 && len(t.spans) >= t.maxSpans {
+		t.dropped++
+		return -1
+	}
+	if start < 0 {
+		start = 0
+	}
+	if end < start {
+		end = start
+	}
+	id := int32(len(t.spans))
+	t.spans = append(t.spans, Span{Name: name, Parent: t.cur, Start: start, End: end})
+	return id
+}
+
+// AdoptChild grafts a finished child trace (NewChild) into t as a subtree
+// under a new wrapper span named name: the child's spans follow with
+// parent indexes remapped (child roots hang off the wrapper) and its
+// events keep their shared-clock timestamps. The caller stitches children
+// in shard-ID order, which is what keeps Export deterministic regardless
+// of shard completion order. Bounds apply: spans or events past t's caps
+// are discarded and counted, and truncation never leaves a dangling
+// parent (children are appended parents-first, so dropping a tail is
+// safe); events whose span was truncated reattach to the wrapper.
+func (t *Trace) AdoptChild(name string, child *Trace) {
+	if t == nil || child == nil {
+		return
+	}
+	t.dropped += child.dropped
+	if t.maxSpans > 0 && len(t.spans) >= t.maxSpans {
+		t.dropped += 1 + len(child.spans) + len(child.events)
+		return
+	}
+	// Wrapper covers the child's recorded activity.
+	var lo, hi time.Duration
+	for i, sp := range child.spans {
+		end := sp.End
+		if end < 0 {
+			end = sp.Start
+		}
+		if i == 0 || sp.Start < lo {
+			lo = sp.Start
+		}
+		if end > hi {
+			hi = end
+		}
+	}
+	for _, e := range child.events {
+		if e.At > hi {
+			hi = e.At
+		}
+	}
+	wrap := int32(len(t.spans))
+	t.spans = append(t.spans, Span{Name: name, Parent: t.cur, Start: lo, End: hi})
+	off := wrap + 1
+	kept := 0
+	for _, sp := range child.spans {
+		if t.maxSpans > 0 && len(t.spans) >= t.maxSpans {
+			t.dropped++
+			continue
+		}
+		if sp.Parent < 0 {
+			sp.Parent = wrap
+		} else {
+			sp.Parent += off
+		}
+		t.spans = append(t.spans, sp)
+		kept++
+	}
+	for _, e := range child.events {
+		if len(t.events) >= t.max {
+			t.dropped++
+			continue
+		}
+		if e.Span < 0 || int(e.Span) >= kept {
+			e.Span = wrap
+		} else {
+			e.Span += off
+		}
+		t.events = append(t.events, e)
+	}
 }
 
 // End closes the span (no-op on a nil trace or id < 0).

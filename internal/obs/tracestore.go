@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -42,6 +43,10 @@ type TraceStore struct {
 	keep     []StoredTrace // ring of interesting traces
 	keepNext int
 	sample   []StoredTrace // reservoir of ordinary traces
+
+	// maxSpans is the per-trace span cap the facade applies to traces it
+	// creates while this store is installed (0 = the trace default).
+	maxSpans atomic.Int64
 }
 
 // Trace retention kinds, most interesting first.
@@ -66,6 +71,10 @@ type StoredTrace struct {
 	Spans   []Span        `json:"spans"`
 	Events  []Event       `json:"events"`
 	Dropped int           `json:"dropped,omitempty"`
+	// Stages is the critical-path reduction of the span tree (BreakdownOf),
+	// precomputed at retention so /traces/{id} answers "where did the time
+	// go" without re-deriving it.
+	Stages *StageBreakdown `json:"stages,omitempty"`
 }
 
 // TraceSummary is the listing form of a stored trace: the outcome
@@ -81,6 +90,10 @@ type TraceSummary struct {
 	Kind    string        `json:"kind"`
 	Spans   int           `json:"spans"`
 	Events  int           `json:"events"`
+	// Dropped counts spans and events the trace discarded at its bounds
+	// (SetMaxSpans / DefaultMaxEvents) — nonzero means the timeline is
+	// truncated.
+	Dropped int `json:"dropped,omitempty"`
 }
 
 // DefaultKeepTraces and DefaultSampleTraces bound the two retention
@@ -114,6 +127,28 @@ func NewTraceStore(keepCap, sampleCap int, threshold time.Duration, seed int64) 
 		keep:      make([]StoredTrace, 0, keepCap),
 		sample:    make([]StoredTrace, 0, sampleCap),
 	}
+}
+
+// SetMaxSpans sets the per-trace span cap the facade applies to new
+// traces while this store is installed (n <= 0 restores the trace
+// default). Serving the cap from the store keeps it one atomic load away
+// from every query without widening the facade's setter surface.
+func (ts *TraceStore) SetMaxSpans(n int) {
+	if ts == nil {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	ts.maxSpans.Store(int64(n))
+}
+
+// MaxSpans returns the configured per-trace span cap (0 = trace default).
+func (ts *TraceStore) MaxSpans() int {
+	if ts == nil {
+		return 0
+	}
+	return int(ts.maxSpans.Load())
 }
 
 // SlowThreshold returns the slow boundary of the retention policy.
@@ -161,6 +196,10 @@ func (ts *TraceStore) Add(engine Engine, query string, k int, elapsed time.Durat
 	}
 	if err != nil {
 		st.Err = err.Error()
+	}
+	if len(st.Spans) > 0 {
+		bd := BreakdownOf(st.Spans, elapsed)
+		st.Stages = &bd
 	}
 
 	ts.mu.Lock()
@@ -217,6 +256,7 @@ func (ts *TraceStore) Traces() []TraceSummary {
 			Kind:    st.Kind,
 			Spans:   len(st.Spans),
 			Events:  len(st.Events),
+			Dropped: st.Dropped,
 		})
 	}
 	for i := range ts.keep {

@@ -157,6 +157,7 @@ func NewHandler(ix Server, opt Options) *Handler {
 	mux.HandleFunc("GET /readyz", h.readyz)
 	mux.HandleFunc("GET /slow", h.slow)
 	mux.HandleFunc("GET /qlog", h.qlog)
+	mux.HandleFunc("GET /attribution", h.attribution)
 	mux.HandleFunc("GET /version", h.version)
 	mux.HandleFunc("GET /traces", h.traces)
 	mux.HandleFunc("GET /traces/{id}", h.traceByID)
@@ -180,6 +181,7 @@ func (h *Handler) root(w http.ResponseWriter, r *http.Request) {
   /readyz           readiness (storage self-verification)
   /slow             slow-query log (NDJSON)
   /qlog             query flight recorder, recent records (NDJSON)
+  /attribution      per-stage / per-shard latency attribution (JSON)
   /version          build identity + process state (JSON)
   /traces           tail-sampled traces
   /traces/{id}      one trace (span tree + events)
@@ -263,7 +265,11 @@ func (h *Handler) slow(w http.ResponseWriter, r *http.Request) {
 
 // qlog streams the flight recorder's recent ring as NDJSON, oldest
 // first — the same line format the disk sink writes, so a captured ring
-// is directly replayable by `xkwbench -exp replay`.
+// is directly replayable by `xkwbench -exp replay`. The drop and
+// rotation state ride along as headers (headers must precede the body):
+// X-QLog-Records is the total records ever accepted, X-QLog-Dropped the
+// records lost to queue overflow — a nonzero delta between two scrapes
+// tells the scraper its captured ring has gaps.
 func (h *Handler) qlog(w http.ResponseWriter, r *http.Request) {
 	rec := h.ix.QueryLog()
 	if rec == nil {
@@ -271,12 +277,60 @@ func (h *Handler) qlog(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-QLog-Records", strconv.FormatInt(rec.Records(), 10))
+	w.Header().Set("X-QLog-Dropped", strconv.FormatInt(rec.Dropped(), 10))
 	enc := json.NewEncoder(w)
 	for _, q := range rec.Recent() {
 		if enc.Encode(q) != nil {
 			return
 		}
 	}
+}
+
+// attributionResponse is the GET /attribution reply: where query wall
+// time has gone since the process started, stage by stage (with each
+// stage's share of the total attributed time) and — for scattered
+// queries — shard by shard.
+type attributionResponse struct {
+	TotalNs    int64              `json:"total_ns"`
+	Stages     []attributionStage `json:"stages"`
+	Shards     []obs.ShardTimeRow `json:"shards,omitempty"`
+	Stragglers int64              `json:"stragglers_total"`
+}
+
+// attributionStage is one stage's cumulative critical-path time and its
+// share of the total across every engine that ran it.
+type attributionStage struct {
+	Stage  string  `json:"stage"`
+	Engine string  `json:"engine"`
+	Nanos  int64   `json:"nanos"`
+	Share  float64 `json:"share"`
+}
+
+// attribution aggregates the critical-path stage counters into the
+// "where did my latency go" report: per-stage × per-engine time with
+// shares of the total, the per-shard queue/run split, and how often each
+// scatter waited on a straggler.
+func (h *Handler) attribution(w http.ResponseWriter, r *http.Request) {
+	s := h.ix.Stats()
+	var total int64
+	for _, row := range s.Attribution.Stages {
+		total += row.Nanos
+	}
+	resp := attributionResponse{
+		TotalNs:    total,
+		Stages:     []attributionStage{},
+		Shards:     s.Attribution.Shards,
+		Stragglers: s.Shard.Stragglers,
+	}
+	for _, row := range s.Attribution.Stages {
+		st := attributionStage{Stage: row.Stage, Engine: row.Engine, Nanos: row.Nanos}
+		if total > 0 {
+			st.Share = float64(row.Nanos) / float64(total)
+		}
+		resp.Stages = append(resp.Stages, st)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // version serves the build identity and live process state — what

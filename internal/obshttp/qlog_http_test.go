@@ -16,7 +16,9 @@ import (
 
 // TestRouteContentTypes audits every non-pprof route: each must declare
 // an explicit Content-Type so scrapers, log shippers, and browsers never
-// fall back to sniffing.
+// fall back to sniffing — and the routes that promise extra headers
+// (/qlog's drop/rotation counters) must actually set them before the
+// body goes out.
 func TestRouteContentTypes(t *testing.T) {
 	ix, srv := newServer(t)
 	rec, err := qlog.New(qlog.Options{})
@@ -28,24 +30,28 @@ func TestRouteContentTypes(t *testing.T) {
 	if _, err := ix.TopK("keyword search", 3, xmlsearch.SearchOptions{}); err != nil {
 		t.Fatal(err)
 	}
+	waitForRecords(t, rec, 1)
 
 	cases := []struct {
 		path        string
 		wantStatus  int
 		contentType string
+		headers     map[string]string
 	}{
-		{"/", http.StatusOK, "text/plain; charset=utf-8"},
-		{"/metrics", http.StatusOK, "text/plain; version=0.0.4; charset=utf-8"},
-		{"/metrics.json", http.StatusOK, "application/json"},
-		{"/healthz", http.StatusOK, "application/json"},
-		{"/readyz", http.StatusOK, "application/json"},
-		{"/slow", http.StatusOK, "application/x-ndjson"},
-		{"/qlog", http.StatusOK, "application/x-ndjson"},
-		{"/version", http.StatusOK, "application/json"},
-		{"/traces", http.StatusOK, "application/json"},
-		{"/traces/999999", http.StatusNotFound, "text/plain; charset=utf-8"},
-		{"/search?q=keyword+search&k=3", http.StatusOK, "application/json"},
-		{"/search", http.StatusBadRequest, "text/plain; charset=utf-8"},
+		{"/", http.StatusOK, "text/plain; charset=utf-8", nil},
+		{"/metrics", http.StatusOK, "text/plain; version=0.0.4; charset=utf-8", nil},
+		{"/metrics.json", http.StatusOK, "application/json", nil},
+		{"/healthz", http.StatusOK, "application/json", nil},
+		{"/readyz", http.StatusOK, "application/json", nil},
+		{"/slow", http.StatusOK, "application/x-ndjson", nil},
+		{"/qlog", http.StatusOK, "application/x-ndjson",
+			map[string]string{"X-QLog-Records": "1", "X-QLog-Dropped": "0"}},
+		{"/attribution", http.StatusOK, "application/json", nil},
+		{"/version", http.StatusOK, "application/json", nil},
+		{"/traces", http.StatusOK, "application/json", nil},
+		{"/traces/999999", http.StatusNotFound, "text/plain; charset=utf-8", nil},
+		{"/search?q=keyword+search&k=3", http.StatusOK, "application/json", nil},
+		{"/search", http.StatusBadRequest, "text/plain; charset=utf-8", nil},
 	}
 	for _, tc := range cases {
 		resp, err := http.Get(srv.URL + tc.path)
@@ -58,6 +64,11 @@ func TestRouteContentTypes(t *testing.T) {
 		}
 		if got := resp.Header.Get("Content-Type"); got != tc.contentType {
 			t.Errorf("GET %s: Content-Type %q, want %q", tc.path, got, tc.contentType)
+		}
+		for k, want := range tc.headers {
+			if got := resp.Header.Get(k); got != want {
+				t.Errorf("GET %s: header %s=%q, want %q", tc.path, k, got, want)
+			}
 		}
 	}
 }

@@ -100,6 +100,15 @@ type Record struct {
 	// TraceID links to the tail-sampled trace store when the query was
 	// traced and retained — the /traces/{id} exemplar.
 	TraceID uint64 `json:"trace_id,omitempty"`
+	// StageNs is the critical-path attribution of a traced query:
+	// nanoseconds per stage (see internal/obs: admission, plan, open,
+	// decode, join, merge, settle). Untraced queries omit it — attribution
+	// exists only where a timeline exists.
+	StageNs map[string]int64 `json:"stage_ns,omitempty"`
+	// StragglerShard is 1 + the ID of the shard the scatter's critical
+	// path waited on, so the zero value (omitted) means "not scattered or
+	// not traced" without colliding with shard 0.
+	StragglerShard int `json:"straggler_shard,omitempty"`
 	// Err is the classified error text for non-ok outcomes.
 	Err string `json:"err,omitempty"`
 }

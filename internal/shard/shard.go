@@ -12,6 +12,7 @@ package shard
 import (
 	"math"
 	"sync"
+	"time"
 )
 
 // Pool bounds concurrent shard evaluations. One pool is shared by every
@@ -41,26 +42,40 @@ func (p *Pool) Workers() int { return cap(p.sem) }
 // own panics; the indices partition the work, so calls share nothing
 // unless fn makes them.
 func (p *Pool) Each(n int, fn func(i int)) {
+	p.EachTimed(n, func(i int, _ time.Duration) { fn(i) })
+}
+
+// EachTimed is Each with queue-slot accounting: each call receives how
+// long its task waited for a pool slot (the blocking semaphore send in
+// the submit loop — the admission latency a scatter pays under load).
+// The wait is measured on the submitting goroutine, so it includes time
+// spent behind this scatter's own earlier tasks as well as other
+// concurrent queries.
+func (p *Pool) EachTimed(n int, fn func(i int, wait time.Duration)) {
 	if n <= 0 {
 		return
 	}
 	if n == 1 {
+		t0 := time.Now()
 		p.sem <- struct{}{}
-		fn(0)
+		wait := time.Since(t0)
+		fn(0, wait)
 		<-p.sem
 		return
 	}
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for i := 0; i < n; i++ {
+		t0 := time.Now()
 		p.sem <- struct{}{}
-		go func(i int) {
+		wait := time.Since(t0)
+		go func(i int, wait time.Duration) {
 			defer func() {
 				<-p.sem
 				wg.Done()
 			}()
-			fn(i)
-		}(i)
+			fn(i, wait)
+		}(i, wait)
 	}
 	wg.Wait()
 }

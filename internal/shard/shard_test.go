@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestPoolRunsAll(t *testing.T) {
@@ -130,5 +131,30 @@ func TestThresholdConcurrent(t *testing.T) {
 	// Best four scores overall are 799, 798, 797, 796.
 	if got := th.Kth(); got != 796 {
 		t.Fatalf("final Kth = %v, want 796", got)
+	}
+}
+
+// TestEachTimedReportsWait: every task receives a non-negative queue
+// wait, and a task that had to wait for a saturated pool reports a wait
+// at least as long as the holder kept its slot.
+func TestEachTimedReportsWait(t *testing.T) {
+	p := NewPool(1)
+	const hold = 20 * time.Millisecond
+	waits := make([]time.Duration, 2)
+	p.EachTimed(len(waits), func(i int, wait time.Duration) {
+		waits[i] = wait
+		if i == 0 {
+			time.Sleep(hold)
+		}
+	})
+	for i, w := range waits {
+		if w < 0 {
+			t.Fatalf("task %d wait = %v, want >= 0", i, w)
+		}
+	}
+	// With one worker, submission of task 1 blocks until task 0 releases
+	// its slot, so its measured wait covers the hold.
+	if waits[1] < hold/2 {
+		t.Errorf("queued task wait = %v, want >= %v", waits[1], hold/2)
 	}
 }

@@ -95,24 +95,56 @@ func composeErr(errs []error) error {
 	return first
 }
 
-// scatter runs fn(i, ctx) on every shard through the worker pool under a
-// shared cancellable context, then composes the per-shard errors.
+// scatter runs fn(i, ctx, str) on every shard through the worker pool
+// under a shared cancellable context, then composes the per-shard errors.
 // fn must confine its writes to index-i slots.
-func (sh *Sharded) scatter(ctx context.Context, fn func(i int, ctx context.Context) error) error {
+//
+// When the coordinator is traced, each shard runs under its own child
+// trace (str) on the coordinator's clock: the wait for a worker-pool slot
+// becomes the shard's admission stage span, the shard's engine emits its
+// own stage spans into str, and an aborted shard notes its cancel cause.
+// After the pool drains, the children are stitched into the coordinator
+// trace as shard/<i> wrapper spans in shard-ID order — not completion
+// order — so Export is deterministic for a given set of shard runs.
+func (sh *Sharded) scatter(ctx context.Context, tr *obs.Trace, fn func(i int, ctx context.Context, str *obs.Trace) error) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	errs := make([]error, len(sh.shards))
+	n := len(sh.shards)
+	errs := make([]error, n)
+	var kids []*obs.Trace
+	if tr.Enabled() {
+		kids = make([]*obs.Trace, n)
+		for i := range kids {
+			kids[i] = tr.NewChild()
+		}
+	}
 	sh.metrics.Shard.FanOuts.Inc()
-	sh.pool.Each(len(sh.shards), func(i int) {
-		errs[i] = fn(i, sctx)
+	sh.pool.EachTimed(n, func(i int, wait time.Duration) {
+		var str *obs.Trace
+		if kids != nil {
+			str = kids[i]
+			// The queue-slot wait ended just now, so the admission span
+			// covers [now-wait, now] on the shared coordinator clock.
+			end := str.Duration()
+			start := end - wait
+			if start < 0 {
+				start = 0
+			}
+			str.Interval(obs.StageSpanName(obs.StageAdmission), start, end)
+		}
+		errs[i] = fn(i, sctx, str)
 		if errs[i] != nil {
+			str.Note("shard-abort: "+errs[i].Error(), 0, 0, 0)
 			// Stop siblings: their partial work cannot complete the answer.
 			cancel()
 		}
 	})
+	for i, c := range kids {
+		tr.AdoptChild(obs.ShardSpanName(i), c)
+	}
 	return composeErr(errs)
 }
 
@@ -169,6 +201,10 @@ func recertify(rs []Result, meta exec.RunMeta) {
 // each shard's own registry, so the coordinator record carries none.
 func (sh *Sharded) finish(e obs.Engine, op, query string, k int, elapsed time.Duration, rs []Result, results int, meta exec.RunMeta, visible error, tr *obs.Trace, opt SearchOptions) {
 	sh.metrics.RecordQuery(e, query, k, elapsed, results, visible, tr)
+	bd := recordBreakdown(sh.metrics, e, elapsed, tr)
+	if bd != nil && bd.Straggler >= 0 && len(sh.shards) > 1 {
+		sh.metrics.Shard.Stragglers.Inc()
+	}
 	if visible == nil && meta.Partial {
 		sh.metrics.Serving.PartialQueries.Add(1)
 	}
@@ -207,6 +243,7 @@ func (sh *Sharded) finish(e obs.Engine, op, query string, k int, elapsed time.Du
 	} else {
 		rec.Err = visible.Error()
 	}
+	annotateStages(&rec, bd)
 	r.Offer(rec)
 }
 
@@ -234,8 +271,8 @@ func (sh *Sharded) searchScatterObs(ctx context.Context, query string, kws []str
 	n := len(sh.shards)
 	perShard := make([][]mergedResult, n)
 	metas := make([]exec.RunMeta, n)
-	err = sh.scatter(ctx, func(i int, sctx context.Context) error {
-		srs, smeta, _, serr := sh.shards[i].searchObs(sctx, query, kws, opt, nil)
+	err = sh.scatter(ctx, tr, func(i int, sctx context.Context, str *obs.Trace) error {
+		srs, smeta, _, serr := sh.shards[i].searchObs(sctx, query, kws, opt, str)
 		if serr != nil {
 			return serr
 		}
@@ -250,13 +287,17 @@ func (sh *Sharded) searchScatterObs(ctx context.Context, query string, kws []str
 	if err != nil {
 		return nil, meta, err
 	}
+	msp := tr.Stage(obs.StageMerge)
 	meta = composePartial(metas, make([]bool, n), nil, nil)
 	var all []mergedResult
 	for i := range perShard {
 		all = append(all, perShard[i]...)
 	}
 	rs = mergeRanked(all, 0)
+	tr.End(msp)
+	ssp := tr.Stage(obs.StageSettle)
 	recertify(rs, meta)
+	tr.End(ssp)
 	return rs, meta, nil
 }
 
@@ -286,27 +327,29 @@ func (sh *Sharded) topKScatterObs(ctx context.Context, query string, kws []strin
 		return nil, meta, ErrNoKeywords
 	}
 	if opt.Algorithm == AlgoJoin {
-		rs, meta, err = sh.streamGather(ctx, query, kws, k, opt)
+		rs, meta, err = sh.streamGather(ctx, query, kws, k, opt, tr)
 	} else {
-		rs, meta, err = sh.batchGatherTopK(ctx, query, kws, k, opt)
+		rs, meta, err = sh.batchGatherTopK(ctx, query, kws, k, opt, tr)
 	}
 	if err != nil {
 		return nil, meta, err
 	}
+	ssp := tr.Stage(obs.StageSettle)
 	recertify(rs, meta)
+	tr.End(ssp)
 	return rs, meta, nil
 }
 
 // batchGatherTopK scatters per-shard top-(k+1) evaluations and merges.
-func (sh *Sharded) batchGatherTopK(ctx context.Context, query string, kws []string, k int, opt SearchOptions) ([]Result, exec.RunMeta, error) {
+func (sh *Sharded) batchGatherTopK(ctx context.Context, query string, kws []string, k int, opt SearchOptions, tr *obs.Trace) ([]Result, exec.RunMeta, error) {
 	sh.mu.RLock()
 	offs, _ := sh.offsetsLocked()
 	sh.mu.RUnlock()
 	n := len(sh.shards)
 	perShard := make([][]mergedResult, n)
 	metas := make([]exec.RunMeta, n)
-	err := sh.scatter(ctx, func(i int, sctx context.Context) error {
-		srs, smeta, _, serr := sh.shards[i].topKObs(sctx, query, kws, k+1, opt, nil)
+	err := sh.scatter(ctx, tr, func(i int, sctx context.Context, str *obs.Trace) error {
+		srs, smeta, _, serr := sh.shards[i].topKObs(sctx, query, kws, k+1, opt, str)
 		if serr != nil {
 			return serr
 		}
@@ -321,6 +364,8 @@ func (sh *Sharded) batchGatherTopK(ctx context.Context, query string, kws []stri
 	if err != nil {
 		return nil, exec.RunMeta{}, err
 	}
+	msp := tr.Stage(obs.StageMerge)
+	defer tr.End(msp)
 	meta := composePartial(metas, make([]bool, n), nil, nil)
 	var all []mergedResult
 	for i := range perShard {
@@ -335,7 +380,7 @@ func (sh *Sharded) batchGatherTopK(ctx context.Context, query string, kws []stri
 // strictly below the global K-th, the shard is cancelled — its later
 // results score no higher, so at least k already-offered results beat
 // them all and the merged top-K is unaffected.
-func (sh *Sharded) streamGather(ctx context.Context, query string, kws []string, k int, opt SearchOptions) ([]Result, exec.RunMeta, error) {
+func (sh *Sharded) streamGather(ctx context.Context, query string, kws []string, k int, opt SearchOptions, tr *obs.Trace) ([]Result, exec.RunMeta, error) {
 	sh.mu.RLock()
 	offs, _ := sh.offsetsLocked()
 	sh.mu.RUnlock()
@@ -346,7 +391,7 @@ func (sh *Sharded) streamGather(ctx context.Context, query string, kws []string,
 	lastScore := make([]float64, n)
 	hasLast := make([]bool, n)
 	thr := shard.NewThreshold(k)
-	err := sh.scatter(ctx, func(i int, sctx context.Context) error {
+	err := sh.scatter(ctx, tr, func(i int, sctx context.Context, str *obs.Trace) error {
 		emit := func(r Result) bool {
 			m, ok := remapResult(r, offs[i])
 			if !ok {
@@ -358,11 +403,14 @@ func (sh *Sharded) streamGather(ctx context.Context, query string, kws []string,
 			if thr.Kth() > r.Score {
 				cancelled[i] = true
 				sh.metrics.Shard.EarlyCancels.Inc()
+				// emit runs on the shard goroutine inside topKStreamObs,
+				// so noting the cancel cause on str is single-goroutine.
+				str.Note("early-cancel: threshold exchange", int64(i), 0, 0)
 				return false
 			}
 			return true
 		}
-		_, smeta, serr := sh.shards[i].topKStreamObs(sctx, query, kws, k+1, opt, emit, nil)
+		_, smeta, serr := sh.shards[i].topKStreamObs(sctx, query, kws, k+1, opt, emit, str)
 		if serr != nil {
 			return serr
 		}
@@ -372,6 +420,8 @@ func (sh *Sharded) streamGather(ctx context.Context, query string, kws []string,
 	if err != nil {
 		return nil, exec.RunMeta{}, err
 	}
+	msp := tr.Stage(obs.StageMerge)
+	defer tr.End(msp)
 	meta := composePartial(metas, cancelled, lastScore, hasLast)
 	var all []mergedResult
 	for i := range perShard {
@@ -407,12 +457,14 @@ func (sh *Sharded) topKStreamScatterObs(ctx context.Context, query string, kws [
 	if len(kws) == 0 {
 		return 0, meta, ErrNoKeywords
 	}
-	rs, m, serr := sh.streamGather(ctx, query, kws, k, opt)
+	rs, m, serr := sh.streamGather(ctx, query, kws, k, opt, tr)
 	if serr != nil {
 		return 0, meta, serr
 	}
 	meta = m
+	ssp := tr.Stage(obs.StageSettle)
 	recertify(rs, meta)
+	tr.End(ssp)
 	for _, r := range rs {
 		if !fn(r) {
 			break
@@ -461,9 +513,19 @@ func (sh *Sharded) TopKStreamContext(ctx context.Context, query string, k int, o
 	return err
 }
 
+// newTrace builds a coordinator trace honoring the installed trace
+// store's span cap, mirroring Index.newTrace.
+func (sh *Sharded) newTrace() *obs.Trace {
+	tr := obs.NewTrace()
+	if n := sh.traces.Load().MaxSpans(); n > 0 {
+		tr.SetMaxSpans(n)
+	}
+	return tr
+}
+
 // SearchTraced is SearchContext with a coordinator-level trace attached.
 func (sh *Sharded) SearchTraced(ctx context.Context, query string, opt SearchOptions) ([]Result, *QueryStats, error) {
-	tr := obs.NewTrace()
+	tr := sh.newTrace()
 	sp := tr.Start("search/" + spanName(opt.Algorithm, false) + "/sharded")
 	rs, meta, err := sh.searchScatterObs(ctx, query, nil, opt, tr)
 	tr.End(sp)
@@ -472,7 +534,7 @@ func (sh *Sharded) SearchTraced(ctx context.Context, query string, opt SearchOpt
 
 // TopKTraced is TopKContext with a coordinator-level trace attached.
 func (sh *Sharded) TopKTraced(ctx context.Context, query string, k int, opt SearchOptions) ([]Result, *QueryStats, error) {
-	tr := obs.NewTrace()
+	tr := sh.newTrace()
 	sp := tr.Start("topk/" + spanName(opt.Algorithm, true) + "/sharded")
 	rs, meta, err := sh.topKScatterObs(ctx, query, nil, k, opt, tr)
 	tr.End(sp)
@@ -481,7 +543,7 @@ func (sh *Sharded) TopKTraced(ctx context.Context, query string, k int, opt Sear
 
 // TopKStreamTraced is TopKStreamContext with a coordinator-level trace.
 func (sh *Sharded) TopKStreamTraced(ctx context.Context, query string, k int, opt SearchOptions, fn func(Result) bool) (*QueryStats, error) {
-	tr := obs.NewTrace()
+	tr := sh.newTrace()
 	sp := tr.Start("topk-stream/" + obs.EngineTopK.String() + "/sharded")
 	delivered, meta, err := sh.topKStreamScatterObs(ctx, query, nil, k, opt, fn, tr)
 	tr.End(sp)

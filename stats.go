@@ -33,6 +33,10 @@ type QueryStats struct {
 	// (+Inf when the engine could not bound them).
 	Partial     bool    `json:"partial,omitempty"`
 	UnseenBound float64 `json:"unseen_bound,omitempty"`
+	// Stages is the critical-path reduction of the trace: where the wall
+	// time went, stage by stage, plus the straggler shard of a scattered
+	// query (see obs.BreakdownOf).
+	Stages *obs.StageBreakdown `json:"stages,omitempty"`
 }
 
 // RenderTrace writes the human-readable span-and-event timeline.
@@ -44,7 +48,7 @@ func (qs *QueryStats) RenderTrace(w io.Writer) {
 // By this point the *Obs path has already offered the trace to the trace
 // store (if one is installed), so a retained trace carries its ID.
 func newQueryStats(query string, engine obs.Engine, k, results int, meta exec.RunMeta, tr *obs.Trace) *QueryStats {
-	return &QueryStats{
+	qs := &QueryStats{
 		Query:       query,
 		Keywords:    Keywords(query),
 		Engine:      engine.String(),
@@ -56,6 +60,11 @@ func newQueryStats(query string, engine obs.Engine, k, results int, meta exec.Ru
 		Partial:     meta.Partial,
 		UnseenBound: meta.UnseenBound,
 	}
+	if spans := tr.Spans(); len(spans) > 0 {
+		bd := obs.BreakdownOf(spans, qs.Elapsed)
+		qs.Stages = &bd
+	}
+	return qs
 }
 
 // spanName names the root span of a traced query. Explicit algorithms
@@ -69,12 +78,23 @@ func spanName(a Algorithm, topK bool) string {
 	return engines.ObsFor(int(a), topK, obs.EngineJoin).String()
 }
 
+// newTrace builds a per-query trace honoring the installed trace store's
+// span cap (TraceStore.SetMaxSpans; the trace default applies when no
+// store is installed or the store leaves the cap unset).
+func (ix *Index) newTrace() *obs.Trace {
+	tr := obs.NewTrace()
+	if n := ix.traces.Load().MaxSpans(); n > 0 {
+		tr.SetMaxSpans(n)
+	}
+	return tr
+}
+
 // SearchTraced is SearchContext with per-query tracing enabled: it returns
 // the results plus the execution profile. Tracing allocates a bounded
 // event log per query; untraced queries pay only a nil check per
 // instrumentation site.
 func (ix *Index) SearchTraced(ctx context.Context, query string, opt SearchOptions) ([]Result, *QueryStats, error) {
-	tr := obs.NewTrace()
+	tr := ix.newTrace()
 	sp := tr.Start("search/" + spanName(opt.Algorithm, false))
 	rs, meta, eng, err := ix.searchObs(ctx, query, nil, opt, tr)
 	tr.End(sp)
@@ -83,7 +103,7 @@ func (ix *Index) SearchTraced(ctx context.Context, query string, opt SearchOptio
 
 // TopKTraced is TopKContext with per-query tracing enabled.
 func (ix *Index) TopKTraced(ctx context.Context, query string, k int, opt SearchOptions) ([]Result, *QueryStats, error) {
-	tr := obs.NewTrace()
+	tr := ix.newTrace()
 	sp := tr.Start("topk/" + spanName(opt.Algorithm, true))
 	rs, meta, eng, err := ix.topKObs(ctx, query, nil, k, opt, tr)
 	tr.End(sp)
@@ -95,7 +115,7 @@ func (ix *Index) TopKTraced(ctx context.Context, query string, k int, opt Search
 // profile covers the whole evaluation including the early-termination
 // point.
 func (ix *Index) TopKStreamTraced(ctx context.Context, query string, k int, opt SearchOptions, fn func(Result) bool) (*QueryStats, error) {
-	tr := obs.NewTrace()
+	tr := ix.newTrace()
 	sp := tr.Start("topk-stream/" + obs.EngineTopK.String())
 	delivered, meta, err := ix.topKStreamObs(ctx, query, nil, k, opt, fn, tr)
 	tr.End(sp)
