@@ -18,6 +18,7 @@
 //	xkwbench -exp overload -json BENCH_overload.json
 //	xkwbench -exp shard -json BENCH_shard.json -baseline results/BENCH_shard.json -tol 3.0
 //	xkwbench -exp attribution -json BENCH_attribution.json -baseline results/BENCH_attribution.json -tol 0.5
+//	xkwbench -exp ingest -json BENCH_ingest.json -baseline results/BENCH_ingest.json -tol 3.0
 //
 // Workload capture and replay (the flight-recorder pipeline):
 //
@@ -66,7 +67,7 @@ func main() {
 		queries  = flag.Int("queries", 0, "override queries per sweep point")
 		reps     = flag.Int("reps", 0, "override repetitions per query")
 		topK     = flag.Int("k", 10, "K for the top-K experiments")
-		exp      = flag.String("exp", "all", "experiment: all, table1, fig9, fig10, ablations, smoke, overload, shard, attribution, capture, replay")
+		exp      = flag.String("exp", "all", "experiment: all, table1, fig9, fig10, ablations, smoke, overload, shard, ingest, attribution, capture, replay")
 		workload = flag.String("workload", "", "with -exp capture/replay, the NDJSON workload file to write/read")
 		paced    = flag.Bool("paced", false, "with -exp replay, pace the replay by the recorded inter-arrival offsets")
 		qlogDir  = flag.String("qlog-dir", "", "with -exp capture, also sink the capture through a rotating on-disk qlog in this directory")
@@ -134,6 +135,13 @@ func main() {
 	}
 	if *exp == "shard" {
 		if err := runShard(w, cfg, *jsonOut, *baseline, *tol); err != nil {
+			fmt.Fprintln(os.Stderr, "xkwbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "ingest" {
+		if err := runIngest(w, cfg, *jsonOut, *baseline, *tol); err != nil {
 			fmt.Fprintln(os.Stderr, "xkwbench:", err)
 			os.Exit(1)
 		}
@@ -286,6 +294,63 @@ func runShard(w io.Writer, cfg bench.Config, jsonOut, baseline string, tol float
 	for _, p := range report.Points {
 		fmt.Fprintf(w, "%-10s %-12s %12v %12v %12v %10.0f\n",
 			p.Engine, p.Label, time.Duration(p.P50Ns), time.Duration(p.P95Ns), time.Duration(p.P99Ns), p.QPS)
+	}
+	if jsonOut != "" {
+		if err := bench.WriteReport(jsonOut, report); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "report written to %s\n", jsonOut)
+	}
+	if baseline != "" {
+		base, err := bench.ReadReport(baseline)
+		if err != nil {
+			return err
+		}
+		if v := bench.CompareReports(base, report, tol); len(v) > 0 {
+			for _, line := range v {
+				fmt.Fprintln(os.Stderr, "REGRESSION:", line)
+			}
+			return fmt.Errorf("%d point(s) regressed beyond %.0f%% vs %s", len(v), tol*100, baseline)
+		}
+		fmt.Fprintf(w, "perf gate passed: no p50 regression beyond %.0f%% vs %s\n", tol*100, baseline)
+	}
+	return nil
+}
+
+// runIngest measures the sustained-ingest sweep — read-only vs
+// under-writers top-K latency, acknowledged writer throughput at two
+// corpus scales, and WAL-replay recovery time — writes the JSON report,
+// prints the two headline ratios (writer scale-independence and read
+// penalty under writers), and optionally gates against a committed
+// baseline.
+func runIngest(w io.Writer, cfg bench.Config, jsonOut, baseline string, tol float64) error {
+	dir, err := os.MkdirTemp("", "xkwingest")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	report, err := bench.Ingest(cfg, dir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== ingest: scale=%.2f queries/pt=%d reps=%d K=%d (%s/%s, %d CPU, %s) ==\n",
+		cfg.Scale, cfg.QueriesPerPt, cfg.RepsPerQuery, cfg.TopK,
+		report.Env.GOOS, report.Env.GOARCH, report.Env.NumCPU, report.Env.GoVersion)
+	fmt.Fprintf(w, "%-18s %-10s %12s %12s %12s %10s\n", "phase", "corpus", "p50", "p95", "p99", "qps")
+	pt := map[string]bench.Point{}
+	for _, p := range report.Points {
+		fmt.Fprintf(w, "%-18s %-10s %12v %12v %12v %10.0f\n",
+			p.Engine, p.Label, time.Duration(p.P50Ns), time.Duration(p.P95Ns), time.Duration(p.P99Ns), p.QPS)
+		pt[p.Engine+"/"+p.Label] = p
+	}
+	if w1, w2 := pt["writer/scale=1x"], pt["writer/scale=2x"]; w1.QPS > 0 && w2.QPS > 0 {
+		fmt.Fprintf(w, "writer throughput 2x-corpus/1x-corpus: %.2f (1.0 = corpus-independent)\n", w2.QPS/w1.QPS)
+	}
+	for _, label := range []string{"scale=1x", "scale=2x"} {
+		ro, uw := pt["read-only/"+label], pt["read-under-writers/"+label]
+		if ro.P50Ns > 0 {
+			fmt.Fprintf(w, "read p50 under writers / read-only (%s): %.2fx\n", label, float64(uw.P50Ns)/float64(ro.P50Ns))
+		}
 	}
 	if jsonOut != "" {
 		if err := bench.WriteReport(jsonOut, report); err != nil {

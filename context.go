@@ -219,7 +219,7 @@ func (ix *Index) planAuto(s *snapshot, q exec.Query, tr *obs.Trace) (*exec.Plan,
 // row counts straight off the lexicon — no list is decoded — plus the
 // document shape.
 func (s *snapshot) planStats(keywords []string) exec.Stats {
-	st := exec.Stats{Nodes: s.doc.Len(), Depth: s.doc.Depth}
+	st := exec.Stats{Nodes: s.docLen(), Depth: s.docDepth()}
 	st.Lists = make([]exec.ListStat, len(keywords))
 	for i, w := range keywords {
 		st.Lists[i] = exec.ListStat{Keyword: w, Rows: s.store.DocFreq(w)}

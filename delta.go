@@ -1,0 +1,354 @@
+package xmlsearch
+
+import (
+	"sort"
+
+	"repro/internal/colstore"
+	"repro/internal/dewey"
+	"repro/internal/occur"
+	"repro/internal/score"
+	"repro/internal/tokenize"
+	"repro/internal/xmltree"
+)
+
+// Delta segments: the in-memory half of the incremental write path. A
+// fast-path insert does not clone the corpus — it records the operation in
+// a small immutable delta segment layered over the base snapshot. The
+// delta holds the floating nodes (attached to base parents only through a
+// copy-on-write children map, so the base tree is never mutated), the
+// fully merged occurrence lists of the dirty terms, and the replay script
+// that rebuilds the same logical state from the base (the compactor and
+// the slow path fold it back into a materialized snapshot). Queries read
+// base ⊕ delta through the snapshot accessors below plus the column-store
+// overlay (colstore.NewOverlay), so every engine works unchanged.
+//
+// Only appending leaf inserts ride the fast path: a removal, an insert at
+// a non-tail position, or an insert whose JDewey number cannot be minted
+// above every existing number at its level (the append-order eligibility
+// check) falls back to the materializing slow path. The delta therefore
+// never carries tombstones, and a merged list is always "base list plus
+// appended occurrences, rescored".
+
+// deltaOp is one fast-path insert, recorded as its replayable arguments:
+// the parent's Dewey identifier is stable under append-only growth, so
+// replaying the ops in order against the base snapshot reproduces the
+// delta view exactly (modulo freshly assigned JDewey numbers).
+type deltaOp struct {
+	parent dewey.ID
+	pos    int
+	tag    string
+	text   string
+}
+
+// deltaSeg is the immutable delta of one snapshot. Successive fast-path
+// publishes build successor segments copy-on-write; a pinned reader keeps
+// its segment unchanged forever.
+type deltaSeg struct {
+	// ops replays the segment against the base snapshot, in order.
+	ops []deltaOp
+	// added indexes the floating nodes: level → minted JDewey number → node.
+	added map[int]map[uint32]*xmltree.Node
+	// kids overrides the visible child list of parents that gained floating
+	// children (the base node's own Children slice is never touched).
+	kids map[*xmltree.Node][]*xmltree.Node
+	// terms holds the full merged occurrence list of every dirty term, in
+	// JDewey-sequence order with document frequencies rescored — exactly
+	// what the column-store overlay serves.
+	terms map[string][]occur.Occ
+	// maxJD tracks the highest minted JDewey number per level; minting
+	// always goes above max(enc.LevelMax, maxJD) so numbers stay unique.
+	maxJD map[int]uint32
+	// topParentJD tracks, per level with minted nodes, the parent number of
+	// the current maximum-numbered node — the eligibility bound for the
+	// next append at that level.
+	topParentJD map[int]uint32
+	addedCount  int
+	depth       int
+}
+
+// successor copies the segment so the next fast-path publish can extend it
+// without disturbing pinned readers. Inner maps and occurrence slices are
+// shared; the apply step re-copies exactly the entries it changes.
+func (d *deltaSeg) successor() *deltaSeg {
+	nd := &deltaSeg{
+		ops:         append([]deltaOp(nil), d.ops...),
+		added:       make(map[int]map[uint32]*xmltree.Node, len(d.added)+1),
+		kids:        make(map[*xmltree.Node][]*xmltree.Node, len(d.kids)+1),
+		terms:       make(map[string][]occur.Occ, len(d.terms)+1),
+		maxJD:       make(map[int]uint32, len(d.maxJD)+1),
+		topParentJD: make(map[int]uint32, len(d.topParentJD)+1),
+		addedCount:  d.addedCount,
+		depth:       d.depth,
+	}
+	for l, m := range d.added {
+		nd.added[l] = m
+	}
+	for p, ks := range d.kids {
+		nd.kids[p] = ks
+	}
+	for t, occs := range d.terms {
+		nd.terms[t] = occs
+	}
+	for l, v := range d.maxJD {
+		nd.maxJD[l] = v
+	}
+	for l, v := range d.topParentJD {
+		nd.topParentJD[l] = v
+	}
+	return nd
+}
+
+// --- snapshot accessors: the one merged view every engine reads through ---
+
+// nodeByJDewey resolves (level, number) against base ⊕ delta.
+func (s *snapshot) nodeByJDewey(level int, jd uint32) *xmltree.Node {
+	if s.delta != nil {
+		if n := s.delta.added[level][jd]; n != nil {
+			return n
+		}
+	}
+	return s.doc.NodeByJDewey(level, jd)
+}
+
+// visibleChildren returns n's children as this snapshot sees them: the
+// copy-on-write list when n gained floating children, the base list
+// otherwise.
+func (s *snapshot) visibleChildren(n *xmltree.Node) []*xmltree.Node {
+	if s.delta != nil {
+		if ks, ok := s.delta.kids[n]; ok {
+			return ks
+		}
+	}
+	return n.Children
+}
+
+// nodeByDewey resolves a Dewey identifier against base ⊕ delta by walking
+// the visible child lists.
+func (s *snapshot) nodeByDewey(id dewey.ID) *xmltree.Node {
+	if s.delta == nil {
+		return s.doc.NodeByDewey(id)
+	}
+	if s.doc.Root == nil || len(id) == 0 || id[0] != 1 {
+		return nil
+	}
+	n := s.doc.Root
+	for _, c := range id[1:] {
+		ks := s.visibleChildren(n)
+		if c < 1 || int(c) > len(ks) {
+			return nil
+		}
+		n = ks[c-1]
+	}
+	return n
+}
+
+// docLen is the visible node count: base plus floating inserts.
+func (s *snapshot) docLen() int {
+	if s.delta != nil {
+		return s.doc.Len() + s.delta.addedCount
+	}
+	return s.doc.Len()
+}
+
+// docDepth is the visible tree depth.
+func (s *snapshot) docDepth() int {
+	if s.delta != nil && s.delta.depth > s.doc.Depth {
+		return s.delta.depth
+	}
+	return s.doc.Depth
+}
+
+// occMap returns the occurrence map of the merged view. Delta-free
+// snapshots return their own map; delta snapshots lazily merge the dirty
+// terms over the base (re-sorted into document order — the delta keeps
+// them in JDewey order for the column overlay, while the document-order
+// baselines want Dewey order).
+func (s *snapshot) occMap() *occur.Map {
+	if s.delta == nil {
+		return s.m
+	}
+	s.occOnce.Do(func() {
+		nm := &occur.Map{Terms: make(map[string][]occur.Occ, len(s.m.Terms)), N: s.m.N, Depth: s.docDepth()}
+		for t, occs := range s.m.Terms {
+			nm.Terms[t] = occs
+		}
+		for t, occs := range s.delta.terms {
+			cp := make([]occur.Occ, len(occs))
+			copy(cp, occs)
+			sortByDewey(cp)
+			nm.Terms[t] = cp
+		}
+		s.occ = nm
+	})
+	return s.occ
+}
+
+// sortByDewey stably sorts occurrences into document (Dewey) order.
+func sortByDewey(occs []occur.Occ) {
+	sort.SliceStable(occs, func(a, b int) bool {
+		return dewey.Compare(occs[a].Node.Dewey, occs[b].Node.Dewey) < 0
+	})
+}
+
+// baseStore returns the snapshot's base column store (the bottom of the
+// overlay chain; the store itself when the snapshot carries no delta).
+func (s *snapshot) baseStore() *colstore.Store {
+	st := s.store
+	for st.Base() != nil {
+		st = st.Base()
+	}
+	return st
+}
+
+// --- the fast path ---
+
+// topParentJD is the eligibility bound for appending at level: the parent
+// number of the current maximum-numbered node there (0 when the level is
+// empty). A new node minted above every number at its level keeps the
+// JDewey order requirement iff its parent's number is at least this bound.
+func (s *snapshot) topParentJD(level int) uint32 {
+	if s.delta != nil {
+		if v, ok := s.delta.topParentJD[level]; ok {
+			return v
+		}
+	}
+	top := s.doc.MaxJDeweyNode(level)
+	if top == nil || top.Parent == nil {
+		return 0
+	}
+	return top.Parent.JD
+}
+
+// fastInsert attempts the delta fast path for inserting <tag>text</tag>
+// under parent at position pos against cur. It returns the successor
+// snapshot and true, or (nil, false) when the operation must take the
+// materializing slow path: ElemRank indexes (a structural mutation moves
+// every rank), non-append positions, or an append whose JDewey number
+// cannot legally go above its level's maximum.
+func (ix *Index) fastInsert(cur *snapshot, parent *xmltree.Node, pos int, tag, text string) (*snapshot, bool) {
+	if ix.cfg.elemRank {
+		return nil, false
+	}
+	if pos != len(cur.visibleChildren(parent)) {
+		return nil, false
+	}
+	level := parent.Level + 1
+	if parent.JD < cur.topParentJD(level) {
+		return nil, false
+	}
+	// Mint the new number above everything assigned or reserved at the
+	// level, in base numbering and delta alike.
+	jd := cur.enc.LevelMax(level)
+	var d *deltaSeg
+	if cur.delta != nil {
+		d = cur.delta.successor()
+		if m := d.maxJD[level]; m > jd {
+			jd = m
+		}
+	} else {
+		d = &deltaSeg{
+			added:       map[int]map[uint32]*xmltree.Node{},
+			kids:        map[*xmltree.Node][]*xmltree.Node{},
+			terms:       map[string][]occur.Occ{},
+			maxJD:       map[int]uint32{},
+			topParentJD: map[int]uint32{},
+			depth:       cur.doc.Depth,
+		}
+	}
+	jd++
+	if jd == 0 { // uint32 wraparound: the level is out of numbers
+		return nil, false
+	}
+
+	child := &xmltree.Node{
+		Tag:    tag,
+		Text:   text,
+		Parent: parent,
+		Dewey:  append(parent.Dewey.Clone(), uint32(pos+1)),
+		JD:     jd,
+		Level:  level,
+		Ord:    cur.doc.Len() + d.addedCount, // synthetic, past every base ordinal
+	}
+	d.ops = append(d.ops, deltaOp{parent: parent.Dewey.Clone(), pos: pos, tag: tag, text: text})
+	lm := make(map[uint32]*xmltree.Node, len(d.added[level])+1)
+	for k, v := range d.added[level] {
+		lm[k] = v
+	}
+	lm[jd] = child
+	d.added[level] = lm
+	ks := cur.visibleChildren(parent)
+	d.kids[parent] = append(append(make([]*xmltree.Node, 0, len(ks)+1), ks...), child)
+	d.maxJD[level] = jd
+	d.topParentJD[level] = parent.JD
+	d.addedCount++
+	if level > d.depth {
+		d.depth = level
+	}
+
+	// Merge the new occurrence into each dirty term's full list and rescore
+	// it against the new document frequency (the corpus constant N stays
+	// frozen, exactly as the slow path does).
+	for term, tf := range tokenize.TermCounts(text) {
+		prev, dirty := d.terms[term]
+		if !dirty {
+			base := cur.m.Terms[term]
+			prev = make([]occur.Occ, len(base))
+			copy(prev, base)
+			// The base map is kept in document order, which after a
+			// renumbering mutation need not be JDewey order — sort once on
+			// first touch.
+			sortByJDewey(prev)
+		}
+		merged := append(append(make([]occur.Occ, 0, len(prev)+1), prev...), occur.Occ{Node: child, TF: tf})
+		sortByJDewey(merged)
+		df := len(merged)
+		for i := range merged {
+			merged[i].Score = float32(score.Local(merged[i].TF, df, cur.m.N))
+		}
+		d.terms[term] = merged
+	}
+
+	overlay := colstore.NewOverlay(&occur.Map{Terms: d.terms, N: cur.m.N, Depth: d.depth}, cur.baseStore())
+	return &snapshot{
+		doc:   cur.doc,
+		m:     cur.m,
+		store: overlay,
+		enc:   cur.enc,
+		delta: d,
+		epoch: cur.epoch,
+	}, true
+}
+
+// materializeOf folds base ⊕ delta into a delta-free snapshot the old
+// clone-everything way: clone the base parts, replay the delta's ops
+// through the real JDewey maintenance path, and rebuild every dirty list.
+// It reads only the immutable cur, so callers may run it off the write
+// lock (the background compactor does); the result is private until
+// published. For a delta-free cur it is exactly the old clone().
+func (ix *Index) materializeOf(cur *snapshot) *snapshot {
+	doc := cur.doc.Clone()
+	next := &snapshot{
+		doc:   doc,
+		m:     cur.m.CloneRemapped(doc.Nodes),
+		store: cur.baseStore().Clone(),
+		enc:   cur.enc.CloneFor(doc),
+	}
+	if cur.delta == nil {
+		return next
+	}
+	dirty := map[string]bool{}
+	for _, op := range cur.delta.ops {
+		parent := next.doc.NodeByDewey(op.parent)
+		child := &xmltree.Node{Tag: op.tag, Text: op.text}
+		for _, term := range tokenize.Tokens(op.text) {
+			dirty[term] = true
+		}
+		// Append-only replay: the recorded Dewey paths resolve unchanged,
+		// and Insert cannot fail for a leaf.
+		if moved, err := next.enc.Insert(parent, child, op.pos); err == nil && moved != nil {
+			collectTerms(moved, dirty)
+		}
+	}
+	ix.applyDirty(next, dirty)
+	return next
+}

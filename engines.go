@@ -134,7 +134,7 @@ func streamTopKJoin(ctx context.Context, s *snapshot, q exec.Query, tr *obs.Trac
 		Budget: q.Budget,
 	},
 		func(r core.Result) bool {
-			n := s.doc.NodeByJDewey(r.Level, r.Value)
+			n := s.nodeByJDewey(r.Level, r.Value)
 			if n == nil {
 				return true
 			}

@@ -1,0 +1,229 @@
+package bench
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	xmlsearch "repro"
+	"repro/internal/gen"
+)
+
+// Sustained-ingest experiment for the incremental write path. Two claims
+// of the delta ⊕ WAL design are measured, each at two corpus scales:
+//
+//   - Writer throughput is corpus-independent: an acknowledged append
+//     costs one delta-segment extension plus one WAL group commit, never
+//     an O(corpus) clone, so the "writer" points at scale=1x and
+//     scale=2x should sit within noise of each other.
+//   - Reads pay almost nothing for concurrent ingest: the merged
+//     base ⊕ delta view adds a bounded overlay probe, so the
+//     "read-under-writers" p50 should stay within ~1.2x of the
+//     "read-only" p50.
+//
+// A final "recovery" point per scale kills nothing but measures the cold
+// path anyway: Close the ingesting index, reopen the directory, and time
+// the Load — base generation plus WAL replay — that a crash restart
+// would pay (Queries carries the replayed-record count).
+
+// ingestWriterOps is the number of acknowledged mutations per writer
+// phase; ingestBatch is the ApplyBatch group-commit size.
+const (
+	ingestWriterOps = 240
+	ingestBatch     = 8
+)
+
+// ingestScales are the corpus scale multipliers the sweep compares.
+var ingestScales = [...]struct {
+	mult  float64
+	label string
+}{
+	{1, "scale=1x"},
+	{2, "scale=2x"},
+}
+
+// Ingest runs the sustained-ingest sweep, using dir for the per-scale
+// WAL directories, and assembles the "ingest" report.
+func Ingest(cfg Config, dir string) (*Report, error) {
+	rep := &Report{Exp: "ingest", Env: CurrentFingerprint(), Config: cfg}
+	for _, sc := range ingestScales {
+		pts, err := ingestAtScale(cfg, cfg.Scale*sc.mult, sc.label, filepath.Join(dir, sc.label))
+		if err != nil {
+			return nil, err
+		}
+		rep.Points = append(rep.Points, pts...)
+	}
+	return rep, nil
+}
+
+// ingestAtScale measures one corpus scale: read-only latency, sustained
+// writer throughput, read latency under those writers, and recovery.
+func ingestAtScale(cfg Config, scale float64, label, dir string) ([]Point, error) {
+	ds := gen.DBLP(scale, cfg.Seed)
+	topLevel := len(ds.Doc.Root.Children)
+	idx, err := xmlsearch.FromDocument(ds.Doc)
+	if err != nil {
+		return nil, fmt.Errorf("bench: ingest index %s: %w", label, err)
+	}
+	if err := idx.EnableWAL(dir); err != nil {
+		return nil, fmt.Errorf("bench: ingest wal %s: %w", label, err)
+	}
+	qs := bandQueriesFromDataset(ds, cfg)
+
+	appended := 0
+	nextBatch := func(tag string) []xmlsearch.Mutation {
+		muts := make([]xmlsearch.Mutation, ingestBatch)
+		for i := range muts {
+			muts[i] = xmlsearch.Mutation{
+				ID: "1", Pos: topLevel + appended, Tag: tag,
+				Text: fmt.Sprintf("ingestnote%d payload", appended),
+			}
+			appended++
+		}
+		return muts
+	}
+
+	readOnly, err := measureIngestReads(idx, qs, cfg.TopK, cfg.RepsPerQuery, label, "read-only")
+	if err != nil {
+		return nil, err
+	}
+
+	// Sustained writer phase: acknowledged (WAL-durable) appends in
+	// group-committed batches, with background compaction folding the
+	// delta at its default cadence.
+	writerDurs := make([]time.Duration, 0, ingestWriterOps/ingestBatch)
+	wstart := time.Now()
+	for appended < ingestWriterOps {
+		t0 := time.Now()
+		if _, err := idx.ApplyBatch(nextBatch("inote")); err != nil {
+			return nil, fmt.Errorf("bench: ingest writer %s: %w", label, err)
+		}
+		writerDurs = append(writerDurs, time.Since(t0))
+	}
+	wall := time.Since(wstart)
+	sort.Slice(writerDurs, func(i, j int) bool { return writerDurs[i] < writerDurs[j] })
+	var wtotal time.Duration
+	for _, d := range writerDurs {
+		wtotal += d
+	}
+	writer := Point{
+		Exp: "ingest", Engine: "writer", Label: label,
+		Queries: ingestWriterOps / ingestBatch, Reps: ingestBatch,
+		// Quantiles are per-batch (one group commit each); MeanNs is
+		// per-mutation, QPS acknowledged mutations per second.
+		P50Ns: int64(quantile(writerDurs, 50)), P95Ns: int64(quantile(writerDurs, 95)),
+		P99Ns: int64(quantile(writerDurs, 99)),
+	}
+	if appended > 0 {
+		writer.MeanNs = int64(wtotal) / int64(appended)
+		if wall > 0 {
+			writer.QPS = float64(appended) / wall.Seconds()
+		}
+	}
+
+	// Read latency with a concurrent writer appending (and compacting)
+	// the whole time. The writer is paced — sustained ingest, not a
+	// saturation test — so the ratio against read-only isolates the
+	// base ⊕ delta overlay cost instead of CPU starvation.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var bgErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+			}
+			if _, err := idx.ApplyBatch(nextBatch("cnote")); err != nil {
+				bgErr = err
+				return
+			}
+		}
+	}()
+	underWriters, rerr := measureIngestReads(idx, qs, cfg.TopK, cfg.RepsPerQuery, label, "read-under-writers")
+	close(stop)
+	wg.Wait()
+	if rerr != nil {
+		return nil, rerr
+	}
+	if bgErr != nil {
+		return nil, fmt.Errorf("bench: ingest background writer %s: %w", label, bgErr)
+	}
+
+	if err := idx.Close(); err != nil {
+		return nil, fmt.Errorf("bench: ingest close %s: %w", label, err)
+	}
+
+	// Recovery: reopen the directory as a crash restart would — load the
+	// committed base generation and replay the WAL suffix.
+	lstart := time.Now()
+	loaded, err := xmlsearch.Load(dir)
+	if err != nil {
+		return nil, fmt.Errorf("bench: ingest recovery %s: %w", label, err)
+	}
+	loadNs := int64(time.Since(lstart))
+	replayed := loaded.Metrics().Snapshot().WAL.ReplayedRecords
+	recovery := Point{
+		Exp: "ingest", Engine: "recovery", Label: label,
+		Queries: int(replayed), Reps: 1,
+		P50Ns: loadNs, P95Ns: loadNs, P99Ns: loadNs, MeanNs: loadNs,
+	}
+	if loadNs > 0 {
+		recovery.QPS = float64(replayed) / (float64(loadNs) / float64(time.Second))
+	}
+	if err := loaded.Close(); err != nil {
+		return nil, fmt.Errorf("bench: ingest recovery close %s: %w", label, err)
+	}
+	return []Point{readOnly, writer, underWriters, recovery}, nil
+}
+
+// measureIngestReads times top-K over the mid-band workload against the
+// live (possibly delta-carrying) index, one warm-up pass per query.
+func measureIngestReads(ix *xmlsearch.Index, qs [][]string, k, reps int, label, engine string) (Point, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	durs := make([]time.Duration, 0, len(qs)*reps)
+	var total time.Duration
+	for _, q := range qs {
+		query := strings.Join(q, " ")
+		run := func() error {
+			_, err := ix.TopK(query, k, xmlsearch.SearchOptions{})
+			return err
+		}
+		if err := run(); err != nil { // warm up caches and plans
+			return Point{}, fmt.Errorf("bench: ingest read %q: %w", query, err)
+		}
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			if err := run(); err != nil {
+				return Point{}, fmt.Errorf("bench: ingest read %q: %w", query, err)
+			}
+			d := time.Since(start)
+			durs = append(durs, d)
+			total += d
+		}
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	p := Point{
+		Exp: "ingest", Engine: engine, Label: label, K: k,
+		Queries: len(qs), Reps: reps,
+		P50Ns: int64(quantile(durs, 50)), P95Ns: int64(quantile(durs, 95)),
+		P99Ns: int64(quantile(durs, 99)),
+	}
+	if len(durs) > 0 {
+		p.MeanNs = int64(total / time.Duration(len(durs)))
+		if total > 0 {
+			p.QPS = float64(len(durs)) / total.Seconds()
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestIngestReportShape(t *testing.T) {
+	cfg := smokeConfig()
+	r, err := Ingest(cfg, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Exp != "ingest" {
+		t.Errorf("exp = %q", r.Exp)
+	}
+	if r.Env.GoVersion == "" || r.Env.GOOS == "" || r.Env.NumCPU == 0 {
+		t.Errorf("fingerprint incomplete: %+v", r.Env)
+	}
+	// Four phases at each of two scales, in sweep order.
+	want := map[string]map[string]bool{
+		"read-only":          {"scale=1x": false, "scale=2x": false},
+		"writer":             {"scale=1x": false, "scale=2x": false},
+		"read-under-writers": {"scale=1x": false, "scale=2x": false},
+		"recovery":           {"scale=1x": false, "scale=2x": false},
+	}
+	for _, p := range r.Points {
+		labels, ok := want[p.Engine]
+		if !ok {
+			t.Errorf("unexpected phase %q", p.Engine)
+			continue
+		}
+		if _, ok := labels[p.Label]; !ok {
+			t.Errorf("%s: unexpected corpus label %q", p.Engine, p.Label)
+			continue
+		}
+		labels[p.Label] = true
+		if p.P50Ns <= 0 || p.MeanNs <= 0 {
+			t.Errorf("%s/%s: empty timings: %+v", p.Engine, p.Label, p)
+		}
+		if p.P50Ns > p.P95Ns || p.P95Ns > p.P99Ns {
+			t.Errorf("%s/%s: quantiles not monotone: p50=%d p95=%d p99=%d",
+				p.Engine, p.Label, p.P50Ns, p.P95Ns, p.P99Ns)
+		}
+	}
+	for phase, labels := range want {
+		for label, seen := range labels {
+			if !seen {
+				t.Errorf("no point for %s at %s", phase, label)
+			}
+		}
+	}
+	// The writer phase acked every scripted mutation and the recovery
+	// reopen replayed the WAL tail that survived compaction — a recovery
+	// Load that replays nothing would mean the log was not engaged.
+	for _, p := range r.Points {
+		switch p.Engine {
+		case "writer":
+			if p.QPS <= 0 {
+				t.Errorf("writer %s: no acknowledged throughput", p.Label)
+			}
+			if got := p.Queries * p.Reps; got != ingestWriterOps {
+				t.Errorf("writer %s: acked %d ops, want %d", p.Label, got, ingestWriterOps)
+			}
+		case "recovery":
+			if p.Queries < 0 {
+				t.Errorf("recovery %s: negative replay count", p.Label)
+			}
+			if time.Duration(p.P50Ns) <= 0 {
+				t.Errorf("recovery %s: no load time", p.Label)
+			}
+		}
+	}
+}

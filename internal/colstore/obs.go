@@ -67,6 +67,9 @@ func (l *TKList) DecodedSize() int64 {
 // on tr, and quarantine hits surface as trace events. The store-wide
 // counters installed with SetObs are updated on either entry point.
 func (s *Store) ListObs(term string, tr *obs.Trace) *List {
+	if fb := s.overlayMiss(term, false); fb != nil {
+		return fb.ListObs(term, tr)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if l, ok := s.lists[term]; ok {
@@ -134,6 +137,9 @@ func (s *Store) ListObs(term string, tr *obs.Trace) *List {
 
 // TopKListObs is TopKList with per-query trace attribution (see ListObs).
 func (s *Store) TopKListObs(term string, tr *obs.Trace) *TKList {
+	if fb := s.overlayMiss(term, true); fb != nil {
+		return fb.TopKListObs(term, tr)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if l, ok := s.tklists[term]; ok {

@@ -102,6 +102,9 @@ func listDims(v any) (rows, maxLen int) {
 // thrown away, but the caller must fail the query rather than run on the
 // partial slice).
 func (s *Store) openMany(terms []string, tk bool, tr *obs.Trace, bdg *budget.B) ([]any, error) {
+	if s.fallback != nil {
+		return s.openManyOverlay(terms, tk, tr, bdg)
+	}
 	out := make([]any, len(terms))
 	type job struct {
 		idxs    []int // positions in terms resolving to this decode

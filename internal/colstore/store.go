@@ -58,6 +58,12 @@ type Store struct {
 	// When installed, disk decodes land here instead of in the unbounded
 	// lists/tklists memos; snapshot clones share it.
 	cache *Cache
+
+	// fallback, when set, makes this store a delta overlay: terms present
+	// in the own in-memory maps are served from them, every other term is
+	// delegated to the fallback (the immutable base store). Set only by
+	// NewOverlay; immutable afterwards, so reading it needs no lock.
+	fallback *Store
 }
 
 type lexEntry struct {
@@ -176,6 +182,7 @@ func (s *Store) Clone() *Store {
 		}
 	}
 	ns.fileDamage = append([]string(nil), s.fileDamage...)
+	ns.fallback = s.fallback
 	return ns
 }
 
@@ -235,6 +242,9 @@ func (s *Store) TopKList(term string) *TKList {
 // directly; in-memory stores encode once on demand so the same access path
 // is testable without a save/load round trip.
 func (s *Store) Handle(term string) *Handle {
+	if fb := s.overlayMiss(term, false); fb != nil {
+		return fb.Handle(term)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, bad := s.quarantined[term]; bad {
@@ -264,6 +274,9 @@ func (s *Store) Handle(term string) *Handle {
 // TKHandle returns the streaming (column-at-a-time) view of a term's
 // score-sorted list, or nil when the term is unindexed.
 func (s *Store) TKHandle(term string) *TKHandle {
+	if fb := s.overlayMiss(term, true); fb != nil {
+		return fb.TKHandle(term)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, bad := s.quarantined[term]; bad {
@@ -292,6 +305,9 @@ func (s *Store) TKHandle(term string) *TKHandle {
 
 // DocFreq returns the number of occurrences of a term, without decoding.
 func (s *Store) DocFreq(term string) int {
+	if fb := s.overlayMiss(term, false); fb != nil {
+		return fb.DocFreq(term)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if l, ok := s.lists[term]; ok {
@@ -303,11 +319,19 @@ func (s *Store) DocFreq(term string) int {
 	return 0
 }
 
-// Words returns every indexed term in lexicographic order.
+// Words returns every indexed term in lexicographic order. An overlay
+// reports the union of its own terms and the fallback's.
 func (s *Store) Words() []string {
+	var base []string
+	if s.fallback != nil {
+		base = s.fallback.Words() // outside s.mu: overlay locks never nest under base locks
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	seen := make(map[string]bool, len(s.lists)+len(s.lex))
+	seen := make(map[string]bool, len(s.lists)+len(s.lex)+len(base))
+	for _, w := range base {
+		seen[w] = true
+	}
 	for w := range s.lists {
 		seen[w] = true
 	}
@@ -643,6 +667,15 @@ func (h Health) Degraded() bool { return len(h.Quarantined) > 0 || len(h.FileDam
 // degradation report. It is how a caller chooses degraded service over an
 // outage after Open succeeds on a damaged directory.
 func (s *Store) Health() Health {
+	if s.fallback != nil {
+		// An overlay's own lists are freshly built in memory and cannot be
+		// damaged; degradation lives in the base chain. Shadowed terms may
+		// be reported quarantined even though the overlay serves them — the
+		// report errs conservative.
+		h := s.fallback.Health()
+		h.Terms = len(s.Words())
+		return h
+	}
 	words := s.Words()
 	for _, w := range words {
 		// Side effect: decode-or-quarantine through the usual access path.

@@ -11,6 +11,7 @@ package faultinject
 import (
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"sync"
@@ -34,6 +35,22 @@ type FS interface {
 	// SyncDir fsyncs a directory, making the entries created or renamed
 	// inside it durable.
 	SyncDir(path string) error
+	// OpenAppend opens path for durable appends (creating it if absent).
+	// Unlike WriteFile, durability is explicit: appended bytes are only
+	// guaranteed on disk after Sync returns. The write-ahead log is the
+	// intended caller; a fault schedule counts each Write and each Sync
+	// as one mutating operation.
+	OpenAppend(path string) (AppendFile, error)
+}
+
+// AppendFile is an append-only file handle: sequential writes plus an
+// explicit durability barrier.
+type AppendFile interface {
+	io.Writer
+	// Sync makes every byte written so far durable.
+	Sync() error
+	// Close releases the handle without implying durability.
+	Close() error
 }
 
 // osFS is the production implementation.
@@ -74,6 +91,10 @@ func (osFS) SyncDir(path string) error {
 		err = cerr
 	}
 	return err
+}
+
+func (osFS) OpenAppend(path string) (AppendFile, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 }
 
 // ErrCrashed is returned by every FaultFS operation at and after the
@@ -204,6 +225,53 @@ func (f *FaultFS) SyncDir(path string) error {
 	}
 	return f.base.SyncDir(path)
 }
+
+// OpenAppend counts the open (file creation is a mutation) and returns a
+// handle whose every Write and Sync is itself one schedulable operation:
+// a Write caught at the crash point leaves a torn prefix on disk, a Sync
+// caught there fails after the data already reached the file (modelling a
+// crash between the write and the durability acknowledgement).
+func (f *FaultFS) OpenAppend(path string) (AppendFile, error) {
+	fire, _, err := f.step()
+	if err != nil || fire {
+		return nil, ErrCrashed
+	}
+	af, err := f.base.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultAppendFile{fs: f, base: af}, nil
+}
+
+// faultAppendFile injects the FaultFS schedule into an append handle.
+type faultAppendFile struct {
+	fs   *FaultFS
+	base AppendFile
+}
+
+func (a *faultAppendFile) Write(p []byte) (int, error) {
+	fire, torn, err := a.fs.step()
+	if err != nil {
+		return 0, ErrCrashed
+	}
+	if fire {
+		// Torn append: a prefix reaches the file, the rest is lost.
+		n := int(float64(len(p)) * torn)
+		_, _ = a.base.Write(p[:n])
+		return n, ErrCrashed
+	}
+	return a.base.Write(p)
+}
+
+func (a *faultAppendFile) Sync() error {
+	fire, _, err := a.fs.step()
+	if err != nil || fire {
+		return ErrCrashed
+	}
+	return a.base.Sync()
+}
+
+func (a *faultAppendFile) Close() error { return a.base.Close() }
 
 var (
 	_ FS = osFS{}

@@ -220,6 +220,17 @@ func (e *Encoding) renumberSubtree(a *xmltree.Node) {
 	}
 }
 
+// LevelMax reports the highest JDewey number reserved or assigned so far
+// at level (0 when the level has no nodes yet). Delta segments use it to
+// mint numbers strictly above every base assignment without mutating the
+// encoding.
+func (e *Encoding) LevelMax(level int) uint32 {
+	if level < 0 || level >= len(e.levelMax) {
+		return 0
+	}
+	return e.levelMax[level]
+}
+
 // Adopt wraps an existing (already assigned, e.g. loaded from disk) valid
 // numbering in a maintenance handle with the given reservation gap for
 // future insertions. It validates the numbering first.

@@ -43,11 +43,16 @@ const (
 	// StageSettle is the query epilogue: abort classification and
 	// certified-partial settlement (recertification, for a coordinator).
 	StageSettle = "settle"
+	// StageCompact is background write-path work: folding a delta segment
+	// into a new base generation and rotating the write-ahead log. It
+	// appears in compaction traces (offered to the flight recorder by the
+	// compactor), never on a query's own critical path.
+	StageCompact = "compact"
 )
 
 // stageOrder is the canonical stage order used everywhere stages are
 // enumerated: breakdowns, signatures, metrics, and dominant-stage ties.
-var stageOrder = [...]string{StageAdmission, StagePlan, StageOpen, StageDecode, StageJoin, StageMerge, StageSettle}
+var stageOrder = [...]string{StageAdmission, StagePlan, StageOpen, StageDecode, StageJoin, StageMerge, StageSettle, StageCompact}
 
 // numStages sizes per-stage metric arrays.
 const numStages = len(stageOrder)

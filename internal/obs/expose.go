@@ -139,6 +139,40 @@ func (s Snapshot) WritePrometheus(w io.Writer) {
 	}
 	header(w, "xkw_writer_duration_seconds", "End-to-end mutation latency including snapshot publication.", "histogram")
 	writeHistogramSeries(w, "xkw_writer_duration_seconds", "", wr.Latency)
+	wl := s.WAL
+	walCounters := []struct {
+		name, help string
+		v          int64
+	}{
+		{"xkw_wal_appends_total", "Write-ahead-log group commits (one write + one fsync each).", wl.Appends},
+		{"xkw_wal_records_total", "Mutation records appended to the write-ahead log.", wl.Records},
+		{"xkw_wal_bytes_total", "Framed bytes appended to the write-ahead log.", wl.Bytes},
+		{"xkw_wal_fsyncs_total", "Fsyncs issued by write-ahead-log appends.", wl.Fsyncs},
+		{"xkw_wal_rotations_total", "Write-ahead-log rotations at compaction commits.", wl.Rotations},
+		{"xkw_wal_replayed_records_total", "Records replayed by Load-time recovery.", wl.ReplayedRecords},
+		{"xkw_wal_quarantined_bytes_total", "Torn or corrupt tail bytes dropped by recovery.", wl.QuarantinedBytes},
+		{"xkw_wal_errors_total", "Write-ahead-log append or rotation failures.", wl.Errors},
+	}
+	for _, c := range walCounters {
+		header(w, c.name, c.help, "counter")
+		fmt.Fprintf(w, "%s %d\n", c.name, c.v)
+	}
+	cp := s.Compaction
+	compactionCounters := []struct {
+		name, help string
+		v          int64
+	}{
+		{"xkw_compaction_runs_total", "Compactions that published a folded snapshot.", cp.Runs},
+		{"xkw_compaction_folded_ops_total", "Delta operations folded into base generations.", cp.FoldedOps},
+		{"xkw_compaction_abandoned_total", "Folds discarded as stale (retried on the next trigger).", cp.Abandoned},
+		{"xkw_compaction_errors_total", "Compactions failed by an I/O or commit error.", cp.Errors},
+	}
+	for _, c := range compactionCounters {
+		header(w, c.name, c.help, "counter")
+		fmt.Fprintf(w, "%s %d\n", c.name, c.v)
+	}
+	header(w, "xkw_compaction_seconds_total", "Cumulative wall time spent compacting.", "counter")
+	fmt.Fprintf(w, "xkw_compaction_seconds_total %g\n", time.Duration(cp.Nanos).Seconds())
 	pl := s.Planner
 	plannerCounters := []struct {
 		name, help string
@@ -217,6 +251,9 @@ func (s Snapshot) WritePrometheus(w io.Writer) {
 		{"xkw_store_cache_hit_ratio", "Decoded-list cache hit ratio since process start.", st.CacheHitRatio},
 		{"xkw_plan_cache_entries", "Plans currently held by the plan cache.", float64(g.PlanCacheEntries)},
 		{"xkw_plan_cache_hit_ratio", "Plan-cache hit ratio since process start.", pl.CacheHitRatio},
+		{"xkw_delta_ops", "Mutations held by the published snapshot's delta segment.", float64(g.DeltaOps)},
+		{"xkw_delta_terms", "Distinct terms overlaid by the published delta segment.", float64(g.DeltaTerms)},
+		{"xkw_wal_records", "Records in the live write-ahead log awaiting the next compaction.", float64(g.WALRecords)},
 	}
 	for _, c := range gauges {
 		header(w, c.name, c.help, "gauge")

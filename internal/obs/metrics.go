@@ -344,6 +344,15 @@ type Gauges struct {
 	CacheBytes int64 `json:"cache_bytes"`
 	// PlanCacheEntries is the plan cache's current occupancy.
 	PlanCacheEntries int64 `json:"plan_cache_entries"`
+	// DeltaOps and DeltaTerms are the published snapshot's in-memory delta
+	// segment size: appended operations not yet folded into a base
+	// generation, and the inverted lists the delta overlays. Both are 0
+	// when the published snapshot is fully materialized.
+	DeltaOps   int64 `json:"delta_ops"`
+	DeltaTerms int64 `json:"delta_terms"`
+	// WALRecords is the record count of the current write-ahead-log file
+	// (0 when no WAL is attached); compaction resets it at rotation.
+	WALRecords int64 `json:"wal_records"`
 	// Shards is the shard count of a sharded index (0 for an unsharded
 	// one); when set, the other gauges are coordinator-level aggregates
 	// across every shard.
@@ -622,6 +631,8 @@ type Metrics struct {
 	QLog    QLogCounters
 	Shard   ShardCounters
 	Stage   StageCounters
+	WAL     WALCounters
+	Compact CompactionCounters
 	gauges  atomic.Pointer[gaugeSource]
 	// shardGauges, when set, samples per-shard gauge rows of a sharded
 	// index (see SetShardSource).
@@ -753,6 +764,8 @@ type Snapshot struct {
 	Serving     ServingSnapshot     `json:"serving"`
 	QLog        QLogSnapshot        `json:"qlog"`
 	Shard       ShardSnapshot       `json:"shard"`
+	WAL         WALSnapshot         `json:"wal"`
+	Compaction  CompactionSnapshot  `json:"compaction"`
 	Attribution AttributionSnapshot `json:"attribution"`
 	Process     ProcessSnapshot     `json:"process"`
 	Gauges      Gauges              `json:"gauges"`
@@ -766,7 +779,7 @@ func (m *Metrics) Snapshot() Snapshot {
 	if m == nil {
 		return Snapshot{}
 	}
-	s := Snapshot{Store: m.Store.Snapshot(), Writer: m.Writer.Snapshot(), Planner: m.Planner.Snapshot(), Serving: m.Serving.Snapshot(), QLog: m.QLog.Snapshot(), Shard: m.Shard.Snapshot(), Attribution: m.Stage.Snapshot(), Process: CurrentProcess(), SlowQueries: m.SlowQueries()}
+	s := Snapshot{Store: m.Store.Snapshot(), Writer: m.Writer.Snapshot(), Planner: m.Planner.Snapshot(), Serving: m.Serving.Snapshot(), QLog: m.QLog.Snapshot(), Shard: m.Shard.Snapshot(), WAL: m.WAL.Snapshot(), Compaction: m.Compact.Snapshot(), Attribution: m.Stage.Snapshot(), Process: CurrentProcess(), SlowQueries: m.SlowQueries()}
 	if src := m.gauges.Load(); src != nil {
 		s.Gauges = (*src)()
 	}

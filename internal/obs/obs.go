@@ -43,6 +43,12 @@ const (
 	EngineNaive
 
 	numEngines
+
+	// EngineBackground tags traces belonging to no query engine — the
+	// write path offers its compaction runs to the flight recorder under
+	// this label. Deliberately outside the per-engine metric arrays: it
+	// labels traces, never per-engine counters.
+	EngineBackground Engine = 0xFF
 )
 
 var engineNames = [numEngines]string{
@@ -57,6 +63,9 @@ var engineNames = [numEngines]string{
 
 // String names the engine for labels and rendering.
 func (e Engine) String() string {
+	if e == EngineBackground {
+		return "background"
+	}
 	if int(e) < len(engineNames) {
 		return engineNames[e]
 	}

@@ -1,0 +1,151 @@
+package obs
+
+// Write-path counters of the incremental index: the write-ahead log and
+// the background compactor. Recording is lock-free and nil-safe, matching
+// the other counter families in this package.
+
+// WALCounters accumulates write-ahead-log activity: appends (one per
+// group commit), records and framed bytes written, fsyncs issued, log
+// rotations at compaction commits, and what recovery replayed or
+// quarantined at Load time.
+type WALCounters struct {
+	Appends          Counter // group commits (each one Write + one Sync)
+	Records          Counter // mutation records appended
+	Bytes            Counter // framed bytes appended
+	Fsyncs           Counter // fsyncs issued by appends
+	Rotations        Counter // log rotations (compaction generation flips)
+	ReplayedRecords  Counter // records replayed by Load-time recovery
+	QuarantinedBytes Counter // torn/corrupt tail bytes dropped by recovery
+	Errors           Counter // append/rotation failures (mutation not acked)
+}
+
+// RecordAppend notes one group commit of records totalling bytes framed
+// bytes. Nil-safe.
+func (w *WALCounters) RecordAppend(records int, bytes int64) {
+	if w == nil {
+		return
+	}
+	w.Appends.Inc()
+	w.Records.Add(int64(records))
+	w.Bytes.Add(bytes)
+	w.Fsyncs.Inc()
+}
+
+// RecordRotation notes one log rotation. Nil-safe.
+func (w *WALCounters) RecordRotation() {
+	if w == nil {
+		return
+	}
+	w.Rotations.Inc()
+}
+
+// RecordReplay notes a Load-time recovery: how many acknowledged records
+// were replayed and how many tail bytes were quarantined. Nil-safe.
+func (w *WALCounters) RecordReplay(records int, quarantined int64) {
+	if w == nil {
+		return
+	}
+	w.ReplayedRecords.Add(int64(records))
+	w.QuarantinedBytes.Add(quarantined)
+}
+
+// RecordError notes one failed append or rotation. Nil-safe.
+func (w *WALCounters) RecordError() {
+	if w == nil {
+		return
+	}
+	w.Errors.Inc()
+}
+
+// WALSnapshot is a point-in-time copy of WALCounters.
+type WALSnapshot struct {
+	Appends          int64 `json:"appends"`
+	Records          int64 `json:"records"`
+	Bytes            int64 `json:"bytes"`
+	Fsyncs           int64 `json:"fsyncs"`
+	Rotations        int64 `json:"rotations"`
+	ReplayedRecords  int64 `json:"replayed_records"`
+	QuarantinedBytes int64 `json:"quarantined_bytes"`
+	Errors           int64 `json:"errors"`
+}
+
+// Snapshot copies the WAL counters (zero snapshot for nil).
+func (w *WALCounters) Snapshot() WALSnapshot {
+	if w == nil {
+		return WALSnapshot{}
+	}
+	return WALSnapshot{
+		Appends:          w.Appends.Load(),
+		Records:          w.Records.Load(),
+		Bytes:            w.Bytes.Load(),
+		Fsyncs:           w.Fsyncs.Load(),
+		Rotations:        w.Rotations.Load(),
+		ReplayedRecords:  w.ReplayedRecords.Load(),
+		QuarantinedBytes: w.QuarantinedBytes.Load(),
+		Errors:           w.Errors.Load(),
+	}
+}
+
+// CompactionCounters accumulates background-compaction activity: completed
+// runs, delta operations folded into new base generations, folds abandoned
+// because a slow-path publish outran them (or the rebased suffix could not
+// be re-applied fast), failures, and the cumulative compaction time.
+type CompactionCounters struct {
+	Runs      Counter // compactions that published a folded snapshot
+	FoldedOps Counter // delta operations folded into base generations
+	Abandoned Counter // folds discarded as stale (retried on the next trigger)
+	Errors    Counter // compactions failed by an I/O or commit error
+	Nanos     Counter // cumulative wall time spent compacting
+}
+
+// RecordRun notes one completed compaction that folded ops delta
+// operations. Nil-safe.
+func (c *CompactionCounters) RecordRun(ops int, nanos int64) {
+	if c == nil {
+		return
+	}
+	c.Runs.Inc()
+	c.FoldedOps.Add(int64(ops))
+	c.Nanos.Add(nanos)
+}
+
+// RecordAbandoned notes one fold discarded as stale. Nil-safe.
+func (c *CompactionCounters) RecordAbandoned(nanos int64) {
+	if c == nil {
+		return
+	}
+	c.Abandoned.Inc()
+	c.Nanos.Add(nanos)
+}
+
+// RecordError notes one failed compaction. Nil-safe.
+func (c *CompactionCounters) RecordError(nanos int64) {
+	if c == nil {
+		return
+	}
+	c.Errors.Inc()
+	c.Nanos.Add(nanos)
+}
+
+// CompactionSnapshot is a point-in-time copy of CompactionCounters.
+type CompactionSnapshot struct {
+	Runs      int64 `json:"runs"`
+	FoldedOps int64 `json:"folded_ops"`
+	Abandoned int64 `json:"abandoned"`
+	Errors    int64 `json:"errors"`
+	Nanos     int64 `json:"nanos"`
+}
+
+// Snapshot copies the compaction counters (zero snapshot for nil).
+func (c *CompactionCounters) Snapshot() CompactionSnapshot {
+	if c == nil {
+		return CompactionSnapshot{}
+	}
+	return CompactionSnapshot{
+		Runs:      c.Runs.Load(),
+		FoldedOps: c.FoldedOps.Load(),
+		Abandoned: c.Abandoned.Load(),
+		Errors:    c.Errors.Load(),
+		Nanos:     c.Nanos.Load(),
+	}
+}

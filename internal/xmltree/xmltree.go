@@ -131,14 +131,7 @@ func (d *Document) nodesAtLevelLocked(level int) []*Node {
 // invalidated by whoever renumbers nodes (see InvalidateJDeweyIndex).
 func (d *Document) NodeByJDewey(level int, jd uint32) *Node {
 	d.lazyMu.Lock()
-	if d.jdIndex == nil {
-		d.jdIndex = make([][]*Node, d.Depth+1)
-		for l := 1; l <= d.Depth; l++ {
-			nodes := append([]*Node(nil), d.nodesAtLevelLocked(l)...)
-			sort.Slice(nodes, func(i, j int) bool { return nodes[i].JD < nodes[j].JD })
-			d.jdIndex[l] = nodes
-		}
-	}
+	d.buildJDIndexLocked()
 	if level < 1 || level >= len(d.jdIndex) {
 		d.lazyMu.Unlock()
 		return nil
@@ -158,6 +151,33 @@ func (d *Document) NodeByJDewey(level int, jd uint32) *Node {
 		return nodes[lo]
 	}
 	return nil
+}
+
+func (d *Document) buildJDIndexLocked() {
+	if d.jdIndex != nil {
+		return
+	}
+	d.jdIndex = make([][]*Node, d.Depth+1)
+	for l := 1; l <= d.Depth; l++ {
+		nodes := append([]*Node(nil), d.nodesAtLevelLocked(l)...)
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i].JD < nodes[j].JD })
+		d.jdIndex[l] = nodes
+	}
+}
+
+// MaxJDeweyNode returns the node carrying the highest JDewey number at the
+// given level, or nil when the level is empty. It shares NodeByJDewey's
+// lazily built per-level table; the delta write path uses it to bound
+// append eligibility without scanning the level.
+func (d *Document) MaxJDeweyNode(level int) *Node {
+	d.lazyMu.Lock()
+	defer d.lazyMu.Unlock()
+	d.buildJDIndexLocked()
+	if level < 1 || level >= len(d.jdIndex) || len(d.jdIndex[level]) == 0 {
+		return nil
+	}
+	nodes := d.jdIndex[level]
+	return nodes[len(nodes)-1]
 }
 
 // InvalidateJDeweyIndex drops the JDewey lookup table; package jdewey

@@ -157,3 +157,101 @@ func (sh *Sharded) RemoveElement(deweyStr string) (err error) {
 	}
 	return sh.shards[si].RemoveElement(localID(id, off).String())
 }
+
+// ApplyBatch applies the mutations in order across the shards. Maximal
+// runs of subtree-interior operations are grouped per owning shard and
+// applied through each shard's ApplyBatch — one atomic publish, one WAL
+// group commit per shard per run — while operations that change the
+// top-level routing (inserting under the root, removing a whole top-level
+// subtree) are applied singly through the routed paths. Atomicity is per
+// shard per run, not global: on error, earlier runs and other shards'
+// completed groups stay applied. The returned slice carries each insert's
+// new global Dewey identifier ("" for removals).
+func (sh *Sharded) ApplyBatch(muts []Mutation) ([]string, error) {
+	if len(muts) == 0 {
+		return nil, nil
+	}
+	ids := make([]string, len(muts))
+	i := 0
+	for i < len(muts) {
+		m := muts[i]
+		id, perr := dewey.Parse(m.ID)
+		if perr != nil {
+			if m.Remove {
+				return nil, fmt.Errorf("xmlsearch: bad id: %w", perr)
+			}
+			return nil, fmt.Errorf("xmlsearch: bad parent id: %w", perr)
+		}
+		if id[0] != 1 || len(id) == 1 || (m.Remove && len(id) == 2) {
+			// Root-level (or unroutable) operation: the routed single-op
+			// paths handle routing-table updates and error wording.
+			var err error
+			if m.Remove {
+				err = sh.RemoveElement(m.ID)
+			} else {
+				ids[i], err = sh.InsertElement(m.ID, m.Pos, m.Tag, m.Text)
+			}
+			if err != nil {
+				return nil, err
+			}
+			i++
+			continue
+		}
+		// Maximal run of interior operations starting at i: group per
+		// owning shard, preserving order within each shard.
+		type loc struct {
+			mi  int
+			off int
+			m   Mutation
+		}
+		groups := map[int][]loc{}
+		sh.mu.RLock()
+		j := i
+		for ; j < len(muts); j++ {
+			mm := muts[j]
+			mid, jerr := dewey.Parse(mm.ID)
+			if jerr != nil || mid[0] != 1 || len(mid) == 1 || (mm.Remove && len(mid) == 2) {
+				break // the next loop turn deals with it
+			}
+			si, off, ok := sh.routeLocked(int(mid[1]))
+			if !ok {
+				sh.mu.RUnlock()
+				return nil, fmt.Errorf("xmlsearch: no element at %s", mm.ID)
+			}
+			lm := mm
+			lm.ID = localID(mid, off).String()
+			groups[si] = append(groups[si], loc{mi: j, off: off, m: lm})
+		}
+		for si := 0; si < len(sh.shards); si++ {
+			items := groups[si]
+			if len(items) == 0 {
+				continue
+			}
+			batch := make([]Mutation, len(items))
+			for k, it := range items {
+				batch[k] = it.m
+			}
+			localIDs, err := sh.shards[si].ApplyBatch(batch)
+			if err != nil {
+				sh.mu.RUnlock()
+				return nil, err
+			}
+			for k, it := range items {
+				sh.metrics.Writer.RecordMutation(!it.m.Remove, 0, false, 0, nil)
+				if it.m.Remove {
+					continue
+				}
+				lid, perr := dewey.Parse(localIDs[k])
+				if perr != nil {
+					sh.mu.RUnlock()
+					return nil, perr
+				}
+				lid[1] += uint32(it.off)
+				ids[it.mi] = lid.String()
+			}
+		}
+		sh.mu.RUnlock()
+		i = j
+	}
+	return ids, nil
+}

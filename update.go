@@ -16,28 +16,31 @@ import (
 // Incremental index maintenance. Section III-A of the paper specifies how
 // the JDewey encoding absorbs document mutations: reserved number gaps
 // take most insertions for free, and when a family's gap is exhausted only
-// one ancestor subtree is renumbered. The index follows suit: a mutation
-// rebuilds exactly the inverted lists whose occurrences — or whose
-// occurrences' JDewey numbers — changed, instead of reindexing the
-// document.
+// one ancestor subtree is renumbered. The index follows suit — and goes
+// one step further: the write path is a base ⊕ delta design (see
+// delta.go). An appending leaf insert costs O(delta + touched lists): it
+// is recorded in a small immutable delta segment layered over the base
+// snapshot instead of cloning the corpus. Removals, non-append inserts,
+// gap-exhausted inserts, and ElemRank indexes take the materializing slow
+// path, which folds the delta and clones the document the classic way.
+// Either way the mutation is appended (and fsynced) to the write-ahead
+// log first when one is attached (see walindex.go), so an acknowledged
+// mutation survives a crash.
 //
 // Concurrency: mutations are snapshot-isolated from queries. A writer
-// serializes against other writers (writeMu), clones the current
-// snapshot's document, occurrence map, maintenance handle, and column
-// store copy-on-write, applies the mutation and the list rebuilds entirely
-// to the clone, and publishes the finished snapshot with one atomic swap.
-// Queries pin a snapshot before the swap or after it — never in between —
-// and never block behind the writer. The writer pays the clone (O(document)
-// plus O(changed lists)); readers pay nothing.
+// serializes against other writers (writeMu), builds the successor
+// snapshot off to the side — delta segment or full clone — and publishes
+// it with one atomic swap. Queries pin a snapshot before the swap or
+// after it — never in between — and never block behind the writer.
 //
 // Scoring note: the corpus constant N of the tf-idf local score stays
 // frozen at its construction value, so unrelated lists keep their scores
 // (standard incremental-IR practice); document frequencies of the touched
-// terms are always recomputed. When the index was built WithElemRank, a
-// structural mutation shifts the link-based rank of potentially every
-// node, so fresh ranks are re-applied to every list (see applyDirty) —
-// rebuilding everything is the price of keeping scores consistent rather
-// than letting untouched terms keep pre-mutation structural ranks.
+// terms are always recomputed, on both paths. When the index was built
+// WithElemRank, a structural mutation shifts the link-based rank of
+// potentially every node, so fresh ranks are re-applied to every list
+// (see applyDirty); ApplyBatch amortizes that full re-rank (and the WAL
+// fsync) across a whole batch.
 
 // InsertElement adds a new leaf element <tag>text</tag> under the element
 // identified by parentDewey (dotted notation, e.g. "1.2"), at child
@@ -67,36 +70,62 @@ func (ix *Index) InsertElement(parentDewey string, pos int, tag, text string) (n
 
 	ix.writeMu.Lock()
 	defer ix.writeMu.Unlock()
+	if ix.closed.Load() {
+		return "", errIndexClosed
+	}
 	cur := ix.view()
-	if cur.doc.NodeByDewey(id) == nil {
+	parent := cur.nodeByDewey(id)
+	if parent == nil {
 		return "", fmt.Errorf("xmlsearch: no element at %s", parentDewey)
 	}
-	next := cur.clone()
-	parent := next.doc.NodeByDewey(id) // same Dewey path resolves in the clone
-	if pos < 0 || pos > len(parent.Children) {
-		return "", fmt.Errorf("xmlsearch: position %d out of range [0,%d]", pos, len(parent.Children))
+	if pos < 0 || pos > len(cur.visibleChildren(parent)) {
+		return "", fmt.Errorf("xmlsearch: position %d out of range [0,%d]", pos, len(cur.visibleChildren(parent)))
 	}
-	child := &xmltree.Node{Tag: tag, Text: text}
-	dirty := map[string]bool{}
-	for _, term := range tokenize.Tokens(text) {
-		dirty[term] = true
+
+	var next *snapshot
+	if fast, ok := ix.fastInsert(cur, parent, pos, tag, text); ok {
+		next = fast
+		dirtyN = len(tokenize.TermCounts(text))
+		newDewey = fast.delta.ops[len(fast.delta.ops)-1].parentChildDewey()
+	} else {
+		next = ix.materializeOf(cur)
+		p := next.doc.NodeByDewey(id) // Dewey paths survive materialization
+		child := &xmltree.Node{Tag: tag, Text: text}
+		dirty := map[string]bool{}
+		for _, term := range tokenize.Tokens(text) {
+			dirty[term] = true
+		}
+		moved, ierr := next.enc.Insert(p, child, pos)
+		if ierr != nil {
+			return "", fmt.Errorf("xmlsearch: %w", ierr)
+		}
+		if moved != nil {
+			renumbered = true
+			collectTerms(moved, dirty)
+		}
+		dirtyN = ix.applyDirty(next, dirty)
+		next.epoch = ix.epochs.Add(1)
+		newDewey = child.Dewey.String()
 	}
-	moved, err := next.enc.Insert(parent, child, pos)
-	if err != nil {
-		return "", fmt.Errorf("xmlsearch: %w", err)
+	if err := ix.walAppend([][]byte{encodeInsertRecord(parentDewey, pos, tag, text)}); err != nil {
+		return "", err
 	}
-	if moved != nil {
-		renumbered = true
-		collectTerms(moved, dirty)
-	}
-	dirtyN = ix.applyDirty(next, dirty)
 	ix.publish(next)
-	return child.Dewey.String(), nil
+	ix.maybeCompact()
+	return newDewey, nil
+}
+
+// parentChildDewey renders the Dewey identifier the op's child received.
+func (op deltaOp) parentChildDewey() string {
+	id := append(op.parent.Clone(), uint32(op.pos+1))
+	return id.String()
 }
 
 // RemoveElement detaches the element (and its whole subtree) identified by
 // its Dewey identifier. The root cannot be removed. Like InsertElement it
-// is snapshot-isolated from concurrent queries.
+// is snapshot-isolated from concurrent queries. Removals always take the
+// materializing slow path — the delta segment is append-only, so it never
+// needs tombstones.
 func (ix *Index) RemoveElement(deweyStr string) (err error) {
 	start := time.Now()
 	var dirtyN int
@@ -110,22 +139,167 @@ func (ix *Index) RemoveElement(deweyStr string) (err error) {
 
 	ix.writeMu.Lock()
 	defer ix.writeMu.Unlock()
+	if ix.closed.Load() {
+		return errIndexClosed
+	}
 	cur := ix.view()
-	victim := cur.doc.NodeByDewey(id)
+	victim := cur.nodeByDewey(id)
 	if victim == nil {
 		return fmt.Errorf("xmlsearch: no element at %s", deweyStr)
 	}
 	if victim.Parent == nil {
 		return fmt.Errorf("xmlsearch: cannot remove the document root")
 	}
-	next := cur.clone()
+	next := ix.materializeOf(cur)
 	n := next.doc.NodeByDewey(id)
 	dirty := map[string]bool{}
 	collectTerms(n, dirty)
 	next.enc.Remove(n)
 	dirtyN = ix.applyDirty(next, dirty)
+	next.epoch = ix.epochs.Add(1)
+	if err := ix.walAppend([][]byte{encodeRemoveRecord(deweyStr)}); err != nil {
+		return err
+	}
 	ix.publish(next)
+	ix.maybeCompact()
 	return nil
+}
+
+// Mutation is one operation of an ApplyBatch call: an insert of a leaf
+// element (<Tag>Text</Tag> under parent ID at position Pos) or, with
+// Remove set, the removal of the subtree at ID.
+type Mutation struct {
+	Remove bool
+	// ID is the parent's Dewey identifier for an insert, the victim's for
+	// a removal.
+	ID   string
+	Pos  int
+	Tag  string
+	Text string
+}
+
+// ApplyBatch applies the mutations in order as one atomic publish: queries
+// observe either none or all of them, the write-ahead log is fsynced once
+// for the whole batch (the group commit), and — on an ElemRank index — the
+// global re-rank runs once instead of once per mutation. The returned
+// slice carries the new Dewey identifier of each insert ("" for
+// removals). Validation is all-or-nothing: the first invalid operation
+// aborts the batch with nothing applied, nothing logged.
+func (ix *Index) ApplyBatch(muts []Mutation) (ids []string, err error) {
+	if len(muts) == 0 {
+		return nil, nil
+	}
+	start := time.Now()
+	defer func() {
+		per := time.Since(start) / time.Duration(len(muts))
+		for _, m := range muts {
+			ix.metrics.Writer.RecordMutation(!m.Remove, 0, false, per, err)
+		}
+	}()
+
+	ix.writeMu.Lock()
+	defer ix.writeMu.Unlock()
+	if ix.closed.Load() {
+		return nil, errIndexClosed
+	}
+	cur := ix.view()
+	ids = make([]string, len(muts))
+	records := make([][]byte, len(muts))
+
+	// First try the all-fast chain: every op an eligible appending insert,
+	// each building a private successor delta. Any removal or ineligible
+	// insert abandons the chain for the materializing path below.
+	next := cur
+	fastOK := true
+	for i, m := range muts {
+		if m.Remove {
+			fastOK = false
+			break
+		}
+		id, perr := dewey.Parse(m.ID)
+		if perr != nil {
+			return nil, fmt.Errorf("xmlsearch: bad parent id: %w", perr)
+		}
+		if m.Tag == "" {
+			return nil, fmt.Errorf("xmlsearch: empty element tag")
+		}
+		parent := next.nodeByDewey(id)
+		if parent == nil {
+			return nil, fmt.Errorf("xmlsearch: no element at %s", m.ID)
+		}
+		if m.Pos < 0 || m.Pos > len(next.visibleChildren(parent)) {
+			return nil, fmt.Errorf("xmlsearch: position %d out of range [0,%d]", m.Pos, len(next.visibleChildren(parent)))
+		}
+		ns, ok := ix.fastInsert(next, parent, m.Pos, m.Tag, m.Text)
+		if !ok {
+			fastOK = false
+			break
+		}
+		next = ns
+		ids[i] = ns.delta.ops[len(ns.delta.ops)-1].parentChildDewey()
+		records[i] = encodeInsertRecord(m.ID, m.Pos, m.Tag, m.Text)
+	}
+
+	if !fastOK {
+		// Materialize once, apply everything against the real tree, rebuild
+		// dirty lists (and, with ElemRank, re-rank) once.
+		next = ix.materializeOf(cur)
+		dirty := map[string]bool{}
+		for i, m := range muts {
+			id, perr := dewey.Parse(m.ID)
+			if perr != nil {
+				if m.Remove {
+					return nil, fmt.Errorf("xmlsearch: bad id: %w", perr)
+				}
+				return nil, fmt.Errorf("xmlsearch: bad parent id: %w", perr)
+			}
+			if m.Remove {
+				n := next.doc.NodeByDewey(id)
+				if n == nil {
+					return nil, fmt.Errorf("xmlsearch: no element at %s", m.ID)
+				}
+				if n.Parent == nil {
+					return nil, fmt.Errorf("xmlsearch: cannot remove the document root")
+				}
+				collectTerms(n, dirty)
+				next.enc.Remove(n)
+				records[i] = encodeRemoveRecord(m.ID)
+				continue
+			}
+			if m.Tag == "" {
+				return nil, fmt.Errorf("xmlsearch: empty element tag")
+			}
+			parent := next.doc.NodeByDewey(id)
+			if parent == nil {
+				return nil, fmt.Errorf("xmlsearch: no element at %s", m.ID)
+			}
+			if m.Pos < 0 || m.Pos > len(parent.Children) {
+				return nil, fmt.Errorf("xmlsearch: position %d out of range [0,%d]", m.Pos, len(parent.Children))
+			}
+			child := &xmltree.Node{Tag: m.Tag, Text: m.Text}
+			for _, term := range tokenize.Tokens(m.Text) {
+				dirty[term] = true
+			}
+			moved, ierr := next.enc.Insert(parent, child, m.Pos)
+			if ierr != nil {
+				return nil, fmt.Errorf("xmlsearch: %w", ierr)
+			}
+			if moved != nil {
+				collectTerms(moved, dirty)
+			}
+			ids[i] = child.Dewey.String()
+			records[i] = encodeInsertRecord(m.ID, m.Pos, m.Tag, m.Text)
+		}
+		ix.applyDirty(next, dirty)
+		next.epoch = ix.epochs.Add(1)
+	}
+
+	if err := ix.walAppend(records); err != nil {
+		return nil, err
+	}
+	ix.publish(next)
+	ix.maybeCompact()
+	return ids, nil
 }
 
 // publish stamps the next snapshot's generation, swaps it in atomically,
@@ -138,22 +312,6 @@ func (ix *Index) publish(next *snapshot) {
 	ix.snap.Store(next)
 	ix.gen.Add(1)
 	ix.plans.Invalidate(next.gen)
-}
-
-// clone duplicates a snapshot copy-on-write: the document tree is deep-
-// copied, the occurrence map is remapped onto the cloned nodes, the JDewey
-// maintenance handle is re-homed, and the column store's term maps are
-// copied while the immutable lists, blobs, and shared decode cache carry
-// over. The clone shares no mutable state with the original, so the writer
-// may freely mutate it while the original keeps serving queries.
-func (s *snapshot) clone() *snapshot {
-	doc := s.doc.Clone()
-	return &snapshot{
-		doc:   doc,
-		m:     s.m.CloneRemapped(doc.Nodes),
-		store: s.store.Clone(),
-		enc:   s.enc.CloneFor(doc),
-	}
 }
 
 // collectTerms accumulates every term occurring in the subtree of n.

@@ -107,6 +107,16 @@ func TestIncrementalMatchesRebuild(t *testing.T) {
 
 	inserted := []string{}
 	for op := 0; op < 40; op++ {
+		// A pinned snapshot may carry an in-memory delta segment; the
+		// oracle below needs the real mutated tree, so fold a copy. The
+		// live index keeps its delta — exactly what this test should cover.
+		matview := func() *snapshot {
+			s := idx.view()
+			if s.delta != nil {
+				s = idx.materializeOf(s)
+			}
+			return s
+		}
 		if rng.Intn(4) == 0 && len(inserted) > 0 {
 			i := rng.Intn(len(inserted))
 			if err := idx.RemoveElement(inserted[i]); err != nil {
@@ -119,7 +129,7 @@ func TestIncrementalMatchesRebuild(t *testing.T) {
 			inserted = append(inserted[:i], inserted[i+1:]...)
 		} else {
 			// Insert under a random existing element.
-			all := idx.view().doc.Nodes
+			all := matview().doc.Nodes
 			parent := all[rng.Intn(len(all))]
 			text := fmt.Sprintf("%s %s", vocab[rng.Intn(len(vocab))], vocab[rng.Intn(len(vocab))])
 			d, err := idx.InsertElement(parent.Dewey.String(), rng.Intn(len(parent.Children)+1), "ins", text)
@@ -128,10 +138,17 @@ func TestIncrementalMatchesRebuild(t *testing.T) {
 			}
 			inserted = append(inserted, d)
 		}
+		if op%7 == 6 {
+			// Fold the accumulated delta mid-workload: compaction must be
+			// invisible to every equivalence checked below.
+			if err := idx.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
 
 		// Rebuild from scratch over the mutated document.
 		var buf bytes.Buffer
-		if err := idx.view().doc.WriteXML(&buf); err != nil {
+		if err := matview().doc.WriteXML(&buf); err != nil {
 			t.Fatal(err)
 		}
 		fresh, err := Open(&buf)

@@ -79,6 +79,7 @@ import (
 	"repro/internal/score"
 	"repro/internal/stack"
 	"repro/internal/tokenize"
+	"repro/internal/wal"
 	"repro/internal/xmltree"
 )
 
@@ -236,6 +237,30 @@ type Index struct {
 	// snapshot pin. Both feed the obs gauges.
 	gen    atomic.Int64
 	pinned atomic.Int64
+
+	// epochs stamps materialized (delta-free) snapshots; every fast-path
+	// successor inherits its base's epoch, so the compactor can tell "this
+	// published chain still extends the state I folded" with one compare.
+	epochs atomic.Uint64
+
+	// log, when non-nil, is the durable write-ahead log every mutation is
+	// appended to (and fsynced) before its snapshot publishes. Guarded by
+	// writeMu; walDir/walFsys remember where and through which filesystem
+	// the log's generations commit. walRecords counts records appended to
+	// the current log file, the rotation trigger for slow-path-heavy
+	// workloads.
+	log        *wal.Log
+	walDir     string
+	walFsys    faultinject.FS
+	walRecords atomic.Int64
+
+	// compactMu serializes compactions (background and explicit); the
+	// background trigger TryLocks and skips when one is already running.
+	// compactThreshold is the delta-ops/WAL-records trigger (0 = default).
+	compactMu        sync.Mutex
+	compactThreshold atomic.Int64
+	compactWG        sync.WaitGroup
+	closed           atomic.Bool
 }
 
 // snapshot is one immutable view of the index: the document tree, the
@@ -256,11 +281,21 @@ type snapshot struct {
 	// statistics is never reused against another's.
 	gen int64
 
+	// delta, when non-nil, is the in-memory delta segment layered over the
+	// base parts above (doc/m/enc are then the base, store is the merged
+	// overlay); see delta.go. epoch identifies the materialized base this
+	// snapshot's chain grows from.
+	delta *deltaSeg
+	epoch uint64
+
 	// Lazily-built document-order baselines, built at most once per
 	// snapshot on first use by the stack/index-lookup/RDIL engines.
 	baseOnce sync.Once
 	inv      *invindex.Index
 	rdilIdx  *rdil.Index
+	// Lazily merged base ⊕ delta occurrence map (delta snapshots only).
+	occOnce sync.Once
+	occ     *occur.Map
 }
 
 // newIndex assembles an Index around its parts and hooks the metrics
@@ -275,13 +310,19 @@ func newIndex(doc *xmltree.Document, m *occur.Map, store *colstore.Store, enc *j
 	store.SetCache(ix.cache)
 	ix.gen.Store(1)
 	ix.metrics.SetGaugeSource(func() obs.Gauges {
-		return obs.Gauges{
+		g := obs.Gauges{
 			SnapshotGen:      ix.gen.Load(),
 			PinnedQueries:    ix.pinned.Load(),
 			CacheLists:       int64(ix.cache.Len()),
 			CacheBytes:       ix.cache.Bytes(),
 			PlanCacheEntries: int64(ix.plans.Len()),
+			WALRecords:       ix.walRecords.Load(),
 		}
+		if d := ix.view().delta; d != nil {
+			g.DeltaOps = int64(len(d.ops))
+			g.DeltaTerms = int64(len(d.terms))
+		}
+		return g
 	})
 	ix.snap.Store(&snapshot{doc: doc, m: m, store: store, enc: enc, gen: 1})
 	return ix
@@ -361,10 +402,18 @@ func FromDocument(doc *xmltree.Document, opts ...Option) (*Index, error) {
 }
 
 // Len returns the number of element nodes indexed.
-func (ix *Index) Len() int { return ix.view().doc.Len() }
+func (ix *Index) Len() int { return ix.view().docLen() }
 
 // Depth returns the document's tree depth.
-func (ix *Index) Depth() int { return ix.view().doc.Depth }
+func (ix *Index) Depth() int { return ix.view().docDepth() }
+
+// rootChildCount returns the published snapshot's top-level child count,
+// including delta-appended children not yet folded into the base tree —
+// the count the sharded routing table is built from.
+func (ix *Index) rootChildCount() int {
+	s := ix.view()
+	return len(s.visibleChildren(s.doc.Root))
+}
 
 // DocFreq returns the number of nodes directly containing the (normalized)
 // keyword.
@@ -445,9 +494,24 @@ func (ix *Index) Save(dir string) error {
 // with the single CommitGen rename. It is the injection point of the
 // crash tests.
 func (ix *Index) saveFS(dir string, fsys faultinject.FS, extra map[string][]byte) error {
+	ix.writeMu.Lock()
+	ontoWAL := ix.log != nil && dir == ix.walDir
+	ix.writeMu.Unlock()
+	if ontoWAL {
+		// Saving onto the live WAL directory is exactly a compaction: fold
+		// the delta, commit the new generation, rotate the log. (The WAL
+		// layer never writes extra files; corpus manifests live in the
+		// corpus root, not in member directories.)
+		return ix.Compact()
+	}
 	// Pin one snapshot for the whole save: a mutation published midway
-	// cannot mix generations inside the written directory.
+	// cannot mix generations inside the written directory. A pinned delta
+	// snapshot is folded first — saved directories are always fully
+	// materialized, so Load never needs a delta notion of its own.
 	s := ix.view()
+	if s.delta != nil {
+		s = ix.materializeOf(s)
+	}
 	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("xmlsearch: save: %w", err)
 	}
@@ -455,6 +519,21 @@ func (ix *Index) saveFS(dir string, fsys faultinject.FS, extra map[string][]byte
 	if err != nil {
 		return fmt.Errorf("xmlsearch: save: %w", err)
 	}
+	if err := ix.writeGenFiles(s, dir, gen, fsys, extra); err != nil {
+		return err
+	}
+	if err := colstore.CommitGen(dir, gen, fsys); err != nil {
+		return err
+	}
+	colstore.RemoveStaleGens(dir, gen, fsys, fileDocument, fileMeta, fileCorpusNames)
+	return nil
+}
+
+// writeGenFiles writes the uncommitted files of one generation — the
+// column store's three plus document.xml, index.meta, and any extras —
+// for a fully materialized snapshot. The caller commits (CommitGen) and
+// sweeps stale generations; the compactor shares this with saveFS.
+func (ix *Index) writeGenFiles(s *snapshot, dir string, gen uint64, fsys faultinject.FS, extra map[string][]byte) error {
 	if err := s.store.SaveGen(dir, gen, fsys); err != nil {
 		return err
 	}
@@ -486,10 +565,6 @@ func (ix *Index) saveFS(dir string, fsys faultinject.FS, extra map[string][]byte
 			return fmt.Errorf("xmlsearch: save %s: %w", f.name, err)
 		}
 	}
-	if err := colstore.CommitGen(dir, gen, fsys); err != nil {
-		return err
-	}
-	colstore.RemoveStaleGens(dir, gen, fsys, fileDocument, fileMeta, fileCorpusNames)
 	return nil
 }
 
@@ -614,15 +689,74 @@ func Load(dir string) (*Index, error) {
 	// Rebuild the occurrence map against the frozen corpus constant the
 	// saved scores were computed with.
 	var m *occur.Map
+	var ix *Index
 	if cfg.elemRank {
 		m = occur.ExtractRanked(doc, score.ElemRank(doc, cfg.erParams))
 		m.N = store.N
 		// Rank factors are position-dependent; rebuild the store from the
 		// recomputed map rather than trusting potentially stale blobs.
-		return newIndex(doc, m, colstore.Build(m), enc, cfg), nil
+		ix = newIndex(doc, m, colstore.Build(m), enc, cfg)
+	} else {
+		m = occur.ExtractN(doc, store.N)
+		ix = newIndex(doc, m, store, enc, cfg)
 	}
-	m = occur.ExtractN(doc, store.N)
-	return newIndex(doc, m, store, enc, cfg), nil
+	if v2 {
+		if err := ix.attachWAL(dir, gen); err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
+}
+
+// attachWAL completes a Load on a WAL-enabled directory: recover the
+// committed generation's log, replay its acknowledged records through the
+// normal mutation path (the log is not attached yet, so the replay is not
+// re-logged), and attach the open log so subsequent mutations append to
+// it. A directory without wal.<gen> is a plain snapshot directory and
+// loads unchanged. The loaded base plus the replayed records reconstructs
+// exactly the acknowledged state: recovery already dropped any torn tail
+// (those mutations were never acknowledged), and a CRC-valid record that
+// fails to re-apply means the directory does not match its log — a load
+// error, never a partially applied index.
+func (ix *Index) attachWAL(dir string, gen uint64) error {
+	path := filepath.Join(dir, wal.FileName(gen))
+	if _, err := os.Stat(path); err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("xmlsearch: load: %w", err)
+	}
+	log, res, err := wal.Open(faultinject.OS(), path)
+	if err != nil {
+		return fmt.Errorf("xmlsearch: load: %w", err)
+	}
+	// Suppress background compaction during replay (there is no log to
+	// rotate yet); restore the configured trigger after.
+	saved := ix.compactThreshold.Load()
+	ix.compactThreshold.Store(-1)
+	for i, rec := range res.Records {
+		mut, derr := decodeMutationRecord(rec)
+		if derr == nil {
+			if mut.Remove {
+				derr = ix.RemoveElement(mut.ID)
+			} else {
+				_, derr = ix.InsertElement(mut.ID, mut.Pos, mut.Tag, mut.Text)
+			}
+		}
+		if derr != nil {
+			log.Close()
+			return fmt.Errorf("xmlsearch: load: wal replay record %d: %w", i, derr)
+		}
+	}
+	ix.compactThreshold.Store(saved)
+	ix.metrics.WAL.RecordReplay(len(res.Records), res.QuarantinedBytes)
+	ix.writeMu.Lock()
+	ix.log = log
+	ix.walDir = dir
+	ix.walFsys = faultinject.OS()
+	ix.walRecords.Store(int64(len(res.Records)))
+	ix.writeMu.Unlock()
+	return nil
 }
 
 // genFileName resolves a base file name within a loaded index directory:
@@ -674,7 +808,7 @@ const snippetLen = 80
 func (s *snapshot) materializeJoin(rs []core.Result) []Result {
 	out := make([]Result, 0, len(rs))
 	for _, r := range rs {
-		n := s.doc.NodeByJDewey(r.Level, r.Value)
+		n := s.nodeByJDewey(r.Level, r.Value)
 		if n == nil {
 			continue
 		}
@@ -684,7 +818,7 @@ func (s *snapshot) materializeJoin(rs []core.Result) []Result {
 }
 
 func (s *snapshot) materializeDewey(id []uint32, score float64) Result {
-	n := s.doc.NodeByDewey(id)
+	n := s.nodeByDewey(id)
 	if n == nil {
 		return Result{Dewey: "?", Score: score, Exact: true}
 	}
@@ -745,7 +879,7 @@ func (s *snapshot) invListsObs(keywords []string, tr *obs.Trace) []*invindex.Lis
 // baseline query.
 func (s *snapshot) ensureInv() {
 	s.baseOnce.Do(func() {
-		s.inv = invindex.Build(s.m)
+		s.inv = invindex.Build(s.occMap())
 		s.rdilIdx = rdil.NewIndex(s.inv)
 	})
 }
